@@ -1,0 +1,68 @@
+"""Abl 6 — beam width versus utility and time.
+
+Beam search generalizes GRD (width 1 = greedy).  This ablation measures
+what wider beams buy on a paper-shaped instance: utility is monotone
+non-decreasing in width (the beam contains greedy's trajectory) while
+time grows roughly linearly with width x branch factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.beam import BeamSearchScheduler
+from repro.algorithms.greedy import GreedyScheduler
+from repro.workloads.config import ExperimentConfig
+from repro.workloads.generator import WorkloadGenerator
+
+_K = 12
+_GENERATOR = WorkloadGenerator(root_seed=66)
+_CONFIG = ExperimentConfig(k=_K, n_users=300)
+_INSTANCE = None
+_WIDTHS = (1, 2, 4, 8)
+_UTILITIES: dict[int, float] = {}
+
+
+def _instance():
+    global _INSTANCE
+    if _INSTANCE is None:
+        _INSTANCE = _GENERATOR.build(_CONFIG)
+    return _INSTANCE
+
+
+@pytest.mark.benchmark(group="ablation6-beam")
+def test_grd_reference_point(benchmark):
+    instance = _instance()
+    result = benchmark.pedantic(
+        GreedyScheduler().solve, args=(instance, _K), rounds=1, iterations=1
+    )
+    _UTILITIES[0] = result.utility  # width-0 slot = plain GRD
+    benchmark.extra_info["utility"] = result.utility
+
+
+@pytest.mark.benchmark(group="ablation6-beam")
+@pytest.mark.parametrize("width", _WIDTHS)
+def test_beam_width(benchmark, width: int):
+    instance = _instance()
+    solver = BeamSearchScheduler(beam_width=width)
+    result = benchmark.pedantic(
+        solver.solve, args=(instance, _K), rounds=1, iterations=1
+    )
+    _UTILITIES[width] = result.utility
+    benchmark.extra_info["beam_width"] = width
+    benchmark.extra_info["utility"] = result.utility
+
+
+@pytest.mark.benchmark(group="ablation6-beam")
+def test_wider_beams_never_lose(benchmark):
+    def check():
+        if set(_WIDTHS) - set(_UTILITIES):
+            pytest.skip("run the width grid first")
+        # beam(w) >= GRD for every width, and widths are non-decreasing
+        # against the width-1 beam (identical frontiers aside, ties allowed)
+        for width in _WIDTHS:
+            assert _UTILITIES[width] >= _UTILITIES[0] - 1e-9
+        assert _UTILITIES[_WIDTHS[-1]] >= _UTILITIES[_WIDTHS[0]] - 1e-9
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

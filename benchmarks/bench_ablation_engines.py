@@ -1,0 +1,60 @@
+"""Abl 1 — vectorized numpy engine versus the pure-Python reference engine.
+
+DESIGN.md commits to two interchangeable Eq. 1–4 evaluators.  This
+benchmark quantifies why the vectorized engine is the default: bulk
+scoring of one interval (the inner loop of GRD/TOP) and a full GRD run are
+timed under both engines on the *same* instance, with outputs asserted
+equal.  The reference engine uses a deliberately reduced instance — it is
+the semantic oracle, not a contender.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.core.engine import make_engine
+from repro.workloads.config import ExperimentConfig
+from repro.workloads.generator import WorkloadGenerator
+
+_K = 10
+_GENERATOR = WorkloadGenerator(root_seed=99)
+_CONFIG = ExperimentConfig(k=_K, n_users=200)
+_INSTANCE = None
+
+
+def _instance():
+    global _INSTANCE
+    if _INSTANCE is None:
+        _INSTANCE = _GENERATOR.build(_CONFIG)
+    return _INSTANCE
+
+
+@pytest.mark.benchmark(group="ablation1-engines")
+@pytest.mark.parametrize("kind", ["vectorized", "reference"])
+def test_bulk_interval_scoring(benchmark, kind: str):
+    instance = _instance()
+    engine = make_engine(instance, kind)
+    events = list(range(instance.n_events))
+
+    scores = benchmark(engine.scores_for_interval, 0, events)
+    # both engines must produce the same numbers
+    oracle = make_engine(instance, "reference").scores_for_interval(0, events)
+    np.testing.assert_allclose(scores, oracle, atol=1e-9)
+    benchmark.extra_info["engine"] = kind
+
+
+@pytest.mark.benchmark(group="ablation1-engines")
+@pytest.mark.parametrize("kind", ["vectorized", "reference"])
+def test_full_grd_run(benchmark, kind: str):
+    instance = _instance()
+    solver = GreedyScheduler(engine_kind=kind)
+    result = benchmark.pedantic(
+        solver.solve, args=(instance, _K), rounds=1, iterations=1
+    )
+    benchmark.extra_info["engine"] = kind
+    benchmark.extra_info["utility"] = result.utility
+    # the choice of engine must not affect the outcome
+    oracle = GreedyScheduler(engine_kind="vectorized").solve(instance, _K)
+    assert result.utility == pytest.approx(oracle.utility, abs=1e-6)

@@ -1,0 +1,92 @@
+"""Abl 5 — refining GRD with local search and simulated annealing.
+
+DESIGN.md's extension scope: does hill climbing (relocate / replace /
+exchange) or annealing buy utility on top of the paper's greedy, and at
+what time cost?  Measures GRD alone, GRD + local search, and SA seeded by
+RAND, all at the same (k, instance).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.annealing import AnnealingScheduler
+from repro.algorithms.greedy import GreedyScheduler
+from repro.algorithms.local_search import LocalSearchRefiner
+from repro.workloads.config import ExperimentConfig
+from repro.workloads.generator import WorkloadGenerator
+
+_K = 30
+_GENERATOR = WorkloadGenerator(root_seed=55)
+_CONFIG = ExperimentConfig(k=_K, n_users=400)
+_INSTANCE = None
+_UTILITIES: dict[str, float] = {}
+
+
+def _instance():
+    global _INSTANCE
+    if _INSTANCE is None:
+        _INSTANCE = _GENERATOR.build(_CONFIG)
+    return _INSTANCE
+
+
+@pytest.mark.benchmark(group="ablation5-refinement")
+def test_grd_alone(benchmark):
+    instance = _instance()
+    result = benchmark.pedantic(
+        GreedyScheduler().solve, args=(instance, _K), rounds=1, iterations=1
+    )
+    _UTILITIES["GRD"] = result.utility
+    benchmark.extra_info["utility"] = result.utility
+
+
+@pytest.mark.benchmark(group="ablation5-refinement")
+def test_grd_plus_local_search(benchmark):
+    instance = _instance()
+
+    def pipeline():
+        grd = GreedyScheduler().solve(instance, _K)
+        return LocalSearchRefiner(seed=1, max_rounds=10).refine_result(
+            instance, grd
+        )
+
+    result = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    _UTILITIES["GRD+LS"] = result.utility
+    benchmark.extra_info["utility"] = result.utility
+    benchmark.extra_info["moves_accepted"] = result.stats.moves_accepted
+
+
+@pytest.mark.benchmark(group="ablation5-refinement")
+def test_annealing_from_random(benchmark):
+    instance = _instance()
+    solver = AnnealingScheduler(seed=2, steps=3000)
+    result = benchmark.pedantic(
+        solver.solve, args=(instance, _K), rounds=1, iterations=1
+    )
+    _UTILITIES["SA"] = result.utility
+    benchmark.extra_info["utility"] = result.utility
+
+
+@pytest.mark.benchmark(group="ablation5-refinement")
+def test_grasp_restarts(benchmark):
+    from repro.algorithms.grasp import GraspScheduler
+
+    instance = _instance()
+    solver = GraspScheduler(seed=3, restarts=4, alpha=0.15)
+    result = benchmark.pedantic(
+        solver.solve, args=(instance, _K), rounds=1, iterations=1
+    )
+    _UTILITIES["GRASP"] = result.utility
+    benchmark.extra_info["utility"] = result.utility
+
+
+@pytest.mark.benchmark(group="ablation5-refinement")
+def test_refinement_ordering(benchmark):
+    def check():
+        if {"GRD", "GRD+LS"} - set(_UTILITIES):
+            pytest.skip("run the refinement cases first")
+        # refinement never loses what greedy found
+        assert _UTILITIES["GRD+LS"] >= _UTILITIES["GRD"] - 1e-9
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

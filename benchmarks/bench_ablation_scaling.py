@@ -1,0 +1,66 @@
+"""Abl 7 — empirical validation of the paper's complexity analysis.
+
+Section III derives GRD's cost as ``O(|E||T||U| + k|E||T| + k|E||U|)`` —
+in particular *linear in the number of users* at fixed (k, |E|, |T|).
+This ablation measures GRD wall-clock at growing populations over
+otherwise-identical workloads and asserts sub-quadratic growth (linear up
+to cache effects and constant overheads).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.workloads.config import ExperimentConfig
+from repro.workloads.generator import WorkloadGenerator
+
+_K = 40
+_POPULATIONS = (250, 500, 1000, 2000)
+_TIMES: dict[int, float] = {}
+_GENERATOR = WorkloadGenerator(root_seed=77)
+_INSTANCES: dict[int, object] = {}
+
+
+def _instance(n_users: int):
+    if n_users not in _INSTANCES:
+        config = ExperimentConfig(k=_K, n_users=n_users)
+        _INSTANCES[n_users] = _GENERATOR.build(config, seed=n_users)
+    return _INSTANCES[n_users]
+
+
+@pytest.mark.benchmark(group="ablation7-scaling")
+@pytest.mark.parametrize("n_users", _POPULATIONS)
+def test_grd_scaling_in_users(benchmark, n_users: int):
+    instance = _instance(n_users)
+    solver = GreedyScheduler()
+
+    started = time.perf_counter()
+    result = benchmark.pedantic(
+        solver.solve, args=(instance, _K), rounds=1, iterations=1
+    )
+    _TIMES[n_users] = time.perf_counter() - started
+
+    assert result.achieved_k == _K
+    benchmark.extra_info["n_users"] = n_users
+    benchmark.extra_info["utility"] = result.utility
+
+
+@pytest.mark.benchmark(group="ablation7-scaling")
+def test_growth_is_subquadratic(benchmark):
+    def check():
+        if set(_POPULATIONS) - set(_TIMES):
+            pytest.skip("run the population grid first")
+        # time must grow with users...
+        assert _TIMES[_POPULATIONS[-1]] > _TIMES[_POPULATIONS[0]]
+        # ...but an 8x population may cost at most ~24x (linear would be 8x;
+        # the slack absorbs constant overheads and cache-tier changes)
+        ratio = _TIMES[_POPULATIONS[-1]] / max(_TIMES[_POPULATIONS[0]], 1e-9)
+        assert ratio < 3.0 * (
+            _POPULATIONS[-1] / _POPULATIONS[0]
+        ), f"superlinear blowup: {ratio:.1f}x for 8x users"
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

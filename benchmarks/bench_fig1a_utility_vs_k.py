@@ -1,0 +1,75 @@
+"""Fig 1a — total utility versus the number of scheduled events k.
+
+Regenerates the utility series of the paper's Figure 1a: GRD, TOP and RAND
+at k over the paper grid with |E| = 2k, |T| = 3k/2 and all other knobs at
+their Section IV.A defaults.  Each benchmark case times one solver at one
+grid point; the achieved utility — the actual Fig 1a y-value — is recorded
+in ``extra_info`` (``pytest benchmarks/ --benchmark-only`` prints it via
+the saved JSON, and EXPERIMENTS.md tabulates it).
+
+Paper shapes asserted here:
+
+* GRD attains the highest utility at every k;
+* TOP trails RAND from mid-grid on (TOP "reports considerably low
+  utility scores in all cases").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.algorithms.random_schedule import RandomScheduler
+from repro.algorithms.top import TopKScheduler
+
+from benchmarks.conftest import K_GRID, instance_for_k
+
+_RESULTS: dict[tuple[str, int], float] = {}
+
+
+def _method(name: str, k: int):
+    if name == "GRD":
+        return GreedyScheduler()
+    if name == "TOP":
+        return TopKScheduler()
+    return RandomScheduler(seed=k)
+
+
+@pytest.mark.benchmark(group="fig1a-utility-vs-k")
+@pytest.mark.parametrize("k", K_GRID)
+@pytest.mark.parametrize("method", ["GRD", "TOP", "RAND"])
+def test_fig1a_point(benchmark, method: str, k: int):
+    instance = instance_for_k(k)
+    solver = _method(method, k)
+    result = benchmark.pedantic(
+        solver.solve, args=(instance, k), rounds=1, iterations=1
+    )
+    assert result.achieved_k == k
+    _RESULTS[(method, k)] = result.utility
+    benchmark.extra_info["utility"] = result.utility
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["method"] = method
+
+
+@pytest.mark.benchmark(group="fig1a-utility-vs-k")
+def test_fig1a_shape(benchmark):
+    """Assert the figure's qualitative shape over the recorded series."""
+
+    def check():
+        for k in K_GRID:
+            if (("GRD", k)) not in _RESULTS:
+                pytest.skip("run the full fig1a group to check shapes")
+        for k in K_GRID:
+            assert _RESULTS[("GRD", k)] > _RESULTS[("TOP", k)]
+            assert _RESULTS[("GRD", k)] > _RESULTS[("RAND", k)]
+        # TOP's self-cannibalization: RAND passes it by mid-grid
+        for k in K_GRID[1:]:
+            assert _RESULTS[("RAND", k)] > _RESULTS[("TOP", k)]
+        # GRD's lead over RAND grows with k
+        first, last = K_GRID[0], K_GRID[-1]
+        early_gap = _RESULTS[("GRD", first)] - _RESULTS[("RAND", first)]
+        late_gap = _RESULTS[("GRD", last)] - _RESULTS[("RAND", last)]
+        assert late_gap > early_gap
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

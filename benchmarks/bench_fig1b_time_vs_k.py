@@ -1,0 +1,77 @@
+"""Fig 1b — execution time versus the number of scheduled events k.
+
+The paper's Figure 1b plots solver wall-clock against k.  Here the
+pytest-benchmark measurement *is* the figure: one timed case per
+(method, k), same instances as Fig 1a (session-cached, so generation cost
+is excluded).  Compare the ``mean`` column across rows of the
+``fig1b-time-vs-k`` group to read the figure.
+
+Paper shapes asserted:
+
+* RAND is orders of magnitude cheaper than the scoring methods;
+* GRD costs more than TOP at equal k (TOP skips all score updates), and
+  the gap grows with k.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.algorithms.random_schedule import RandomScheduler
+from repro.algorithms.top import TopKScheduler
+
+from benchmarks.conftest import K_GRID, instance_for_k
+
+_TIMES: dict[tuple[str, int], float] = {}
+
+
+def _method(name: str, k: int):
+    if name == "GRD":
+        return GreedyScheduler()
+    if name == "TOP":
+        return TopKScheduler()
+    return RandomScheduler(seed=k)
+
+
+@pytest.mark.benchmark(group="fig1b-time-vs-k")
+@pytest.mark.parametrize("k", K_GRID)
+@pytest.mark.parametrize("method", ["GRD", "TOP", "RAND"])
+def test_fig1b_point(benchmark, method: str, k: int):
+    instance = instance_for_k(k)
+    solver = _method(method, k)
+
+    started = time.perf_counter()
+    result = benchmark.pedantic(
+        solver.solve, args=(instance, k), rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - started
+    _TIMES[(method, k)] = elapsed
+
+    assert result.achieved_k == k
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["initial_scores"] = result.stats.initial_scores
+    benchmark.extra_info["score_updates"] = result.stats.score_updates
+
+
+@pytest.mark.benchmark(group="fig1b-time-vs-k")
+def test_fig1b_shape(benchmark):
+    def check():
+        for k in K_GRID:
+            if ("GRD", k) not in _TIMES:
+                pytest.skip("run the full fig1b group to check shapes")
+        for k in K_GRID:
+            assert _TIMES[("RAND", k)] < _TIMES[("GRD", k)]
+            assert _TIMES[("RAND", k)] < _TIMES[("TOP", k)]
+            assert _TIMES[("GRD", k)] > _TIMES[("TOP", k)]
+        first, last = K_GRID[0], K_GRID[-1]
+        assert (
+            _TIMES[("GRD", last)] - _TIMES[("TOP", last)]
+            > _TIMES[("GRD", first)] - _TIMES[("TOP", first)]
+        )
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+"""Fig 1c — total utility versus the number of time intervals |T|.
+
+Fixes k = 100 (the paper default) and sweeps |T| over the paper grid
+(k/5 .. 3k).  More intervals mean fewer co-scheduled events per interval
+(less cannibalization) and more candidate assignments, so GRD's and TOP's
+utilities climb; RAND profits too but less systematically.
+
+Shapes asserted: GRD wins everywhere; GRD and TOP strictly improve from
+the smallest to the largest |T|.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.algorithms.random_schedule import RandomScheduler
+from repro.algorithms.top import TopKScheduler
+
+from benchmarks.conftest import INTERVAL_GRID, instance_for_intervals
+
+_K = 100
+_RESULTS: dict[tuple[str, int], float] = {}
+
+
+def _method(name: str, seed: int):
+    if name == "GRD":
+        return GreedyScheduler()
+    if name == "TOP":
+        return TopKScheduler()
+    return RandomScheduler(seed=seed)
+
+
+@pytest.mark.benchmark(group="fig1c-utility-vs-T")
+@pytest.mark.parametrize("n_intervals", INTERVAL_GRID)
+@pytest.mark.parametrize("method", ["GRD", "TOP", "RAND"])
+def test_fig1c_point(benchmark, method: str, n_intervals: int):
+    instance = instance_for_intervals(n_intervals, k=_K)
+    solver = _method(method, n_intervals)
+    result = benchmark.pedantic(
+        solver.solve, args=(instance, _K), rounds=1, iterations=1
+    )
+    _RESULTS[(method, n_intervals)] = result.utility
+    benchmark.extra_info["utility"] = result.utility
+    benchmark.extra_info["n_intervals"] = n_intervals
+    benchmark.extra_info["method"] = method
+
+
+@pytest.mark.benchmark(group="fig1c-utility-vs-T")
+def test_fig1c_shape(benchmark):
+    def check():
+        for n_intervals in INTERVAL_GRID:
+            if ("GRD", n_intervals) not in _RESULTS:
+                pytest.skip("run the full fig1c group to check shapes")
+        for n_intervals in INTERVAL_GRID:
+            assert (
+                _RESULTS[("GRD", n_intervals)]
+                > _RESULTS[("TOP", n_intervals)]
+            )
+            assert (
+                _RESULTS[("GRD", n_intervals)]
+                > _RESULTS[("RAND", n_intervals)]
+            )
+        smallest, largest = INTERVAL_GRID[0], INTERVAL_GRID[-1]
+        assert _RESULTS[("GRD", largest)] > _RESULTS[("GRD", smallest)]
+        assert _RESULTS[("TOP", largest)] > _RESULTS[("TOP", smallest)]
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+"""Fig 1d — execution time versus the number of time intervals |T|.
+
+Same sweep as Fig 1c, read on the time axis.  Initial scoring is
+proportional to |T| x |E| x |U| for both GRD and TOP, so both climb with
+|T|; GRD adds k rounds of per-interval updates on top, so the GRD–TOP gap
+widens (the paper's stated observation).  RAND remains near-free.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.algorithms.random_schedule import RandomScheduler
+from repro.algorithms.top import TopKScheduler
+
+from benchmarks.conftest import INTERVAL_GRID, instance_for_intervals
+
+_K = 100
+_TIMES: dict[tuple[str, int], float] = {}
+
+
+def _method(name: str, seed: int):
+    if name == "GRD":
+        return GreedyScheduler()
+    if name == "TOP":
+        return TopKScheduler()
+    return RandomScheduler(seed=seed)
+
+
+@pytest.mark.benchmark(group="fig1d-time-vs-T")
+@pytest.mark.parametrize("n_intervals", INTERVAL_GRID)
+@pytest.mark.parametrize("method", ["GRD", "TOP", "RAND"])
+def test_fig1d_point(benchmark, method: str, n_intervals: int):
+    instance = instance_for_intervals(n_intervals, k=_K)
+    solver = _method(method, n_intervals)
+
+    started = time.perf_counter()
+    result = benchmark.pedantic(
+        solver.solve, args=(instance, _K), rounds=1, iterations=1
+    )
+    _TIMES[(method, n_intervals)] = time.perf_counter() - started
+
+    benchmark.extra_info["n_intervals"] = n_intervals
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["achieved_k"] = result.achieved_k
+
+
+@pytest.mark.benchmark(group="fig1d-time-vs-T")
+def test_fig1d_shape(benchmark):
+    def check():
+        for n_intervals in INTERVAL_GRID:
+            if ("GRD", n_intervals) not in _TIMES:
+                pytest.skip("run the full fig1d group to check shapes")
+        smallest, largest = INTERVAL_GRID[0], INTERVAL_GRID[-1]
+        # scoring cost climbs with |T| for both scoring methods
+        assert _TIMES[("GRD", largest)] > _TIMES[("GRD", smallest)]
+        assert _TIMES[("TOP", largest)] > _TIMES[("TOP", smallest)]
+        # RAND cheapest everywhere
+        for n_intervals in INTERVAL_GRID:
+            assert _TIMES[("RAND", n_intervals)] < _TIMES[("GRD", n_intervals)]
+            assert _TIMES[("RAND", n_intervals)] < _TIMES[("TOP", n_intervals)]
+        # the GRD-TOP gap widens with |T|
+        assert (
+            _TIMES[("GRD", largest)] - _TIMES[("TOP", largest)]
+            > _TIMES[("GRD", smallest)] - _TIMES[("TOP", smallest)]
+        )
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

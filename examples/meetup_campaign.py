@@ -1,0 +1,95 @@
+"""Full Meetup-style pipeline: synthetic EBSN -> SES instance -> comparison.
+
+This reproduces the paper's experimental pipeline end to end, at a reduced
+but realistic scale:
+
+1. generate a calibrated Meetup-California-like EBSN (tag clusters, Zipf
+   group popularity, check-in histories; mean event overlap ~ 8.1);
+2. run the Section IV.A preprocessing — Jaccard tag interest, uniform
+   per-interval competing events, 25 locations, theta = 20, xi ~ U[1, 20/3];
+3. compare GRD / GRD-heap / TOP / RAND / SA on the paper-default shape
+   |E| = 2k, |T| = 3k/2;
+4. estimate sigma from check-ins instead of U[0, 1] and show the effect
+   (the "real pipeline" the paper describes but does not evaluate).
+
+Run with::
+
+    python examples/meetup_campaign.py
+"""
+
+from repro import (
+    AnnealingScheduler,
+    GreedyScheduler,
+    LazyGreedyScheduler,
+    RandomScheduler,
+    TopKScheduler,
+)
+from repro.data.meetup import InstanceBuildParams, build_instance
+from repro.ebsn.generator import EBSNConfig, MeetupStyleGenerator
+from repro.ebsn.stats import summarize
+
+K = 40
+SEED = 7
+
+
+def main() -> None:
+    # -- step 1: the dataset substitute -----------------------------------
+    config = EBSNConfig.meetup_california(scale=0.05)  # ~2100 users, ~800 events
+    snapshot = MeetupStyleGenerator(config).generate(seed=SEED)
+    stats = summarize(snapshot.network)
+    print("Synthetic Meetup-CA snapshot:")
+    for key, value in sorted(stats.items()):
+        print(f"  {key:>18}: {value:,.2f}")
+    print(f"  {'target overlap':>18}: {config.target_overlap} (paper-measured 8.1)\n")
+
+    # -- step 2: the paper's preprocessing ---------------------------------
+    params = InstanceBuildParams(
+        n_candidate_events=2 * K,
+        n_intervals=3 * K // 2,
+        mean_competing_per_interval=8.1,
+        n_locations=25,
+        theta=20.0,
+    )
+    instance = build_instance(snapshot, params, seed=SEED)
+    print(f"SES instance: {instance.describe()}\n")
+
+    # -- step 3: method comparison at the paper-default shape --------------
+    methods = {
+        "GRD": GreedyScheduler(),
+        "GRD-heap": LazyGreedyScheduler(),
+        "TOP": TopKScheduler(),
+        "RAND": RandomScheduler(seed=SEED),
+        "SA": AnnealingScheduler(seed=SEED, steps=2000),
+    }
+    print(f"Scheduling k={K} events:")
+    for name, solver in methods.items():
+        result = solver.solve(instance, K)
+        print(
+            f"  {name:<9} utility={result.utility:9.2f}  "
+            f"time={result.runtime_seconds * 1e3:8.1f} ms  "
+            f"(pops={result.stats.pops}, updates={result.stats.score_updates})"
+        )
+
+    # -- step 4: sigma from check-ins instead of U[0,1] --------------------
+    checkin_params = InstanceBuildParams(
+        n_candidate_events=2 * K,
+        n_intervals=3 * K // 2,
+        mean_competing_per_interval=8.1,
+        n_locations=25,
+        theta=20.0,
+        sigma_source="checkins",
+    )
+    checkin_instance = build_instance(snapshot, checkin_params, seed=SEED)
+    uniform_result = GreedyScheduler().solve(instance, K)
+    checkin_result = GreedyScheduler().solve(checkin_instance, K)
+    print(
+        "\nsigma source comparison (GRD):\n"
+        f"  U[0,1] sigma (paper's experiments): {uniform_result.utility:9.2f}\n"
+        f"  check-in estimated sigma          : {checkin_result.utility:9.2f}\n"
+        "  (absolute utilities differ because the sigma distributions do;\n"
+        "   the scheduling pipeline is identical)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+"""The paper's motivating scenario: scheduling a Summerfest-style festival.
+
+Section I of the paper describes an 11-day festival with 11 stages, where
+the organizer must pick which candidate events to host and when, against
+third-party venues that compete for the same crowd (remember Alice: a Pop
+concert, a fashion show and a rival Pop gig all on Monday evening).
+
+This example builds that world synthetically:
+
+* 11 festival days x 2 day-parts = 22 disjoint time intervals;
+* 11 stages (locations) and a staffing budget per interval;
+* 60 candidate events across themed genres, with tag-based user interest
+  (Jaccard — the paper's Section IV.A construction);
+* a competing third-party event landscape;
+* user availability patterns (some users only go out on weekends).
+
+It then compares GRD with TOP and RAND and prints the festival program.
+
+Run with::
+
+    python examples/summerfest_festival.py
+"""
+
+import numpy as np
+
+from repro import (
+    ActivityModel,
+    CalendarGrid,
+    CandidateEvent,
+    CompetingEvent,
+    GreedyScheduler,
+    InterestMatrix,
+    Organizer,
+    RandomScheduler,
+    SESInstance,
+    TopKScheduler,
+    User,
+)
+from repro.ebsn.jaccard import jaccard_matrix
+from repro.ebsn.tags import TagVocabulary
+
+RNG = np.random.default_rng(2018)
+
+N_DAYS = 11
+PARTS = ("afternoon", "evening")
+N_STAGES = 11
+N_USERS = 800
+N_CANDIDATES = 60
+N_COMPETING = 40
+STAFF_PER_INTERVAL = 20.0
+
+#: the festival calendar: 11 days x {afternoon, evening}, starting Friday
+GRID = CalendarGrid(n_days=N_DAYS, first_weekday=4)
+
+
+def build_world() -> SESInstance:
+    vocabulary = TagVocabulary(n_tags=120)
+
+    # --- time grid: 11 days x 2 parts, disjoint by construction ----------
+    intervals = GRID.build_intervals()
+
+    # --- candidate events: themed, staged, staffed ------------------------
+    events = []
+    event_tagsets = []
+    for index in range(N_CANDIDATES):
+        topic = vocabulary.sample_topic(RNG)
+        tags = vocabulary.sample_tagset(RNG, size=6, primary_topic=topic)
+        events.append(
+            CandidateEvent(
+                index=index,
+                location=int(RNG.integers(N_STAGES)),
+                required_resources=float(RNG.uniform(2.0, 7.0)),
+                name=f"{topic}-act-{index}",
+                tags=tags,
+            )
+        )
+        event_tagsets.append(tags)
+
+    # --- competing events: rival venues across the same 11 days ----------
+    competing = []
+    competing_tagsets = []
+    for index in range(N_COMPETING):
+        topic = vocabulary.sample_topic(RNG)
+        tags = vocabulary.sample_tagset(RNG, size=6, primary_topic=topic)
+        competing.append(
+            CompetingEvent(
+                index=index,
+                interval=int(RNG.integers(len(intervals))),
+                name=f"rival-{topic}-{index}",
+                tags=tags,
+            )
+        )
+        competing_tagsets.append(tags)
+
+    # --- users: tag profiles + availability rhythms ----------------------
+    users = []
+    user_tagsets = []
+    for index in range(N_USERS):
+        topic = vocabulary.sample_topic(RNG)
+        tags = vocabulary.sample_tagset(RNG, size=8, primary_topic=topic)
+        users.append(User(index=index, tags=tags))
+        user_tagsets.append(tags)
+
+    interest = InterestMatrix.from_arrays(
+        jaccard_matrix(user_tagsets, event_tagsets),
+        jaccard_matrix(user_tagsets, competing_tagsets),
+    )
+
+    # availability: weekday-evening people, weekend people, and afternooners
+    sigma = np.empty((N_USERS, len(intervals)))
+    archetype = RNG.integers(3, size=N_USERS)
+    for t, interval in enumerate(intervals):
+        day = GRID.day_of_interval(t)
+        is_weekend = GRID.is_weekend(day)
+        is_evening = GRID.part_of_interval(t).name == "evening"
+        base = np.where(
+            archetype == 0,
+            0.7 if is_evening else 0.2,          # evening-goers
+            np.where(
+                archetype == 1,
+                0.8 if is_weekend else 0.15,      # weekend-goers
+                0.5 if not is_evening else 0.35,  # afternoon crowd
+            ),
+        )
+        sigma[:, t] = np.clip(base + RNG.normal(0, 0.05, N_USERS), 0.0, 1.0)
+
+    return SESInstance(
+        users=users,
+        intervals=intervals,
+        events=events,
+        competing=competing,
+        interest=interest,
+        activity=ActivityModel(sigma),
+        organizer=Organizer(resources=STAFF_PER_INTERVAL, name="summerfest"),
+    )
+
+
+def main() -> None:
+    instance = build_world()
+    print(instance.describe())
+    k = 30  # the festival hosts 30 of the 60 candidate acts
+
+    print(f"\nScheduling k={k} events, {len(PARTS)} parts/day, "
+          f"{N_STAGES} stages, {STAFF_PER_INTERVAL:g} staff per interval\n")
+
+    results = {
+        "GRD": GreedyScheduler().solve(instance, k),
+        "TOP": TopKScheduler().solve(instance, k),
+        "RAND": RandomScheduler(seed=7).solve(instance, k),
+    }
+    for name, result in results.items():
+        print(f"  {name:<5} -> expected total attendance "
+              f"{result.utility:8.1f}   ({result.runtime_seconds * 1e3:6.1f} ms)")
+
+    grd = results["GRD"]
+    print("\nFestival program (GRD):")
+    for interval_index in sorted(grd.schedule.used_intervals()):
+        interval = instance.intervals[interval_index]
+        names = [
+            instance.events[event].display_name
+            for event in grd.schedule.events_at(interval_index)
+        ]
+        print(f"  {interval.display_name:>16}: {', '.join(names)}")
+
+
+if __name__ == "__main__":
+    main()

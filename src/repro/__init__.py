@@ -1,0 +1,87 @@
+"""Reproduction of "Social Event Scheduling" (Bikakis, Kalogeraki, Gunopulos;
+ICDE 2018).
+
+The package implements the SES problem model (Section II), the GRD greedy
+algorithm plus the TOP/RAND baselines (Sections III-IV), the Theorem-1
+NP-hardness reduction, a calibrated synthetic Meetup-style EBSN substrate,
+and the full experimental harness regenerating Figure 1.
+
+Quickstart::
+
+    from repro import ExperimentConfig, WorkloadGenerator, GreedyScheduler
+
+    instance = WorkloadGenerator(root_seed=7).build(ExperimentConfig(k=20, n_users=500))
+    result = GreedyScheduler().solve(instance, k=20)
+    print(result.summary())
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.algorithms import (
+    AnnealingScheduler,
+    BeamSearchScheduler,
+    GraspScheduler,
+    ExhaustiveScheduler,
+    GreedyScheduler,
+    IncrementalScheduler,
+    LazyGreedyScheduler,
+    LocalSearchRefiner,
+    RandomScheduler,
+    ScheduleResult,
+    Scheduler,
+    TopKScheduler,
+)
+from repro.core import (
+    ActivityModel,
+    Assignment,
+    CandidateEvent,
+    CompetingEvent,
+    CalendarGrid,
+    DayPart,
+    FeasibilityChecker,
+    InterestMatrix,
+    Organizer,
+    Schedule,
+    SESInstance,
+    TimeInterval,
+    User,
+    make_engine,
+    total_utility,
+)
+from repro.workloads import ExperimentConfig, WorkloadGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivityModel",
+    "AnnealingScheduler",
+    "BeamSearchScheduler",
+    "Assignment",
+    "CandidateEvent",
+    "CompetingEvent",
+    "ExhaustiveScheduler",
+    "ExperimentConfig",
+    "CalendarGrid",
+    "DayPart",
+    "FeasibilityChecker",
+    "GraspScheduler",
+    "GreedyScheduler",
+    "IncrementalScheduler",
+    "InterestMatrix",
+    "LazyGreedyScheduler",
+    "LocalSearchRefiner",
+    "Organizer",
+    "RandomScheduler",
+    "SESInstance",
+    "Schedule",
+    "ScheduleResult",
+    "Scheduler",
+    "TimeInterval",
+    "TopKScheduler",
+    "User",
+    "WorkloadGenerator",
+    "make_engine",
+    "total_utility",
+    "__version__",
+]

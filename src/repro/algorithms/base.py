@@ -1,0 +1,157 @@
+"""Common scaffolding for SES solvers.
+
+Every solver consumes an :class:`~repro.core.instance.SESInstance` plus the
+budget ``k`` and produces a :class:`ScheduleResult`: the feasible schedule,
+its exact total utility, wall-clock time and per-solver counters.  Solvers
+never raise when fewer than ``k`` valid assignments exist (a tiny instance
+can simply run out of feasible slots) unless ``strict=True`` — mirroring the
+paper's GRD, which terminates when its assignment list empties.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.engine import ScoreEngine, make_engine
+from repro.core.errors import ScheduleSizeError
+from repro.core.feasibility import FeasibilityChecker, is_schedule_feasible
+from repro.core.instance import SESInstance
+from repro.core.schedule import Schedule
+
+__all__ = ["SolverStats", "ScheduleResult", "Scheduler"]
+
+
+@dataclass(slots=True)
+class SolverStats:
+    """Operation counters exposed by every solver (all start at zero).
+
+    ``initial_scores`` counts Eq. 4 evaluations during list construction,
+    ``score_updates`` counts re-evaluations after selections, ``pops``
+    counts candidate extractions (valid or not), and ``iterations`` counts
+    accepted assignments.  The paper's complexity analysis (Section III)
+    is phrased in exactly these quantities, so the benchmark suite reports
+    them next to wall-clock time.
+    """
+
+    initial_scores: int = 0
+    score_updates: int = 0
+    pops: int = 0
+    iterations: int = 0
+    nodes_explored: int = 0
+    moves_evaluated: int = 0
+    moves_accepted: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "initial_scores": self.initial_scores,
+            "score_updates": self.score_updates,
+            "pops": self.pops,
+            "iterations": self.iterations,
+            "nodes_explored": self.nodes_explored,
+            "moves_evaluated": self.moves_evaluated,
+            "moves_accepted": self.moves_accepted,
+        }
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of one solver run."""
+
+    solver: str
+    schedule: Schedule
+    utility: float
+    runtime_seconds: float
+    requested_k: int
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def achieved_k(self) -> int:
+        """Number of assignments actually placed (``<= requested_k``)."""
+        return len(self.schedule)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the solver placed all ``k`` requested assignments."""
+        return self.achieved_k == self.requested_k
+
+    def summary(self) -> str:
+        return (
+            f"{self.solver}: utility={self.utility:.4f} "
+            f"k={self.achieved_k}/{self.requested_k} "
+            f"time={self.runtime_seconds * 1e3:.2f}ms"
+        )
+
+
+class Scheduler(ABC):
+    """Base class wiring together engine construction, timing and validation.
+
+    Subclasses implement :meth:`_solve`, receiving a fresh engine and
+    feasibility checker; the base class measures wall-clock time, computes
+    the final utility from the engine state, asserts feasibility (a cheap
+    invariant that has caught real bugs) and packages the result.
+
+    Parameters
+    ----------
+    engine_kind:
+        ``"vectorized"`` (default) or ``"reference"``; every solver is
+        engine-agnostic, which is what makes the Abl-1 ablation possible.
+    strict:
+        When True, raise :class:`ScheduleSizeError` if fewer than ``k``
+        assignments were placed.
+    """
+
+    #: Human-facing solver name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, engine_kind: str = "vectorized", strict: bool = False):
+        self._engine_kind = engine_kind
+        self._strict = strict
+
+    @property
+    def engine_kind(self) -> str:
+        return self._engine_kind
+
+    def solve(self, instance: SESInstance, k: int) -> ScheduleResult:
+        """Run the solver and return a validated, timed result."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        k = min(k, instance.n_events)
+        engine = make_engine(instance, self._engine_kind)
+        checker = FeasibilityChecker(instance)
+        stats = SolverStats()
+
+        started = time.perf_counter()
+        self._solve(instance, k, engine, checker, stats)
+        elapsed = time.perf_counter() - started
+
+        schedule = engine.schedule
+        if not is_schedule_feasible(instance, schedule):
+            raise AssertionError(
+                f"solver {self.name} produced an infeasible schedule — "
+                f"this is a bug in the solver"
+            )
+        if self._strict and len(schedule) < k:
+            raise ScheduleSizeError(
+                f"{self.name} placed only {len(schedule)} of {k} assignments"
+            )
+        return ScheduleResult(
+            solver=self.name,
+            schedule=schedule,
+            utility=engine.total_utility(),
+            runtime_seconds=elapsed,
+            requested_k=k,
+            stats=stats,
+        )
+
+    @abstractmethod
+    def _solve(
+        self,
+        instance: SESInstance,
+        k: int,
+        engine: ScoreEngine,
+        checker: FeasibilityChecker,
+        stats: SolverStats,
+    ) -> None:
+        """Populate ``engine.schedule`` with up to ``k`` valid assignments."""

@@ -1,0 +1,170 @@
+"""Exact exhaustive solver — ground truth for tiny instances.
+
+Not part of the paper (SES is strongly NP-hard, Theorem 1), but essential
+infrastructure for a credible reproduction: it certifies GRD's quality
+(Abl-4), anchors the Theorem-1 reduction tests, and catches scoring bugs
+that heuristics would silently absorb.
+
+The search walks events in index order; each event is either skipped or
+assigned to one of the feasible intervals.  Running utility is maintained
+incrementally through the engine: committing ``alpha_e^t`` adds exactly
+``score(e, t)`` (Eq. 4 *is* the utility delta), so no leaf re-evaluation is
+needed.  Pruning:
+
+* **cardinality** — abandon branches that cannot still reach ``k`` events;
+* **optimistic bound** — each remaining event can add at most its best
+  empty-interval score (scores only shrink as intervals fill — diminishing
+  returns), so a branch whose utility plus the sum of the top remaining
+  optimistic scores cannot beat the incumbent is cut.
+
+A node budget guards against accidental use on large instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Scheduler, SolverStats
+from repro.core.engine import ScoreEngine
+from repro.core.errors import SESError
+from repro.core.feasibility import FeasibilityChecker
+from repro.core.instance import SESInstance
+from repro.core.schedule import Assignment, Schedule
+
+__all__ = ["ExhaustiveScheduler", "SearchBudgetExceeded", "optimal_utility"]
+
+
+class SearchBudgetExceeded(SESError):
+    """The exhaustive search hit its node budget before completing."""
+
+
+class ExhaustiveScheduler(Scheduler):
+    """Optimal solver via pruned depth-first search (tiny instances only)."""
+
+    name = "EXACT"
+
+    def __init__(
+        self,
+        engine_kind: str = "vectorized",
+        strict: bool = False,
+        max_nodes: int = 2_000_000,
+    ):
+        super().__init__(engine_kind=engine_kind, strict=strict)
+        if max_nodes <= 0:
+            raise ValueError(f"max_nodes must be positive, got {max_nodes}")
+        self._max_nodes = max_nodes
+
+    def _solve(
+        self,
+        instance: SESInstance,
+        k: int,
+        engine: ScoreEngine,
+        checker: FeasibilityChecker,
+        stats: SolverStats,
+    ) -> None:
+        # Optimistic per-event ceiling: the best score over empty intervals.
+        # Adding events only shrinks scores (concavity of M/(K+M)), so the
+        # empty-schedule score upper-bounds the gain in any schedule.
+        all_events = list(range(instance.n_events))
+        optimistic = np.zeros(instance.n_events)
+        for interval in range(instance.n_intervals):
+            scores = engine.scores_for_interval(interval, all_events)
+            stats.initial_scores += len(all_events)
+            optimistic = np.maximum(optimistic, scores)
+
+        # suffix_best[i][j] = sum of the j largest optimistic scores among
+        # events i..n-1; used for the bound at depth i.
+        n = instance.n_events
+        suffix_best: list[np.ndarray] = [np.zeros(k + 1) for _ in range(n + 1)]
+        for i in range(n - 1, -1, -1):
+            tail = np.sort(optimistic[i:])[::-1]
+            sums = np.concatenate(([0.0], np.cumsum(tail[:k])))
+            padded = np.full(k + 1, sums[-1])
+            padded[: len(sums)] = sums
+            suffix_best[i] = padded
+
+        best = _Incumbent()
+
+        def recurse(event: int, placed: int, utility: float) -> None:
+            stats.nodes_explored += 1
+            if stats.nodes_explored > self._max_nodes:
+                raise SearchBudgetExceeded(
+                    f"exhaustive search exceeded {self._max_nodes} nodes; "
+                    f"this solver is intended for tiny instances"
+                )
+            # Incumbents are compared lexicographically by (size, utility):
+            # when a k-schedule exists the size-k leaves dominate all
+            # prefixes, so this is exactly max-utility-among-k-schedules;
+            # when none exists, the answer degrades to "largest feasible
+            # schedule, best utility among those" — mirroring GRD's
+            # fill-as-much-as-possible contract.
+            if placed > best.size or (
+                placed == best.size and utility > best.utility + 1e-12
+            ):
+                best.size = placed
+                best.utility = utility
+                best.mapping = engine.schedule.as_mapping()
+            if placed == k or event >= n:
+                return
+
+            # size-aware pruning: a branch can still place at most
+            # (n - event) more events, capped by the budget.
+            reachable_size = min(k, placed + (n - event))
+            if reachable_size < best.size:
+                return
+            head_count = min(k - placed, n - event)
+            optimistic = utility + suffix_best[event][head_count]
+            if reachable_size == best.size and optimistic <= best.utility:
+                return
+
+            # branch 1: skip this event
+            recurse(event + 1, placed, utility)
+
+            # branch 2: place it at each feasible interval
+            for interval in range(instance.n_intervals):
+                assignment = Assignment(event=event, interval=interval)
+                if not checker.is_valid(assignment):
+                    continue
+                gain = engine.score(event, interval)
+                stats.score_updates += 1
+                checker.apply(assignment)
+                engine.assign(event, interval)
+                recurse(event + 1, placed + 1, utility + gain)
+                engine.unassign(event)
+                checker.unapply(assignment)
+
+        recurse(0, 0, 0.0)
+
+        # Materialize the incumbent into the engine-backed schedule.
+        engine.reset()
+        rebuild_checker = FeasibilityChecker(instance)
+        if best.mapping:
+            for event, interval in sorted(best.mapping.items()):
+                rebuild_checker.apply(Assignment(event=event, interval=interval))
+                engine.assign(event, interval)
+
+    # `solve` from the base class recomputes the utility from engine state,
+    # so the incumbent's incremental utility is double-checked for free.
+
+
+class _Incumbent:
+    """Mutable best-so-far holder for the DFS closure.
+
+    Ordered lexicographically by (size, utility): see the recursion's
+    incumbent comment for why size ranks first.
+    """
+
+    __slots__ = ("size", "utility", "mapping")
+
+    def __init__(self) -> None:
+        self.size = -1
+        self.utility = -np.inf
+        self.mapping: dict[int, int] | None = None
+
+
+def optimal_utility(
+    instance: SESInstance, k: int, max_nodes: int = 2_000_000
+) -> float:
+    """Convenience: the exact optimum ``Omega(S*_k)`` for tiny instances."""
+    solver = ExhaustiveScheduler(max_nodes=max_nodes)
+    return solver.solve(instance, k).utility

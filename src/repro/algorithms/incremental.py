@@ -1,0 +1,318 @@
+"""Incremental SES: maintain a schedule as the candidate landscape changes.
+
+Real organizers do not schedule once: new candidate events surface, acts
+cancel, and rival venues announce shows after the program is drafted.
+This module (extension scope — the paper's related work discusses
+incremental *user-assignment*; we provide the event-centric analogue)
+keeps a feasible schedule alive under four change operations:
+
+* :meth:`IncrementalScheduler.add_candidate_event` — a new event becomes
+  available; it is scheduled immediately if the budget has headroom,
+  otherwise it may *displace* a scheduled event it strictly improves on.
+* :meth:`IncrementalScheduler.cancel_event` — a scheduled (or candidate)
+  event disappears; freed budget is refilled greedily.
+* :meth:`IncrementalScheduler.add_competing_event` — a rival show is
+  announced; affected intervals are re-optimized by relocation.
+* :meth:`IncrementalScheduler.raise_budget` — grow ``k`` and fill
+  greedily.
+
+All operations preserve feasibility and never lower utility below what a
+fresh greedy refill of the same state would achieve *locally*; global
+re-optimization is available via :meth:`rebuild`.
+
+Because the instance is immutable, the incremental scheduler works on a
+*mutable copy* of the instance data: it rebuilds a new
+:class:`~repro.core.instance.SESInstance` when entities change and
+transplants the schedule.  This costs O(instance) per structural change —
+cheap next to rescoring — and keeps every downstream component oblivious
+to mutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.activity import ActivityModel
+from repro.core.engine import make_engine
+from repro.core.entities import CandidateEvent, CompetingEvent
+from repro.core.errors import UnknownEntityError
+from repro.core.feasibility import FeasibilityChecker
+from repro.core.instance import SESInstance
+from repro.core.interest import InterestMatrix
+from repro.core.schedule import Assignment, Schedule
+
+__all__ = ["IncrementalScheduler"]
+
+
+class IncrementalScheduler:
+    """Keeps a feasible, greedily-maintained schedule under change events."""
+
+    def __init__(
+        self,
+        instance: SESInstance,
+        k: int,
+        engine_kind: str = "vectorized",
+    ):
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self._engine_kind = engine_kind
+        self._k = k
+        self._instance = instance
+        self._engine = make_engine(instance, engine_kind)
+        self._checker = FeasibilityChecker(instance)
+        self._fill()
+
+    # ------------------------------------------------------------------
+    @property
+    def instance(self) -> SESInstance:
+        """The current (possibly rebuilt) instance."""
+        return self._instance
+
+    @property
+    def schedule(self) -> Schedule:
+        return self._engine.schedule
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def utility(self) -> float:
+        return self._engine.total_utility()
+
+    # ------------------------------------------------------------------
+    # change operations
+    # ------------------------------------------------------------------
+    def add_candidate_event(
+        self,
+        location: int,
+        required_resources: float,
+        interest_column: np.ndarray,
+        name: str = "",
+        tags: frozenset[str] = frozenset(),
+    ) -> int:
+        """Register a new candidate event; returns its index.
+
+        If the schedule is below budget the event competes for a free
+        slot greedily; at budget, it replaces the weakest scheduled event
+        whenever swapping strictly improves total utility.
+        """
+        interest_column = np.asarray(interest_column, dtype=float)
+        if interest_column.shape != (self._instance.n_users,):
+            raise ValueError(
+                f"interest_column must have shape ({self._instance.n_users},), "
+                f"got {interest_column.shape}"
+            )
+        event = CandidateEvent(
+            index=self._instance.n_events,
+            location=location,
+            required_resources=required_resources,
+            name=name or f"arrival-{self._instance.n_events}",
+            tags=tags,
+        )
+        candidate = np.column_stack(
+            [self._instance.interest.candidate, interest_column]
+        )
+        self._rebuild_instance(
+            events=[*self._instance.events, event],
+            interest=InterestMatrix.from_arrays(
+                candidate, self._instance.interest.competing
+            ),
+        )
+        if len(self.schedule) < self._k:
+            self._fill()
+        else:
+            self._try_displacement(event.index)
+        return event.index
+
+    def cancel_event(self, event: int) -> None:
+        """Remove a candidate event entirely (scheduled or not)."""
+        if not 0 <= event < self._instance.n_events:
+            raise UnknownEntityError(f"no candidate event {event}")
+        keep = [e for e in range(self._instance.n_events) if e != event]
+        mapping = {old: new for new, old in enumerate(keep)}
+
+        survivors = {
+            mapping[e]: t
+            for e, t in self.schedule.as_mapping().items()
+            if e != event
+        }
+        events = [
+            CandidateEvent(
+                index=mapping[old.index],
+                location=old.location,
+                required_resources=old.required_resources,
+                name=old.name,
+                tags=old.tags,
+            )
+            for old in self._instance.events
+            if old.index != event
+        ]
+        self._rebuild_instance(
+            events=events,
+            interest=InterestMatrix.from_arrays(
+                self._instance.interest.candidate[:, keep],
+                self._instance.interest.competing,
+            ),
+            keep_schedule=survivors,
+        )
+        self._fill()
+
+    def add_competing_event(
+        self,
+        interval: int,
+        interest_column: np.ndarray,
+        name: str = "",
+    ) -> int:
+        """Announce a new third-party event at ``interval``; re-optimize it.
+
+        Scheduled events at the affected interval are given a relocation
+        pass: each is moved to whichever interval now yields the highest
+        gain (often away from the newly contested slot).
+        """
+        interest_column = np.asarray(interest_column, dtype=float)
+        if interest_column.shape != (self._instance.n_users,):
+            raise ValueError(
+                f"interest_column must have shape ({self._instance.n_users},), "
+                f"got {interest_column.shape}"
+            )
+        rival = CompetingEvent(
+            index=self._instance.n_competing,
+            interval=interval,
+            name=name or f"rival-arrival-{self._instance.n_competing}",
+        )
+        competing = np.column_stack(
+            [self._instance.interest.competing, interest_column]
+        )
+        self._rebuild_instance(
+            competing_events=[*self._instance.competing, rival],
+            interest=InterestMatrix.from_arrays(
+                self._instance.interest.candidate, competing
+            ),
+        )
+        self._relocate_interval(interval)
+        return rival.index
+
+    def raise_budget(self, new_k: int) -> None:
+        """Increase the budget and fill the new headroom greedily."""
+        if new_k < self._k:
+            raise ValueError(
+                f"budget can only grow (use cancel_event to shrink); "
+                f"{new_k} < {self._k}"
+            )
+        self._k = new_k
+        self._fill()
+
+    def rebuild(self) -> None:
+        """Drop the current schedule and re-run greedy from scratch.
+
+        The maintained schedule is greedy *conditioned on history*; after
+        many changes a fresh GRD run can find better global structure.
+        """
+        self._engine.reset()
+        self._checker = FeasibilityChecker(self._instance)
+        self._fill()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _fill(self) -> None:
+        """Greedy refill up to budget (the GRD inner loop on live state)."""
+        while len(self.schedule) < self._k:
+            best_score, best_assignment = -1.0, None
+            for interval in range(self._instance.n_intervals):
+                events = [
+                    e
+                    for e in range(self._instance.n_events)
+                    if not self.schedule.contains_event(e)
+                    and self._checker.is_valid(Assignment(e, interval))
+                ]
+                if not events:
+                    continue
+                scores = self._engine.scores_for_interval(interval, events)
+                top = int(np.argmax(scores))
+                if scores[top] > best_score:
+                    best_score = float(scores[top])
+                    best_assignment = Assignment(events[top], interval)
+            if best_assignment is None:
+                break
+            self._checker.apply(best_assignment)
+            self._engine.assign(best_assignment.event, best_assignment.interval)
+
+    def _try_displacement(self, arrival: int) -> None:
+        """Swap the arrival in for a scheduled event if strictly better."""
+        best_gain, best_move = 0.0, None
+        for victim, interval in self.schedule.as_mapping().items():
+            removed = Assignment(victim, interval)
+            self._engine.unassign(victim)
+            self._checker.unapply(removed)
+            loss = self._engine.score(victim, interval)
+            for target in range(self._instance.n_intervals):
+                candidate = Assignment(arrival, target)
+                if not self._checker.is_valid(candidate):
+                    continue
+                gain = self._engine.score(arrival, target) - loss
+                if gain > best_gain + 1e-12:
+                    best_gain, best_move = gain, (victim, interval, target)
+            self._checker.apply(removed)
+            self._engine.assign(victim, interval)
+        if best_move is not None:
+            victim, interval, target = best_move
+            self._engine.unassign(victim)
+            self._checker.unapply(Assignment(victim, interval))
+            self._checker.apply(Assignment(arrival, target))
+            self._engine.assign(arrival, target)
+
+    def _relocate_interval(self, interval: int) -> None:
+        """Give each event at ``interval`` a chance to flee new competition."""
+        for event in list(self.schedule.events_at(interval)):
+            current = Assignment(event, interval)
+            self._engine.unassign(event)
+            self._checker.unapply(current)
+            best_interval = interval
+            best_gain = self._engine.score(event, interval)
+            for target in range(self._instance.n_intervals):
+                if target == interval:
+                    continue
+                candidate = Assignment(event, target)
+                if not self._checker.is_valid(candidate):
+                    continue
+                gain = self._engine.score(event, target)
+                if gain > best_gain + 1e-12:
+                    best_gain, best_interval = gain, target
+            chosen = Assignment(event, best_interval)
+            self._checker.apply(chosen)
+            self._engine.assign(event, best_interval)
+
+    def _rebuild_instance(
+        self,
+        events=None,
+        competing_events=None,
+        interest: InterestMatrix | None = None,
+        keep_schedule: dict[int, int] | None = None,
+    ) -> None:
+        """Construct the updated immutable instance and transplant state."""
+        old = self._instance
+        new_instance = SESInstance(
+            users=old.users,
+            intervals=old.intervals,
+            events=tuple(events) if events is not None else old.events,
+            competing=(
+                tuple(competing_events)
+                if competing_events is not None
+                else old.competing
+            ),
+            interest=interest if interest is not None else old.interest,
+            activity=ActivityModel(old.activity.matrix),
+            organizer=old.organizer,
+        )
+        mapping = (
+            keep_schedule
+            if keep_schedule is not None
+            else self.schedule.as_mapping()
+        )
+        self._instance = new_instance
+        self._engine = make_engine(new_instance, self._engine_kind)
+        self._checker = FeasibilityChecker(new_instance)
+        for event, interval in sorted(mapping.items()):
+            self._checker.apply(Assignment(event, interval))
+            self._engine.assign(event, interval)

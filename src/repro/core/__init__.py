@@ -1,0 +1,95 @@
+"""Core SES problem model: entities, instances, schedules, Eq. 1–4 semantics.
+
+This subpackage is the executable form of the paper's Section II.  The
+import graph is strictly layered::
+
+    entities -> interest/activity -> instance -> schedule -> feasibility
+             -> attendance -> objective -> scoring -> engine
+"""
+
+from repro.core.activity import ActivityModel
+from repro.core.attendance import (
+    attendance_probability,
+    expected_attendance,
+    luce_denominator,
+)
+from repro.core.engine import (
+    ReferenceEngine,
+    ScoreEngine,
+    VectorizedEngine,
+    make_engine,
+)
+from repro.core.entities import (
+    CandidateEvent,
+    CompetingEvent,
+    Organizer,
+    TimeInterval,
+    User,
+)
+from repro.core.errors import (
+    DuplicateEventError,
+    InfeasibleAssignmentError,
+    InstanceValidationError,
+    ScheduleSizeError,
+    SESError,
+    UnknownEntityError,
+)
+from repro.core.feasibility import (
+    FeasibilityChecker,
+    explain_infeasibility,
+    is_schedule_feasible,
+)
+from repro.core.instance import SESInstance
+from repro.core.interest import InterestMatrix
+from repro.core.objective import (
+    interval_utility_fast,
+    total_utility,
+    total_utility_fast,
+    utility_upper_bound,
+)
+from repro.core.schedule import Assignment, Schedule
+from repro.core.timegrid import (
+    AFTERNOON_AND_EVENING,
+    CalendarGrid,
+    DayPart,
+    EVENING_ONLY,
+)
+from repro.core.scoring import assignment_score
+
+__all__ = [
+    "ActivityModel",
+    "AFTERNOON_AND_EVENING",
+    "Assignment",
+    "CalendarGrid",
+    "CandidateEvent",
+    "CompetingEvent",
+    "DayPart",
+    "DuplicateEventError",
+    "EVENING_ONLY",
+    "FeasibilityChecker",
+    "InfeasibleAssignmentError",
+    "InstanceValidationError",
+    "InterestMatrix",
+    "Organizer",
+    "ReferenceEngine",
+    "SESError",
+    "SESInstance",
+    "Schedule",
+    "ScheduleSizeError",
+    "ScoreEngine",
+    "TimeInterval",
+    "UnknownEntityError",
+    "User",
+    "VectorizedEngine",
+    "assignment_score",
+    "attendance_probability",
+    "expected_attendance",
+    "explain_infeasibility",
+    "interval_utility_fast",
+    "is_schedule_feasible",
+    "luce_denominator",
+    "make_engine",
+    "total_utility",
+    "total_utility_fast",
+    "utility_upper_bound",
+]

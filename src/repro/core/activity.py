@@ -1,0 +1,119 @@
+"""The social-activity probability ``sigma : U x T -> [0, 1]``.
+
+``sigma[u, t]`` is the probability that user ``u`` engages in *some* social
+activity during interval ``t`` (paper Section II).  It rescales the Luce
+choice probability of Eq. 1: a user who never goes out on Tuesdays attends
+no Tuesday event regardless of interest.
+
+The paper's experiments draw ``sigma`` from a uniform distribution; the
+"real" pipeline it describes — estimating ``sigma`` from per-interval
+check-in counts — is implemented in :mod:`repro.ebsn.checkins` and feeds
+:meth:`ActivityModel.from_checkin_rates`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InstanceValidationError
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_probability_matrix
+
+__all__ = ["ActivityModel"]
+
+
+class ActivityModel:
+    """Immutable matrix wrapper for ``sigma`` of shape ``(n_users, n_intervals)``."""
+
+    def __init__(self, probabilities: np.ndarray) -> None:
+        matrix = check_probability_matrix(probabilities, "sigma")
+        if matrix.ndim != 2:
+            raise InstanceValidationError(
+                f"sigma must be 2-D (users x intervals), got shape {matrix.shape}"
+            )
+        matrix = np.ascontiguousarray(matrix)
+        matrix.setflags(write=False)
+        self._matrix = matrix
+
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """The read-only ``(n_users, n_intervals)`` probability matrix."""
+        return self._matrix
+
+    @property
+    def n_users(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def n_intervals(self) -> int:
+        return self._matrix.shape[1]
+
+    def sigma(self, user: int, interval: int) -> float:
+        """``sigma[u, t]`` as a float."""
+        return float(self._matrix[user, interval])
+
+    def interval_column(self, interval: int) -> np.ndarray:
+        """All users' activity probability at ``interval`` (read-only view)."""
+        return self._matrix[:, interval]
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(
+        cls, n_users: int, n_intervals: int, value: float = 1.0
+    ) -> "ActivityModel":
+        """Every user equally active everywhere — the neutral model."""
+        return cls(np.full((n_users, n_intervals), float(value)))
+
+    @classmethod
+    def uniform_random(
+        cls,
+        n_users: int,
+        n_intervals: int,
+        seed: int | np.random.Generator | None = None,
+        low: float = 0.0,
+        high: float = 1.0,
+    ) -> "ActivityModel":
+        """``sigma ~ U[low, high]`` i.i.d. — the paper's experimental choice."""
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError(f"need 0 <= low <= high <= 1, got [{low}, {high}]")
+        rng = ensure_rng(seed)
+        return cls(rng.uniform(low, high, size=(n_users, n_intervals)))
+
+    @classmethod
+    def from_checkin_rates(
+        cls,
+        checkin_counts: np.ndarray,
+        smoothing: float = 1.0,
+        max_observations: float | None = None,
+    ) -> "ActivityModel":
+        """Estimate ``sigma`` from historical per-interval check-in counts.
+
+        ``checkin_counts[u, t]`` is how many times user ``u`` checked in
+        during (recurring) interval ``t`` across the observation window.
+        The estimate is an additively smoothed frequency::
+
+            sigma[u, t] = (count[u, t] + smoothing) / (denominator + 2 * smoothing)
+
+        where ``denominator`` is ``max_observations`` (e.g. number of weeks
+        observed) or, if omitted, the per-user maximum count — so the most
+        active slot of each user approaches probability 1.
+        """
+        counts = np.asarray(checkin_counts, dtype=float)
+        if counts.ndim != 2:
+            raise InstanceValidationError(
+                f"checkin_counts must be 2-D, got shape {counts.shape}"
+            )
+        if (counts < 0).any():
+            raise InstanceValidationError("checkin_counts must be non-negative")
+        if smoothing < 0:
+            raise ValueError(f"smoothing must be non-negative, got {smoothing}")
+        if max_observations is not None:
+            denominator = np.full((counts.shape[0], 1), float(max_observations))
+        else:
+            denominator = counts.max(axis=1, keepdims=True)
+        denominator = np.maximum(denominator, counts.max(initial=0.0))
+        probabilities = (counts + smoothing) / (denominator + 2.0 * smoothing)
+        return cls(np.clip(probabilities, 0.0, 1.0))

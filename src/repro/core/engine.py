@@ -1,0 +1,303 @@
+"""Score engines: interchangeable evaluators of Eq. 1–4 against a live schedule.
+
+Greedy solvers interrogate the objective thousands of times; this module
+provides that oracle behind one interface, :class:`ScoreEngine`, with two
+implementations:
+
+* :class:`ReferenceEngine` — delegates to the loop-based reference functions
+  in :mod:`repro.core.attendance` / :mod:`~repro.core.objective` /
+  :mod:`~repro.core.scoring`.  O(|U| * |E_t|) per query.  The semantic
+  oracle: slow, obviously-correct, used to cross-check everything else.
+
+* :class:`VectorizedEngine` — maintains, per interval ``t``, the scheduled
+  interest mass ``M_t[u] = sum_{e in E_t(S)} mu[u, e]`` as a numpy vector.
+  With the competing mass ``K_t`` precomputed on the instance, Eq. 4
+  collapses to::
+
+      score(r, t) = sum_u sigma[u, t] * ( (M + m_r) / (K + M + m_r)
+                                          -  M      / (K + M) )
+
+  evaluated for *all* candidate events of one interval in a single
+  broadcast (chunked over users to bound peak memory).  This is the form
+  derived in DESIGN.md §5; equality with the reference engine to 1e-9 is a
+  property test.
+
+Both engines mirror the schedule they evaluate: call :meth:`assign` /
+:meth:`unassign` as the solver commits moves.  0/0 is defined as 0
+throughout, matching the reference semantics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core import attendance, objective, scoring
+from repro.core.errors import DuplicateEventError, UnknownEntityError
+from repro.core.instance import SESInstance
+from repro.core.schedule import Assignment, Schedule
+
+__all__ = ["ScoreEngine", "ReferenceEngine", "VectorizedEngine", "make_engine"]
+
+
+class ScoreEngine(ABC):
+    """Stateful evaluator of utilities and marginal scores for one instance."""
+
+    def __init__(self, instance: SESInstance) -> None:
+        self._instance = instance
+        self._schedule = Schedule(instance)
+
+    # ------------------------------------------------------------------
+    @property
+    def instance(self) -> SESInstance:
+        return self._instance
+
+    @property
+    def schedule(self) -> Schedule:
+        """The schedule currently mirrored by the engine (do not mutate)."""
+        return self._schedule
+
+    def reset(self) -> None:
+        """Forget all assignments; equivalent to rebuilding the engine."""
+        self._schedule = Schedule(self._instance)
+        self._reset_state()
+
+    def assign(self, event: int, interval: int) -> None:
+        """Commit ``alpha_event^interval``; scores now reflect the new state."""
+        self._schedule.add(Assignment(event=event, interval=interval))
+        self._apply(event, interval, sign=+1)
+
+    def unassign(self, event: int) -> None:
+        """Withdraw a committed assignment (used by local search / undo)."""
+        removed = self._schedule.remove(event)
+        self._apply(removed.event, removed.interval, sign=-1)
+
+    # ------------------------------------------------------------------
+    # queries every engine must answer
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def score(self, event: int, interval: int) -> float:
+        """Eq. 4: utility gain of adding ``event`` at ``interval`` now."""
+
+    @abstractmethod
+    def scores_for_interval(
+        self, interval: int, events: Sequence[int]
+    ) -> np.ndarray:
+        """Vector of Eq. 4 scores for many candidate events at one interval."""
+
+    @abstractmethod
+    def omega(self, event: int) -> float:
+        """Eq. 2: expected attendance of a *scheduled* event."""
+
+    @abstractmethod
+    def interval_utility(self, interval: int) -> float:
+        """Summed expected attendance of the events at ``interval``."""
+
+    @abstractmethod
+    def total_utility(self) -> float:
+        """Eq. 3 for the mirrored schedule."""
+
+    # ------------------------------------------------------------------
+    # state hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _reset_state(self) -> None: ...
+
+    @abstractmethod
+    def _apply(self, event: int, interval: int, sign: int) -> None: ...
+
+
+class ReferenceEngine(ScoreEngine):
+    """Paper-faithful engine: every query recomputes from the equations."""
+
+    def score(self, event: int, interval: int) -> float:
+        return scoring.assignment_score(
+            self._instance, self._schedule, Assignment(event=event, interval=interval)
+        )
+
+    def scores_for_interval(self, interval: int, events: Sequence[int]) -> np.ndarray:
+        return np.array([self.score(event, interval) for event in events])
+
+    def omega(self, event: int) -> float:
+        return attendance.expected_attendance(self._instance, self._schedule, event)
+
+    def interval_utility(self, interval: int) -> float:
+        return sum(
+            attendance.expected_attendance(self._instance, self._schedule, event)
+            for event in self._schedule.events_at(interval)
+        )
+
+    def total_utility(self) -> float:
+        return objective.total_utility(self._instance, self._schedule)
+
+    def _reset_state(self) -> None:
+        pass  # the schedule mirror is the only state
+
+    def _apply(self, event: int, interval: int, sign: int) -> None:
+        pass  # queries recompute from the schedule every time
+
+
+class VectorizedEngine(ScoreEngine):
+    """Numpy engine maintaining per-interval scheduled-mass vectors.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance.
+    chunk_elements:
+        Upper bound on the number of matrix elements materialized by one
+        broadcast in :meth:`scores_for_interval`; larger inputs are chunked
+        along the user axis.  The default (4M doubles = 32 MB per
+        temporary) keeps the working set cache-friendly even at full
+        Meetup scale.
+    """
+
+    def __init__(self, instance: SESInstance, chunk_elements: int = 4_000_000):
+        if chunk_elements <= 0:
+            raise ValueError(f"chunk_elements must be positive, got {chunk_elements}")
+        self._chunk_elements = int(chunk_elements)
+        self._mu = instance.interest.candidate
+        self._sigma = instance.activity.matrix
+        self._scheduled_mass: dict[int, np.ndarray] = {}
+        super().__init__(instance)
+
+    # ------------------------------------------------------------------
+    def _reset_state(self) -> None:
+        self._scheduled_mass.clear()
+
+    def _apply(self, event: int, interval: int, sign: int) -> None:
+        mass = self._scheduled_mass.get(interval)
+        if mass is None:
+            mass = np.zeros(self._instance.n_users)
+            self._scheduled_mass[interval] = mass
+        if sign > 0:
+            mass += self._mu[:, event]
+        else:
+            mass -= self._mu[:, event]
+            if not self._schedule.events_at(interval):
+                # exact zero for emptied intervals, killing float residue
+                del self._scheduled_mass[interval]
+
+    def _mass(self, interval: int) -> np.ndarray:
+        mass = self._scheduled_mass.get(interval)
+        if mass is None:
+            return np.zeros(self._instance.n_users)
+        return mass
+
+    # ------------------------------------------------------------------
+    def score(self, event: int, interval: int) -> float:
+        if self._schedule.contains_event(event):
+            raise DuplicateEventError(
+                f"event {event} is already scheduled; Eq. 4 requires r not in E(S)"
+            )
+        scheduled = self._mass(interval)
+        competing = self._instance.competing_mass[interval]
+        sigma = self._sigma[:, interval]
+        column = self._mu[:, event]
+
+        old_denominator = competing + scheduled
+        new_denominator = old_denominator + column
+        after = np.divide(
+            scheduled + column,
+            new_denominator,
+            out=np.zeros_like(scheduled),
+            where=new_denominator > 0.0,
+        )
+        before = np.divide(
+            scheduled,
+            old_denominator,
+            out=np.zeros_like(scheduled),
+            where=old_denominator > 0.0,
+        )
+        return float(sigma @ (after - before))
+
+    def scores_for_interval(self, interval: int, events: Sequence[int]) -> np.ndarray:
+        event_indices = np.asarray(list(events), dtype=np.intp)
+        if event_indices.size == 0:
+            return np.zeros(0)
+        for event in event_indices:
+            if self._schedule.contains_event(int(event)):
+                raise DuplicateEventError(
+                    f"event {int(event)} is already scheduled; "
+                    f"Eq. 4 requires r not in E(S)"
+                )
+
+        n_users = self._instance.n_users
+        scheduled = self._mass(interval)
+        competing = self._instance.competing_mass[interval]
+        sigma = self._sigma[:, interval]
+        old_denominator = competing + scheduled
+        before = np.divide(
+            scheduled,
+            old_denominator,
+            out=np.zeros_like(scheduled),
+            where=old_denominator > 0.0,
+        )
+        base = float(sigma @ before)
+
+        # Chunked, allocation-lean evaluation.  Per chunk only two
+        # (users x events) temporaries are materialized: the mu column
+        # gather (reused in place as the numerator, then as the ratio)
+        # and the denominator.  Where the denominator is 0 the numerator
+        # is necessarily 0 as well (all masses are non-negative), so the
+        # masked divide leaves the correct 0 behind without pre-zeroing.
+        scores = np.zeros(event_indices.size)
+        chunk_users = max(1, self._chunk_elements // max(1, event_indices.size))
+        for start in range(0, n_users, chunk_users):
+            stop = min(start + chunk_users, n_users)
+            # advanced indexing already yields a fresh array we may mutate
+            work = self._mu[start:stop, event_indices]  # mu columns
+            denominator = work + old_denominator[start:stop, None]
+            np.add(work, scheduled[start:stop, None], out=work)  # numerator
+            np.divide(work, denominator, out=work, where=denominator > 0.0)
+            scores += sigma[start:stop] @ work
+        return scores - base
+
+    def omega(self, event: int) -> float:
+        interval = self._schedule.interval_of(event)
+        if interval is None:
+            raise UnknownEntityError(
+                f"event {event} is not scheduled; omega is defined only for "
+                f"scheduled events"
+            )
+        denominator = self._instance.competing_mass[interval] + self._mass(interval)
+        column = self._mu[:, event]
+        ratio = np.divide(
+            column,
+            denominator,
+            out=np.zeros_like(column, dtype=float),
+            where=denominator > 0.0,
+        )
+        return float(self._sigma[:, interval] @ ratio)
+
+    def interval_utility(self, interval: int) -> float:
+        scheduled = self._mass(interval)
+        denominator = self._instance.competing_mass[interval] + scheduled
+        ratio = np.divide(
+            scheduled,
+            denominator,
+            out=np.zeros_like(scheduled),
+            where=denominator > 0.0,
+        )
+        return float(self._sigma[:, interval] @ ratio)
+
+    def total_utility(self) -> float:
+        return sum(
+            self.interval_utility(interval) for interval in self._scheduled_mass
+        )
+
+
+_ENGINES = {"reference": ReferenceEngine, "vectorized": VectorizedEngine}
+
+
+def make_engine(instance: SESInstance, kind: str = "vectorized") -> ScoreEngine:
+    """Factory: build a score engine by name (``"vectorized"``/``"reference"``)."""
+    try:
+        engine_cls = _ENGINES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine kind {kind!r}; choose from {sorted(_ENGINES)}"
+        ) from None
+    return engine_cls(instance)

@@ -1,0 +1,164 @@
+"""Domain entities of the Social Event Scheduling problem (paper Section II).
+
+Five kinds of entities appear in the SES formulation:
+
+* the **organizer** with a per-interval resource capacity ``theta``,
+* disjoint candidate **time intervals** ``T``,
+* **candidate events** ``E`` (location + required resources),
+* **competing events** ``C`` pinned to one interval each, and
+* **users** ``U``.
+
+Entities are plain frozen dataclasses carrying an integer ``index`` that is
+their position inside the owning :class:`~repro.core.instance.SESInstance`.
+All numeric kernels (interest matrix, activity matrix, score engines) are
+indexed by these integers; the dataclasses carry the human-facing metadata
+(names, tags, wall-clock interval bounds) that examples and reports print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_non_negative
+
+__all__ = [
+    "User",
+    "TimeInterval",
+    "CandidateEvent",
+    "CompetingEvent",
+    "Organizer",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class User:
+    """A potential attendee ``u`` in ``U``.
+
+    The interest function ``mu`` and the social-activity probability
+    ``sigma`` live in the instance-level matrices, not here; ``tags`` is
+    optional metadata used by the EBSN pipeline to *derive* interest via
+    Jaccard similarity (paper Section IV.A).
+    """
+
+    index: int
+    name: str = ""
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"user index must be non-negative, got {self.index}")
+
+    @property
+    def display_name(self) -> str:
+        """Name if provided, otherwise a stable synthetic label."""
+        return self.name or f"user#{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class TimeInterval:
+    """A candidate time interval ``t`` in ``T``.
+
+    The paper assumes the intervals in ``T`` are disjoint; ``start`` and
+    ``end`` (arbitrary float timestamps, e.g. hours from epoch) let the
+    instance validator actually enforce that when they are supplied.
+    """
+
+    index: int
+    label: str = ""
+    start: float | None = None
+    end: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"interval index must be non-negative, got {self.index}")
+        has_bounds = self.start is not None and self.end is not None
+        if has_bounds and self.end <= self.start:
+            raise ValueError(
+                f"interval end must exceed start, got [{self.start}, {self.end}]"
+            )
+
+    @property
+    def bounded(self) -> bool:
+        """Whether wall-clock bounds were supplied."""
+        return self.start is not None and self.end is not None
+
+    @property
+    def display_name(self) -> str:
+        return self.label or f"t#{self.index}"
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """True when both intervals are bounded and share interior time."""
+        if not (self.bounded and other.bounded):
+            return False
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateEvent:
+    """A candidate event ``e`` in ``E`` awaiting an interval assignment.
+
+    ``location`` models the place (a stage, a hall) hosting the event: the
+    feasibility rule forbids two events with equal location inside one
+    interval.  ``required_resources`` is ``xi_e`` from the paper, consumed
+    against the organizer capacity ``theta`` per interval.
+    """
+
+    index: int
+    location: int
+    required_resources: float = 0.0
+    name: str = ""
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"event index must be non-negative, got {self.index}")
+        if self.location < 0:
+            raise ValueError(f"location must be non-negative, got {self.location}")
+        check_non_negative(self.required_resources, "required_resources")
+
+    @property
+    def display_name(self) -> str:
+        return self.name or f"event#{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class CompetingEvent:
+    """A third-party event ``c`` in ``C`` already pinned to interval ``tc``.
+
+    Competing events never enter a schedule; they only inflate the Luce
+    denominator of Eq. 1 for their interval, draining attendance from
+    whatever the organizer schedules there.
+    """
+
+    index: int
+    interval: int
+    name: str = ""
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(
+                f"competing event index must be non-negative, got {self.index}"
+            )
+        if self.interval < 0:
+            raise ValueError(f"interval must be non-negative, got {self.interval}")
+
+    @property
+    def display_name(self) -> str:
+        return self.name or f"competing#{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class Organizer:
+    """The scheduling entity (company, venue) with capacity ``theta``.
+
+    ``theta`` is the amount of resources (the paper's running example:
+    staff) available inside *each* interval; feasible schedules keep the
+    summed ``xi_e`` of co-scheduled events within it.
+    """
+
+    resources: float
+    name: str = "organizer"
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.resources, "resources")

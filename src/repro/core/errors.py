@@ -1,0 +1,48 @@
+"""Exception hierarchy for the SES library.
+
+All library-specific failures derive from :class:`SESError` so callers can
+catch one base class at an API boundary.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SESError",
+    "InfeasibleAssignmentError",
+    "DuplicateEventError",
+    "UnknownEntityError",
+    "InstanceValidationError",
+    "ScheduleSizeError",
+]
+
+
+class SESError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class InstanceValidationError(SESError):
+    """A problem instance violates a structural requirement.
+
+    Raised at :class:`~repro.core.instance.SESInstance` construction time,
+    e.g. for interest values outside [0, 1] or mismatched array shapes.
+    """
+
+
+class InfeasibleAssignmentError(SESError):
+    """An assignment violates the location or resources constraint."""
+
+
+class DuplicateEventError(SESError):
+    """An event was assigned twice within one schedule.
+
+    The paper's definition of a schedule forbids two assignments referring
+    to the same event.
+    """
+
+
+class UnknownEntityError(SESError):
+    """An index referenced a user/event/interval that does not exist."""
+
+
+class ScheduleSizeError(SESError):
+    """A solver could not produce a feasible schedule of the requested size."""

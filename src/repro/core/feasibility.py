@@ -1,0 +1,137 @@
+"""Feasibility of schedules and assignments (paper Section II).
+
+A schedule ``S`` is feasible iff, inside every interval ``t``:
+
+1. **location constraint** — no two events of ``E_t(S)`` share a location;
+2. **resources constraint** — ``sum_{e in E_t(S)} xi_e <= theta``.
+
+A *valid* assignment additionally requires the event to be unscheduled.
+
+:class:`FeasibilityChecker` maintains the per-interval location sets and
+resource totals incrementally, so greedy solvers pay O(1) per feasibility
+probe instead of re-scanning the schedule.  :func:`is_schedule_feasible`
+is the stateless one-shot variant used by validators and tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import InfeasibleAssignmentError
+from repro.core.instance import SESInstance
+from repro.core.schedule import Assignment, Schedule
+
+__all__ = ["FeasibilityChecker", "is_schedule_feasible", "explain_infeasibility"]
+
+# Tolerance for the resources constraint: xi values are real numbers, and a
+# chain of float additions must not spuriously reject a schedule that is
+# exactly at capacity.
+_RESOURCE_EPS = 1e-9
+
+
+class FeasibilityChecker:
+    """Incremental tracker of the location and resources constraints.
+
+    The checker mirrors a schedule: call :meth:`apply` after every accepted
+    assignment (and :meth:`unapply` after removals).  Probing with
+    :meth:`is_feasible`/:meth:`is_valid` never mutates state.
+    """
+
+    def __init__(self, instance: SESInstance, schedule: Schedule | None = None):
+        self._instance = instance
+        self._locations_used: dict[int, set[int]] = {}
+        self._resources_used: dict[int, float] = {}
+        self._assigned_events: set[int] = set()
+        if schedule is not None:
+            for assignment in schedule:
+                self.apply(assignment)
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    def is_feasible(self, assignment: Assignment) -> bool:
+        """Would adding ``assignment`` keep both interval constraints?"""
+        event = self._instance.events[assignment.event]
+        interval = assignment.interval
+        used_locations = self._locations_used.get(interval)
+        if used_locations and event.location in used_locations:
+            return False
+        budget = self._resources_used.get(interval, 0.0) + event.required_resources
+        return budget <= self._instance.theta + _RESOURCE_EPS
+
+    def is_valid(self, assignment: Assignment) -> bool:
+        """Feasible *and* the event is not already scheduled (paper's validity)."""
+        if assignment.event in self._assigned_events:
+            return False
+        return self.is_feasible(assignment)
+
+    def is_event_assigned(self, event: int) -> bool:
+        return event in self._assigned_events
+
+    def remaining_resources(self, interval: int) -> float:
+        """Capacity left at ``interval``."""
+        return self._instance.theta - self._resources_used.get(interval, 0.0)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def apply(self, assignment: Assignment) -> None:
+        """Record an accepted assignment; raises if it is not valid."""
+        if not self.is_valid(assignment):
+            raise InfeasibleAssignmentError(
+                f"{assignment} is not valid: "
+                + explain_infeasibility(self._instance, self, assignment)
+            )
+        event = self._instance.events[assignment.event]
+        interval = assignment.interval
+        self._locations_used.setdefault(interval, set()).add(event.location)
+        self._resources_used[interval] = (
+            self._resources_used.get(interval, 0.0) + event.required_resources
+        )
+        self._assigned_events.add(assignment.event)
+
+    def unapply(self, assignment: Assignment) -> None:
+        """Undo a previously applied assignment."""
+        if assignment.event not in self._assigned_events:
+            raise InfeasibleAssignmentError(f"{assignment} was never applied")
+        event = self._instance.events[assignment.event]
+        interval = assignment.interval
+        self._locations_used[interval].discard(event.location)
+        self._resources_used[interval] -= event.required_resources
+        self._assigned_events.discard(assignment.event)
+
+
+def is_schedule_feasible(instance: SESInstance, schedule: Schedule) -> bool:
+    """One-shot check of the paper's two feasibility constraints."""
+    for interval in schedule.used_intervals():
+        events = schedule.events_at(interval)
+        locations = [instance.events[e].location for e in events]
+        if len(locations) != len(set(locations)):
+            return False
+        load = sum(instance.events[e].required_resources for e in events)
+        if load > instance.theta + _RESOURCE_EPS:
+            return False
+    return True
+
+
+def explain_infeasibility(
+    instance: SESInstance,
+    checker: FeasibilityChecker,
+    assignment: Assignment,
+) -> str:
+    """Human-readable reason an assignment is rejected (for error messages)."""
+    reasons = []
+    if checker.is_event_assigned(assignment.event):
+        reasons.append(f"event {assignment.event} is already scheduled")
+    event = instance.events[assignment.event]
+    used = checker._locations_used.get(assignment.interval, set())
+    if event.location in used:
+        reasons.append(
+            f"location {event.location} is already occupied at interval "
+            f"{assignment.interval}"
+        )
+    remaining = checker.remaining_resources(assignment.interval)
+    if event.required_resources > remaining + _RESOURCE_EPS:
+        reasons.append(
+            f"requires {event.required_resources} resources but only "
+            f"{remaining:.6g} remain at interval {assignment.interval}"
+        )
+    return "; ".join(reasons) if reasons else "assignment is actually valid"

@@ -1,0 +1,248 @@
+"""The immutable SES problem instance (paper Section II).
+
+:class:`SESInstance` bundles everything Eq. 1–4 consume: the entity lists,
+the interest matrix ``mu``, the activity matrix ``sigma`` and the organizer
+capacity ``theta``.  Construction validates cross-references (competing
+events point at existing intervals, matrix shapes match entity counts,
+bounded intervals are disjoint) so solvers can index without re-checking.
+
+Two derived structures are precomputed once because every engine needs
+them:
+
+* ``competing_by_interval`` — ``C_t`` as index lists, and
+* ``competing_mass`` — the per-interval, per-user constant
+  ``K_t[u] = sum_{c in C_t} mu[u, c]``, the fixed part of Eq. 1's
+  denominator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.activity import ActivityModel
+from repro.core.entities import (
+    CandidateEvent,
+    CompetingEvent,
+    Organizer,
+    TimeInterval,
+    User,
+)
+from repro.core.errors import InstanceValidationError
+from repro.core.interest import InterestMatrix
+
+__all__ = ["SESInstance"]
+
+
+def _check_contiguous_indices(items: Sequence, kind: str) -> None:
+    for position, item in enumerate(items):
+        if item.index != position:
+            raise InstanceValidationError(
+                f"{kind} at position {position} carries index {item.index}; "
+                f"entity indices must equal their list position"
+            )
+
+
+class SESInstance:
+    """A fully validated Social Event Scheduling problem instance.
+
+    Parameters
+    ----------
+    users, intervals, events, competing:
+        Entity lists; each entity's ``index`` must equal its position.
+    interest:
+        ``mu`` over candidate and competing events.
+    activity:
+        ``sigma`` over users and intervals.
+    organizer:
+        Carries the per-interval resource capacity ``theta``.
+    """
+
+    def __init__(
+        self,
+        users: Sequence[User],
+        intervals: Sequence[TimeInterval],
+        events: Sequence[CandidateEvent],
+        competing: Sequence[CompetingEvent],
+        interest: InterestMatrix,
+        activity: ActivityModel,
+        organizer: Organizer,
+    ) -> None:
+        self._users = tuple(users)
+        self._intervals = tuple(intervals)
+        self._events = tuple(events)
+        self._competing = tuple(competing)
+        self._interest = interest
+        self._activity = activity
+        self._organizer = organizer
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        _check_contiguous_indices(self._users, "user")
+        _check_contiguous_indices(self._intervals, "interval")
+        _check_contiguous_indices(self._events, "event")
+        _check_contiguous_indices(self._competing, "competing event")
+
+        n_users, n_intervals = len(self._users), len(self._intervals)
+        n_events, n_competing = len(self._events), len(self._competing)
+
+        if self._interest.n_users != n_users:
+            raise InstanceValidationError(
+                f"interest matrix covers {self._interest.n_users} users, "
+                f"instance has {n_users}"
+            )
+        if self._interest.n_events != n_events:
+            raise InstanceValidationError(
+                f"interest matrix covers {self._interest.n_events} events, "
+                f"instance has {n_events}"
+            )
+        if self._interest.n_competing != n_competing:
+            raise InstanceValidationError(
+                f"interest matrix covers {self._interest.n_competing} competing "
+                f"events, instance has {n_competing}"
+            )
+        if self._activity.n_users != n_users:
+            raise InstanceValidationError(
+                f"activity matrix covers {self._activity.n_users} users, "
+                f"instance has {n_users}"
+            )
+        if self._activity.n_intervals != n_intervals:
+            raise InstanceValidationError(
+                f"activity matrix covers {self._activity.n_intervals} intervals, "
+                f"instance has {n_intervals}"
+            )
+        for rival in self._competing:
+            if rival.interval >= n_intervals:
+                raise InstanceValidationError(
+                    f"{rival.display_name} references interval {rival.interval}, "
+                    f"instance has only {n_intervals}"
+                )
+        for event in self._events:
+            if event.required_resources > self._organizer.resources:
+                raise InstanceValidationError(
+                    f"{event.display_name} requires {event.required_resources} "
+                    f"resources, exceeding organizer capacity "
+                    f"{self._organizer.resources}; it could never be scheduled"
+                )
+        self._check_intervals_disjoint()
+
+    def _check_intervals_disjoint(self) -> None:
+        bounded = [t for t in self._intervals if t.bounded]
+        bounded.sort(key=lambda t: t.start)
+        for left, right in zip(bounded, bounded[1:]):
+            if left.overlaps(right):
+                raise InstanceValidationError(
+                    f"intervals {left.display_name} and {right.display_name} "
+                    f"overlap; the paper requires T to be disjoint"
+                )
+
+    # ------------------------------------------------------------------
+    # entity access
+    # ------------------------------------------------------------------
+    @property
+    def users(self) -> tuple[User, ...]:
+        return self._users
+
+    @property
+    def intervals(self) -> tuple[TimeInterval, ...]:
+        return self._intervals
+
+    @property
+    def events(self) -> tuple[CandidateEvent, ...]:
+        return self._events
+
+    @property
+    def competing(self) -> tuple[CompetingEvent, ...]:
+        return self._competing
+
+    @property
+    def interest(self) -> InterestMatrix:
+        return self._interest
+
+    @property
+    def activity(self) -> ActivityModel:
+        return self._activity
+
+    @property
+    def organizer(self) -> Organizer:
+        return self._organizer
+
+    @property
+    def theta(self) -> float:
+        """Organizer resource capacity per interval."""
+        return self._organizer.resources
+
+    @property
+    def n_users(self) -> int:
+        return len(self._users)
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self._intervals)
+
+    @property
+    def n_events(self) -> int:
+        return len(self._events)
+
+    @property
+    def n_competing(self) -> int:
+        return len(self._competing)
+
+    # ------------------------------------------------------------------
+    # derived structures
+    # ------------------------------------------------------------------
+    @cached_property
+    def competing_by_interval(self) -> tuple[tuple[int, ...], ...]:
+        """``C_t``: competing-event indices grouped by interval."""
+        groups: list[list[int]] = [[] for _ in range(self.n_intervals)]
+        for rival in self._competing:
+            groups[rival.interval].append(rival.index)
+        return tuple(tuple(group) for group in groups)
+
+    @cached_property
+    def competing_mass(self) -> np.ndarray:
+        """``K_t[u] = sum_{c in C_t} mu[u, c]`` of shape ``(n_intervals, n_users)``.
+
+        This is the schedule-independent part of Eq. 1's denominator; the
+        engines add the scheduled mass ``M_t`` on top of it.
+        """
+        mass = np.zeros((self.n_intervals, self.n_users))
+        for interval, rivals in enumerate(self.competing_by_interval):
+            for rival in rivals:
+                mass[interval] += self._interest.competing_column(rival)
+        mass.setflags(write=False)
+        return mass
+
+    @cached_property
+    def required_resources(self) -> np.ndarray:
+        """``xi`` as a vector indexed by event."""
+        xi = np.array([e.required_resources for e in self._events])
+        xi.setflags(write=False)
+        return xi
+
+    @cached_property
+    def locations(self) -> tuple[int, ...]:
+        """Event locations as a tuple indexed by event."""
+        return tuple(e.location for e in self._events)
+
+    @cached_property
+    def distinct_locations(self) -> int:
+        """Number of distinct event locations in the instance."""
+        return len(set(self.locations))
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human summary used by the CLI and examples."""
+        return (
+            f"SESInstance(users={self.n_users}, events={self.n_events}, "
+            f"intervals={self.n_intervals}, competing={self.n_competing}, "
+            f"locations={self.distinct_locations}, theta={self.theta})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -1,0 +1,168 @@
+"""The interest function ``mu : U x (E u C) -> [0, 1]`` (paper Section II).
+
+The paper models a user's affinity for both candidate and competing events
+with one function ``mu``.  We store it as two dense ``float64`` matrices —
+``candidate`` of shape ``(n_users, n_events)`` and ``competing`` of shape
+``(n_users, n_competing)`` — because every kernel in the library consumes
+whole user-columns at once (Eq. 1's denominator sums ``mu`` over all events
+sharing an interval).
+
+Constructors cover the three ways interest arises in practice:
+
+* :meth:`InterestMatrix.from_arrays` — you already have the numbers;
+* :meth:`InterestMatrix.from_function` — a callable ``mu(user, event)``;
+* :meth:`InterestMatrix.from_sparse` — ``{(user, event): value}`` dicts with
+  an implicit zero default, the natural shape of EBSN-mined affinities.
+
+The EBSN pipeline (``repro.ebsn.jaccard``) produces these matrices from tag
+sets via Jaccard similarity, exactly as the paper's Section IV.A prescribes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import InstanceValidationError
+from repro.utils.validation import check_probability_matrix
+
+__all__ = ["InterestMatrix"]
+
+
+@dataclass(frozen=True)
+class InterestMatrix:
+    """Dense storage of ``mu`` over candidate and competing events.
+
+    Instances are immutable; the arrays are set non-writeable so a matrix
+    can safely be shared between engines and schedules.
+    """
+
+    candidate: np.ndarray
+    competing: np.ndarray
+
+    def __post_init__(self) -> None:
+        candidate = check_probability_matrix(self.candidate, "candidate interest")
+        competing = check_probability_matrix(self.competing, "competing interest")
+        if candidate.ndim != 2:
+            raise InstanceValidationError(
+                f"candidate interest must be 2-D, got shape {candidate.shape}"
+            )
+        if competing.ndim != 2:
+            raise InstanceValidationError(
+                f"competing interest must be 2-D, got shape {competing.shape}"
+            )
+        if competing.shape[0] != candidate.shape[0]:
+            raise InstanceValidationError(
+                "candidate and competing interest must agree on the user axis: "
+                f"{candidate.shape[0]} vs {competing.shape[0]}"
+            )
+        candidate = np.ascontiguousarray(candidate)
+        competing = np.ascontiguousarray(competing)
+        candidate.setflags(write=False)
+        competing.setflags(write=False)
+        object.__setattr__(self, "candidate", candidate)
+        object.__setattr__(self, "competing", competing)
+
+    # ------------------------------------------------------------------
+    # shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return self.candidate.shape[0]
+
+    @property
+    def n_events(self) -> int:
+        return self.candidate.shape[1]
+
+    @property
+    def n_competing(self) -> int:
+        return self.competing.shape[1]
+
+    # ------------------------------------------------------------------
+    # element accessors
+    # ------------------------------------------------------------------
+    def mu_event(self, user: int, event: int) -> float:
+        """``mu(u, e)`` for a candidate event."""
+        return float(self.candidate[user, event])
+
+    def mu_competing(self, user: int, competing: int) -> float:
+        """``mu(u, c)`` for a competing event."""
+        return float(self.competing[user, competing])
+
+    def event_column(self, event: int) -> np.ndarray:
+        """All users' interest in candidate ``event`` (read-only view)."""
+        return self.candidate[:, event]
+
+    def competing_column(self, competing: int) -> np.ndarray:
+        """All users' interest in competing event ``competing``."""
+        return self.competing[:, competing]
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        candidate: np.ndarray,
+        competing: np.ndarray | None = None,
+    ) -> "InterestMatrix":
+        """Build from ready-made arrays; ``competing=None`` means no rivals."""
+        candidate = np.asarray(candidate, dtype=float)
+        if competing is None:
+            competing = np.zeros((candidate.shape[0], 0))
+        return cls(candidate=candidate, competing=np.asarray(competing, dtype=float))
+
+    @classmethod
+    def from_function(
+        cls,
+        n_users: int,
+        n_events: int,
+        n_competing: int,
+        event_interest: Callable[[int, int], float],
+        competing_interest: Callable[[int, int], float] | None = None,
+    ) -> "InterestMatrix":
+        """Materialize ``mu`` by evaluating callables over every pair."""
+        candidate = np.empty((n_users, n_events))
+        for user in range(n_users):
+            for event in range(n_events):
+                candidate[user, event] = event_interest(user, event)
+        competing = np.zeros((n_users, n_competing))
+        if competing_interest is not None:
+            for user in range(n_users):
+                for rival in range(n_competing):
+                    competing[user, rival] = competing_interest(user, rival)
+        return cls(candidate=candidate, competing=competing)
+
+    @classmethod
+    def from_sparse(
+        cls,
+        n_users: int,
+        n_events: int,
+        n_competing: int,
+        event_entries: Mapping[tuple[int, int], float],
+        competing_entries: Mapping[tuple[int, int], float] | None = None,
+    ) -> "InterestMatrix":
+        """Build from ``{(user, event): mu}`` mappings; absent pairs are 0."""
+        candidate = np.zeros((n_users, n_events))
+        for (user, event), value in event_entries.items():
+            candidate[user, event] = value
+        competing = np.zeros((n_users, n_competing))
+        for (user, rival), value in (competing_entries or {}).items():
+            competing[user, rival] = value
+        return cls(candidate=candidate, competing=competing)
+
+    # ------------------------------------------------------------------
+    # derived statistics (used by reports and calibration)
+    # ------------------------------------------------------------------
+    def sparsity(self) -> float:
+        """Fraction of exactly-zero candidate-interest entries."""
+        if self.candidate.size == 0:
+            return 1.0
+        return float(np.count_nonzero(self.candidate == 0.0) / self.candidate.size)
+
+    def mean_positive_interest(self) -> float:
+        """Mean of the strictly positive candidate-interest values (0 if none)."""
+        positive = self.candidate[self.candidate > 0]
+        return float(positive.mean()) if positive.size else 0.0

@@ -1,0 +1,159 @@
+"""Schedules and assignments (paper Section II).
+
+An :class:`Assignment` ``alpha_e^t`` places candidate event ``e`` at
+interval ``t``.  A :class:`Schedule` is a set of assignments in which no
+event appears twice; it exposes the paper's accessors — ``E(S)`` as
+:meth:`Schedule.scheduled_events`, ``E_t(S)`` as :meth:`Schedule.events_at`
+and ``t_e(S)`` as :meth:`Schedule.interval_of`.
+
+The class is deliberately a thin mutable container: feasibility is the
+responsibility of :class:`~repro.core.feasibility.FeasibilityChecker` (so
+that solvers can maintain incremental state), while *structural* integrity
+(no duplicate events, indices in range) is enforced here unconditionally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.core.errors import DuplicateEventError, UnknownEntityError
+from repro.core.instance import SESInstance
+
+__all__ = ["Assignment", "Schedule"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Assignment:
+    """``alpha_e^t``: schedule candidate event ``event`` at interval ``interval``."""
+
+    event: int
+    interval: int
+
+    def __post_init__(self) -> None:
+        if self.event < 0:
+            raise ValueError(f"event index must be non-negative, got {self.event}")
+        if self.interval < 0:
+            raise ValueError(
+                f"interval index must be non-negative, got {self.interval}"
+            )
+
+    def __str__(self) -> str:
+        return f"a[e{self.event}@t{self.interval}]"
+
+
+class Schedule:
+    """A set of assignments with at most one interval per event.
+
+    Iteration order is insertion order, which for greedy solvers doubles
+    as the selection order — handy in tests and reports.
+    """
+
+    def __init__(self, instance: SESInstance, assignments: Iterable[Assignment] = ()):
+        self._instance = instance
+        self._interval_of: dict[int, int] = {}
+        self._events_at: dict[int, list[int]] = {}
+        for assignment in assignments:
+            self.add(assignment)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, assignment: Assignment) -> None:
+        """Insert one assignment; rejects duplicates and bad indices."""
+        event, interval = assignment.event, assignment.interval
+        if event >= self._instance.n_events:
+            raise UnknownEntityError(
+                f"event index {event} out of range "
+                f"(instance has {self._instance.n_events} events)"
+            )
+        if interval >= self._instance.n_intervals:
+            raise UnknownEntityError(
+                f"interval index {interval} out of range "
+                f"(instance has {self._instance.n_intervals} intervals)"
+            )
+        if event in self._interval_of:
+            raise DuplicateEventError(
+                f"event {event} already scheduled at interval "
+                f"{self._interval_of[event]}"
+            )
+        self._interval_of[event] = interval
+        self._events_at.setdefault(interval, []).append(event)
+
+    def remove(self, event: int) -> Assignment:
+        """Remove the assignment of ``event``; returns what was removed."""
+        if event not in self._interval_of:
+            raise UnknownEntityError(f"event {event} is not scheduled")
+        interval = self._interval_of.pop(event)
+        self._events_at[interval].remove(event)
+        if not self._events_at[interval]:
+            del self._events_at[interval]
+        return Assignment(event=event, interval=interval)
+
+    # ------------------------------------------------------------------
+    # paper accessors
+    # ------------------------------------------------------------------
+    def scheduled_events(self) -> frozenset[int]:
+        """``E(S)``: the set of scheduled candidate-event indices."""
+        return frozenset(self._interval_of)
+
+    def events_at(self, interval: int) -> tuple[int, ...]:
+        """``E_t(S)``: events assigned to ``interval`` (selection order)."""
+        return tuple(self._events_at.get(interval, ()))
+
+    def interval_of(self, event: int) -> int | None:
+        """``t_e(S)``: the interval of ``event``, or ``None`` if unscheduled."""
+        return self._interval_of.get(event)
+
+    def contains_event(self, event: int) -> bool:
+        return event in self._interval_of
+
+    def used_intervals(self) -> frozenset[int]:
+        """Intervals with at least one scheduled event."""
+        return frozenset(self._events_at)
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._interval_of)
+
+    def __iter__(self) -> Iterator[Assignment]:
+        for interval, events in sorted(self._events_at.items()):
+            for event in events:
+                yield Assignment(event=event, interval=interval)
+
+    def __contains__(self, assignment: Assignment) -> bool:
+        return self._interval_of.get(assignment.event) == assignment.interval
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self._interval_of == other._interval_of
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._interval_of.items()))
+
+    # ------------------------------------------------------------------
+    @property
+    def instance(self) -> SESInstance:
+        return self._instance
+
+    def assignments(self) -> tuple[Assignment, ...]:
+        """All assignments, ordered by interval then insertion."""
+        return tuple(self)
+
+    def copy(self) -> "Schedule":
+        """Independent copy sharing the (immutable) instance."""
+        clone = Schedule(self._instance)
+        clone._interval_of = dict(self._interval_of)
+        clone._events_at = {t: list(es) for t, es in self._events_at.items()}
+        return clone
+
+    def as_mapping(self) -> dict[int, int]:
+        """``{event: interval}`` snapshot (plain dict, detached)."""
+        return dict(self._interval_of)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(str(a) for a in self)
+        return f"Schedule({body})"

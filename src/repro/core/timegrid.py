@@ -1,0 +1,148 @@
+"""Calendar-shaped time grids: building disjoint candidate intervals.
+
+The SES formalization only requires ``T`` to be a set of disjoint
+intervals; real deployments derive ``T`` from a calendar — "evenings over
+an 11-day festival", "weekend afternoons next quarter".  This module
+builds such grids once, correctly (disjointness is validated by
+``SESInstance``, but labels, day arithmetic and part offsets are easy to
+fumble in user code), and is what the Summerfest example and the CLI demo
+lean on.
+
+A grid is defined by a sequence of named :class:`DayPart` windows repeated
+over ``n_days``; hours are real numbers from an arbitrary epoch (day 0,
+00:00), so downstream code can still do arithmetic on ``start``/``end``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.entities import TimeInterval
+
+__all__ = ["DayPart", "CalendarGrid", "EVENING_ONLY", "AFTERNOON_AND_EVENING"]
+
+_HOURS_PER_DAY = 24.0
+_WEEKDAY_NAMES = ("mon", "tue", "wed", "thu", "fri", "sat", "sun")
+
+
+@dataclass(frozen=True)
+class DayPart:
+    """A named daily window, e.g. ``DayPart("evening", 19.0, 23.0)``."""
+
+    name: str
+    start_hour: float
+    end_hour: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_hour < self.end_hour <= 24.0:
+            raise ValueError(
+                f"need 0 <= start < end <= 24, got "
+                f"[{self.start_hour}, {self.end_hour}]"
+            )
+        if not self.name:
+            raise ValueError("day part needs a non-empty name")
+
+
+#: Common presets.
+EVENING_ONLY = (DayPart("evening", 19.0, 23.0),)
+AFTERNOON_AND_EVENING = (
+    DayPart("afternoon", 14.0, 18.0),
+    DayPart("evening", 19.0, 23.0),
+)
+
+
+class CalendarGrid:
+    """A day-by-day grid of disjoint candidate intervals.
+
+    Parameters
+    ----------
+    n_days:
+        Number of consecutive days.
+    parts:
+        The windows inside each day; must be mutually non-overlapping.
+    first_weekday:
+        Index into mon..sun (0 = Monday) of day 0, used for labels and
+        the weekend predicate.
+    """
+
+    def __init__(
+        self,
+        n_days: int,
+        parts: tuple[DayPart, ...] = AFTERNOON_AND_EVENING,
+        first_weekday: int = 0,
+    ):
+        if n_days <= 0:
+            raise ValueError(f"n_days must be positive, got {n_days}")
+        if not parts:
+            raise ValueError("at least one day part is required")
+        if not 0 <= first_weekday < 7:
+            raise ValueError(f"first_weekday must be 0..6, got {first_weekday}")
+        ordered = sorted(parts, key=lambda part: part.start_hour)
+        for before, after in zip(ordered, ordered[1:]):
+            if after.start_hour < before.end_hour:
+                raise ValueError(
+                    f"day parts {before.name!r} and {after.name!r} overlap"
+                )
+        self._n_days = n_days
+        self._parts = tuple(ordered)
+        self._first_weekday = first_weekday
+
+    # ------------------------------------------------------------------
+    @property
+    def n_days(self) -> int:
+        return self._n_days
+
+    @property
+    def parts(self) -> tuple[DayPart, ...]:
+        return self._parts
+
+    @property
+    def n_intervals(self) -> int:
+        return self._n_days * len(self._parts)
+
+    # ------------------------------------------------------------------
+    def weekday_of(self, day: int) -> str:
+        """Weekday name of grid day ``day``."""
+        if not 0 <= day < self._n_days:
+            raise IndexError(f"day {day} out of range [0, {self._n_days})")
+        return _WEEKDAY_NAMES[(self._first_weekday + day) % 7]
+
+    def is_weekend(self, day: int) -> bool:
+        return self.weekday_of(day) in ("sat", "sun")
+
+    def day_of_interval(self, index: int) -> int:
+        """Grid day of interval ``index``."""
+        if not 0 <= index < self.n_intervals:
+            raise IndexError(
+                f"interval {index} out of range [0, {self.n_intervals})"
+            )
+        return index // len(self._parts)
+
+    def part_of_interval(self, index: int) -> DayPart:
+        """Day part of interval ``index``."""
+        if not 0 <= index < self.n_intervals:
+            raise IndexError(
+                f"interval {index} out of range [0, {self.n_intervals})"
+            )
+        return self._parts[index % len(self._parts)]
+
+    # ------------------------------------------------------------------
+    def build_intervals(self) -> list[TimeInterval]:
+        """Materialize the grid as a disjoint, labeled interval list.
+
+        Labels look like ``d03-wed-evening``; ``start``/``end`` are hours
+        from the grid epoch, so intervals across days stay disjoint.
+        """
+        intervals: list[TimeInterval] = []
+        for day in range(self._n_days):
+            base = day * _HOURS_PER_DAY
+            for part in self._parts:
+                intervals.append(
+                    TimeInterval(
+                        index=len(intervals),
+                        label=f"d{day + 1:02d}-{self.weekday_of(day)}-{part.name}",
+                        start=base + part.start_hour,
+                        end=base + part.end_hour,
+                    )
+                )
+        return intervals

@@ -1,0 +1,26 @@
+"""Data layer: EBSN -> SES instance building and (de)serialization."""
+
+from repro.data.meetup import InstanceBuildParams, build_instance
+from repro.data.serialization import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_instance_npz,
+    save_instance,
+    save_instance_npz,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "InstanceBuildParams",
+    "build_instance",
+    "instance_from_dict",
+    "instance_to_dict",
+    "load_instance",
+    "load_instance_npz",
+    "save_instance",
+    "save_instance_npz",
+    "schedule_from_dict",
+    "schedule_to_dict",
+]

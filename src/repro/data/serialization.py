@@ -1,0 +1,217 @@
+"""JSON round-tripping of SES instances and schedules.
+
+Pipelines need reproducible artifacts: a workload generator run once can be
+frozen to disk and re-solved later (or shipped as a bug report).  The
+format is plain JSON — entity lists plus nested-list matrices — favoring
+transparency over compactness; full-scale Meetup matrices belong in ``.npz``
+(see :func:`save_instance_npz`) rather than JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.activity import ActivityModel
+from repro.core.entities import (
+    CandidateEvent,
+    CompetingEvent,
+    Organizer,
+    TimeInterval,
+    User,
+)
+from repro.core.instance import SESInstance
+from repro.core.interest import InterestMatrix
+from repro.core.schedule import Assignment, Schedule
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "save_instance_npz",
+    "load_instance_npz",
+    "schedule_to_dict",
+    "schedule_from_dict",
+]
+
+_FORMAT_VERSION = 1
+
+
+def instance_to_dict(instance: SESInstance) -> dict:
+    """Serialize an instance to a JSON-compatible dict."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "organizer": {
+            "name": instance.organizer.name,
+            "resources": instance.organizer.resources,
+        },
+        "users": [
+            {"index": u.index, "name": u.name, "tags": sorted(u.tags)}
+            for u in instance.users
+        ],
+        "intervals": [
+            {
+                "index": t.index,
+                "label": t.label,
+                "start": t.start,
+                "end": t.end,
+            }
+            for t in instance.intervals
+        ],
+        "events": [
+            {
+                "index": e.index,
+                "name": e.name,
+                "location": e.location,
+                "required_resources": e.required_resources,
+                "tags": sorted(e.tags),
+            }
+            for e in instance.events
+        ],
+        "competing": [
+            {
+                "index": c.index,
+                "name": c.name,
+                "interval": c.interval,
+                "tags": sorted(c.tags),
+            }
+            for c in instance.competing
+        ],
+        "interest": {
+            "candidate": instance.interest.candidate.tolist(),
+            "competing": instance.interest.competing.tolist(),
+        },
+        "activity": instance.activity.matrix.tolist(),
+    }
+
+
+def instance_from_dict(payload: dict) -> SESInstance:
+    """Rebuild an instance from :func:`instance_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported instance format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    users = [
+        User(index=u["index"], name=u["name"], tags=frozenset(u["tags"]))
+        for u in payload["users"]
+    ]
+    intervals = [
+        TimeInterval(
+            index=t["index"], label=t["label"], start=t["start"], end=t["end"]
+        )
+        for t in payload["intervals"]
+    ]
+    events = [
+        CandidateEvent(
+            index=e["index"],
+            name=e["name"],
+            location=e["location"],
+            required_resources=e["required_resources"],
+            tags=frozenset(e["tags"]),
+        )
+        for e in payload["events"]
+    ]
+    competing = [
+        CompetingEvent(
+            index=c["index"],
+            name=c["name"],
+            interval=c["interval"],
+            tags=frozenset(c["tags"]),
+        )
+        for c in payload["competing"]
+    ]
+    interest = InterestMatrix.from_arrays(
+        np.asarray(payload["interest"]["candidate"], dtype=float),
+        np.asarray(payload["interest"]["competing"], dtype=float),
+    )
+    activity = ActivityModel(np.asarray(payload["activity"], dtype=float))
+    organizer = Organizer(
+        resources=payload["organizer"]["resources"],
+        name=payload["organizer"]["name"],
+    )
+    return SESInstance(
+        users=users,
+        intervals=intervals,
+        events=events,
+        competing=competing,
+        interest=interest,
+        activity=activity,
+        organizer=organizer,
+    )
+
+
+def save_instance(instance: SESInstance, path: str | Path) -> None:
+    """Write an instance to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(instance_to_dict(instance), handle)
+
+
+def load_instance(path: str | Path) -> SESInstance:
+    """Read an instance previously written by :func:`save_instance`."""
+    with open(path, encoding="utf-8") as handle:
+        return instance_from_dict(json.load(handle))
+
+
+def save_instance_npz(instance: SESInstance, path: str | Path) -> None:
+    """Compact binary variant: matrices in ``.npz``, metadata in JSON inside.
+
+    Preferred for large instances — a full Meetup-scale interest matrix is
+    hundreds of MB as JSON text but compresses well as float arrays.
+    """
+    metadata = instance_to_dict(instance)
+    del metadata["interest"]
+    del metadata["activity"]
+    np.savez_compressed(
+        path,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+        interest_candidate=instance.interest.candidate,
+        interest_competing=instance.interest.competing,
+        activity=instance.activity.matrix,
+    )
+
+
+def load_instance_npz(path: str | Path) -> SESInstance:
+    """Read an instance previously written by :func:`save_instance_npz`."""
+    with np.load(path) as archive:
+        metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+        metadata["interest"] = {
+            "candidate": archive["interest_candidate"],
+            "competing": archive["interest_competing"],
+        }
+        metadata["activity"] = archive["activity"]
+        # reuse the dict loader; arrays pass through np.asarray unchanged
+        return instance_from_dict(metadata)
+
+
+def schedule_to_dict(schedule: Schedule) -> dict:
+    """Serialize a schedule as an assignment list."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "assignments": [
+            {"event": a.event, "interval": a.interval} for a in schedule
+        ],
+    }
+
+
+def schedule_from_dict(payload: dict, instance: SESInstance) -> Schedule:
+    """Rebuild a schedule against ``instance``."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported schedule format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    return Schedule(
+        instance,
+        (
+            Assignment(event=row["event"], interval=row["interval"])
+            for row in payload["assignments"]
+        ),
+    )

@@ -1,0 +1,59 @@
+"""EBSN substrate: the Meetup-like data layer the paper's evaluation rests on.
+
+Contents:
+
+* :mod:`~repro.ebsn.tags` — clustered tag vocabulary;
+* :mod:`~repro.ebsn.network` — groups/users/events/RSVPs object model
+  (+ networkx export);
+* :mod:`~repro.ebsn.jaccard` — the paper's Jaccard interest construction;
+* :mod:`~repro.ebsn.checkins` — check-in histories and sigma estimation;
+* :mod:`~repro.ebsn.generator` — calibrated synthetic Meetup-CA generator;
+* :mod:`~repro.ebsn.stats` — the overlap/conflict statistics the paper
+  measures during preprocessing.
+"""
+
+from repro.ebsn.checkins import CheckinHistory, simulate_checkins
+from repro.ebsn.generator import (
+    EBSNConfig,
+    GeneratedEBSN,
+    MEETUP_CA_EVENTS,
+    MEETUP_CA_USERS,
+    MEETUP_MEAN_OVERLAP,
+    MeetupStyleGenerator,
+    horizon_for_target_overlap,
+)
+from repro.ebsn.jaccard import jaccard, jaccard_matrix
+from repro.ebsn.network import EBSNetwork, EBSNEvent, EBSNGroup, EBSNUser
+from repro.ebsn.stats import (
+    conflicting_pair_fraction,
+    events_per_group_histogram,
+    mean_overlapping_events,
+    membership_histogram,
+    summarize,
+)
+from repro.ebsn.tags import DEFAULT_TOPICS, TagVocabulary
+
+__all__ = [
+    "CheckinHistory",
+    "DEFAULT_TOPICS",
+    "EBSNConfig",
+    "EBSNEvent",
+    "EBSNGroup",
+    "EBSNUser",
+    "EBSNetwork",
+    "GeneratedEBSN",
+    "MEETUP_CA_EVENTS",
+    "MEETUP_CA_USERS",
+    "MEETUP_MEAN_OVERLAP",
+    "MeetupStyleGenerator",
+    "TagVocabulary",
+    "conflicting_pair_fraction",
+    "events_per_group_histogram",
+    "horizon_for_target_overlap",
+    "jaccard",
+    "jaccard_matrix",
+    "mean_overlapping_events",
+    "membership_histogram",
+    "simulate_checkins",
+    "summarize",
+]

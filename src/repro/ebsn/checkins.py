@@ -1,0 +1,110 @@
+"""Check-in histories and the sigma estimator.
+
+The paper defines the social-activity probability ``sigma[u, t]`` as
+estimable "by examining the user's past behavior (e.g., number of
+check-ins)".  Its experiments then simply draw ``sigma ~ U[0, 1]``; this
+module implements the *described* pipeline so examples and tests can
+exercise it end-to-end:
+
+1. :class:`CheckinHistory` accumulates per-user check-in counts over a
+   recurring weekly grid of slots (e.g. 7 days x 3 day-parts = 21 slots);
+2. :meth:`CheckinHistory.estimate_activity` turns counts into an
+   :class:`~repro.core.activity.ActivityModel` through additive-smoothed
+   frequencies (delegating to ``ActivityModel.from_checkin_rates``).
+
+The synthetic generator simulates histories from latent per-user
+"going-out" propensities, so the estimator has real structure to recover —
+a user who mostly checks in on weekend evenings ends up with high sigma
+exactly there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.activity import ActivityModel
+from repro.utils.rng import ensure_rng
+
+__all__ = ["CheckinHistory", "simulate_checkins"]
+
+
+class CheckinHistory:
+    """Per-user, per-slot check-in counts over an observation window."""
+
+    def __init__(self, n_users: int, n_slots: int, n_weeks: int):
+        if n_users <= 0 or n_slots <= 0:
+            raise ValueError(
+                f"n_users and n_slots must be positive, got {n_users}, {n_slots}"
+            )
+        if n_weeks <= 0:
+            raise ValueError(f"n_weeks must be positive, got {n_weeks}")
+        self._counts = np.zeros((n_users, n_slots), dtype=np.int64)
+        self._n_weeks = n_weeks
+
+    # ------------------------------------------------------------------
+    @property
+    def counts(self) -> np.ndarray:
+        """Read-only view of the count matrix."""
+        view = self._counts.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def n_users(self) -> int:
+        return self._counts.shape[0]
+
+    @property
+    def n_slots(self) -> int:
+        return self._counts.shape[1]
+
+    @property
+    def n_weeks(self) -> int:
+        return self._n_weeks
+
+    def record(self, user: int, slot: int, count: int = 1) -> None:
+        """Add ``count`` check-ins for ``user`` at ``slot``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._counts[user, slot] += count
+
+    def total_checkins(self) -> int:
+        return int(self._counts.sum())
+
+    # ------------------------------------------------------------------
+    def estimate_activity(self, smoothing: float = 1.0) -> ActivityModel:
+        """Estimate ``sigma`` from the recorded history.
+
+        A user observed for ``n_weeks`` weeks who checked in ``c`` times at
+        a weekly slot gets ``sigma ~ (c + s) / (n_weeks + 2 s)`` — the
+        smoothed empirical frequency of being socially active there.
+        """
+        return ActivityModel.from_checkin_rates(
+            self._counts, smoothing=smoothing, max_observations=self._n_weeks
+        )
+
+
+def simulate_checkins(
+    propensity: np.ndarray,
+    n_weeks: int,
+    seed: int | np.random.Generator | None = None,
+) -> CheckinHistory:
+    """Simulate a history from latent per-(user, slot) activity probabilities.
+
+    Each week, user ``u`` checks in at slot ``t`` with probability
+    ``propensity[u, t]`` independently — a Bernoulli process whose
+    frequency the estimator should (approximately) recover.  Used by tests
+    to verify estimator consistency and by the generator to give every
+    synthetic user a coherent behavioral rhythm.
+    """
+    propensity = np.asarray(propensity, dtype=float)
+    if propensity.ndim != 2:
+        raise ValueError(f"propensity must be 2-D, got shape {propensity.shape}")
+    if (propensity < 0).any() or (propensity > 1).any():
+        raise ValueError("propensity entries must lie in [0, 1]")
+    rng = ensure_rng(seed)
+    n_users, n_slots = propensity.shape
+    history = CheckinHistory(n_users=n_users, n_slots=n_slots, n_weeks=n_weeks)
+    # vectorized: draw all weeks at once and sum the Bernoulli outcomes
+    draws = rng.random((n_weeks, n_users, n_slots)) < propensity[None, :, :]
+    history._counts += draws.sum(axis=0, dtype=np.int64)
+    return history

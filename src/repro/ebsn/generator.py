@@ -1,0 +1,350 @@
+"""Synthetic Meetup-style EBSN generator (the dataset substitution).
+
+The paper evaluates on a Meetup California dump (Pham et al., ICDE 2015)
+with 42,444 users and ~16K events.  That dump is not redistributable, so —
+per the reproduction's substitution policy (DESIGN.md §4) — this module
+generates a synthetic EBSN whose *relevant statistics* match what the
+paper actually consumes:
+
+* **interest structure** — events are tagged with their organizing group's
+  tags and users carry tag profiles, so Jaccard interests are sparse,
+  clustered by topic, and supported on [0, 1] like the real ones;
+* **temporal overlap** — event start slots are spread over a horizon sized
+  so that the mean number of events running during overlapping intervals
+  matches the paper's measured **8.1** (this is what calibrates competing-
+  event density in the experiments);
+* **scale** — any size up to (and beyond) the full 42,444 x 16K shape via
+  :meth:`EBSNConfig.meetup_california`.
+
+Generation pipeline: tag vocabulary -> groups (tags, Zipf popularity) ->
+users (tags, topic-biased memberships) -> events (organized by groups,
+placed on the slot grid, assigned venues) -> RSVPs -> weekly check-in
+histories (for the sigma estimator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.ebsn.checkins import CheckinHistory, simulate_checkins
+from repro.ebsn.network import EBSNetwork, EBSNEvent, EBSNGroup, EBSNUser
+from repro.ebsn.tags import DEFAULT_TOPICS, TagVocabulary
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "EBSNConfig",
+    "GeneratedEBSN",
+    "MeetupStyleGenerator",
+    "horizon_for_target_overlap",
+]
+
+#: The headline statistics of the paper's Meetup California dataset.
+MEETUP_CA_USERS = 42_444
+MEETUP_CA_EVENTS = 16_000
+#: Mean events running during overlapping intervals, measured by the
+#: authors across the two Meetup datasets of Pham et al.
+MEETUP_MEAN_OVERLAP = 8.1
+
+
+def horizon_for_target_overlap(
+    n_events: int, mean_duration: float, target_overlap: float
+) -> int:
+    """Slots needed so the mean concurrent-event count hits ``target_overlap``.
+
+    With starts uniform over ``H`` slots, two events of durations ``d_i``,
+    ``d_j`` overlap with probability ``(d_i + d_j - 1) / H``; the expected
+    number of events overlapping a given one (counting itself) is then
+    ``1 + (n - 1)(2 * mean_duration - 1) / H``.  Solving for ``H`` gives
+    the horizon below (clamped to at least 1).
+    """
+    if n_events <= 1:
+        return 1
+    if target_overlap <= 1.0:
+        raise ValueError(
+            f"target_overlap must exceed 1 (an event always overlaps itself), "
+            f"got {target_overlap}"
+        )
+    width = 2.0 * mean_duration - 1.0
+    return max(1, round((n_events - 1) * width / (target_overlap - 1.0)))
+
+
+@dataclass(frozen=True)
+class EBSNConfig:
+    """Knobs of the synthetic EBSN; defaults give a laptop-size network."""
+
+    n_users: int = 2_000
+    n_groups: int = 80
+    n_events: int = 600
+    n_tags: int = 200
+    topics: tuple[str, ...] = DEFAULT_TOPICS
+    group_tag_count: tuple[int, int] = (4, 10)
+    user_tag_count: tuple[int, int] = (3, 12)
+    mean_memberships: float = 3.0
+    max_memberships: int = 8
+    #: probability that each sampled tag / joined group stays on-topic
+    topic_focus: float = 0.8
+    #: event durations are uniform over {1, ..., max_duration_slots}
+    max_duration_slots: int = 2
+    #: calibration target for the mean concurrent-event count
+    target_overlap: float = MEETUP_MEAN_OVERLAP
+    n_venues: int = 25
+    #: weekly check-in grid (7 days x 3 day-parts) and observation window
+    weekly_slots: int = 21
+    observation_weeks: int = 26
+    rsvp_probability: float = 0.15
+
+    def __post_init__(self) -> None:
+        if min(self.n_users, self.n_groups, self.n_events) <= 0:
+            raise ValueError("n_users, n_groups and n_events must be positive")
+        if self.group_tag_count[0] > self.group_tag_count[1]:
+            raise ValueError(f"bad group_tag_count range {self.group_tag_count}")
+        if self.user_tag_count[0] > self.user_tag_count[1]:
+            raise ValueError(f"bad user_tag_count range {self.user_tag_count}")
+        if self.max_duration_slots <= 0:
+            raise ValueError(
+                f"max_duration_slots must be positive, got {self.max_duration_slots}"
+            )
+        if not 0.0 <= self.rsvp_probability <= 1.0:
+            raise ValueError(
+                f"rsvp_probability must lie in [0, 1], got {self.rsvp_probability}"
+            )
+
+    @property
+    def mean_duration(self) -> float:
+        return (1 + self.max_duration_slots) / 2.0
+
+    @property
+    def horizon_slots(self) -> int:
+        """Event-placement horizon implied by the overlap calibration."""
+        return horizon_for_target_overlap(
+            self.n_events, self.mean_duration, self.target_overlap
+        )
+
+    @classmethod
+    def meetup_california(cls, scale: float = 1.0) -> "EBSNConfig":
+        """The paper's dataset shape, optionally scaled down for quick runs.
+
+        ``scale=1.0`` reproduces the full 42,444-user / 16K-event size;
+        ``scale=0.05`` is a faithful thumbnail for tests and examples.
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must lie in (0, 1], got {scale}")
+        return cls(
+            n_users=max(10, round(MEETUP_CA_USERS * scale)),
+            n_groups=max(5, round(1_500 * scale)),
+            n_events=max(10, round(MEETUP_CA_EVENTS * scale)),
+            n_tags=max(len(DEFAULT_TOPICS), round(400 * max(scale, 0.25))),
+        )
+
+    def scaled(self, factor: float) -> "EBSNConfig":
+        """A proportionally resized copy (users, groups, events)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return replace(
+            self,
+            n_users=max(1, round(self.n_users * factor)),
+            n_groups=max(1, round(self.n_groups * factor)),
+            n_events=max(1, round(self.n_events * factor)),
+        )
+
+
+@dataclass(frozen=True)
+class GeneratedEBSN:
+    """Everything the generator produces in one pass."""
+
+    network: EBSNetwork
+    checkins: CheckinHistory
+    vocabulary: TagVocabulary
+    config: EBSNConfig
+
+    @property
+    def horizon_slots(self) -> int:
+        return self.config.horizon_slots
+
+
+class MeetupStyleGenerator:
+    """Deterministic (seeded) generator of Meetup-like EBSN snapshots."""
+
+    def __init__(self, config: EBSNConfig | None = None):
+        self._config = config or EBSNConfig()
+
+    @property
+    def config(self) -> EBSNConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    def generate(self, seed: int | np.random.Generator | None = None) -> GeneratedEBSN:
+        """Produce a full snapshot: network + check-ins + vocabulary."""
+        rng = ensure_rng(seed)
+        config = self._config
+        vocabulary = TagVocabulary(n_tags=config.n_tags, topics=config.topics)
+
+        groups, group_topics = self._make_groups(rng, vocabulary)
+        group_weights = self._zipf_weights(config.n_groups, rng)
+        users = self._make_users(rng, vocabulary, group_topics, group_weights)
+        events = self._make_events(rng, groups, group_weights)
+        rsvps = self._make_rsvps(rng, users, events)
+
+        network = EBSNetwork(groups=groups, users=users, events=events, rsvps=rsvps)
+        network.validate()
+
+        checkins = self._make_checkins(rng, config)
+        return GeneratedEBSN(
+            network=network,
+            checkins=checkins,
+            vocabulary=vocabulary,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------
+    def _make_groups(
+        self, rng: np.random.Generator, vocabulary: TagVocabulary
+    ) -> tuple[list[EBSNGroup], list[str]]:
+        config = self._config
+        groups: list[EBSNGroup] = []
+        topics: list[str] = []
+        low, high = config.group_tag_count
+        for group_id in range(config.n_groups):
+            topic = vocabulary.sample_topic(rng)
+            size = int(rng.integers(low, high + 1))
+            tags = vocabulary.sample_tagset(
+                rng, size, primary_topic=topic, focus=config.topic_focus
+            )
+            groups.append(
+                EBSNGroup(group_id=group_id, tags=tags, name=f"{topic}-group-{group_id}")
+            )
+            topics.append(topic)
+        return groups, topics
+
+    @staticmethod
+    def _zipf_weights(count: int, rng: np.random.Generator) -> np.ndarray:
+        """Zipf(1) popularity over a random permutation of ranks."""
+        ranks = rng.permutation(count) + 1
+        weights = 1.0 / ranks
+        return weights / weights.sum()
+
+    def _make_users(
+        self,
+        rng: np.random.Generator,
+        vocabulary: TagVocabulary,
+        group_topics: list[str],
+        group_weights: np.ndarray,
+    ) -> list[EBSNUser]:
+        config = self._config
+        by_topic: dict[str, list[int]] = {}
+        for group_id, topic in enumerate(group_topics):
+            by_topic.setdefault(topic, []).append(group_id)
+
+        users: list[EBSNUser] = []
+        low, high = config.user_tag_count
+        for user_id in range(config.n_users):
+            topic = vocabulary.sample_topic(rng)
+            size = int(rng.integers(low, high + 1))
+            tags = vocabulary.sample_tagset(
+                rng, size, primary_topic=topic, focus=config.topic_focus
+            )
+            memberships = self._sample_memberships(
+                rng, topic, by_topic, group_weights
+            )
+            users.append(
+                EBSNUser(
+                    user_id=user_id,
+                    tags=tags,
+                    groups=tuple(sorted(memberships)),
+                )
+            )
+        return users
+
+    def _sample_memberships(
+        self,
+        rng: np.random.Generator,
+        topic: str,
+        by_topic: dict[str, list[int]],
+        group_weights: np.ndarray,
+    ) -> set[int]:
+        config = self._config
+        wanted = 1 + int(rng.poisson(max(0.0, config.mean_memberships - 1)))
+        wanted = min(wanted, config.max_memberships, config.n_groups)
+        same_topic = by_topic.get(topic, [])
+        memberships: set[int] = set()
+        for _ in range(wanted * 4):
+            if len(memberships) >= wanted:
+                break
+            if same_topic and rng.random() < config.topic_focus:
+                pool = same_topic
+                pool_weights = group_weights[same_topic]
+                pool_weights = pool_weights / pool_weights.sum()
+                group_id = int(rng.choice(pool, p=pool_weights))
+            else:
+                group_id = int(rng.choice(config.n_groups, p=group_weights))
+            memberships.add(group_id)
+        return memberships
+
+    def _make_events(
+        self,
+        rng: np.random.Generator,
+        groups: list[EBSNGroup],
+        group_weights: np.ndarray,
+    ) -> list[EBSNEvent]:
+        config = self._config
+        horizon = config.horizon_slots
+        events: list[EBSNEvent] = []
+        organizer_ids = rng.choice(
+            config.n_groups, size=config.n_events, p=group_weights
+        )
+        for event_id in range(config.n_events):
+            group = groups[int(organizer_ids[event_id])]
+            duration = int(rng.integers(1, config.max_duration_slots + 1))
+            start = int(rng.integers(horizon))
+            events.append(
+                EBSNEvent(
+                    event_id=event_id,
+                    group_id=group.group_id,
+                    tags=group.tags,  # per the paper: events carry group tags
+                    start_slot=start,
+                    duration_slots=duration,
+                    venue=int(rng.integers(config.n_venues)),
+                )
+            )
+        return events
+
+    def _make_rsvps(
+        self,
+        rng: np.random.Generator,
+        users: list[EBSNUser],
+        events: list[EBSNEvent],
+    ) -> list[tuple[int, int]]:
+        """Members RSVP to their groups' events with fixed probability."""
+        config = self._config
+        events_by_group: dict[int, list[int]] = {}
+        for event in events:
+            events_by_group.setdefault(event.group_id, []).append(event.event_id)
+        rsvps: list[tuple[int, int]] = []
+        for user in users:
+            for group_id in user.groups:
+                for event_id in events_by_group.get(group_id, ()):
+                    if rng.random() < config.rsvp_probability:
+                        rsvps.append((user.user_id, event_id))
+        return rsvps
+
+    def _make_checkins(
+        self, rng: np.random.Generator, config: EBSNConfig
+    ) -> CheckinHistory:
+        """Simulate weekly check-ins from latent per-user rhythms.
+
+        Each user has a base going-out rate (Beta-distributed) and a
+        preference profile over weekly slots (Dirichlet), giving the
+        sigma estimator genuine per-slot structure to recover.
+        """
+        base_rate = rng.beta(2.0, 2.0, size=config.n_users)
+        profile = rng.dirichlet(
+            np.full(config.weekly_slots, 0.7), size=config.n_users
+        )
+        propensity = np.clip(
+            base_rate[:, None] * profile * config.weekly_slots / 3.0, 0.0, 1.0
+        )
+        return simulate_checkins(
+            propensity, n_weeks=config.observation_weeks, seed=rng
+        )

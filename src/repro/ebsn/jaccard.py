@@ -1,0 +1,74 @@
+"""Jaccard tag interest — the paper's ``mu`` construction (Section IV.A).
+
+"In order to define the interest of a user to an event, we associate the
+events with the tags of the group who organize it.  Then, we compute the
+likeness value using Jaccard similarity over the user-event tags."
+
+This module implements exactly that: ``mu(u, e) = |T_u ∩ T_e| / |T_u ∪ T_e|``
+with the empty-union convention ``mu = 0``.  The bulk builder vectorizes
+over a tag-index encoding so it scales to the full Meetup-CA shape
+(42,444 users x 16K events) without quadratic Python loops.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["jaccard", "jaccard_matrix"]
+
+
+def jaccard(left: frozenset[str] | set[str], right: frozenset[str] | set[str]) -> float:
+    """Jaccard similarity of two tag sets; 0 when both are empty."""
+    if not left and not right:
+        return 0.0
+    intersection = len(left & right)
+    if intersection == 0:
+        return 0.0
+    return intersection / (len(left) + len(right) - intersection)
+
+
+def jaccard_matrix(
+    user_tagsets: Sequence[Iterable[str]],
+    event_tagsets: Sequence[Iterable[str]],
+) -> np.ndarray:
+    """All-pairs Jaccard similarities as an ``(n_users, n_events)`` matrix.
+
+    Tags are mapped to indices and each side becomes a sparse 0/1
+    membership matrix; then ``intersection = U @ E.T`` and the union
+    follows from set-size sums, so the whole computation is three BLAS-able
+    operations instead of ``n_users * n_events`` Python-level set ops.
+    """
+    users = [frozenset(tags) for tags in user_tagsets]
+    events = [frozenset(tags) for tags in event_tagsets]
+    vocabulary: dict[str, int] = {}
+    for tagset in users:
+        for tag in tagset:
+            vocabulary.setdefault(tag, len(vocabulary))
+    for tagset in events:
+        for tag in tagset:
+            vocabulary.setdefault(tag, len(vocabulary))
+
+    if not vocabulary or not users or not events:
+        return np.zeros((len(users), len(events)))
+
+    user_membership = np.zeros((len(users), len(vocabulary)), dtype=np.float64)
+    for row, tagset in enumerate(users):
+        for tag in tagset:
+            user_membership[row, vocabulary[tag]] = 1.0
+    event_membership = np.zeros((len(events), len(vocabulary)), dtype=np.float64)
+    for row, tagset in enumerate(events):
+        for tag in tagset:
+            event_membership[row, vocabulary[tag]] = 1.0
+
+    intersection = user_membership @ event_membership.T
+    user_sizes = user_membership.sum(axis=1, keepdims=True)
+    event_sizes = event_membership.sum(axis=1, keepdims=True).T
+    union = user_sizes + event_sizes - intersection
+    return np.divide(
+        intersection,
+        union,
+        out=np.zeros_like(intersection),
+        where=union > 0.0,
+    )

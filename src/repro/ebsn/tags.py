@@ -1,0 +1,130 @@
+"""Tag vocabulary for the synthetic EBSN (Meetup-style).
+
+Meetup tags ("topics") are organized around interest areas: a rock-climbing
+group's tags cluster with hiking, not with machine learning.  The paper's
+interest function is a Jaccard similarity over such tag sets, so the
+*cluster structure* of tags is what shapes ``mu``'s distribution — users
+overlap heavily with events from their own topic area and barely at all
+with the rest.  :class:`TagVocabulary` models this: tags are partitioned
+into topics, and tag-set sampling concentrates on a primary topic with a
+configurable spill-over to others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["TagVocabulary", "DEFAULT_TOPICS"]
+
+#: Topic names loosely modeled on Meetup's category list; purely cosmetic
+#: labels for generated tags, but keeping them human-readable makes example
+#: output and debugging far friendlier than integer ids.
+DEFAULT_TOPICS = (
+    "music",
+    "tech",
+    "outdoors",
+    "arts",
+    "food",
+    "sports",
+    "games",
+    "careers",
+    "wellness",
+    "languages",
+)
+
+
+class TagVocabulary:
+    """A clustered tag universe with topic-biased sampling.
+
+    Parameters
+    ----------
+    n_tags:
+        Total number of distinct tags.
+    topics:
+        Topic labels; tags are dealt to topics round-robin so every topic
+        has ``~ n_tags / len(topics)`` tags.
+    """
+
+    def __init__(self, n_tags: int = 200, topics: tuple[str, ...] = DEFAULT_TOPICS):
+        if n_tags < len(topics):
+            raise ValueError(
+                f"need at least one tag per topic: n_tags={n_tags} < "
+                f"{len(topics)} topics"
+            )
+        if not topics:
+            raise ValueError("at least one topic is required")
+        self._topics = tuple(topics)
+        self._tags_by_topic: dict[str, list[str]] = {topic: [] for topic in topics}
+        self._all_tags: list[str] = []
+        for tag_index in range(n_tags):
+            topic = topics[tag_index % len(topics)]
+            tag = f"{topic}/{tag_index}"
+            self._tags_by_topic[topic].append(tag)
+            self._all_tags.append(tag)
+
+    # ------------------------------------------------------------------
+    @property
+    def topics(self) -> tuple[str, ...]:
+        return self._topics
+
+    @property
+    def all_tags(self) -> tuple[str, ...]:
+        return tuple(self._all_tags)
+
+    @property
+    def n_tags(self) -> int:
+        return len(self._all_tags)
+
+    def tags_of_topic(self, topic: str) -> tuple[str, ...]:
+        try:
+            return tuple(self._tags_by_topic[topic])
+        except KeyError:
+            raise KeyError(
+                f"unknown topic {topic!r}; available: {self._topics}"
+            ) from None
+
+    def topic_of_tag(self, tag: str) -> str:
+        topic, __, __ = tag.partition("/")
+        if topic not in self._tags_by_topic:
+            raise KeyError(f"tag {tag!r} does not belong to this vocabulary")
+        return topic
+
+    # ------------------------------------------------------------------
+    def sample_topic(self, rng: np.random.Generator) -> str:
+        """Uniformly random topic."""
+        return self._topics[int(rng.integers(len(self._topics)))]
+
+    def sample_tagset(
+        self,
+        rng: np.random.Generator | int | None,
+        size: int,
+        primary_topic: str | None = None,
+        focus: float = 0.8,
+    ) -> frozenset[str]:
+        """Draw ``size`` distinct tags, concentrated on one topic.
+
+        ``focus`` is the probability that each tag comes from the primary
+        topic (sampling without replacement within each pool); the rest
+        spill uniformly over the whole vocabulary, which is what creates
+        small-but-nonzero cross-topic Jaccard overlaps.
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        if not 0.0 <= focus <= 1.0:
+            raise ValueError(f"focus must lie in [0, 1], got {focus}")
+        rng = ensure_rng(rng)
+        if primary_topic is None:
+            primary_topic = self.sample_topic(rng)
+        primary_pool = list(self._tags_by_topic[primary_topic])
+        chosen: set[str] = set()
+        attempts = 0
+        while len(chosen) < size and attempts < 20 * max(size, 1):
+            attempts += 1
+            if primary_pool and rng.random() < focus:
+                tag = primary_pool[int(rng.integers(len(primary_pool)))]
+            else:
+                tag = self._all_tags[int(rng.integers(len(self._all_tags)))]
+            chosen.add(tag)
+        return frozenset(chosen)

@@ -1,0 +1,27 @@
+"""Executable form of the paper's Theorem 1 (strong NP-hardness of SES).
+
+:mod:`repro.hardness.mkpi` implements the source problem — Multiple
+Knapsack with Identical capacities — with exact and greedy solvers;
+:mod:`repro.hardness.reduction` builds the paper's restricted SES instance
+from any MKPI instance, preserving optima.
+"""
+
+from repro.hardness.mkpi import (
+    MKPIInstance,
+    MKPIPacking,
+    solve_mkpi_exact,
+    solve_mkpi_greedy,
+)
+from repro.hardness.milp import MILPSolveError, solve_mkpi_milp
+from repro.hardness.reduction import ReducedSES, reduce_mkpi_to_ses
+
+__all__ = [
+    "MKPIInstance",
+    "MKPIPacking",
+    "MILPSolveError",
+    "ReducedSES",
+    "reduce_mkpi_to_ses",
+    "solve_mkpi_exact",
+    "solve_mkpi_milp",
+    "solve_mkpi_greedy",
+]

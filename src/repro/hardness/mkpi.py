@@ -1,0 +1,211 @@
+"""Multiple Knapsack with Identical capacities (MKPI).
+
+Theorem 1 of the paper reduces MKPI — strongly NP-hard per Martello & Toth
+— to SES.  To make that reduction *executable* (and testable) we need MKPI
+itself: instances, an exact branch-and-bound solver for tiny sizes, and a
+density-greedy heuristic for sanity comparisons.
+
+An MKPI instance has ``n`` items, item ``i`` carrying weight ``w_i > 0``
+and profit ``p_i > 0``, and ``m`` bins of one common capacity ``c``.  A
+packing places each item in at most one bin subject to per-bin capacity;
+its value is the summed profit of packed items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import SESError
+
+__all__ = [
+    "MKPIInstance",
+    "MKPIPacking",
+    "solve_mkpi_exact",
+    "solve_mkpi_greedy",
+]
+
+
+@dataclass(frozen=True)
+class MKPIInstance:
+    """An MKPI instance: ``n`` weighted/valued items, ``m`` equal bins."""
+
+    weights: tuple[float, ...]
+    profits: tuple[float, ...]
+    n_bins: int
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(self.profits):
+            raise ValueError(
+                f"weights ({len(self.weights)}) and profits ({len(self.profits)}) "
+                f"must have equal length"
+            )
+        if any(w <= 0 for w in self.weights):
+            raise ValueError("all weights must be positive")
+        if any(p <= 0 for p in self.profits):
+            raise ValueError("all profits must be positive")
+        if self.n_bins <= 0:
+            raise ValueError(f"n_bins must be positive, got {self.n_bins}")
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        object.__setattr__(self, "weights", tuple(float(w) for w in self.weights))
+        object.__setattr__(self, "profits", tuple(float(p) for p in self.profits))
+
+    @property
+    def n_items(self) -> int:
+        return len(self.weights)
+
+    @classmethod
+    def random(
+        cls,
+        n_items: int,
+        n_bins: int,
+        capacity: float,
+        seed: int | np.random.Generator | None = None,
+        max_weight: float | None = None,
+    ) -> "MKPIInstance":
+        """Random instance with U(1, max_weight) weights, U(1, 10) profits."""
+        rng = np.random.default_rng(seed) if not isinstance(
+            seed, np.random.Generator
+        ) else seed
+        max_weight = max_weight if max_weight is not None else capacity
+        weights = rng.uniform(1.0, max(1.0 + 1e-9, max_weight), size=n_items)
+        profits = rng.uniform(1.0, 10.0, size=n_items)
+        return cls(
+            weights=tuple(weights),
+            profits=tuple(profits),
+            n_bins=n_bins,
+            capacity=capacity,
+        )
+
+
+@dataclass(frozen=True)
+class MKPIPacking:
+    """A packing: ``bin_of[i]`` is the bin of item ``i`` or ``None``."""
+
+    instance: MKPIInstance
+    bin_of: tuple[int | None, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.bin_of) != self.instance.n_items:
+            raise ValueError(
+                f"bin_of must cover all {self.instance.n_items} items, "
+                f"got {len(self.bin_of)}"
+            )
+        loads = [0.0] * self.instance.n_bins
+        for item, bin_index in enumerate(self.bin_of):
+            if bin_index is None:
+                continue
+            if not 0 <= bin_index < self.instance.n_bins:
+                raise ValueError(f"item {item} placed in unknown bin {bin_index}")
+            loads[bin_index] += self.instance.weights[item]
+        for bin_index, load in enumerate(loads):
+            if load > self.instance.capacity + 1e-9:
+                raise ValueError(
+                    f"bin {bin_index} overflows: load {load} > capacity "
+                    f"{self.instance.capacity}"
+                )
+
+    @property
+    def total_profit(self) -> float:
+        return sum(
+            self.instance.profits[item]
+            for item, bin_index in enumerate(self.bin_of)
+            if bin_index is not None
+        )
+
+    @property
+    def packed_items(self) -> tuple[int, ...]:
+        return tuple(
+            item for item, bin_index in enumerate(self.bin_of) if bin_index is not None
+        )
+
+
+class _SearchBudget(SESError):
+    """Internal: exact MKPI search exceeded its node budget."""
+
+
+def solve_mkpi_exact(
+    instance: MKPIInstance, max_nodes: int = 5_000_000
+) -> MKPIPacking:
+    """Optimal MKPI packing by depth-first branch and bound.
+
+    Items are considered in decreasing density (profit/weight) order; the
+    bound at each node is the incumbent profit versus current profit plus
+    all remaining profits.  Bins are interchangeable (identical capacity),
+    so item placement only tries bins up to the first empty one —
+    a standard symmetry break.
+    """
+    order = sorted(
+        range(instance.n_items),
+        key=lambda i: instance.profits[i] / instance.weights[i],
+        reverse=True,
+    )
+    suffix_profit = [0.0] * (instance.n_items + 1)
+    for position in range(instance.n_items - 1, -1, -1):
+        suffix_profit[position] = (
+            suffix_profit[position + 1] + instance.profits[order[position]]
+        )
+
+    loads = [0.0] * instance.n_bins
+    assignment: list[int | None] = [None] * instance.n_items
+    best_profit = -1.0
+    best_assignment: list[int | None] = list(assignment)
+    nodes = 0
+
+    def recurse(position: int, profit: float) -> None:
+        nonlocal best_profit, best_assignment, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise _SearchBudget(
+                f"exact MKPI search exceeded {max_nodes} nodes; "
+                f"reduce the instance size"
+            )
+        if profit > best_profit:
+            best_profit = profit
+            best_assignment = list(assignment)
+        if position == instance.n_items:
+            return
+        if profit + suffix_profit[position] <= best_profit:
+            return
+        item = order[position]
+
+        seen_empty = False
+        for bin_index in range(instance.n_bins):
+            if loads[bin_index] == 0.0:
+                if seen_empty:
+                    break  # identical empty bins: trying one suffices
+                seen_empty = True
+            if loads[bin_index] + instance.weights[item] > instance.capacity + 1e-9:
+                continue
+            loads[bin_index] += instance.weights[item]
+            assignment[item] = bin_index
+            recurse(position + 1, profit + instance.profits[item])
+            assignment[item] = None
+            loads[bin_index] -= instance.weights[item]
+
+        recurse(position + 1, profit)  # leave the item out
+
+    recurse(0, 0.0)
+    return MKPIPacking(instance=instance, bin_of=tuple(best_assignment))
+
+
+def solve_mkpi_greedy(instance: MKPIInstance) -> MKPIPacking:
+    """Density-greedy first-fit heuristic (baseline, not optimal)."""
+    order = sorted(
+        range(instance.n_items),
+        key=lambda i: instance.profits[i] / instance.weights[i],
+        reverse=True,
+    )
+    loads = [0.0] * instance.n_bins
+    assignment: list[int | None] = [None] * instance.n_items
+    for item in order:
+        for bin_index in range(instance.n_bins):
+            if loads[bin_index] + instance.weights[item] <= instance.capacity + 1e-9:
+                loads[bin_index] += instance.weights[item]
+                assignment[item] = bin_index
+                break
+    return MKPIPacking(instance=instance, bin_of=tuple(assignment))

@@ -1,0 +1,155 @@
+"""The Theorem-1 reduction: MKPI instances to restricted SES instances.
+
+The paper's proof sketch maps (1) bins to time intervals, (2) bin capacity
+to the organizer's resources ``theta``, (3) items to candidate events,
+(4) item weight to required resources ``xi``, (5) item profit to interest
+("likeness") and (6) total profit to expected attendance, inside a
+restricted SES family:
+
+* as many users as candidate events;
+* exactly one competing event per interval;
+* every user has the same interest ``K`` in every competing event;
+* each user likes exactly one event and vice versa (a perfect matching);
+* the interest value is ``mu = p * K / (1 - p)`` where ``p`` is the item's
+  (normalized) profit;
+* one common social-activity probability ``sigma``;
+* no location constraints (every event gets a distinct location).
+
+Under this construction the Luce denominator for user ``i`` at the interval
+hosting their matched event ``e_i`` is ``K + mu_i`` (no other event at the
+interval interests them), so::
+
+    rho = sigma * mu_i / (K + mu_i)
+        = sigma * (p K / (1-p)) / (K + p K / (1-p))
+        = sigma * p
+
+i.e. each scheduled event contributes ``sigma * p_i`` to Omega — profits
+transfer to utility **linearly and without cross-event interaction**, and
+the per-interval resource constraint is exactly the per-bin capacity.
+Hence optimal packings and optimal schedules coincide:
+``Omega*(k) = sigma * scale * (best profit among packings of exactly k items)``.
+
+:func:`reduce_mkpi_to_ses` makes this construction executable;
+:class:`ReducedSES` keeps the bookkeeping needed to translate utilities
+back into MKPI profits.  The test suite closes the loop by checking
+``solve_mkpi_exact`` against :class:`~repro.algorithms.ExhaustiveScheduler`
+on the reduced instance for every feasible ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.activity import ActivityModel
+from repro.core.entities import (
+    CandidateEvent,
+    CompetingEvent,
+    Organizer,
+    TimeInterval,
+    User,
+)
+from repro.core.instance import SESInstance
+from repro.core.interest import InterestMatrix
+from repro.hardness.mkpi import MKPIInstance
+
+__all__ = ["ReducedSES", "reduce_mkpi_to_ses"]
+
+
+@dataclass(frozen=True)
+class ReducedSES:
+    """An SES instance produced from MKPI, with profit-recovery bookkeeping.
+
+    ``profit_scale`` is the factor by which original profits were divided
+    to land in (0, 1); ``utility_to_profit`` inverts the whole mapping.
+    """
+
+    ses: SESInstance
+    mkpi: MKPIInstance
+    sigma: float
+    competing_interest: float
+    profit_scale: float
+
+    def utility_to_profit(self, utility: float) -> float:
+        """Translate an SES utility back to the MKPI profit it encodes."""
+        return utility / self.sigma * self.profit_scale
+
+    def profit_to_utility(self, profit: float) -> float:
+        """Translate an MKPI profit to the SES utility it would produce."""
+        return profit / self.profit_scale * self.sigma
+
+
+def reduce_mkpi_to_ses(
+    mkpi: MKPIInstance,
+    sigma: float = 1.0,
+    headroom: float = 2.0,
+) -> ReducedSES:
+    """Build the Theorem-1 restricted SES instance for ``mkpi``.
+
+    Parameters
+    ----------
+    mkpi:
+        The source instance.
+    sigma:
+        The common social-activity probability (must lie in (0, 1]).
+    headroom:
+        Profits are normalized as ``p_i / (headroom * max_profit)`` so they
+        sit strictly inside (0, 1); larger headroom shrinks interests.
+        Must exceed 1.
+
+    The competing interest ``K`` is chosen as ``min_i (1 - p_i) / p_i``
+    over the *normalized* profits, the largest value for which every
+    ``mu_i = p_i K / (1 - p_i)`` stays within the [0, 1] interest range.
+    """
+    if not 0.0 < sigma <= 1.0:
+        raise ValueError(f"sigma must lie in (0, 1], got {sigma}")
+    if headroom <= 1.0:
+        raise ValueError(f"headroom must exceed 1, got {headroom}")
+
+    n = mkpi.n_items
+    profit_scale = headroom * max(mkpi.profits)
+    normalized = np.array(mkpi.profits) / profit_scale  # in (0, 1)
+
+    competing_interest = float(np.min((1.0 - normalized) / normalized))
+    matched_interest = normalized * competing_interest / (1.0 - normalized)
+
+    users = [User(index=i, name=f"mkpi-user-{i}") for i in range(n)]
+    intervals = [
+        TimeInterval(index=t, label=f"bin-{t}") for t in range(mkpi.n_bins)
+    ]
+    # distinct locations disable the location constraint, per the proof sketch
+    events = [
+        CandidateEvent(
+            index=i,
+            location=i,
+            required_resources=mkpi.weights[i],
+            name=f"item-{i}",
+        )
+        for i in range(n)
+    ]
+    competing = [
+        CompetingEvent(index=t, interval=t, name=f"rival-at-bin-{t}")
+        for t in range(mkpi.n_bins)
+    ]
+
+    candidate_interest = np.zeros((n, n))
+    np.fill_diagonal(candidate_interest, matched_interest)
+    competing_matrix = np.full((n, mkpi.n_bins), competing_interest)
+
+    ses = SESInstance(
+        users=users,
+        intervals=intervals,
+        events=events,
+        competing=competing,
+        interest=InterestMatrix.from_arrays(candidate_interest, competing_matrix),
+        activity=ActivityModel.constant(n, mkpi.n_bins, sigma),
+        organizer=Organizer(resources=mkpi.capacity, name="mkpi-organizer"),
+    )
+    return ReducedSES(
+        ses=ses,
+        mkpi=mkpi,
+        sigma=sigma,
+        competing_interest=competing_interest,
+        profit_scale=profit_scale,
+    )

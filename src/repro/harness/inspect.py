@@ -1,0 +1,167 @@
+"""Schedule inspection: turn a solved schedule into an explainable report.
+
+Organizers don't consume utilities — they consume programs: which event
+runs when and where, how many people it should draw, how contested its
+slot is, and how much staffing headroom remains.  :class:`ScheduleReport`
+computes all of that from an instance + schedule pair and renders it as
+aligned text (used by the CLI and examples) or structured rows (used by
+tests and downstream tooling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import make_engine
+from repro.core.instance import SESInstance
+from repro.core.schedule import Schedule
+
+__all__ = ["EventReport", "IntervalReport", "ScheduleReport"]
+
+
+@dataclass(frozen=True)
+class EventReport:
+    """Per-scheduled-event diagnostics."""
+
+    event: int
+    name: str
+    interval: int
+    interval_label: str
+    location: int
+    required_resources: float
+    expected_attendance: float
+    #: attendance the event would have drawn alone at this interval
+    solo_attendance: float
+
+    @property
+    def cannibalization(self) -> float:
+        """Attendance lost to co-scheduled siblings (>= 0)."""
+        return max(0.0, self.solo_attendance - self.expected_attendance)
+
+
+@dataclass(frozen=True)
+class IntervalReport:
+    """Per-used-interval diagnostics."""
+
+    interval: int
+    label: str
+    n_events: int
+    n_competing: int
+    resources_used: float
+    resources_available: float
+    utility: float
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the staffing budget consumed (0 when theta = 0)."""
+        if self.resources_available <= 0:
+            return 0.0
+        return self.resources_used / self.resources_available
+
+
+class ScheduleReport:
+    """Computes and renders diagnostics for one (instance, schedule) pair."""
+
+    def __init__(self, instance: SESInstance, schedule: Schedule):
+        self._instance = instance
+        self._schedule = schedule
+        self._events, self._intervals = self._compute()
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[EventReport, ...]:
+        return self._events
+
+    @property
+    def intervals(self) -> tuple[IntervalReport, ...]:
+        return self._intervals
+
+    @property
+    def total_utility(self) -> float:
+        return sum(report.utility for report in self._intervals)
+
+    def total_cannibalization(self) -> float:
+        """Summed attendance lost to co-scheduling across all events."""
+        return sum(report.cannibalization for report in self._events)
+
+    # ------------------------------------------------------------------
+    def _compute(self) -> tuple[tuple[EventReport, ...], tuple[IntervalReport, ...]]:
+        instance, schedule = self._instance, self._schedule
+        engine = make_engine(instance)
+        for assignment in schedule:
+            engine.assign(assignment.event, assignment.interval)
+
+        event_reports = []
+        for assignment in schedule:
+            event = instance.events[assignment.event]
+            interval = instance.intervals[assignment.interval]
+            omega = engine.omega(assignment.event)
+
+            solo_engine = make_engine(instance)
+            solo_engine.assign(assignment.event, assignment.interval)
+            solo = solo_engine.omega(assignment.event)
+
+            event_reports.append(
+                EventReport(
+                    event=assignment.event,
+                    name=event.display_name,
+                    interval=assignment.interval,
+                    interval_label=interval.display_name,
+                    location=event.location,
+                    required_resources=event.required_resources,
+                    expected_attendance=omega,
+                    solo_attendance=solo,
+                )
+            )
+
+        interval_reports = []
+        for interval_index in sorted(schedule.used_intervals()):
+            interval = instance.intervals[interval_index]
+            events = schedule.events_at(interval_index)
+            used = sum(
+                instance.events[event].required_resources for event in events
+            )
+            interval_reports.append(
+                IntervalReport(
+                    interval=interval_index,
+                    label=interval.display_name,
+                    n_events=len(events),
+                    n_competing=len(
+                        instance.competing_by_interval[interval_index]
+                    ),
+                    resources_used=used,
+                    resources_available=instance.theta,
+                    utility=engine.interval_utility(interval_index),
+                )
+            )
+        return tuple(event_reports), tuple(interval_reports)
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Aligned text rendering of the full program."""
+        lines = [
+            f"schedule: {len(self._events)} events over "
+            f"{len(self._intervals)} intervals, "
+            f"total expected attendance {self.total_utility:.2f}",
+            "",
+            f"{'interval':>14} {'events':>7} {'rivals':>7} "
+            f"{'staff':>12} {'utility':>10}",
+        ]
+        for report in self._intervals:
+            staff = f"{report.resources_used:.1f}/{report.resources_available:g}"
+            lines.append(
+                f"{report.label:>14} {report.n_events:>7} "
+                f"{report.n_competing:>7} {staff:>12} {report.utility:>10.2f}"
+            )
+        lines.append("")
+        lines.append(
+            f"{'event':>20} {'interval':>14} {'loc':>4} "
+            f"{'attend':>9} {'solo':>9} {'lost':>7}"
+        )
+        for report in sorted(self._events, key=lambda r: -r.expected_attendance):
+            lines.append(
+                f"{report.name:>20} {report.interval_label:>14} "
+                f"{report.location:>4} {report.expected_attendance:>9.2f} "
+                f"{report.solo_attendance:>9.2f} {report.cannibalization:>7.2f}"
+            )
+        return "\n".join(lines)

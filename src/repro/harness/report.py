@@ -1,0 +1,69 @@
+"""Text rendering of sweep results — the "figures" of a terminal library.
+
+The paper's Figure 1 plots utility/time against k and |T| for GRD, TOP and
+RAND.  We regenerate the same series and render them as aligned text
+tables plus a coarse ASCII chart, so `ses-repro figure 1a` visibly shows
+who wins and how gaps grow without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from repro.harness.results import SweepTable
+
+__all__ = ["format_table", "format_ascii_chart", "format_figure"]
+
+_CHART_WIDTH = 48
+
+
+def format_table(table: SweepTable, value: str = "utility") -> str:
+    """Aligned fixed-width grid: one row per x, one column per method."""
+    methods = table.methods()
+    header = [table.x_label.rjust(10)] + [m.rjust(12) for m in methods]
+    lines = ["".join(header)]
+    for x in table.x_values():
+        cells = [f"{x:g}".rjust(10)]
+        for method in methods:
+            match = [r for r in table.rows if r.x == x and r.method == method]
+            if not match:
+                cells.append("—".rjust(12))
+            elif value == "utility":
+                cells.append(f"{match[0].utility:.2f}".rjust(12))
+            else:
+                cells.append(f"{match[0].runtime_seconds * 1e3:.1f}ms".rjust(12))
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def format_ascii_chart(table: SweepTable, value: str = "utility") -> str:
+    """Horizontal bar chart per (x, method), scaled to the global maximum."""
+    rows = []
+    peak = 0.0
+    for method in table.methods():
+        xs, ys = table.series(method, value=value)
+        for x, y in zip(xs, ys):
+            rows.append((x, method, y))
+            peak = max(peak, y)
+    if peak <= 0:
+        peak = 1.0
+    lines = []
+    for x, method, y in sorted(rows):
+        bar = "#" * max(1, round(_CHART_WIDTH * y / peak)) if y > 0 else ""
+        if value == "utility":
+            label = f"{y:.2f}"
+        else:
+            label = f"{y * 1e3:.1f}ms"
+        lines.append(
+            f"{table.x_label}={x:<8g} {method:<6} |{bar:<{_CHART_WIDTH}}| {label}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure(table: SweepTable, value: str = "utility") -> str:
+    """Full panel: title, aligned table, ASCII chart."""
+    parts = []
+    if table.title:
+        parts.append(f"== {table.title} ==")
+    parts.append(format_table(table, value=value))
+    parts.append("")
+    parts.append(format_ascii_chart(table, value=value))
+    return "\n".join(parts)

@@ -1,0 +1,147 @@
+"""Result tables for experiment sweeps.
+
+A sweep produces one :class:`SweepRow` per (x-value, method); the
+:class:`SweepTable` collects them and can slice out per-method series —
+the exact data behind each Figure 1 panel — or render itself as markdown
+and CSV for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SweepRow", "SweepTable"]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One measurement: a method's outcome at one sweep grid point."""
+
+    x: float
+    method: str
+    utility: float
+    runtime_seconds: float
+    achieved_k: int
+    requested_k: int
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+class SweepTable:
+    """Ordered collection of sweep measurements with reporting helpers."""
+
+    def __init__(self, x_label: str, title: str = ""):
+        self._x_label = x_label
+        self._title = title
+        self._rows: list[SweepRow] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def x_label(self) -> str:
+        return self._x_label
+
+    @property
+    def title(self) -> str:
+        return self._title
+
+    @property
+    def rows(self) -> tuple[SweepRow, ...]:
+        return tuple(self._rows)
+
+    def add(self, row: SweepRow) -> None:
+        self._rows.append(row)
+
+    def methods(self) -> tuple[str, ...]:
+        """Method names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for row in self._rows:
+            seen.setdefault(row.method, None)
+        return tuple(seen)
+
+    def x_values(self) -> tuple[float, ...]:
+        return tuple(sorted({row.x for row in self._rows}))
+
+    # ------------------------------------------------------------------
+    def series(
+        self, method: str, value: str = "utility"
+    ) -> tuple[list[float], list[float]]:
+        """``(xs, ys)`` for one method, sorted by x.
+
+        ``value`` is ``"utility"`` or ``"time"`` (runtime in seconds).
+        """
+        if value not in ("utility", "time"):
+            raise ValueError(f"value must be 'utility' or 'time', got {value!r}")
+        points = sorted(
+            (row for row in self._rows if row.method == method),
+            key=lambda row: row.x,
+        )
+        if not points:
+            raise KeyError(f"no rows for method {method!r}")
+        xs = [row.x for row in points]
+        ys = [
+            row.utility if value == "utility" else row.runtime_seconds
+            for row in points
+        ]
+        return xs, ys
+
+    def winner_at(self, x: float, value: str = "utility") -> str:
+        """The best method at grid point ``x`` (max utility / min time)."""
+        candidates = [row for row in self._rows if row.x == x]
+        if not candidates:
+            raise KeyError(f"no rows at x={x}")
+        if value == "utility":
+            return max(candidates, key=lambda row: row.utility).method
+        return min(candidates, key=lambda row: row.runtime_seconds).method
+
+    # ------------------------------------------------------------------
+    def to_markdown(self, value: str = "utility") -> str:
+        """Grid rendering: one row per x, one column per method."""
+        methods = self.methods()
+        lines = []
+        if self._title:
+            lines.append(f"**{self._title}** ({value})")
+            lines.append("")
+        header = [self._x_label, *methods]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join(["---"] * len(header)) + "|")
+        for x in self.x_values():
+            cells = [f"{x:g}"]
+            for method in methods:
+                match = [
+                    row for row in self._rows if row.x == x and row.method == method
+                ]
+                if not match:
+                    cells.append("—")
+                elif value == "utility":
+                    cells.append(f"{match[0].utility:.2f}")
+                else:
+                    cells.append(f"{match[0].runtime_seconds * 1e3:.1f}ms")
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the raw rows (one line per measurement)."""
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [
+                    self._x_label,
+                    "method",
+                    "utility",
+                    "runtime_seconds",
+                    "achieved_k",
+                    "requested_k",
+                ]
+            )
+            for row in self._rows:
+                writer.writerow(
+                    [
+                        row.x,
+                        row.method,
+                        row.utility,
+                        row.runtime_seconds,
+                        row.achieved_k,
+                        row.requested_k,
+                    ]
+                )

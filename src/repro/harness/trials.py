@@ -1,0 +1,104 @@
+"""Repeated-trial experiments: mean / spread across seeds.
+
+Single-run sweeps (Figure 1) answer "who wins"; claims about *how much*
+need variance.  This module reruns a (config, method) pair over several
+independently-seeded workload draws and aggregates utilities and runtimes
+into :class:`TrialStats` — used by the paper-shape integration tests to
+make orderings robust and available to users for error bars.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.algorithms.base import Scheduler
+from repro.utils.rng import SeedSequenceFactory
+from repro.workloads.config import ExperimentConfig
+from repro.workloads.generator import WorkloadGenerator
+
+__all__ = ["TrialStats", "run_trials"]
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Aggregate of one method's performance across repeated draws."""
+
+    method: str
+    utilities: tuple[float, ...]
+    runtimes: tuple[float, ...]
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.utilities)
+
+    @property
+    def mean_utility(self) -> float:
+        return sum(self.utilities) / len(self.utilities)
+
+    @property
+    def std_utility(self) -> float:
+        """Sample standard deviation (ddof=1); 0 for a single trial."""
+        if len(self.utilities) < 2:
+            return 0.0
+        mean = self.mean_utility
+        variance = sum((u - mean) ** 2 for u in self.utilities) / (
+            len(self.utilities) - 1
+        )
+        return math.sqrt(variance)
+
+    @property
+    def mean_runtime(self) -> float:
+        return sum(self.runtimes) / len(self.runtimes)
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of the normal-approximation CI for the mean utility."""
+        if self.n_trials < 2:
+            return 0.0
+        return z * self.std_utility / math.sqrt(self.n_trials)
+
+    def summary(self) -> str:
+        return (
+            f"{self.method}: utility {self.mean_utility:.2f} "
+            f"± {self.confidence_halfwidth():.2f} "
+            f"({self.n_trials} trials, {self.mean_runtime * 1e3:.1f} ms avg)"
+        )
+
+
+def run_trials(
+    config: ExperimentConfig,
+    method_factory: Callable[[int], dict[str, Scheduler]],
+    n_trials: int = 5,
+    root_seed: int = 0,
+) -> dict[str, TrialStats]:
+    """Run every method over ``n_trials`` independent workload draws.
+
+    ``method_factory`` receives the trial seed and returns fresh solvers —
+    stochastic methods (RAND, SA) should consume that seed so trials are
+    independent but reproducible.  All methods within a trial see the
+    *same* instance, so cross-method comparisons are paired.
+    """
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    workload = WorkloadGenerator(root_seed=root_seed)
+    seeds = SeedSequenceFactory(root_seed + 1)
+
+    utilities: dict[str, list[float]] = {}
+    runtimes: dict[str, list[float]] = {}
+    for _ in range(n_trials):
+        trial_seed = int(seeds.spawn().integers(2**31 - 1))
+        instance = workload.build(config, seed=trial_seed)
+        for name, solver in method_factory(trial_seed).items():
+            result = solver.solve(instance, config.k)
+            utilities.setdefault(name, []).append(result.utility)
+            runtimes.setdefault(name, []).append(result.runtime_seconds)
+
+    return {
+        name: TrialStats(
+            method=name,
+            utilities=tuple(utilities[name]),
+            runtimes=tuple(runtimes[name]),
+        )
+        for name in utilities
+    }

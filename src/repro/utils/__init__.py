@@ -1,0 +1,23 @@
+"""Shared utilities: seeded RNG helpers, timing, and validation guards."""
+
+from repro.utils.rng import SeedSequenceFactory, ensure_rng
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    check_fraction,
+    check_index,
+    check_non_negative,
+    check_positive,
+    check_probability_matrix,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "ensure_rng",
+    "Stopwatch",
+    "timed",
+    "check_fraction",
+    "check_index",
+    "check_non_negative",
+    "check_positive",
+    "check_probability_matrix",
+]

@@ -1,0 +1,74 @@
+"""Wall-clock measurement helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from typing import Any, TypeVar
+
+__all__ = ["Stopwatch", "timed"]
+
+T = TypeVar("T")
+
+
+class Stopwatch:
+    """Accumulating stopwatch based on :func:`time.perf_counter`.
+
+    Supports usage as a context manager; each ``with`` block adds to the
+    accumulated total so one stopwatch can measure a loop body across
+    iterations.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._started_at: float | None = None
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds (including a currently-open block)."""
+        running = 0.0
+        if self._started_at is not None:
+            running = time.perf_counter() - self._started_at
+        return self._total + running
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently inside a timed block."""
+        return self._started_at is not None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Close the current block and return the total elapsed seconds."""
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        self._total += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self._total
+
+    def reset(self) -> None:
+        self._total = 0.0
+        self._started_at = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def timed(func: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,27 @@
+"""Workload generation: the paper's Section IV experimental design."""
+
+from repro.workloads.config import (
+    ExperimentConfig,
+    MEETUP_USERS,
+    PAPER_DEFAULT_K,
+    PAPER_MAX_K,
+)
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.sweeps import (
+    PAPER_INTERVAL_FACTORS,
+    PAPER_K_GRID,
+    sweep_intervals,
+    sweep_k,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "MEETUP_USERS",
+    "PAPER_DEFAULT_K",
+    "PAPER_INTERVAL_FACTORS",
+    "PAPER_K_GRID",
+    "PAPER_MAX_K",
+    "WorkloadGenerator",
+    "sweep_intervals",
+    "sweep_k",
+]

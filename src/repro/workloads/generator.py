@@ -1,0 +1,120 @@
+"""Workload generator: experiment configs -> concrete SES instances.
+
+Each :class:`~repro.workloads.config.ExperimentConfig` is materialized in
+two steps, mirroring the paper: a Meetup-like EBSN snapshot supplies the
+event pool / tags / check-ins, then the Section IV.A preprocessing
+(:func:`repro.data.meetup.build_instance`) cuts an SES instance out of it.
+
+One snapshot is cached and shared across a sweep — just as the paper uses
+one Meetup dump for all grid points — and regenerated only if a later
+config needs a larger event pool.  All randomness descends from the
+generator's root seed via :class:`~repro.utils.rng.SeedSequenceFactory`,
+so grid point ``i`` is reproducible regardless of what ran before it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import SESInstance
+from repro.data.meetup import InstanceBuildParams, build_instance
+from repro.ebsn.generator import EBSNConfig, GeneratedEBSN, MeetupStyleGenerator
+from repro.utils.rng import SeedSequenceFactory
+from repro.workloads.config import ExperimentConfig
+
+__all__ = ["WorkloadGenerator"]
+
+
+class WorkloadGenerator:
+    """Materializes SES instances for experiment configs, reusing one EBSN."""
+
+    def __init__(self, root_seed: int = 0):
+        self._root_seed = root_seed
+        self._seeds = SeedSequenceFactory(root_seed)
+        self._snapshot: GeneratedEBSN | None = None
+        self._snapshot_rng: np.random.Generator | None = None
+
+    @property
+    def root_seed(self) -> int:
+        return self._root_seed
+
+    # ------------------------------------------------------------------
+    def snapshot_for(self, config: ExperimentConfig) -> GeneratedEBSN:
+        """The shared EBSN snapshot, (re)generated to cover ``config``.
+
+        The snapshot is regenerated only when the cached one has too few
+        users or pool events; sweeps should therefore present their
+        *largest* config first (the sweep helpers do) so all points share
+        identical data.
+        """
+        needed_events = config.required_pool_events
+        snapshot = self._snapshot
+        if (
+            snapshot is None
+            or snapshot.network.n_events < needed_events
+            or snapshot.network.n_users < config.n_users
+        ):
+            if self._snapshot_rng is None:
+                self._snapshot_rng = self._seeds.spawn()
+            ebsn_config = EBSNConfig(
+                n_users=max(config.n_users, 100),
+                n_groups=max(20, config.n_users // 25),
+                n_events=needed_events,
+            )
+            snapshot = MeetupStyleGenerator(ebsn_config).generate(
+                seed=self._snapshot_rng
+            )
+            self._snapshot = snapshot
+        return snapshot
+
+    def build(
+        self,
+        config: ExperimentConfig,
+        seed: int | np.random.Generator | None = None,
+    ) -> SESInstance:
+        """Materialize one SES instance for ``config``.
+
+        ``seed`` overrides the internally spawned per-call stream (useful
+        for repeated-trial experiments over the same snapshot).
+        """
+        snapshot = self.snapshot_for(config)
+        params = InstanceBuildParams(
+            n_candidate_events=config.events,
+            n_intervals=config.intervals,
+            mean_competing_per_interval=config.mean_competing,
+            n_locations=config.n_locations,
+            theta=config.theta,
+            xi_range=config.xi_range,
+            sigma_source=config.sigma_source,
+        )
+        if seed is None:
+            seed = self._seeds.spawn()
+        instance = build_instance(snapshot, params, seed=seed)
+        if config.n_users < instance.n_users:
+            instance = _restrict_users(instance, config.n_users)
+        return instance
+
+
+def _restrict_users(instance: SESInstance, n_users: int) -> SESInstance:
+    """Cut an instance down to its first ``n_users`` users.
+
+    The EBSN snapshot may be shared by configs with different user counts;
+    slicing the user axis keeps matrices consistent without regenerating.
+    """
+    from repro.core.activity import ActivityModel
+    from repro.core.interest import InterestMatrix
+
+    interest = InterestMatrix.from_arrays(
+        instance.interest.candidate[:n_users],
+        instance.interest.competing[:n_users],
+    )
+    activity = ActivityModel(instance.activity.matrix[:n_users])
+    return SESInstance(
+        users=instance.users[:n_users],
+        intervals=instance.intervals,
+        events=instance.events,
+        competing=instance.competing,
+        interest=interest,
+        activity=activity,
+        organizer=instance.organizer,
+    )

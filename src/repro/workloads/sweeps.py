@@ -1,0 +1,61 @@
+"""Parameter sweeps for the paper's Figure 1.
+
+Two sweeps drive all four panels:
+
+* :func:`sweep_k` — vary the number of scheduled events ``k`` with every
+  other size at its paper default (``|E| = 2k``, ``|T| = 3k/2``); this is
+  Fig. 1a (utility) and Fig. 1b (time).
+* :func:`sweep_intervals` — fix ``k`` (default 100) and vary ``|T|`` over
+  the paper's grid ``{k/5, k/2, k, 3k/2, 2k, 3k}``; this is Fig. 1c
+  (utility) and Fig. 1d (time).
+
+Sweeps are returned **largest point first** so the shared EBSN snapshot is
+sized once (see :class:`~repro.workloads.generator.WorkloadGenerator`);
+the harness re-sorts rows by x before reporting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.workloads.config import ExperimentConfig
+
+__all__ = [
+    "PAPER_K_GRID",
+    "PAPER_INTERVAL_FACTORS",
+    "sweep_k",
+    "sweep_intervals",
+]
+
+#: The k grid: the paper sets default 100 and maximum 500.
+PAPER_K_GRID: tuple[int, ...] = (100, 200, 300, 400, 500)
+
+#: |T| grid as fractions of k: "from k/5 up to 3k, with default 3k/2".
+PAPER_INTERVAL_FACTORS: tuple[float, ...] = (0.2, 0.5, 1.0, 1.5, 2.0, 3.0)
+
+
+def sweep_k(
+    k_values: Sequence[int] = PAPER_K_GRID,
+    base: ExperimentConfig | None = None,
+) -> list[tuple[int, ExperimentConfig]]:
+    """Configs for the Fig. 1a/1b sweep; x-value is ``k``."""
+    if not k_values:
+        raise ValueError("k_values must be non-empty")
+    base = base or ExperimentConfig()
+    ordered = sorted(set(k_values), reverse=True)  # largest first: pool sizing
+    return [(k, base.with_k(k)) for k in ordered]
+
+
+def sweep_intervals(
+    k: int = 100,
+    factors: Sequence[float] = PAPER_INTERVAL_FACTORS,
+    base: ExperimentConfig | None = None,
+) -> list[tuple[int, ExperimentConfig]]:
+    """Configs for the Fig. 1c/1d sweep; x-value is ``|T|``."""
+    if not factors:
+        raise ValueError("factors must be non-empty")
+    if any(f <= 0 for f in factors):
+        raise ValueError(f"interval factors must be positive, got {factors}")
+    base = (base or ExperimentConfig()).with_k(k)
+    sizes = sorted({max(1, round(f * k)) for f in factors}, reverse=True)
+    return [(size, base.with_intervals(size)) for size in sizes]

@@ -1,0 +1,64 @@
+"""Tests of the simulated-annealing scheduler."""
+
+import pytest
+
+from repro.algorithms.annealing import AnnealingScheduler
+from repro.algorithms.random_schedule import RandomScheduler
+from repro.core.feasibility import is_schedule_feasible
+from repro.core.objective import total_utility
+
+from tests.conftest import make_random_instance
+
+
+class TestAnnealing:
+    def test_feasible_output(self):
+        instance = make_random_instance(seed=140)
+        result = AnnealingScheduler(seed=1, steps=200).solve(instance, 4)
+        assert is_schedule_feasible(instance, result.schedule)
+        assert result.achieved_k == 4
+
+    def test_never_worse_than_its_seed_schedule(self):
+        """SA tracks the best-seen state, so it cannot lose to its seed."""
+        instance = make_random_instance(seed=141)
+        seed_result = RandomScheduler(seed=2).solve(instance, 4)
+        sa = AnnealingScheduler(
+            seed=3, steps=300, seed_schedule=seed_result.schedule
+        )
+        result = sa.solve(instance, 4)
+        assert result.utility >= seed_result.utility - 1e-9
+
+    def test_reproducible_with_seed(self):
+        instance = make_random_instance(seed=142)
+        a = AnnealingScheduler(seed=5, steps=200).solve(instance, 3)
+        b = AnnealingScheduler(seed=5, steps=200).solve(instance, 3)
+        assert a.schedule == b.schedule
+
+    def test_utility_matches_schedule(self):
+        instance = make_random_instance(seed=143)
+        result = AnnealingScheduler(seed=6, steps=200).solve(instance, 3)
+        assert result.utility == pytest.approx(
+            total_utility(instance, result.schedule), abs=1e-9
+        )
+
+    def test_approaches_optimum_on_tiny_instance(self):
+        from repro.algorithms.exhaustive import ExhaustiveScheduler
+
+        instance = make_random_instance(
+            seed=144, n_users=10, n_events=5, n_intervals=3
+        )
+        exact = ExhaustiveScheduler().solve(instance, 3).utility
+        sa = AnnealingScheduler(seed=7, steps=2000).solve(instance, 3).utility
+        assert sa >= 0.85 * exact
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="steps"):
+            AnnealingScheduler(steps=0)
+        with pytest.raises(ValueError, match="cooling"):
+            AnnealingScheduler(cooling=1.5)
+        with pytest.raises(ValueError, match="initial_temperature"):
+            AnnealingScheduler(initial_temperature=0.0)
+
+    def test_moves_are_counted(self):
+        instance = make_random_instance(seed=145)
+        result = AnnealingScheduler(seed=8, steps=300).solve(instance, 3)
+        assert result.stats.moves_evaluated > 0

@@ -1,0 +1,76 @@
+"""Tests of the beam-search scheduler."""
+
+import pytest
+
+from repro.algorithms.beam import BeamSearchScheduler
+from repro.algorithms.exhaustive import ExhaustiveScheduler
+from repro.algorithms.greedy import GreedyScheduler
+from repro.core.feasibility import is_schedule_feasible
+
+from tests.conftest import make_random_instance
+
+
+class TestBeamBasics:
+    def test_feasible_and_complete(self):
+        instance = make_random_instance(seed=410)
+        result = BeamSearchScheduler(beam_width=3).solve(instance, 4)
+        assert result.achieved_k == 4
+        assert is_schedule_feasible(instance, result.schedule)
+
+    def test_width_one_equals_grd(self):
+        """A width-1 beam with branch factor 1 IS greedy."""
+        for seed in range(5):
+            instance = make_random_instance(seed=seed)
+            beam = BeamSearchScheduler(beam_width=1, branch_factor=1).solve(
+                instance, 4
+            )
+            grd = GreedyScheduler().solve(instance, 4)
+            assert beam.utility == pytest.approx(grd.utility, abs=1e-9), seed
+
+    def test_never_worse_than_grd(self):
+        """The beam contains greedy's trajectory, so it cannot lose to it."""
+        for seed in range(5):
+            instance = make_random_instance(seed=seed)
+            beam = BeamSearchScheduler(beam_width=4).solve(instance, 4)
+            grd = GreedyScheduler().solve(instance, 4)
+            assert beam.utility >= grd.utility - 1e-9, seed
+
+    def test_bounded_by_exact_optimum(self):
+        instance = make_random_instance(
+            seed=411, n_events=5, n_intervals=3, n_users=8
+        )
+        beam = BeamSearchScheduler(beam_width=6).solve(instance, 3)
+        exact = ExhaustiveScheduler().solve(instance, 3)
+        assert beam.utility <= exact.utility + 1e-9
+
+    def test_wide_beam_reaches_optimum_on_tiny_instance(self):
+        instance = make_random_instance(
+            seed=412, n_events=4, n_intervals=3, n_users=6
+        )
+        beam = BeamSearchScheduler(beam_width=32, branch_factor=12).solve(
+            instance, 3
+        )
+        exact = ExhaustiveScheduler().solve(instance, 3)
+        assert beam.utility == pytest.approx(exact.utility, abs=1e-9)
+
+    def test_partial_when_capacity_binds(self, tight_instance):
+        result = BeamSearchScheduler(beam_width=3).solve(tight_instance, 4)
+        assert result.achieved_k == 2
+        assert is_schedule_feasible(tight_instance, result.schedule)
+
+    def test_deterministic(self):
+        instance = make_random_instance(seed=413)
+        a = BeamSearchScheduler(beam_width=3).solve(instance, 4)
+        b = BeamSearchScheduler(beam_width=3).solve(instance, 4)
+        assert a.schedule == b.schedule
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="beam_width"):
+            BeamSearchScheduler(beam_width=0)
+        with pytest.raises(ValueError, match="branch_factor"):
+            BeamSearchScheduler(branch_factor=0)
+
+    def test_k_zero(self):
+        instance = make_random_instance(seed=414)
+        result = BeamSearchScheduler().solve(instance, 0)
+        assert result.achieved_k == 0

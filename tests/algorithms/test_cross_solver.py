@@ -1,0 +1,102 @@
+"""Cross-solver consistency matrix: every solver, every shared invariant.
+
+One table-driven suite that pins the contracts shared by all seven
+schedulers (the paper's three plus the four extensions), so adding a
+solver means adding one line here — and immediately inheriting the
+feasibility, sizing, determinism-under-seed and utility-consistency
+checks.
+"""
+
+import pytest
+
+from repro.algorithms.annealing import AnnealingScheduler
+from repro.algorithms.beam import BeamSearchScheduler
+from repro.algorithms.exhaustive import ExhaustiveScheduler
+from repro.algorithms.grasp import GraspScheduler
+from repro.algorithms.greedy import GreedyScheduler
+from repro.algorithms.greedy_heap import LazyGreedyScheduler
+from repro.algorithms.random_schedule import RandomScheduler
+from repro.algorithms.top import TopKScheduler
+from repro.core.feasibility import is_schedule_feasible
+from repro.core.objective import total_utility
+
+from tests.conftest import make_random_instance
+
+#: name -> zero-argument factory (fresh, seeded solver per test)
+SOLVERS = {
+    "GRD": lambda: GreedyScheduler(),
+    "GRD-heap": lambda: LazyGreedyScheduler(),
+    "TOP": lambda: TopKScheduler(),
+    "RAND": lambda: RandomScheduler(seed=7),
+    "EXACT": lambda: ExhaustiveScheduler(),
+    "SA": lambda: AnnealingScheduler(seed=7, steps=300),
+    "BEAM": lambda: BeamSearchScheduler(beam_width=3),
+    "GRASP": lambda: GraspScheduler(seed=7, restarts=2),
+}
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_random_instance(seed=700, n_users=10, n_events=6, n_intervals=3)
+
+
+@pytest.mark.parametrize("name", SOLVERS)
+class TestSharedContracts:
+    def test_feasible_output(self, name, instance):
+        result = SOLVERS[name]().solve(instance, 4)
+        assert is_schedule_feasible(instance, result.schedule)
+
+    def test_reaches_k_on_slack_instance(self, name, instance):
+        result = SOLVERS[name]().solve(instance, 4)
+        assert result.achieved_k == 4
+
+    def test_k_zero_yields_empty(self, name, instance):
+        result = SOLVERS[name]().solve(instance, 0)
+        assert len(result.schedule) == 0
+        assert result.utility == pytest.approx(0.0)
+
+    def test_reported_utility_is_true_omega(self, name, instance):
+        result = SOLVERS[name]().solve(instance, 4)
+        assert result.utility == pytest.approx(
+            total_utility(instance, result.schedule), abs=1e-9
+        )
+
+    def test_deterministic_rerun(self, name, instance):
+        a = SOLVERS[name]().solve(instance, 4)
+        b = SOLVERS[name]().solve(instance, 4)
+        assert a.schedule == b.schedule
+        assert a.utility == b.utility
+
+    def test_no_duplicate_events(self, name, instance):
+        result = SOLVERS[name]().solve(instance, 4)
+        mapping = result.schedule.as_mapping()
+        assert len(mapping) == len(result.schedule)
+
+    def test_solver_name_in_result(self, name, instance):
+        result = SOLVERS[name]().solve(instance, 2)
+        assert result.solver == SOLVERS[name]().name
+
+    def test_runtime_recorded(self, name, instance):
+        result = SOLVERS[name]().solve(instance, 2)
+        assert result.runtime_seconds > 0
+
+
+class TestQualityOrdering:
+    """Orderings that must hold on this slack, conflict-light instance."""
+
+    def test_exact_dominates_all(self, instance):
+        exact = SOLVERS["EXACT"]().solve(instance, 3).utility
+        for name, factory in SOLVERS.items():
+            if name == "EXACT":
+                continue
+            assert factory().solve(instance, 3).utility <= exact + 1e-9, name
+
+    def test_informed_methods_beat_random(self, instance):
+        rand = SOLVERS["RAND"]().solve(instance, 4).utility
+        for name in ("GRD", "GRD-heap", "BEAM", "GRASP"):
+            assert SOLVERS[name]().solve(instance, 4).utility >= rand - 1e-9, name
+
+    def test_beam_and_grasp_at_least_greedy(self, instance):
+        grd = SOLVERS["GRD"]().solve(instance, 4).utility
+        assert SOLVERS["BEAM"]().solve(instance, 4).utility >= grd - 1e-9
+        assert SOLVERS["GRASP"]().solve(instance, 4).utility >= grd - 1e-9

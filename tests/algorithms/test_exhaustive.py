@@ -1,0 +1,111 @@
+"""Tests of the exact exhaustive solver (the ground-truth oracle)."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.exhaustive import (
+    ExhaustiveScheduler,
+    SearchBudgetExceeded,
+    optimal_utility,
+)
+from repro.core.feasibility import FeasibilityChecker, is_schedule_feasible
+from repro.core.objective import total_utility
+from repro.core.schedule import Assignment, Schedule
+
+from tests.conftest import make_random_instance
+
+
+def brute_force_optimum(instance, k: int) -> float:
+    """Independent oracle: enumerate all k-subsets x interval tuples."""
+    best = 0.0 if k == 0 else -1.0
+    events = range(instance.n_events)
+    for subset in itertools.combinations(events, k):
+        for placement in itertools.product(range(instance.n_intervals), repeat=k):
+            checker = FeasibilityChecker(instance)
+            schedule = Schedule(instance)
+            feasible = True
+            for event, interval in zip(subset, placement):
+                assignment = Assignment(event, interval)
+                if not checker.is_valid(assignment):
+                    feasible = False
+                    break
+                checker.apply(assignment)
+                schedule.add(assignment)
+            if feasible:
+                best = max(best, total_utility(instance, schedule))
+    return best
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_independent_brute_force(self, seed):
+        instance = make_random_instance(
+            seed=seed, n_users=6, n_events=4, n_intervals=3, n_competing=3
+        )
+        k = 2
+        result = ExhaustiveScheduler().solve(instance, k)
+        assert result.utility == pytest.approx(
+            brute_force_optimum(instance, k), abs=1e-9
+        )
+
+    def test_dominates_every_heuristic(self):
+        from repro.algorithms.greedy import GreedyScheduler
+        from repro.algorithms.random_schedule import RandomScheduler
+        from repro.algorithms.top import TopKScheduler
+
+        instance = make_random_instance(
+            seed=120, n_users=8, n_events=5, n_intervals=3
+        )
+        k = 3
+        exact = ExhaustiveScheduler().solve(instance, k).utility
+        for solver in (
+            GreedyScheduler(),
+            TopKScheduler(),
+            RandomScheduler(seed=0),
+        ):
+            assert solver.solve(instance, k).utility <= exact + 1e-9
+
+    def test_result_schedule_feasible_and_sized(self):
+        instance = make_random_instance(seed=121, n_events=5, n_intervals=3)
+        result = ExhaustiveScheduler().solve(instance, 3)
+        assert result.achieved_k == 3
+        assert is_schedule_feasible(instance, result.schedule)
+
+    def test_reported_utility_matches_schedule(self):
+        instance = make_random_instance(seed=122, n_events=5, n_intervals=3)
+        result = ExhaustiveScheduler().solve(instance, 2)
+        assert result.utility == pytest.approx(
+            total_utility(instance, result.schedule), abs=1e-9
+        )
+
+    def test_k_zero_returns_empty(self):
+        instance = make_random_instance(seed=123)
+        result = ExhaustiveScheduler().solve(instance, 0)
+        assert result.achieved_k == 0
+        assert result.utility == 0.0
+
+    def test_partial_when_k_unreachable(self, tight_instance):
+        result = ExhaustiveScheduler().solve(tight_instance, 4)
+        # only 2 placements exist; exact solver returns the best 2-schedule
+        assert result.achieved_k == 2
+
+
+class TestBudget:
+    def test_budget_exceeded_raises(self):
+        instance = make_random_instance(seed=124, n_events=8, n_intervals=4)
+        solver = ExhaustiveScheduler(max_nodes=10)
+        with pytest.raises(SearchBudgetExceeded, match="exceeded 10 nodes"):
+            solver.solve(instance, 4)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_nodes"):
+            ExhaustiveScheduler(max_nodes=0)
+
+
+class TestConvenienceFunction:
+    def test_optimal_utility_matches_solver(self):
+        instance = make_random_instance(seed=125, n_events=4, n_intervals=2)
+        assert optimal_utility(instance, 2) == pytest.approx(
+            ExhaustiveScheduler().solve(instance, 2).utility
+        )

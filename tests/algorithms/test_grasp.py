@@ -1,0 +1,75 @@
+"""Tests of the GRASP scheduler."""
+
+import pytest
+
+from repro.algorithms.exhaustive import ExhaustiveScheduler
+from repro.algorithms.grasp import GraspScheduler
+from repro.algorithms.greedy import GreedyScheduler
+from repro.core.feasibility import is_schedule_feasible
+from repro.core.objective import total_utility
+
+from tests.conftest import make_random_instance
+
+
+class TestGraspBasics:
+    def test_feasible_and_complete(self):
+        instance = make_random_instance(seed=600)
+        result = GraspScheduler(seed=1, restarts=3).solve(instance, 4)
+        assert result.achieved_k == 4
+        assert is_schedule_feasible(instance, result.schedule)
+
+    def test_reported_utility_matches_schedule(self):
+        instance = make_random_instance(seed=601)
+        result = GraspScheduler(seed=2, restarts=3).solve(instance, 4)
+        assert result.utility == pytest.approx(
+            total_utility(instance, result.schedule), abs=1e-9
+        )
+
+    def test_reproducible_given_seed(self):
+        instance = make_random_instance(seed=602)
+        a = GraspScheduler(seed=5, restarts=3).solve(instance, 4)
+        b = GraspScheduler(seed=5, restarts=3).solve(instance, 4)
+        assert a.schedule == b.schedule
+
+    def test_alpha_zero_without_polish_matches_grd(self):
+        """alpha=0 restricts the RCL to top-scored assignments = greedy."""
+        for seed in range(4):
+            instance = make_random_instance(seed=seed)
+            grasp = GraspScheduler(
+                seed=seed, restarts=1, alpha=0.0, polish=False
+            ).solve(instance, 4)
+            grd = GreedyScheduler().solve(instance, 4)
+            assert grasp.utility == pytest.approx(grd.utility, abs=1e-9), seed
+
+    def test_bounded_by_exact_optimum(self):
+        instance = make_random_instance(
+            seed=603, n_events=5, n_intervals=3, n_users=8
+        )
+        grasp = GraspScheduler(seed=3, restarts=5).solve(instance, 3)
+        exact = ExhaustiveScheduler().solve(instance, 3)
+        assert grasp.utility <= exact.utility + 1e-9
+
+    def test_polish_never_hurts(self):
+        instance = make_random_instance(seed=604)
+        raw = GraspScheduler(seed=7, restarts=3, polish=False).solve(instance, 4)
+        polished = GraspScheduler(seed=7, restarts=3, polish=True).solve(
+            instance, 4
+        )
+        assert polished.utility >= raw.utility - 1e-9
+
+    def test_partial_when_capacity_binds(self, tight_instance):
+        result = GraspScheduler(seed=1, restarts=2).solve(tight_instance, 4)
+        assert result.achieved_k == 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="restarts"):
+            GraspScheduler(restarts=0)
+        with pytest.raises(ValueError, match="alpha"):
+            GraspScheduler(alpha=1.5)
+        with pytest.raises(ValueError, match="polish_rounds"):
+            GraspScheduler(polish_rounds=0)
+
+    def test_restart_counter_in_stats(self):
+        instance = make_random_instance(seed=605)
+        result = GraspScheduler(seed=1, restarts=4).solve(instance, 3)
+        assert result.stats.iterations == 4

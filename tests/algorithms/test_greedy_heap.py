@@ -1,0 +1,59 @@
+"""Tests of the lazy-heap GRD variant: exactness versus list GRD."""
+
+import pytest
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.algorithms.greedy_heap import LazyGreedyScheduler
+from repro.core.feasibility import is_schedule_feasible
+
+from tests.conftest import make_random_instance
+
+
+class TestEquivalenceWithListGRD:
+    def test_same_utility_across_random_instances(self):
+        """Lazy revalidation must not change what greedy selects.
+
+        Utilities must match exactly (modulo float noise); the schedules
+        themselves may differ only under exact score ties.
+        """
+        for seed in range(8):
+            instance = make_random_instance(seed=seed)
+            list_result = GreedyScheduler().solve(instance, 4)
+            heap_result = LazyGreedyScheduler().solve(instance, 4)
+            assert heap_result.utility == pytest.approx(
+                list_result.utility, abs=1e-9
+            ), f"seed {seed}"
+
+    def test_same_schedule_without_ties(self):
+        instance = make_random_instance(seed=90)
+        assert (
+            LazyGreedyScheduler().solve(instance, 4).schedule
+            == GreedyScheduler().solve(instance, 4).schedule
+        )
+
+    def test_feasible_and_complete(self):
+        instance = make_random_instance(seed=91)
+        result = LazyGreedyScheduler().solve(instance, 5)
+        assert result.achieved_k == 5
+        assert is_schedule_feasible(instance, result.schedule)
+
+    def test_partial_when_capacity_binds(self, tight_instance):
+        result = LazyGreedyScheduler().solve(tight_instance, 4)
+        assert result.achieved_k == 2
+
+
+class TestLaziness:
+    def test_rescores_fewer_entries_than_full_refresh(self):
+        """The point of the heap: far fewer score updates than |E| per pick."""
+        instance = make_random_instance(
+            seed=92, n_events=12, n_intervals=6, n_users=20
+        )
+        k = 6
+        heap_result = LazyGreedyScheduler().solve(instance, k)
+        list_result = GreedyScheduler().solve(instance, k)
+        assert heap_result.stats.score_updates <= list_result.stats.score_updates
+
+    def test_pops_at_least_k(self):
+        instance = make_random_instance(seed=93)
+        result = LazyGreedyScheduler().solve(instance, 4)
+        assert result.stats.pops >= 4

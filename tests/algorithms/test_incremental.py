@@ -1,0 +1,154 @@
+"""Tests of the incremental/online SES scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.algorithms.incremental import IncrementalScheduler
+from repro.core.errors import UnknownEntityError
+from repro.core.feasibility import is_schedule_feasible
+
+from tests.conftest import make_random_instance
+
+
+@pytest.fixture
+def scheduler():
+    instance = make_random_instance(seed=400, n_events=6, n_intervals=4)
+    return IncrementalScheduler(instance, k=4)
+
+
+class TestInitialState:
+    def test_initial_fill_matches_greedy_utility(self):
+        instance = make_random_instance(seed=401)
+        incremental = IncrementalScheduler(instance, k=4)
+        greedy = GreedyScheduler().solve(instance, 4)
+        assert incremental.utility() == pytest.approx(greedy.utility, abs=1e-9)
+
+    def test_initial_schedule_feasible(self, scheduler):
+        assert is_schedule_feasible(scheduler.instance, scheduler.schedule)
+        assert len(scheduler.schedule) == 4
+
+    def test_negative_k_rejected(self):
+        instance = make_random_instance(seed=402)
+        with pytest.raises(ValueError, match="non-negative"):
+            IncrementalScheduler(instance, k=-1)
+
+
+class TestEventArrival:
+    def test_irresistible_arrival_gets_scheduled(self, scheduler):
+        """An event everyone loves must displace something."""
+        before = scheduler.utility()
+        index = scheduler.add_candidate_event(
+            location=99,  # fresh location: no conflicts
+            required_resources=0.5,
+            interest_column=np.ones(scheduler.instance.n_users),
+            name="superstar",
+        )
+        assert scheduler.schedule.contains_event(index)
+        assert scheduler.utility() > before
+        assert is_schedule_feasible(scheduler.instance, scheduler.schedule)
+
+    def test_worthless_arrival_changes_nothing(self, scheduler):
+        before_mapping = scheduler.schedule.as_mapping()
+        before_utility = scheduler.utility()
+        index = scheduler.add_candidate_event(
+            location=99,
+            required_resources=0.5,
+            interest_column=np.zeros(scheduler.instance.n_users),
+            name="dud",
+        )
+        assert not scheduler.schedule.contains_event(index)
+        assert scheduler.schedule.as_mapping() == before_mapping
+        assert scheduler.utility() == pytest.approx(before_utility, abs=1e-9)
+
+    def test_arrival_fills_headroom_first(self):
+        instance = make_random_instance(seed=403, n_events=3, n_intervals=4)
+        incremental = IncrementalScheduler(instance, k=4)  # only 3 events exist
+        assert len(incremental.schedule) == 3
+        index = incremental.add_candidate_event(
+            location=99,
+            required_resources=1.0,
+            interest_column=np.full(instance.n_users, 0.4),
+        )
+        assert incremental.schedule.contains_event(index)
+        assert len(incremental.schedule) == 4
+
+    def test_bad_interest_shape_rejected(self, scheduler):
+        with pytest.raises(ValueError, match="shape"):
+            scheduler.add_candidate_event(
+                location=0, required_resources=1.0,
+                interest_column=np.ones(3),
+            )
+
+
+class TestCancellation:
+    def test_cancelled_event_disappears_and_budget_refills(self, scheduler):
+        victim = next(iter(scheduler.schedule.scheduled_events()))
+        n_events_before = scheduler.instance.n_events
+        scheduler.cancel_event(victim)
+        assert scheduler.instance.n_events == n_events_before - 1
+        # 6 events, 4 budget: after losing one, refill should restore size 4
+        assert len(scheduler.schedule) == 4
+        assert is_schedule_feasible(scheduler.instance, scheduler.schedule)
+
+    def test_cancel_unscheduled_candidate(self, scheduler):
+        unscheduled = [
+            e for e in range(scheduler.instance.n_events)
+            if not scheduler.schedule.contains_event(e)
+        ]
+        before_utility = scheduler.utility()
+        scheduler.cancel_event(unscheduled[0])
+        assert scheduler.utility() >= before_utility - 1e-9
+
+    def test_cancel_unknown_event_rejected(self, scheduler):
+        with pytest.raises(UnknownEntityError, match="no candidate event"):
+            scheduler.cancel_event(999)
+
+
+class TestCompetitionArrival:
+    def test_new_rival_lowers_or_keeps_utility(self, scheduler):
+        before = scheduler.utility()
+        target = next(iter(scheduler.schedule.used_intervals()))
+        scheduler.add_competing_event(
+            interval=target,
+            interest_column=np.full(scheduler.instance.n_users, 0.9),
+        )
+        # relocation may dodge some damage but cannot profit from a rival
+        assert scheduler.utility() <= before + 1e-9
+        assert is_schedule_feasible(scheduler.instance, scheduler.schedule)
+
+    def test_events_can_flee_contested_interval(self):
+        instance = make_random_instance(
+            seed=404, n_events=4, n_intervals=4, n_competing=0,
+            n_locations=4,
+        )
+        incremental = IncrementalScheduler(instance, k=2)
+        target = next(iter(incremental.schedule.used_intervals()))
+        occupants_before = set(incremental.schedule.events_at(target))
+        incremental.add_competing_event(
+            interval=target,
+            interest_column=np.ones(instance.n_users),
+        )
+        occupants_after = set(incremental.schedule.events_at(target))
+        # with an overwhelming rival, staying is dominated whenever another
+        # interval is free — occupants must not have grown
+        assert occupants_after <= occupants_before
+
+
+class TestBudget:
+    def test_raise_budget_fills(self, scheduler):
+        scheduler.raise_budget(6)
+        assert len(scheduler.schedule) == 6
+
+    def test_budget_cannot_shrink(self, scheduler):
+        with pytest.raises(ValueError, match="only grow"):
+            scheduler.raise_budget(1)
+
+    def test_rebuild_never_loses_to_incremental_state(self, scheduler):
+        scheduler.add_candidate_event(
+            location=99, required_resources=0.5,
+            interest_column=np.full(scheduler.instance.n_users, 0.7),
+        )
+        incremental_utility = scheduler.utility()
+        scheduler.rebuild()
+        assert scheduler.utility() >= incremental_utility - 1e-9

@@ -1,0 +1,77 @@
+"""Tests of the local-search refiner."""
+
+import pytest
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.algorithms.local_search import LocalSearchRefiner
+from repro.algorithms.random_schedule import RandomScheduler
+from repro.core.feasibility import is_schedule_feasible
+from repro.core.objective import total_utility
+
+from tests.conftest import make_random_instance
+
+
+class TestRefinement:
+    def test_never_decreases_utility(self):
+        for seed in range(5):
+            instance = make_random_instance(seed=seed)
+            start = RandomScheduler(seed=seed).solve(instance, 4)
+            refined = LocalSearchRefiner(seed=seed).refine(
+                instance, start.schedule
+            )
+            assert refined.utility >= start.utility - 1e-9
+
+    def test_preserves_schedule_size(self):
+        instance = make_random_instance(seed=130)
+        start = RandomScheduler(seed=0).solve(instance, 4)
+        refined = LocalSearchRefiner(seed=1).refine(instance, start.schedule)
+        assert len(refined.schedule) == 4
+
+    def test_stays_feasible(self):
+        instance = make_random_instance(seed=131)
+        start = RandomScheduler(seed=2).solve(instance, 5)
+        refined = LocalSearchRefiner(seed=3).refine(instance, start.schedule)
+        assert is_schedule_feasible(instance, refined.schedule)
+
+    def test_does_not_mutate_input_schedule(self):
+        instance = make_random_instance(seed=132)
+        start = RandomScheduler(seed=4).solve(instance, 4)
+        original = start.schedule.as_mapping()
+        LocalSearchRefiner(seed=5).refine(instance, start.schedule)
+        assert start.schedule.as_mapping() == original
+
+    def test_reported_utility_matches_schedule(self):
+        instance = make_random_instance(seed=133)
+        start = RandomScheduler(seed=6).solve(instance, 4)
+        refined = LocalSearchRefiner(seed=7).refine(instance, start.schedule)
+        assert refined.utility == pytest.approx(
+            total_utility(instance, refined.schedule), abs=1e-9
+        )
+
+    def test_improves_a_random_start_substantially(self):
+        """On instances with clear structure, LS should add real value."""
+        instance = make_random_instance(
+            seed=134, n_users=20, n_events=8, n_intervals=4
+        )
+        start = RandomScheduler(seed=8).solve(instance, 4)
+        refined = LocalSearchRefiner(seed=9).refine(instance, start.schedule)
+        from repro.algorithms.exhaustive import ExhaustiveScheduler
+
+        exact = ExhaustiveScheduler().solve(instance, 4)
+        # LS must close at least part of the random-to-optimal gap
+        assert refined.utility >= start.utility
+        assert refined.utility <= exact.utility + 1e-9
+
+
+class TestRefineResult:
+    def test_labels_combined_solver(self):
+        instance = make_random_instance(seed=135)
+        grd = GreedyScheduler().solve(instance, 4)
+        combined = LocalSearchRefiner(seed=0).refine_result(instance, grd)
+        assert combined.solver == "GRD+LS"
+        assert combined.utility >= grd.utility - 1e-9
+        assert combined.runtime_seconds >= grd.runtime_seconds
+
+    def test_bad_max_rounds_rejected(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            LocalSearchRefiner(max_rounds=0)

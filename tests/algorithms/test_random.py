@@ -1,0 +1,59 @@
+"""Tests of the RAND baseline."""
+
+import pytest
+
+from repro.algorithms.random_schedule import RandomScheduler
+from repro.core.feasibility import is_schedule_feasible
+
+from tests.conftest import make_random_instance
+
+
+class TestRandomScheduler:
+    def test_reaches_k_when_capacity_allows(self):
+        instance = make_random_instance(seed=110)
+        result = RandomScheduler(seed=1).solve(instance, 4)
+        assert result.achieved_k == 4
+
+    def test_always_feasible(self):
+        instance = make_random_instance(seed=111)
+        for seed in range(10):
+            result = RandomScheduler(seed=seed).solve(instance, 5)
+            assert is_schedule_feasible(instance, result.schedule)
+
+    def test_seed_reproducibility(self):
+        instance = make_random_instance(seed=112)
+        a = RandomScheduler(seed=9).solve(instance, 4)
+        b = RandomScheduler(seed=9).solve(instance, 4)
+        assert a.schedule == b.schedule
+
+    def test_different_seeds_usually_differ(self):
+        instance = make_random_instance(seed=113)
+        schedules = {
+            RandomScheduler(seed=s).solve(instance, 4).schedule for s in range(6)
+        }
+        assert len(schedules) > 1
+
+    def test_exhausts_tight_capacity(self, tight_instance):
+        """RAND must find the max 2 placements despite random order."""
+        result = RandomScheduler(seed=2).solve(tight_instance, 4)
+        assert result.achieved_k == 2
+
+    def test_performs_no_scoring(self):
+        instance = make_random_instance(seed=114)
+        result = RandomScheduler(seed=3).solve(instance, 4)
+        assert result.stats.initial_scores == 0
+        assert result.stats.score_updates == 0
+
+    def test_k_zero(self):
+        instance = make_random_instance(seed=115)
+        result = RandomScheduler(seed=4).solve(instance, 0)
+        assert result.achieved_k == 0
+
+    def test_utility_reported_consistently(self):
+        from repro.core.objective import total_utility
+
+        instance = make_random_instance(seed=116)
+        result = RandomScheduler(seed=5).solve(instance, 4)
+        assert result.utility == pytest.approx(
+            total_utility(instance, result.schedule), abs=1e-9
+        )

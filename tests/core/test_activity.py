@@ -1,0 +1,98 @@
+"""Unit tests for the activity model (the paper's ``sigma``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.activity import ActivityModel
+from repro.core.errors import InstanceValidationError
+
+
+class TestConstruction:
+    def test_shape_accessors(self):
+        model = ActivityModel(np.full((3, 2), 0.5))
+        assert model.n_users == 3
+        assert model.n_intervals == 2
+
+    def test_values_outside_unit_interval_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            ActivityModel(np.array([[1.2]]))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(InstanceValidationError, match="2-D"):
+            ActivityModel(np.zeros(4))
+
+    def test_matrix_read_only(self):
+        model = ActivityModel(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            model.matrix[0, 0] = 1.0
+
+    def test_sigma_scalar_access(self):
+        model = ActivityModel(np.array([[0.2, 0.8]]))
+        assert model.sigma(0, 1) == 0.8
+
+    def test_interval_column(self):
+        model = ActivityModel(np.array([[0.1, 0.2], [0.3, 0.4]]))
+        np.testing.assert_array_equal(model.interval_column(0), [0.1, 0.3])
+
+
+class TestConstant:
+    def test_constant_fills(self):
+        model = ActivityModel.constant(2, 3, 0.75)
+        assert (model.matrix == 0.75).all()
+
+    def test_default_value_is_one(self):
+        assert (ActivityModel.constant(1, 1).matrix == 1.0).all()
+
+
+class TestUniformRandom:
+    def test_reproducible_with_seed(self):
+        a = ActivityModel.uniform_random(5, 4, seed=9)
+        b = ActivityModel.uniform_random(5, 4, seed=9)
+        np.testing.assert_array_equal(a.matrix, b.matrix)
+
+    def test_respects_bounds(self):
+        model = ActivityModel.uniform_random(50, 10, seed=0, low=0.3, high=0.6)
+        assert model.matrix.min() >= 0.3
+        assert model.matrix.max() <= 0.6
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError, match="low <= high"):
+            ActivityModel.uniform_random(2, 2, low=0.8, high=0.2)
+
+
+class TestFromCheckinRates:
+    def test_zero_history_gives_uniform_smoothing(self):
+        model = ActivityModel.from_checkin_rates(
+            np.zeros((2, 3)), smoothing=1.0, max_observations=10
+        )
+        # (0 + 1) / (10 + 2) for every cell
+        assert model.matrix == pytest.approx(np.full((2, 3), 1 / 12))
+
+    def test_frequent_slot_approaches_one(self):
+        counts = np.array([[10, 0]])
+        model = ActivityModel.from_checkin_rates(
+            counts, smoothing=0.0, max_observations=10
+        )
+        assert model.sigma(0, 0) == pytest.approx(1.0)
+        assert model.sigma(0, 1) == pytest.approx(0.0)
+
+    def test_per_user_normalization_without_observations(self):
+        counts = np.array([[4, 2], [8, 8]])
+        model = ActivityModel.from_checkin_rates(counts, smoothing=0.0)
+        assert model.sigma(0, 0) == pytest.approx(4 / 8)  # global max 8
+        assert model.sigma(1, 0) == pytest.approx(1.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(InstanceValidationError, match="non-negative"):
+            ActivityModel.from_checkin_rates(np.array([[-1.0]]))
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError, match="smoothing"):
+            ActivityModel.from_checkin_rates(np.zeros((1, 1)), smoothing=-1.0)
+
+    def test_output_always_valid_probability(self):
+        rng = np.random.default_rng(3)
+        counts = rng.integers(0, 30, size=(20, 7))
+        model = ActivityModel.from_checkin_rates(counts, max_observations=15)
+        assert model.matrix.min() >= 0.0
+        assert model.matrix.max() <= 1.0

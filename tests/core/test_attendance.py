@@ -1,0 +1,101 @@
+"""Tests of Eq. 1 and Eq. 2 semantics, including the hand-worked example."""
+
+import pytest
+
+from repro.core.attendance import (
+    attendance_probability,
+    expected_attendance,
+    luce_denominator,
+)
+from repro.core.errors import UnknownEntityError
+from repro.core.schedule import Assignment, Schedule
+
+from tests.conftest import make_random_instance
+
+
+class TestLuceDenominator:
+    def test_empty_interval_counts_competing_only(self, hand_instance):
+        schedule = Schedule(hand_instance)
+        # u0 has interest 0.5 in the lone competing event at t0
+        assert luce_denominator(hand_instance, schedule, 0, 0) == pytest.approx(0.5)
+        assert luce_denominator(hand_instance, schedule, 1, 0) == pytest.approx(0.0)
+
+    def test_interval_without_competition_is_zero(self, hand_instance):
+        schedule = Schedule(hand_instance)
+        assert luce_denominator(hand_instance, schedule, 0, 1) == 0.0
+
+    def test_scheduled_events_add_their_interest(self, hand_instance):
+        schedule = Schedule(hand_instance, [Assignment(0, 0), Assignment(1, 0)])
+        # u0: competing 0.5 + e0 0.5 + e1 0.25
+        assert luce_denominator(hand_instance, schedule, 0, 0) == pytest.approx(1.25)
+
+
+class TestAttendanceProbability:
+    def test_hand_example_single_event(self, hand_instance):
+        schedule = Schedule(hand_instance, [Assignment(0, 0)])
+        # rho(u0) = 1.0 * 0.5 / (0.5 + 0.5)
+        assert attendance_probability(hand_instance, schedule, 0, 0) == pytest.approx(0.5)
+
+    def test_zero_interest_zero_probability(self, hand_instance):
+        schedule = Schedule(hand_instance, [Assignment(0, 0)])
+        # u1 has mu = 0 for e0 and no competing interest: 0/0 convention
+        assert attendance_probability(hand_instance, schedule, 1, 0) == 0.0
+
+    def test_no_competition_full_share(self, hand_instance):
+        schedule = Schedule(hand_instance, [Assignment(1, 1)])
+        # at t1 nothing competes: rho(u1) = sigma = 0.4 (mu cancels)
+        assert attendance_probability(hand_instance, schedule, 1, 1) == pytest.approx(0.4)
+
+    def test_cannibalization_lowers_probability(self, hand_instance):
+        alone = Schedule(hand_instance, [Assignment(0, 0)])
+        together = Schedule(hand_instance, [Assignment(0, 0), Assignment(1, 0)])
+        assert attendance_probability(
+            hand_instance, together, 0, 0
+        ) < attendance_probability(hand_instance, alone, 0, 0)
+
+    def test_unscheduled_event_raises(self, hand_instance):
+        with pytest.raises(UnknownEntityError, match="not scheduled"):
+            attendance_probability(hand_instance, Schedule(hand_instance), 0, 0)
+
+    def test_probability_in_unit_interval_randomized(self):
+        instance = make_random_instance(seed=31)
+        schedule = Schedule(instance, [Assignment(0, 0), Assignment(1, 0)])
+        for user in range(instance.n_users):
+            for event in (0, 1):
+                rho = attendance_probability(instance, schedule, user, event)
+                assert 0.0 <= rho <= 1.0
+
+    def test_shares_sum_below_sigma(self):
+        """Sum of rho over co-scheduled events never exceeds sigma[u, t]."""
+        instance = make_random_instance(seed=32, n_events=5, n_intervals=2)
+        schedule = Schedule(
+            instance, [Assignment(0, 0), Assignment(1, 0), Assignment(2, 0)]
+        )
+        for user in range(instance.n_users):
+            total = sum(
+                attendance_probability(instance, schedule, user, event)
+                for event in (0, 1, 2)
+            )
+            assert total <= instance.activity.sigma(user, 0) + 1e-12
+
+
+class TestExpectedAttendance:
+    def test_hand_example_omega(self, hand_instance):
+        schedule = Schedule(hand_instance, [Assignment(0, 0)])
+        # only u0 contributes: omega = 0.5
+        assert expected_attendance(hand_instance, schedule, 0) == pytest.approx(0.5)
+
+    def test_hand_example_two_events_same_interval(self, hand_instance):
+        schedule = Schedule(hand_instance, [Assignment(0, 0), Assignment(1, 0)])
+        # u0 denominator: 0.5 + 0.5 + 0.25 = 1.25
+        # omega(e0) = 1.0 * 0.5 / 1.25 = 0.4
+        # omega(e1) = u0: 1.0 * 0.25/1.25 = 0.2; u1: 0.8 * 1.0/1.0 = 0.8
+        assert expected_attendance(hand_instance, schedule, 0) == pytest.approx(0.4)
+        assert expected_attendance(hand_instance, schedule, 1) == pytest.approx(1.0)
+
+    def test_omega_bounded_by_population_activity(self):
+        instance = make_random_instance(seed=33)
+        schedule = Schedule(instance, [Assignment(0, 1)])
+        omega = expected_attendance(instance, schedule, 0)
+        sigma_total = instance.activity.interval_column(1).sum()
+        assert 0.0 <= omega <= sigma_total

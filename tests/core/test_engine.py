@@ -1,0 +1,203 @@
+"""Tests of the score engines: correctness, equivalence, state handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    ReferenceEngine,
+    VectorizedEngine,
+    make_engine,
+)
+from repro.core.errors import DuplicateEventError, UnknownEntityError
+from repro.core.objective import total_utility
+from repro.core.schedule import Assignment, Schedule
+
+from tests.conftest import make_random_instance
+
+
+@pytest.fixture(params=["reference", "vectorized"])
+def engine_kind(request):
+    return request.param
+
+
+class TestFactory:
+    def test_known_kinds(self, random_instance):
+        assert isinstance(
+            make_engine(random_instance, "reference"), ReferenceEngine
+        )
+        assert isinstance(
+            make_engine(random_instance, "vectorized"), VectorizedEngine
+        )
+
+    def test_default_is_vectorized(self, random_instance):
+        assert isinstance(make_engine(random_instance), VectorizedEngine)
+
+    def test_unknown_kind_rejected(self, random_instance):
+        with pytest.raises(ValueError, match="unknown engine kind"):
+            make_engine(random_instance, "quantum")
+
+    def test_bad_chunk_size_rejected(self, random_instance):
+        with pytest.raises(ValueError, match="chunk_elements"):
+            VectorizedEngine(random_instance, chunk_elements=0)
+
+
+class TestEngineBehaviour:
+    def test_total_utility_tracks_assignments(self, random_instance, engine_kind):
+        engine = make_engine(random_instance, engine_kind)
+        assert engine.total_utility() == pytest.approx(0.0)
+        engine.assign(0, 1)
+        engine.assign(2, 1)
+        expected = total_utility(
+            random_instance,
+            Schedule(random_instance, [Assignment(0, 1), Assignment(2, 1)]),
+        )
+        assert engine.total_utility() == pytest.approx(expected, abs=1e-9)
+
+    def test_score_is_utility_delta(self, random_instance, engine_kind):
+        engine = make_engine(random_instance, engine_kind)
+        engine.assign(0, 0)
+        before = engine.total_utility()
+        gain = engine.score(1, 0)
+        engine.assign(1, 0)
+        assert engine.total_utility() - before == pytest.approx(gain, abs=1e-9)
+
+    def test_unassign_restores_utility(self, random_instance, engine_kind):
+        engine = make_engine(random_instance, engine_kind)
+        engine.assign(0, 0)
+        baseline = engine.total_utility()
+        engine.assign(1, 0)
+        engine.unassign(1)
+        assert engine.total_utility() == pytest.approx(baseline, abs=1e-9)
+        assert not engine.schedule.contains_event(1)
+
+    def test_reset_clears_everything(self, random_instance, engine_kind):
+        engine = make_engine(random_instance, engine_kind)
+        engine.assign(0, 0)
+        engine.reset()
+        assert engine.total_utility() == pytest.approx(0.0)
+        assert len(engine.schedule) == 0
+
+    def test_score_of_assigned_event_rejected(self, random_instance, engine_kind):
+        engine = make_engine(random_instance, engine_kind)
+        engine.assign(0, 0)
+        with pytest.raises(DuplicateEventError):
+            engine.score(0, 1)
+
+    def test_scores_for_interval_rejects_assigned(self, random_instance, engine_kind):
+        engine = make_engine(random_instance, engine_kind)
+        engine.assign(0, 0)
+        with pytest.raises(DuplicateEventError):
+            engine.scores_for_interval(0, [0, 1])
+
+    def test_omega_requires_scheduled_event(self, random_instance, engine_kind):
+        engine = make_engine(random_instance, engine_kind)
+        with pytest.raises(UnknownEntityError):
+            engine.omega(0)
+
+    def test_empty_scores_request(self, random_instance, engine_kind):
+        engine = make_engine(random_instance, engine_kind)
+        assert engine.scores_for_interval(0, []).shape == (0,)
+
+    def test_interval_utility_sums_omegas(self, random_instance, engine_kind):
+        engine = make_engine(random_instance, engine_kind)
+        engine.assign(0, 2)
+        engine.assign(3, 2)
+        assert engine.interval_utility(2) == pytest.approx(
+            engine.omega(0) + engine.omega(3), abs=1e-9
+        )
+
+
+class TestEngineEquivalence:
+    """The vectorized engine must match the reference to 1e-9 everywhere."""
+
+    def _pair(self, seed):
+        instance = make_random_instance(seed=seed)
+        return instance, make_engine(instance, "reference"), make_engine(
+            instance, "vectorized"
+        )
+
+    def test_scores_match_on_empty_schedule(self):
+        instance, ref, vec = self._pair(61)
+        for interval in range(instance.n_intervals):
+            np.testing.assert_allclose(
+                vec.scores_for_interval(interval, range(instance.n_events)),
+                ref.scores_for_interval(interval, range(instance.n_events)),
+                atol=1e-9,
+            )
+
+    def test_scores_match_after_assignments(self):
+        instance, ref, vec = self._pair(62)
+        moves = [(0, 0), (1, 0), (2, 1), (3, 3)]
+        for event, interval in moves:
+            ref.assign(event, interval)
+            vec.assign(event, interval)
+        remaining = [
+            e for e in range(instance.n_events)
+            if not ref.schedule.contains_event(e)
+        ]
+        for interval in range(instance.n_intervals):
+            np.testing.assert_allclose(
+                vec.scores_for_interval(interval, remaining),
+                ref.scores_for_interval(interval, remaining),
+                atol=1e-9,
+            )
+
+    def test_omega_and_totals_match(self):
+        instance, ref, vec = self._pair(63)
+        for event, interval in [(0, 1), (1, 1), (4, 2)]:
+            ref.assign(event, interval)
+            vec.assign(event, interval)
+        for event in (0, 1, 4):
+            assert vec.omega(event) == pytest.approx(ref.omega(event), abs=1e-9)
+        assert vec.total_utility() == pytest.approx(
+            ref.total_utility(), abs=1e-9
+        )
+
+    def test_chunked_evaluation_matches_unchunked(self):
+        instance = make_random_instance(seed=64, n_users=37, n_events=8)
+        small_chunks = VectorizedEngine(instance, chunk_elements=16)
+        one_shot = VectorizedEngine(instance)
+        for interval in range(instance.n_intervals):
+            np.testing.assert_allclose(
+                small_chunks.scores_for_interval(interval, range(8)),
+                one_shot.scores_for_interval(interval, range(8)),
+                atol=1e-12,
+            )
+
+    def test_single_score_matches_bulk(self):
+        instance, ref, vec = self._pair(65)
+        vec.assign(0, 0)
+        bulk = vec.scores_for_interval(0, [1, 2, 3])
+        singles = [vec.score(e, 0) for e in (1, 2, 3)]
+        np.testing.assert_allclose(bulk, singles, atol=1e-12)
+
+
+class TestZeroDenominatorConvention:
+    def test_all_zero_interest_gives_zero_everything(self):
+        """0/0 = 0: nobody interested in anything -> utility stays 0."""
+        import numpy as np
+
+        from repro.core import (
+            ActivityModel,
+            CandidateEvent,
+            InterestMatrix,
+            Organizer,
+            SESInstance,
+            TimeInterval,
+            User,
+        )
+
+        users = [User(index=0)]
+        intervals = [TimeInterval(index=0)]
+        events = [CandidateEvent(index=0, location=0)]
+        interest = InterestMatrix.from_arrays(np.zeros((1, 1)))
+        instance = SESInstance(
+            users, intervals, events, [], interest,
+            ActivityModel.constant(1, 1), Organizer(resources=1.0),
+        )
+        for kind in ("reference", "vectorized"):
+            engine = make_engine(instance, kind)
+            assert engine.score(0, 0) == 0.0
+            engine.assign(0, 0)
+            assert engine.omega(0) == 0.0
+            assert engine.total_utility() == 0.0

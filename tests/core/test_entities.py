@@ -1,0 +1,107 @@
+"""Unit tests for the domain entities (paper Section II vocabulary)."""
+
+import pytest
+
+from repro.core.entities import (
+    CandidateEvent,
+    CompetingEvent,
+    Organizer,
+    TimeInterval,
+    User,
+)
+
+
+class TestUser:
+    def test_display_name_defaults_to_index(self):
+        assert User(index=3).display_name == "user#3"
+
+    def test_display_name_prefers_explicit_name(self):
+        assert User(index=0, name="alice").display_name == "alice"
+
+    def test_tags_default_empty(self):
+        assert User(index=0).tags == frozenset()
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            User(index=-1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            User(index=0).index = 5
+
+
+class TestTimeInterval:
+    def test_unbounded_by_default(self):
+        assert not TimeInterval(index=0).bounded
+
+    def test_bounded_with_both_endpoints(self):
+        assert TimeInterval(index=0, start=1.0, end=2.0).bounded
+
+    def test_end_must_exceed_start(self):
+        with pytest.raises(ValueError, match="end must exceed start"):
+            TimeInterval(index=0, start=2.0, end=2.0)
+
+    def test_overlap_detection(self):
+        left = TimeInterval(index=0, start=0.0, end=2.0)
+        right = TimeInterval(index=1, start=1.0, end=3.0)
+        assert left.overlaps(right)
+        assert right.overlaps(left)
+
+    def test_adjacent_intervals_do_not_overlap(self):
+        left = TimeInterval(index=0, start=0.0, end=2.0)
+        right = TimeInterval(index=1, start=2.0, end=4.0)
+        assert not left.overlaps(right)
+
+    def test_unbounded_intervals_never_overlap(self):
+        assert not TimeInterval(index=0).overlaps(TimeInterval(index=1))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            TimeInterval(index=-2)
+
+    def test_display_name(self):
+        assert TimeInterval(index=1, label="monday").display_name == "monday"
+        assert TimeInterval(index=1).display_name == "t#1"
+
+
+class TestCandidateEvent:
+    def test_required_resources_default_zero(self):
+        assert CandidateEvent(index=0, location=0).required_resources == 0.0
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CandidateEvent(index=0, location=0, required_resources=-1.0)
+
+    def test_negative_location_rejected(self):
+        with pytest.raises(ValueError, match="location"):
+            CandidateEvent(index=0, location=-1)
+
+    def test_display_name(self):
+        event = CandidateEvent(index=4, location=0, name="gala")
+        assert event.display_name == "gala"
+        assert CandidateEvent(index=4, location=0).display_name == "event#4"
+
+
+class TestCompetingEvent:
+    def test_holds_interval(self):
+        assert CompetingEvent(index=0, interval=3).interval == 3
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            CompetingEvent(index=0, interval=-1)
+
+    def test_display_name(self):
+        assert CompetingEvent(index=2, interval=0).display_name == "competing#2"
+
+
+class TestOrganizer:
+    def test_resources_stored(self):
+        assert Organizer(resources=20.0).resources == 20.0
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Organizer(resources=-0.5)
+
+    def test_zero_resources_allowed(self):
+        # an organizer with zero capacity can only host zero-cost events
+        assert Organizer(resources=0.0).resources == 0.0

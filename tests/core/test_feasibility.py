@@ -1,0 +1,171 @@
+"""Unit tests for the location and resources constraints."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActivityModel,
+    CandidateEvent,
+    InterestMatrix,
+    Organizer,
+    SESInstance,
+    TimeInterval,
+    User,
+)
+from repro.core.errors import InfeasibleAssignmentError
+from repro.core.feasibility import (
+    FeasibilityChecker,
+    explain_infeasibility,
+    is_schedule_feasible,
+)
+from repro.core.schedule import Assignment, Schedule
+
+
+@pytest.fixture
+def instance():
+    """4 events: two at location 0, two at location 1; theta fits two."""
+    users = [User(index=0)]
+    intervals = [TimeInterval(index=0), TimeInterval(index=1)]
+    events = [
+        CandidateEvent(index=0, location=0, required_resources=3.0),
+        CandidateEvent(index=1, location=0, required_resources=3.0),
+        CandidateEvent(index=2, location=1, required_resources=3.0),
+        CandidateEvent(index=3, location=1, required_resources=5.0),
+    ]
+    interest = InterestMatrix.from_arrays(np.full((1, 4), 0.5))
+    activity = ActivityModel.constant(1, 2)
+    return SESInstance(
+        users, intervals, events, [], interest, activity, Organizer(resources=6.0)
+    )
+
+
+class TestLocationConstraint:
+    def test_same_location_same_interval_infeasible(self, instance):
+        checker = FeasibilityChecker(instance)
+        checker.apply(Assignment(event=0, interval=0))
+        assert not checker.is_feasible(Assignment(event=1, interval=0))
+
+    def test_same_location_different_interval_feasible(self, instance):
+        checker = FeasibilityChecker(instance)
+        checker.apply(Assignment(event=0, interval=0))
+        assert checker.is_feasible(Assignment(event=1, interval=1))
+
+    def test_different_location_same_interval_feasible(self, instance):
+        checker = FeasibilityChecker(instance)
+        checker.apply(Assignment(event=0, interval=0))
+        assert checker.is_feasible(Assignment(event=2, interval=0))
+
+
+class TestResourcesConstraint:
+    def test_exceeding_theta_infeasible(self, instance):
+        checker = FeasibilityChecker(instance)
+        checker.apply(Assignment(event=0, interval=0))  # load 3
+        # event 3 needs 5, total 8 > theta 6
+        assert not checker.is_feasible(Assignment(event=3, interval=0))
+
+    def test_exact_capacity_feasible(self, instance):
+        checker = FeasibilityChecker(instance)
+        checker.apply(Assignment(event=0, interval=0))  # load 3
+        # event 2 needs 3, total exactly 6
+        assert checker.is_feasible(Assignment(event=2, interval=0))
+
+    def test_remaining_resources(self, instance):
+        checker = FeasibilityChecker(instance)
+        assert checker.remaining_resources(0) == 6.0
+        checker.apply(Assignment(event=0, interval=0))
+        assert checker.remaining_resources(0) == pytest.approx(3.0)
+
+    def test_float_accumulation_does_not_reject_exact_fit(self):
+        """Many tiny events summing exactly to theta must stay feasible."""
+        n = 10
+        users = [User(index=0)]
+        intervals = [TimeInterval(index=0)]
+        events = [
+            CandidateEvent(index=e, location=e, required_resources=0.1)
+            for e in range(n)
+        ]
+        interest = InterestMatrix.from_arrays(np.full((1, n), 0.5))
+        instance = SESInstance(
+            users, intervals, events, [], interest,
+            ActivityModel.constant(1, 1), Organizer(resources=1.0),
+        )
+        checker = FeasibilityChecker(instance)
+        for event in range(n):
+            assignment = Assignment(event=event, interval=0)
+            assert checker.is_feasible(assignment), f"event {event} rejected"
+            checker.apply(assignment)
+
+
+class TestValidity:
+    def test_assigned_event_not_valid_elsewhere(self, instance):
+        checker = FeasibilityChecker(instance)
+        checker.apply(Assignment(event=0, interval=0))
+        assert not checker.is_valid(Assignment(event=0, interval=1))
+        assert checker.is_event_assigned(0)
+
+    def test_apply_invalid_raises_with_reason(self, instance):
+        checker = FeasibilityChecker(instance)
+        checker.apply(Assignment(event=0, interval=0))
+        with pytest.raises(InfeasibleAssignmentError, match="location 0"):
+            checker.apply(Assignment(event=1, interval=0))
+
+    def test_unapply_restores_state(self, instance):
+        checker = FeasibilityChecker(instance)
+        assignment = Assignment(event=0, interval=0)
+        checker.apply(assignment)
+        checker.unapply(assignment)
+        assert checker.is_valid(assignment)
+        assert checker.remaining_resources(0) == pytest.approx(6.0)
+
+    def test_unapply_never_applied_raises(self, instance):
+        checker = FeasibilityChecker(instance)
+        with pytest.raises(InfeasibleAssignmentError, match="never applied"):
+            checker.unapply(Assignment(event=0, interval=0))
+
+    def test_checker_initialized_from_schedule(self, instance):
+        schedule = Schedule(instance, [Assignment(0, 0)])
+        checker = FeasibilityChecker(instance, schedule)
+        assert checker.is_event_assigned(0)
+        assert not checker.is_feasible(Assignment(event=1, interval=0))
+
+
+class TestScheduleFeasibility:
+    def test_empty_schedule_feasible(self, instance):
+        assert is_schedule_feasible(instance, Schedule(instance))
+
+    def test_location_violation_detected(self, instance):
+        schedule = Schedule(instance, [Assignment(0, 0), Assignment(1, 0)])
+        assert not is_schedule_feasible(instance, schedule)
+
+    def test_resource_violation_detected(self, instance):
+        schedule = Schedule(instance, [Assignment(0, 0), Assignment(3, 0)])
+        assert not is_schedule_feasible(instance, schedule)
+
+    def test_valid_schedule_accepted(self, instance):
+        schedule = Schedule(instance, [Assignment(0, 0), Assignment(2, 0)])
+        assert is_schedule_feasible(instance, schedule)
+
+
+class TestExplanations:
+    def test_explains_duplicate(self, instance):
+        checker = FeasibilityChecker(instance)
+        checker.apply(Assignment(event=0, interval=0))
+        reason = explain_infeasibility(
+            instance, checker, Assignment(event=0, interval=1)
+        )
+        assert "already scheduled" in reason
+
+    def test_explains_resources(self, instance):
+        checker = FeasibilityChecker(instance)
+        checker.apply(Assignment(event=0, interval=0))
+        reason = explain_infeasibility(
+            instance, checker, Assignment(event=3, interval=0)
+        )
+        assert "resources" in reason
+
+    def test_valid_assignment_reported_as_such(self, instance):
+        checker = FeasibilityChecker(instance)
+        reason = explain_infeasibility(
+            instance, checker, Assignment(event=0, interval=0)
+        )
+        assert "actually valid" in reason

@@ -1,0 +1,168 @@
+"""Unit tests for SESInstance construction and derived structures."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActivityModel,
+    CandidateEvent,
+    CompetingEvent,
+    InterestMatrix,
+    Organizer,
+    SESInstance,
+    TimeInterval,
+    User,
+)
+from repro.core.errors import InstanceValidationError
+
+from tests.conftest import make_random_instance
+
+
+def _simple_parts(n_users=2, n_events=2, n_intervals=2, n_competing=1):
+    users = [User(index=i) for i in range(n_users)]
+    intervals = [TimeInterval(index=t) for t in range(n_intervals)]
+    events = [CandidateEvent(index=e, location=e) for e in range(n_events)]
+    competing = [CompetingEvent(index=c, interval=0) for c in range(n_competing)]
+    interest = InterestMatrix.from_arrays(
+        np.full((n_users, n_events), 0.5), np.full((n_users, n_competing), 0.5)
+    )
+    activity = ActivityModel.constant(n_users, n_intervals)
+    return users, intervals, events, competing, interest, activity
+
+
+class TestValidation:
+    def test_valid_instance_constructs(self):
+        parts = _simple_parts()
+        instance = SESInstance(*parts, Organizer(resources=5.0))
+        assert instance.n_users == 2
+        assert instance.theta == 5.0
+
+    def test_wrong_entity_index_order_rejected(self):
+        users, intervals, events, competing, interest, activity = _simple_parts()
+        users = list(reversed(users))
+        with pytest.raises(InstanceValidationError, match="index"):
+            SESInstance(
+                users, intervals, events, competing, interest, activity,
+                Organizer(resources=5.0),
+            )
+
+    def test_interest_user_mismatch_rejected(self):
+        users, intervals, events, competing, _, activity = _simple_parts()
+        bad_interest = InterestMatrix.from_arrays(
+            np.zeros((3, 2)), np.zeros((3, 1))
+        )
+        with pytest.raises(InstanceValidationError, match="users"):
+            SESInstance(
+                users, intervals, events, competing, bad_interest, activity,
+                Organizer(resources=5.0),
+            )
+
+    def test_interest_event_mismatch_rejected(self):
+        users, intervals, events, competing, _, activity = _simple_parts()
+        bad_interest = InterestMatrix.from_arrays(
+            np.zeros((2, 5)), np.zeros((2, 1))
+        )
+        with pytest.raises(InstanceValidationError, match="events"):
+            SESInstance(
+                users, intervals, events, competing, bad_interest, activity,
+                Organizer(resources=5.0),
+            )
+
+    def test_activity_interval_mismatch_rejected(self):
+        users, intervals, events, competing, interest, _ = _simple_parts()
+        bad_activity = ActivityModel.constant(2, 9)
+        with pytest.raises(InstanceValidationError, match="intervals"):
+            SESInstance(
+                users, intervals, events, competing, interest, bad_activity,
+                Organizer(resources=5.0),
+            )
+
+    def test_competing_event_dangling_interval_rejected(self):
+        users, intervals, events, _, interest, activity = _simple_parts()
+        dangling = [CompetingEvent(index=0, interval=99)]
+        with pytest.raises(InstanceValidationError, match="interval 99"):
+            SESInstance(
+                users, intervals, events, dangling, interest, activity,
+                Organizer(resources=5.0),
+            )
+
+    def test_unschedulable_event_rejected(self):
+        users, intervals, _, competing, interest, activity = _simple_parts()
+        heavy = [
+            CandidateEvent(index=0, location=0, required_resources=100.0),
+            CandidateEvent(index=1, location=1),
+        ]
+        with pytest.raises(InstanceValidationError, match="never be scheduled"):
+            SESInstance(
+                users, intervals, heavy, competing, interest, activity,
+                Organizer(resources=5.0),
+            )
+
+    def test_overlapping_bounded_intervals_rejected(self):
+        users, _, events, competing, interest, activity = _simple_parts()
+        overlapping = [
+            TimeInterval(index=0, start=0.0, end=3.0),
+            TimeInterval(index=1, start=2.0, end=4.0),
+        ]
+        with pytest.raises(InstanceValidationError, match="overlap"):
+            SESInstance(
+                users, overlapping, events, competing, interest, activity,
+                Organizer(resources=5.0),
+            )
+
+    def test_disjoint_bounded_intervals_accepted(self):
+        users, _, events, competing, interest, activity = _simple_parts()
+        disjoint = [
+            TimeInterval(index=0, start=0.0, end=2.0),
+            TimeInterval(index=1, start=2.0, end=4.0),
+        ]
+        instance = SESInstance(
+            users, disjoint, events, competing, interest, activity,
+            Organizer(resources=5.0),
+        )
+        assert instance.n_intervals == 2
+
+
+class TestDerivedStructures:
+    def test_competing_by_interval_groups(self):
+        instance = make_random_instance(seed=11)
+        groups = instance.competing_by_interval
+        assert len(groups) == instance.n_intervals
+        flattened = sorted(idx for group in groups for idx in group)
+        assert flattened == list(range(instance.n_competing))
+        for interval, group in enumerate(groups):
+            for rival in group:
+                assert instance.competing[rival].interval == interval
+
+    def test_competing_mass_matches_columns(self):
+        instance = make_random_instance(seed=12)
+        for interval in range(instance.n_intervals):
+            expected = np.zeros(instance.n_users)
+            for rival in instance.competing_by_interval[interval]:
+                expected += instance.interest.competing_column(rival)
+            np.testing.assert_allclose(
+                instance.competing_mass[interval], expected
+            )
+
+    def test_competing_mass_read_only(self):
+        instance = make_random_instance(seed=13)
+        with pytest.raises(ValueError):
+            instance.competing_mass[0, 0] = 3.0
+
+    def test_required_resources_vector(self):
+        instance = make_random_instance(seed=14)
+        for event in instance.events:
+            assert instance.required_resources[event.index] == pytest.approx(
+                event.required_resources
+            )
+
+    def test_locations_tuple(self):
+        instance = make_random_instance(seed=15)
+        assert instance.locations == tuple(e.location for e in instance.events)
+        assert instance.distinct_locations == len(set(instance.locations))
+
+    def test_describe_mentions_sizes(self):
+        instance = make_random_instance(seed=16)
+        text = instance.describe()
+        assert f"users={instance.n_users}" in text
+        assert f"events={instance.n_events}" in text

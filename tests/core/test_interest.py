@@ -1,0 +1,120 @@
+"""Unit tests for the interest matrix (the paper's ``mu``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InstanceValidationError
+from repro.core.interest import InterestMatrix
+
+
+class TestConstruction:
+    def test_from_arrays_shapes(self):
+        matrix = InterestMatrix.from_arrays(np.zeros((3, 2)), np.zeros((3, 4)))
+        assert matrix.n_users == 3
+        assert matrix.n_events == 2
+        assert matrix.n_competing == 4
+
+    def test_from_arrays_without_competing(self):
+        matrix = InterestMatrix.from_arrays(np.ones((2, 2)) * 0.5)
+        assert matrix.n_competing == 0
+
+    def test_values_above_one_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            InterestMatrix.from_arrays(np.array([[1.5]]))
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            InterestMatrix.from_arrays(np.array([[-0.1]]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            InterestMatrix.from_arrays(np.array([[np.nan]]))
+
+    def test_mismatched_user_axes_rejected(self):
+        with pytest.raises(InstanceValidationError, match="user axis"):
+            InterestMatrix.from_arrays(np.zeros((3, 2)), np.zeros((4, 1)))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(InstanceValidationError, match="2-D"):
+            InterestMatrix(candidate=np.zeros(3), competing=np.zeros((3, 0)))
+
+    def test_arrays_become_read_only(self):
+        matrix = InterestMatrix.from_arrays(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            matrix.candidate[0, 0] = 1.0
+
+
+class TestAccessors:
+    def test_mu_event(self):
+        matrix = InterestMatrix.from_arrays(np.array([[0.25, 0.75]]))
+        assert matrix.mu_event(0, 1) == 0.75
+
+    def test_mu_competing(self):
+        matrix = InterestMatrix.from_arrays(
+            np.zeros((1, 1)), np.array([[0.4]])
+        )
+        assert matrix.mu_competing(0, 0) == 0.4
+
+    def test_event_column_is_all_users(self):
+        candidate = np.array([[0.1, 0.2], [0.3, 0.4]])
+        matrix = InterestMatrix.from_arrays(candidate)
+        np.testing.assert_array_equal(matrix.event_column(1), [0.2, 0.4])
+
+    def test_competing_column(self):
+        matrix = InterestMatrix.from_arrays(
+            np.zeros((2, 1)), np.array([[0.5], [0.6]])
+        )
+        np.testing.assert_array_equal(matrix.competing_column(0), [0.5, 0.6])
+
+
+class TestFromFunction:
+    def test_materializes_callable(self):
+        matrix = InterestMatrix.from_function(
+            n_users=2,
+            n_events=3,
+            n_competing=1,
+            event_interest=lambda u, e: (u + e) / 10,
+            competing_interest=lambda u, c: 0.9,
+        )
+        assert matrix.mu_event(1, 2) == pytest.approx(0.3)
+        assert matrix.mu_competing(0, 0) == 0.9
+
+    def test_competing_defaults_to_zero(self):
+        matrix = InterestMatrix.from_function(
+            n_users=1, n_events=1, n_competing=2, event_interest=lambda u, e: 0.5
+        )
+        np.testing.assert_array_equal(matrix.competing, np.zeros((1, 2)))
+
+
+class TestFromSparse:
+    def test_absent_pairs_are_zero(self):
+        matrix = InterestMatrix.from_sparse(
+            n_users=2,
+            n_events=2,
+            n_competing=1,
+            event_entries={(0, 1): 0.8},
+            competing_entries={(1, 0): 0.3},
+        )
+        assert matrix.mu_event(0, 1) == 0.8
+        assert matrix.mu_event(0, 0) == 0.0
+        assert matrix.mu_event(1, 1) == 0.0
+        assert matrix.mu_competing(1, 0) == 0.3
+        assert matrix.mu_competing(0, 0) == 0.0
+
+
+class TestStatistics:
+    def test_sparsity_counts_exact_zeros(self):
+        matrix = InterestMatrix.from_arrays(np.array([[0.0, 0.5], [0.0, 0.0]]))
+        assert matrix.sparsity() == pytest.approx(0.75)
+
+    def test_sparsity_of_empty_matrix_is_one(self):
+        matrix = InterestMatrix.from_arrays(np.zeros((0, 0)))
+        assert matrix.sparsity() == 1.0
+
+    def test_mean_positive_interest(self):
+        matrix = InterestMatrix.from_arrays(np.array([[0.0, 0.5], [0.7, 0.0]]))
+        assert matrix.mean_positive_interest() == pytest.approx(0.6)
+
+    def test_mean_positive_interest_all_zero(self):
+        matrix = InterestMatrix.from_arrays(np.zeros((2, 2)))
+        assert matrix.mean_positive_interest() == 0.0

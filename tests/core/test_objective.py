@@ -1,0 +1,100 @@
+"""Tests of Eq. 3 (total utility) and its per-interval decomposition."""
+
+import pytest
+
+from repro.core.objective import (
+    interval_utility_fast,
+    total_utility,
+    total_utility_fast,
+    utility_upper_bound,
+)
+from repro.core.schedule import Assignment, Schedule
+
+from tests.conftest import make_random_instance
+
+
+class TestTotalUtility:
+    def test_empty_schedule_zero(self, hand_instance):
+        assert total_utility(hand_instance, Schedule(hand_instance)) == 0.0
+
+    def test_hand_example_total(self, hand_instance):
+        schedule = Schedule(hand_instance, [Assignment(0, 0), Assignment(1, 0)])
+        # omega(e0) + omega(e1) = 0.4 + 1.0 (see test_attendance)
+        assert total_utility(hand_instance, schedule) == pytest.approx(1.4)
+
+    def test_reference_equals_fast_on_random_schedules(self):
+        for seed in range(5):
+            instance = make_random_instance(seed=seed)
+            schedule = Schedule(
+                instance,
+                [Assignment(0, 0), Assignment(1, 0), Assignment(2, 1),
+                 Assignment(3, 3)],
+            )
+            assert total_utility(instance, schedule) == pytest.approx(
+                total_utility_fast(instance, schedule), abs=1e-9
+            )
+
+    def test_spreading_events_beats_stacking(self):
+        """Same events over distinct intervals yield at least as much utility.
+
+        With per-interval competition identical (here: none), stacking
+        events into one interval splits the same users; spreading them
+        lets each event keep its full share.
+        """
+        instance = make_random_instance(
+            seed=44, n_competing=0, n_events=3, n_intervals=3, n_locations=3
+        )
+        # make sigma identical across intervals so only stacking matters
+        import numpy as np
+
+        from repro.core import ActivityModel, Organizer, SESInstance
+
+        activity = ActivityModel.constant(instance.n_users, 3, 0.7)
+        instance = SESInstance(
+            instance.users, instance.intervals, instance.events,
+            instance.competing, instance.interest, activity,
+            Organizer(resources=instance.theta),
+        )
+        stacked = Schedule(
+            instance, [Assignment(0, 0), Assignment(1, 0), Assignment(2, 0)]
+        )
+        spread = Schedule(
+            instance, [Assignment(0, 0), Assignment(1, 1), Assignment(2, 2)]
+        )
+        assert total_utility_fast(instance, spread) >= total_utility_fast(
+            instance, stacked
+        ) - 1e-12
+
+
+class TestIntervalDecomposition:
+    def test_total_is_sum_of_interval_utilities(self):
+        instance = make_random_instance(seed=45)
+        schedule = Schedule(
+            instance, [Assignment(0, 0), Assignment(1, 2), Assignment(2, 2)]
+        )
+        decomposed = sum(
+            interval_utility_fast(instance, schedule, t)
+            for t in range(instance.n_intervals)
+        )
+        assert decomposed == pytest.approx(total_utility(instance, schedule))
+
+    def test_unused_interval_contributes_zero(self):
+        instance = make_random_instance(seed=46)
+        schedule = Schedule(instance, [Assignment(0, 0)])
+        assert interval_utility_fast(instance, schedule, 1) == 0.0
+
+
+class TestUpperBound:
+    def test_bound_dominates_any_schedule(self):
+        instance = make_random_instance(seed=47)
+        bound = utility_upper_bound(instance)
+        schedule = Schedule(
+            instance,
+            [Assignment(0, 0), Assignment(1, 1), Assignment(2, 2),
+             Assignment(3, 3)],
+        )
+        assert total_utility(instance, schedule) <= bound
+
+    def test_bound_is_sigma_sum(self, hand_instance):
+        # sigma entries: 1.0 + 0.5 + 0.8 + 0.4
+        assert utility_upper_bound(hand_instance) == pytest.approx(2.7)

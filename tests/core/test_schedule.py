@@ -1,0 +1,132 @@
+"""Unit tests for Assignment and Schedule (paper Section II notation)."""
+
+import pytest
+
+from repro.core.errors import DuplicateEventError, UnknownEntityError
+from repro.core.schedule import Assignment, Schedule
+
+from tests.conftest import make_random_instance
+
+
+@pytest.fixture
+def instance():
+    return make_random_instance(seed=21)
+
+
+class TestAssignment:
+    def test_ordering_and_equality(self):
+        assert Assignment(1, 2) == Assignment(1, 2)
+        assert Assignment(0, 1) < Assignment(1, 0)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ValueError):
+            Assignment(-1, 0)
+        with pytest.raises(ValueError):
+            Assignment(0, -1)
+
+    def test_str_format(self):
+        assert str(Assignment(3, 1)) == "a[e3@t1]"
+
+
+class TestScheduleMutation:
+    def test_add_and_query(self, instance):
+        schedule = Schedule(instance)
+        schedule.add(Assignment(event=0, interval=1))
+        assert schedule.interval_of(0) == 1
+        assert schedule.events_at(1) == (0,)
+        assert schedule.contains_event(0)
+        assert len(schedule) == 1
+
+    def test_duplicate_event_rejected(self, instance):
+        schedule = Schedule(instance)
+        schedule.add(Assignment(event=0, interval=1))
+        with pytest.raises(DuplicateEventError, match="already scheduled"):
+            schedule.add(Assignment(event=0, interval=2))
+
+    def test_unknown_event_rejected(self, instance):
+        schedule = Schedule(instance)
+        with pytest.raises(UnknownEntityError, match="event index"):
+            schedule.add(Assignment(event=instance.n_events, interval=0))
+
+    def test_unknown_interval_rejected(self, instance):
+        schedule = Schedule(instance)
+        with pytest.raises(UnknownEntityError, match="interval index"):
+            schedule.add(Assignment(event=0, interval=instance.n_intervals))
+
+    def test_remove_returns_assignment(self, instance):
+        schedule = Schedule(instance)
+        schedule.add(Assignment(event=2, interval=0))
+        removed = schedule.remove(2)
+        assert removed == Assignment(event=2, interval=0)
+        assert not schedule.contains_event(2)
+        assert schedule.events_at(0) == ()
+
+    def test_remove_unscheduled_rejected(self, instance):
+        with pytest.raises(UnknownEntityError, match="not scheduled"):
+            Schedule(instance).remove(0)
+
+    def test_constructor_accepts_assignments(self, instance):
+        schedule = Schedule(
+            instance, [Assignment(0, 0), Assignment(1, 0), Assignment(2, 1)]
+        )
+        assert len(schedule) == 3
+        assert schedule.events_at(0) == (0, 1)
+
+
+class TestPaperAccessors:
+    def test_scheduled_events_is_E_of_S(self, instance):
+        schedule = Schedule(instance, [Assignment(0, 0), Assignment(3, 2)])
+        assert schedule.scheduled_events() == frozenset({0, 3})
+
+    def test_events_at_preserves_insertion_order(self, instance):
+        schedule = Schedule(instance)
+        schedule.add(Assignment(event=4, interval=1))
+        schedule.add(Assignment(event=1, interval=1))
+        assert schedule.events_at(1) == (4, 1)
+
+    def test_interval_of_unscheduled_is_none(self, instance):
+        assert Schedule(instance).interval_of(0) is None
+
+    def test_used_intervals(self, instance):
+        schedule = Schedule(instance, [Assignment(0, 0), Assignment(1, 3)])
+        assert schedule.used_intervals() == frozenset({0, 3})
+
+
+class TestContainerProtocol:
+    def test_iteration_yields_all_assignments(self, instance):
+        assignments = [Assignment(0, 1), Assignment(1, 0), Assignment(2, 1)]
+        schedule = Schedule(instance, assignments)
+        assert set(schedule) == set(assignments)
+
+    def test_contains_checks_exact_pair(self, instance):
+        schedule = Schedule(instance, [Assignment(0, 1)])
+        assert Assignment(0, 1) in schedule
+        assert Assignment(0, 2) not in schedule
+
+    def test_equality_ignores_insertion_order(self, instance):
+        a = Schedule(instance, [Assignment(0, 1), Assignment(1, 2)])
+        b = Schedule(instance, [Assignment(1, 2), Assignment(0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self, instance):
+        a = Schedule(instance, [Assignment(0, 1)])
+        b = Schedule(instance, [Assignment(0, 2)])
+        assert a != b
+
+    def test_copy_is_independent(self, instance):
+        original = Schedule(instance, [Assignment(0, 1)])
+        clone = original.copy()
+        clone.add(Assignment(1, 1))
+        assert len(original) == 1
+        assert len(clone) == 2
+
+    def test_as_mapping_detached(self, instance):
+        schedule = Schedule(instance, [Assignment(0, 1)])
+        mapping = schedule.as_mapping()
+        mapping[99] = 0
+        assert not schedule.contains_event(99)
+
+    def test_assignments_sorted_by_interval(self, instance):
+        schedule = Schedule(instance, [Assignment(5, 3), Assignment(0, 0)])
+        assert schedule.assignments() == (Assignment(0, 0), Assignment(5, 3))

@@ -1,0 +1,135 @@
+"""Tests of Eq. 4 — the assignment score / marginal-gain oracle."""
+
+import pytest
+
+from repro.core.errors import DuplicateEventError
+from repro.core.objective import total_utility
+from repro.core.schedule import Assignment, Schedule
+from repro.core.scoring import assignment_score
+
+from tests.conftest import make_random_instance
+
+
+class TestScoreDefinition:
+    def test_score_on_empty_schedule_equals_omega(self, hand_instance):
+        """With E_t(S) empty, the score is just the event's own omega."""
+        schedule = Schedule(hand_instance)
+        score = assignment_score(hand_instance, schedule, Assignment(0, 0))
+        # = omega(e0 alone at t0) = 0.5 (hand-worked in test_attendance)
+        assert score == pytest.approx(0.5)
+
+    def test_score_equals_global_utility_delta(self):
+        """Eq. 4 equals Omega(S + a) - Omega(S) for any valid addition."""
+        instance = make_random_instance(seed=51)
+        schedule = Schedule(instance, [Assignment(0, 0), Assignment(1, 0)])
+        before = total_utility(instance, schedule)
+        candidate = Assignment(2, 0)
+        score = assignment_score(instance, schedule, candidate)
+        schedule.add(candidate)
+        after = total_utility(instance, schedule)
+        assert score == pytest.approx(after - before, abs=1e-9)
+
+    def test_score_across_intervals_is_independent(self):
+        """Adding at interval t does not change scores at other intervals."""
+        instance = make_random_instance(seed=52)
+        schedule = Schedule(instance)
+        score_before = assignment_score(instance, schedule, Assignment(2, 1))
+        schedule.add(Assignment(0, 0))
+        score_after = assignment_score(instance, schedule, Assignment(2, 1))
+        assert score_before == pytest.approx(score_after, abs=1e-12)
+
+    def test_duplicate_event_rejected(self):
+        instance = make_random_instance(seed=53)
+        schedule = Schedule(instance, [Assignment(0, 0)])
+        with pytest.raises(DuplicateEventError, match="already scheduled"):
+            assignment_score(instance, schedule, Assignment(0, 1))
+
+
+class TestScoreProperties:
+    def test_scores_are_non_negative(self):
+        """f(M) = M / (K + M) is increasing, so every gain is >= 0."""
+        for seed in range(4):
+            instance = make_random_instance(seed=seed)
+            schedule = Schedule(instance, [Assignment(0, 0)])
+            for event in range(1, instance.n_events):
+                for interval in range(instance.n_intervals):
+                    score = assignment_score(
+                        instance, schedule, Assignment(event, interval)
+                    )
+                    assert score >= -1e-12
+
+    def test_diminishing_returns_within_interval(self):
+        """Adding a sibling to the interval can only lower a pending score."""
+        instance = make_random_instance(seed=54, n_events=6)
+        sparse = Schedule(instance, [Assignment(0, 0)])
+        dense = Schedule(instance, [Assignment(0, 0), Assignment(1, 0)])
+        for event in range(2, instance.n_events):
+            lighter = assignment_score(instance, sparse, Assignment(event, 0))
+            heavier = assignment_score(instance, dense, Assignment(event, 0))
+            assert heavier <= lighter + 1e-12
+
+    def test_competition_lowers_score(self):
+        """More competing mass at the interval means a lower score."""
+        import numpy as np
+
+        from repro.core import (
+            ActivityModel,
+            CandidateEvent,
+            CompetingEvent,
+            InterestMatrix,
+            Organizer,
+            SESInstance,
+            TimeInterval,
+            User,
+        )
+
+        def build(n_rivals: int) -> SESInstance:
+            users = [User(index=0)]
+            intervals = [TimeInterval(index=0)]
+            events = [CandidateEvent(index=0, location=0)]
+            competing = [
+                CompetingEvent(index=c, interval=0) for c in range(n_rivals)
+            ]
+            interest = InterestMatrix.from_arrays(
+                np.array([[0.6]]), np.full((1, n_rivals), 0.5)
+            )
+            return SESInstance(
+                users, intervals, events, competing, interest,
+                ActivityModel.constant(1, 1), Organizer(resources=5.0),
+            )
+
+        scores = [
+            assignment_score(build(n), Schedule(build(n)), Assignment(0, 0))
+            for n in (0, 1, 3)
+        ]
+        assert scores[0] > scores[1] > scores[2]
+
+    def test_zero_interest_event_scores_zero(self):
+        """An event nobody likes gains nothing anywhere."""
+        import numpy as np
+
+        from repro.core import (
+            ActivityModel,
+            CandidateEvent,
+            InterestMatrix,
+            Organizer,
+            SESInstance,
+            TimeInterval,
+            User,
+        )
+
+        users = [User(index=0), User(index=1)]
+        intervals = [TimeInterval(index=0)]
+        events = [
+            CandidateEvent(index=0, location=0),
+            CandidateEvent(index=1, location=1),
+        ]
+        interest = InterestMatrix.from_arrays(np.array([[0.0, 0.9], [0.0, 0.2]]))
+        instance = SESInstance(
+            users, intervals, events, [], interest,
+            ActivityModel.constant(2, 1), Organizer(resources=5.0),
+        )
+        schedule = Schedule(instance, [Assignment(1, 0)])
+        assert assignment_score(
+            instance, schedule, Assignment(0, 0)
+        ) == pytest.approx(0.0)

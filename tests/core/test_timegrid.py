@@ -1,0 +1,146 @@
+"""Tests of the calendar time-grid builder."""
+
+import pytest
+
+from repro.core.timegrid import (
+    AFTERNOON_AND_EVENING,
+    CalendarGrid,
+    DayPart,
+    EVENING_ONLY,
+)
+
+
+class TestDayPart:
+    def test_valid_window(self):
+        part = DayPart("brunch", 10.0, 13.0)
+        assert part.name == "brunch"
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError, match="start < end"):
+            DayPart("x", 13.0, 10.0)
+
+    def test_out_of_day_window_rejected(self):
+        with pytest.raises(ValueError, match="start < end"):
+            DayPart("x", 20.0, 26.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty name"):
+            DayPart("", 10.0, 12.0)
+
+
+class TestCalendarGrid:
+    def test_interval_count(self):
+        grid = CalendarGrid(n_days=11, parts=AFTERNOON_AND_EVENING)
+        assert grid.n_intervals == 22
+
+    def test_single_part_preset(self):
+        grid = CalendarGrid(n_days=7, parts=EVENING_ONLY)
+        assert grid.n_intervals == 7
+
+    def test_overlapping_parts_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            CalendarGrid(
+                n_days=2,
+                parts=(DayPart("a", 10.0, 14.0), DayPart("b", 13.0, 16.0)),
+            )
+
+    def test_touching_parts_allowed(self):
+        grid = CalendarGrid(
+            n_days=1,
+            parts=(DayPart("a", 10.0, 14.0), DayPart("b", 14.0, 16.0)),
+        )
+        assert grid.n_intervals == 2
+
+    def test_parts_sorted_by_start(self):
+        grid = CalendarGrid(
+            n_days=1,
+            parts=(DayPart("late", 19.0, 23.0), DayPart("early", 9.0, 12.0)),
+        )
+        assert [part.name for part in grid.parts] == ["early", "late"]
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError, match="n_days"):
+            CalendarGrid(n_days=0)
+        with pytest.raises(ValueError, match="day part"):
+            CalendarGrid(n_days=1, parts=())
+        with pytest.raises(ValueError, match="first_weekday"):
+            CalendarGrid(n_days=1, first_weekday=7)
+
+
+class TestWeekdays:
+    def test_weekday_cycle(self):
+        grid = CalendarGrid(n_days=9, first_weekday=0)
+        assert grid.weekday_of(0) == "mon"
+        assert grid.weekday_of(6) == "sun"
+        assert grid.weekday_of(7) == "mon"
+
+    def test_first_weekday_offset(self):
+        grid = CalendarGrid(n_days=3, first_weekday=4)  # friday start
+        assert grid.weekday_of(0) == "fri"
+        assert grid.is_weekend(1)  # saturday
+        assert grid.is_weekend(2)  # sunday
+
+    def test_day_out_of_range(self):
+        with pytest.raises(IndexError):
+            CalendarGrid(n_days=2).weekday_of(2)
+
+
+class TestIntervalMapping:
+    def test_day_and_part_of_interval(self):
+        grid = CalendarGrid(n_days=3, parts=AFTERNOON_AND_EVENING)
+        assert grid.day_of_interval(0) == 0
+        assert grid.day_of_interval(5) == 2
+        assert grid.part_of_interval(0).name == "afternoon"
+        assert grid.part_of_interval(3).name == "evening"
+
+    def test_interval_index_out_of_range(self):
+        grid = CalendarGrid(n_days=1, parts=EVENING_ONLY)
+        with pytest.raises(IndexError):
+            grid.day_of_interval(1)
+        with pytest.raises(IndexError):
+            grid.part_of_interval(1)
+
+
+class TestBuildIntervals:
+    def test_intervals_are_disjoint_and_ordered(self):
+        grid = CalendarGrid(n_days=4, parts=AFTERNOON_AND_EVENING)
+        intervals = grid.build_intervals()
+        assert len(intervals) == 8
+        for before, after in zip(intervals, intervals[1:]):
+            assert before.end <= after.start
+
+    def test_labels_carry_day_weekday_part(self):
+        grid = CalendarGrid(n_days=2, parts=EVENING_ONLY, first_weekday=5)
+        labels = [interval.label for interval in grid.build_intervals()]
+        assert labels == ["d01-sat-evening", "d02-sun-evening"]
+
+    def test_indices_are_contiguous(self):
+        grid = CalendarGrid(n_days=3, parts=AFTERNOON_AND_EVENING)
+        intervals = grid.build_intervals()
+        assert [interval.index for interval in intervals] == list(range(6))
+
+    def test_grid_feeds_instance_validation(self):
+        """Built intervals must satisfy SESInstance's disjointness check."""
+        import numpy as np
+
+        from repro.core import (
+            ActivityModel,
+            CandidateEvent,
+            InterestMatrix,
+            Organizer,
+            SESInstance,
+            User,
+        )
+
+        grid = CalendarGrid(n_days=2, parts=AFTERNOON_AND_EVENING)
+        intervals = grid.build_intervals()
+        instance = SESInstance(
+            users=[User(index=0)],
+            intervals=intervals,
+            events=[CandidateEvent(index=0, location=0)],
+            competing=[],
+            interest=InterestMatrix.from_arrays(np.array([[0.5]])),
+            activity=ActivityModel.constant(1, len(intervals)),
+            organizer=Organizer(resources=5.0),
+        )
+        assert instance.n_intervals == 4

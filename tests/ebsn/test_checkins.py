@@ -1,0 +1,77 @@
+"""Tests of check-in histories and the sigma estimator."""
+
+import numpy as np
+import pytest
+
+from repro.ebsn.checkins import CheckinHistory, simulate_checkins
+
+
+class TestCheckinHistory:
+    def test_record_and_counts(self):
+        history = CheckinHistory(n_users=2, n_slots=3, n_weeks=4)
+        history.record(0, 1)
+        history.record(0, 1, count=2)
+        assert history.counts[0, 1] == 3
+        assert history.total_checkins() == 3
+
+    def test_counts_read_only(self):
+        history = CheckinHistory(n_users=1, n_slots=1, n_weeks=1)
+        with pytest.raises(ValueError):
+            history.counts[0, 0] = 5
+
+    def test_negative_count_rejected(self):
+        history = CheckinHistory(n_users=1, n_slots=1, n_weeks=1)
+        with pytest.raises(ValueError, match="non-negative"):
+            history.record(0, 0, count=-1)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            CheckinHistory(n_users=0, n_slots=3, n_weeks=1)
+        with pytest.raises(ValueError):
+            CheckinHistory(n_users=1, n_slots=1, n_weeks=0)
+
+    def test_estimate_activity_shape(self):
+        history = CheckinHistory(n_users=3, n_slots=5, n_weeks=10)
+        model = history.estimate_activity()
+        assert model.n_users == 3
+        assert model.n_intervals == 5
+
+    def test_estimate_reflects_frequency(self):
+        history = CheckinHistory(n_users=1, n_slots=2, n_weeks=10)
+        history.record(0, 0, count=9)
+        model = history.estimate_activity(smoothing=0.0)
+        assert model.sigma(0, 0) == pytest.approx(0.9)
+        assert model.sigma(0, 1) == pytest.approx(0.0)
+
+
+class TestSimulation:
+    def test_shapes_and_reproducibility(self):
+        propensity = np.full((4, 3), 0.5)
+        a = simulate_checkins(propensity, n_weeks=8, seed=3)
+        b = simulate_checkins(propensity, n_weeks=8, seed=3)
+        np.testing.assert_array_equal(a.counts, b.counts)
+        assert a.n_users == 4
+        assert a.n_slots == 3
+        assert a.n_weeks == 8
+
+    def test_counts_bounded_by_weeks(self):
+        history = simulate_checkins(np.ones((2, 2)), n_weeks=5, seed=0)
+        assert (history.counts == 5).all()
+
+    def test_zero_propensity_means_no_checkins(self):
+        history = simulate_checkins(np.zeros((3, 3)), n_weeks=10, seed=0)
+        assert history.total_checkins() == 0
+
+    def test_estimator_recovers_propensity(self):
+        """Consistency: with many weeks the estimate approaches the truth."""
+        rng = np.random.default_rng(11)
+        propensity = rng.uniform(0.1, 0.9, size=(30, 6))
+        history = simulate_checkins(propensity, n_weeks=400, seed=1)
+        estimate = history.estimate_activity(smoothing=1.0).matrix
+        assert np.abs(estimate - propensity).mean() < 0.05
+
+    def test_invalid_propensity_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            simulate_checkins(np.array([[1.5]]), n_weeks=2)
+        with pytest.raises(ValueError, match="2-D"):
+            simulate_checkins(np.zeros(3), n_weeks=2)

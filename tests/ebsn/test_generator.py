@@ -1,0 +1,131 @@
+"""Tests of the synthetic Meetup-style generator and its calibration."""
+
+import numpy as np
+import pytest
+
+from repro.ebsn.generator import (
+    EBSNConfig,
+    MEETUP_CA_EVENTS,
+    MEETUP_CA_USERS,
+    MeetupStyleGenerator,
+    horizon_for_target_overlap,
+)
+from repro.ebsn.stats import mean_overlapping_events
+
+
+class TestHorizonCalibration:
+    def test_formula_monotone_in_events(self):
+        low = horizon_for_target_overlap(100, 1.5, 8.1)
+        high = horizon_for_target_overlap(1000, 1.5, 8.1)
+        assert high > low
+
+    def test_single_event_needs_one_slot(self):
+        assert horizon_for_target_overlap(1, 1.0, 8.1) == 1
+
+    def test_target_below_one_rejected(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            horizon_for_target_overlap(10, 1.0, 0.9)
+
+    def test_round_trip_accuracy(self):
+        """Generated overlap lands near the target it was calibrated to."""
+        config = EBSNConfig(n_users=300, n_groups=30, n_events=500)
+        snapshot = MeetupStyleGenerator(config).generate(seed=0)
+        measured = mean_overlapping_events(snapshot.network)
+        assert measured == pytest.approx(config.target_overlap, rel=0.2)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = EBSNConfig()
+        assert config.horizon_slots > 0
+        assert config.mean_duration == pytest.approx(1.5)
+
+    def test_meetup_california_full_scale(self):
+        config = EBSNConfig.meetup_california()
+        assert config.n_users == MEETUP_CA_USERS
+        assert config.n_events == MEETUP_CA_EVENTS
+
+    def test_meetup_california_scaled(self):
+        config = EBSNConfig.meetup_california(scale=0.1)
+        assert config.n_users == pytest.approx(MEETUP_CA_USERS * 0.1, rel=0.01)
+        assert config.n_events == pytest.approx(MEETUP_CA_EVENTS * 0.1, rel=0.01)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            EBSNConfig.meetup_california(scale=0.0)
+
+    def test_scaled_copy(self):
+        config = EBSNConfig(n_users=100, n_groups=10, n_events=50)
+        half = config.scaled(0.5)
+        assert half.n_users == 50
+        assert half.n_events == 25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EBSNConfig(n_users=0)
+        with pytest.raises(ValueError):
+            EBSNConfig(group_tag_count=(5, 2))
+        with pytest.raises(ValueError):
+            EBSNConfig(rsvp_probability=1.5)
+        with pytest.raises(ValueError):
+            EBSNConfig(max_duration_slots=0)
+
+
+class TestGeneratedNetwork:
+    @pytest.fixture(scope="class")
+    def snapshot(self):
+        config = EBSNConfig(n_users=400, n_groups=25, n_events=200)
+        return MeetupStyleGenerator(config).generate(seed=42)
+
+    def test_sizes_match_config(self, snapshot):
+        assert snapshot.network.n_users == 400
+        assert snapshot.network.n_groups == 25
+        assert snapshot.network.n_events == 200
+
+    def test_network_is_referentially_consistent(self, snapshot):
+        snapshot.network.validate()  # raises on dangling references
+
+    def test_events_carry_group_tags(self, snapshot):
+        """Paper: events are tagged with the organizing group's tags."""
+        groups = {g.group_id: g for g in snapshot.network.groups}
+        for event in snapshot.network.events:
+            assert event.tags == groups[event.group_id].tags
+
+    def test_every_user_has_at_least_one_group(self, snapshot):
+        assert all(user.groups for user in snapshot.network.users)
+
+    def test_memberships_within_cap(self, snapshot):
+        cap = snapshot.config.max_memberships
+        assert all(len(user.groups) <= cap for user in snapshot.network.users)
+
+    def test_venues_within_range(self, snapshot):
+        assert all(
+            0 <= event.venue < snapshot.config.n_venues
+            for event in snapshot.network.events
+        )
+
+    def test_checkins_cover_population(self, snapshot):
+        assert snapshot.checkins.n_users == 400
+        assert snapshot.checkins.n_slots == snapshot.config.weekly_slots
+        assert snapshot.checkins.total_checkins() > 0
+
+    def test_reproducible_given_seed(self):
+        config = EBSNConfig(n_users=50, n_groups=8, n_events=40)
+        a = MeetupStyleGenerator(config).generate(seed=9)
+        b = MeetupStyleGenerator(config).generate(seed=9)
+        assert [u.tags for u in a.network.users] == [
+            u.tags for u in b.network.users
+        ]
+        assert [e.start_slot for e in a.network.events] == [
+            e.start_slot for e in b.network.events
+        ]
+        np.testing.assert_array_equal(a.checkins.counts, b.checkins.counts)
+
+    def test_group_popularity_is_skewed(self, snapshot):
+        """Zipf weighting should concentrate events on few groups."""
+        from collections import Counter
+
+        per_group = Counter(e.group_id for e in snapshot.network.events)
+        counts = sorted(per_group.values(), reverse=True)
+        top_share = sum(counts[:5]) / sum(counts)
+        assert top_share > 0.3  # top 5 of 25 groups organize >30% of events

@@ -1,0 +1,83 @@
+"""Tests of the Jaccard interest construction (paper Section IV.A)."""
+
+import numpy as np
+import pytest
+
+from repro.ebsn.jaccard import jaccard, jaccard_matrix
+
+
+class TestScalarJaccard:
+    def test_identical_sets(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial_overlap(self):
+        # |{a}| / |{a, b, c}|
+        assert jaccard({"a", "b"}, {"a", "c"}) == pytest.approx(1 / 3)
+
+    def test_both_empty_is_zero(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_one_empty_is_zero(self):
+        assert jaccard({"a"}, set()) == 0.0
+
+    def test_symmetry(self):
+        left, right = {"a", "b", "c"}, {"b", "c", "d", "e"}
+        assert jaccard(left, right) == jaccard(right, left)
+
+    def test_subset(self):
+        assert jaccard({"a"}, {"a", "b", "c", "d"}) == pytest.approx(0.25)
+
+
+class TestJaccardMatrix:
+    def test_matches_scalar_on_all_pairs(self):
+        rng = np.random.default_rng(3)
+        alphabet = [f"tag{i}" for i in range(20)]
+        users = [
+            frozenset(rng.choice(alphabet, size=rng.integers(1, 8), replace=False))
+            for _ in range(12)
+        ]
+        events = [
+            frozenset(rng.choice(alphabet, size=rng.integers(1, 8), replace=False))
+            for _ in range(9)
+        ]
+        matrix = jaccard_matrix(users, events)
+        for u, user_tags in enumerate(users):
+            for e, event_tags in enumerate(events):
+                assert matrix[u, e] == pytest.approx(
+                    jaccard(user_tags, event_tags), abs=1e-12
+                )
+
+    def test_shape(self):
+        matrix = jaccard_matrix([{"a"}] * 3, [{"a"}] * 5)
+        assert matrix.shape == (3, 5)
+
+    def test_empty_sides(self):
+        assert jaccard_matrix([], [{"a"}]).shape == (0, 1)
+        assert jaccard_matrix([{"a"}], []).shape == (1, 0)
+
+    def test_values_in_unit_interval(self):
+        rng = np.random.default_rng(4)
+        alphabet = [f"t{i}" for i in range(15)]
+        users = [
+            frozenset(rng.choice(alphabet, size=5, replace=False))
+            for _ in range(20)
+        ]
+        matrix = jaccard_matrix(users, users)
+        assert matrix.min() >= 0.0
+        assert matrix.max() <= 1.0
+
+    def test_self_similarity_is_one(self):
+        tagsets = [frozenset({"x", "y"}), frozenset({"z"})]
+        matrix = jaccard_matrix(tagsets, tagsets)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_empty_tagsets_row_is_zero(self):
+        matrix = jaccard_matrix([frozenset()], [{"a"}, {"b"}])
+        np.testing.assert_array_equal(matrix, np.zeros((1, 2)))
+
+    def test_accepts_any_iterable(self):
+        matrix = jaccard_matrix([["a", "b"]], [("a",)])
+        assert matrix[0, 0] == pytest.approx(0.5)

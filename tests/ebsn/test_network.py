@@ -1,0 +1,117 @@
+"""Tests of the EBSN object model and its networkx export."""
+
+import pytest
+
+from repro.ebsn.network import EBSNetwork, EBSNEvent, EBSNGroup, EBSNUser
+
+
+def _tiny_network() -> EBSNetwork:
+    groups = [
+        EBSNGroup(group_id=0, tags=frozenset({"music/1"})),
+        EBSNGroup(group_id=1, tags=frozenset({"tech/2"})),
+    ]
+    users = [
+        EBSNUser(user_id=0, tags=frozenset({"music/1"}), groups=(0,)),
+        EBSNUser(user_id=1, tags=frozenset({"tech/2"}), groups=(0, 1)),
+    ]
+    events = [
+        EBSNEvent(event_id=0, group_id=0, tags=groups[0].tags, start_slot=0),
+        EBSNEvent(
+            event_id=1, group_id=1, tags=groups[1].tags, start_slot=1,
+            duration_slots=2,
+        ),
+    ]
+    return EBSNetwork(
+        groups=groups, users=users, events=events, rsvps=[(0, 0), (1, 1)]
+    )
+
+
+class TestEntities:
+    def test_event_end_slot(self):
+        event = EBSNEvent(event_id=0, group_id=0, tags=frozenset(), start_slot=3,
+                          duration_slots=2)
+        assert event.end_slot == 5
+
+    def test_event_overlap(self):
+        a = EBSNEvent(event_id=0, group_id=0, tags=frozenset(), start_slot=0,
+                      duration_slots=2)
+        b = EBSNEvent(event_id=1, group_id=0, tags=frozenset(), start_slot=1)
+        c = EBSNEvent(event_id=2, group_id=0, tags=frozenset(), start_slot=2)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            EBSNEvent(event_id=0, group_id=0, tags=frozenset(), start_slot=0,
+                      duration_slots=0)
+
+    def test_display_names(self):
+        assert EBSNGroup(group_id=1, tags=frozenset()).display_name == "group#1"
+        assert EBSNUser(user_id=2, tags=frozenset()).display_name == "user#2"
+        assert (
+            EBSNEvent(event_id=3, group_id=0, tags=frozenset(), start_slot=0)
+            .display_name
+            == "event#3"
+        )
+
+
+class TestNetwork:
+    def test_size_accessors(self):
+        network = _tiny_network()
+        assert network.n_users == 2
+        assert network.n_groups == 2
+        assert network.n_events == 2
+
+    def test_events_of_group(self):
+        network = _tiny_network()
+        assert [e.event_id for e in network.events_of_group(0)] == [0]
+
+    def test_members_of_group(self):
+        network = _tiny_network()
+        assert [u.user_id for u in network.members_of_group(0)] == [0, 1]
+        assert [u.user_id for u in network.members_of_group(1)] == [1]
+
+    def test_validate_accepts_consistent_network(self):
+        _tiny_network().validate()
+
+    def test_validate_rejects_dangling_membership(self):
+        network = _tiny_network()
+        network.users.append(
+            EBSNUser(user_id=9, tags=frozenset(), groups=(42,))
+        )
+        with pytest.raises(ValueError, match="unknown group 42"):
+            network.validate()
+
+    def test_validate_rejects_dangling_event_group(self):
+        network = _tiny_network()
+        network.events.append(
+            EBSNEvent(event_id=9, group_id=42, tags=frozenset(), start_slot=0)
+        )
+        with pytest.raises(ValueError, match="unknown group"):
+            network.validate()
+
+    def test_validate_rejects_dangling_rsvp(self):
+        network = _tiny_network()
+        network.rsvps.append((99, 0))
+        with pytest.raises(ValueError, match="unknown user 99"):
+            network.validate()
+
+
+class TestNetworkxExport:
+    def test_node_and_edge_counts(self):
+        network = _tiny_network()
+        graph = network.to_networkx()
+        # 2 users + 2 groups + 2 events
+        assert graph.number_of_nodes() == 6
+        # memberships (3) + organizes (2) + rsvps (2)
+        assert graph.number_of_edges() == 7
+
+    def test_edge_kinds(self):
+        graph = _tiny_network().to_networkx()
+        kinds = {data["kind"] for _, _, data in graph.edges(data=True)}
+        assert kinds == {"member", "organizes", "rsvp"}
+
+    def test_node_attributes_carry_tags(self):
+        graph = _tiny_network().to_networkx()
+        assert graph.nodes[("user", 0)]["tags"] == frozenset({"music/1"})
+        assert graph.nodes[("event", 1)]["start_slot"] == 1

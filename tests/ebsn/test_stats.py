@@ -1,0 +1,122 @@
+"""Tests of the dataset statistics (overlap, conflicts, histograms)."""
+
+import pytest
+
+from repro.ebsn.network import EBSNetwork, EBSNEvent, EBSNGroup, EBSNUser
+from repro.ebsn.stats import (
+    conflicting_pair_fraction,
+    events_per_group_histogram,
+    mean_overlapping_events,
+    membership_histogram,
+    summarize,
+)
+
+
+def _network_with_events(events) -> EBSNetwork:
+    groups = [EBSNGroup(group_id=0, tags=frozenset())]
+    users = [EBSNUser(user_id=0, tags=frozenset(), groups=(0,))]
+    return EBSNetwork(groups=groups, users=users, events=list(events), rsvps=[])
+
+
+def _event(event_id, start, duration=1, venue=0):
+    return EBSNEvent(
+        event_id=event_id, group_id=0, tags=frozenset(),
+        start_slot=start, duration_slots=duration, venue=venue,
+    )
+
+
+class TestMeanOverlap:
+    def test_empty_network(self):
+        assert mean_overlapping_events(_network_with_events([])) == 0.0
+
+    def test_isolated_events_overlap_only_themselves(self):
+        network = _network_with_events([_event(0, 0), _event(1, 5), _event(2, 10)])
+        assert mean_overlapping_events(network) == pytest.approx(1.0)
+
+    def test_fully_concurrent_events(self):
+        network = _network_with_events([_event(i, 0) for i in range(4)])
+        assert mean_overlapping_events(network) == pytest.approx(4.0)
+
+    def test_mixed_case_hand_computed(self):
+        # e0: [0,2) overlaps e1 [1,3): each counts the other + itself
+        # e2: [5,6) alone
+        network = _network_with_events(
+            [_event(0, 0, duration=2), _event(1, 1, duration=2), _event(2, 5)]
+        )
+        assert mean_overlapping_events(network) == pytest.approx((2 + 2 + 1) / 3)
+
+    def test_matches_quadratic_reference(self):
+        """Sweep implementation equals the brute-force O(n^2) count."""
+        import numpy as np
+
+        rng = np.random.default_rng(8)
+        events = [
+            _event(i, int(rng.integers(0, 30)), duration=int(rng.integers(1, 4)))
+            for i in range(40)
+        ]
+        network = _network_with_events(events)
+        brute = sum(
+            sum(1 for other in events if event.overlaps(other))
+            for event in events
+        ) / len(events)
+        assert mean_overlapping_events(network) == pytest.approx(brute)
+
+
+class TestConflictFraction:
+    def test_no_conflicts_across_venues(self):
+        network = _network_with_events(
+            [_event(0, 0, venue=0), _event(1, 0, venue=1)]
+        )
+        assert conflicting_pair_fraction(network) == 0.0
+
+    def test_same_venue_same_time_conflicts(self):
+        network = _network_with_events(
+            [_event(0, 0, venue=0), _event(1, 0, venue=0)]
+        )
+        assert conflicting_pair_fraction(network) == pytest.approx(1.0)
+
+    def test_fraction_of_total_pairs(self):
+        # 3 events -> 3 pairs; exactly one conflicting pair
+        network = _network_with_events(
+            [_event(0, 0, venue=0), _event(1, 0, venue=0), _event(2, 9, venue=0)]
+        )
+        assert conflicting_pair_fraction(network) == pytest.approx(1 / 3)
+
+    def test_fewer_than_two_events(self):
+        assert conflicting_pair_fraction(_network_with_events([_event(0, 0)])) == 0.0
+
+
+class TestHistograms:
+    def test_membership_histogram(self):
+        groups = [EBSNGroup(group_id=g, tags=frozenset()) for g in range(3)]
+        users = [
+            EBSNUser(user_id=0, tags=frozenset(), groups=(0,)),
+            EBSNUser(user_id=1, tags=frozenset(), groups=(0, 1)),
+            EBSNUser(user_id=2, tags=frozenset(), groups=(0, 1)),
+        ]
+        network = EBSNetwork(groups=groups, users=users, events=[], rsvps=[])
+        assert membership_histogram(network) == {1: 1, 2: 2}
+
+    def test_events_per_group_histogram_counts_idle_groups(self):
+        groups = [EBSNGroup(group_id=g, tags=frozenset()) for g in range(3)]
+        events = [_event(0, 0), _event(1, 1)]
+        network = EBSNetwork(groups=groups, users=[], events=events, rsvps=[])
+        histogram = events_per_group_histogram(network)
+        assert histogram == {2: 1, 0: 2}  # group 0 has both; groups 1, 2 idle
+
+
+class TestSummarize:
+    def test_contains_headline_keys(self):
+        network = _network_with_events([_event(0, 0), _event(1, 0)])
+        summary = summarize(network)
+        for key in (
+            "n_users", "n_groups", "n_events", "n_rsvps",
+            "mean_overlap", "conflict_fraction", "mean_memberships",
+        ):
+            assert key in summary
+
+    def test_values_match_components(self):
+        network = _network_with_events([_event(0, 0), _event(1, 0)])
+        summary = summarize(network)
+        assert summary["mean_overlap"] == mean_overlapping_events(network)
+        assert summary["n_events"] == 2.0

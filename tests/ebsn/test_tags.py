@@ -1,0 +1,92 @@
+"""Tests of the clustered tag vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.ebsn.tags import DEFAULT_TOPICS, TagVocabulary
+
+
+class TestConstruction:
+    def test_tag_count(self):
+        vocabulary = TagVocabulary(n_tags=50)
+        assert vocabulary.n_tags == 50
+        assert len(vocabulary.all_tags) == 50
+
+    def test_tags_partitioned_over_topics(self):
+        vocabulary = TagVocabulary(n_tags=40)
+        collected = set()
+        for topic in vocabulary.topics:
+            topic_tags = vocabulary.tags_of_topic(topic)
+            assert topic_tags  # round-robin guarantees non-empty
+            collected.update(topic_tags)
+        assert collected == set(vocabulary.all_tags)
+
+    def test_too_few_tags_rejected(self):
+        with pytest.raises(ValueError, match="at least one tag per topic"):
+            TagVocabulary(n_tags=3)
+
+    def test_empty_topics_rejected(self):
+        with pytest.raises(ValueError, match="at least one topic"):
+            TagVocabulary(n_tags=10, topics=())
+
+    def test_topic_of_tag_round_trip(self):
+        vocabulary = TagVocabulary(n_tags=30)
+        for tag in vocabulary.all_tags:
+            topic = vocabulary.topic_of_tag(tag)
+            assert tag in vocabulary.tags_of_topic(topic)
+
+    def test_unknown_topic_raises(self):
+        vocabulary = TagVocabulary(n_tags=30)
+        with pytest.raises(KeyError, match="unknown topic"):
+            vocabulary.tags_of_topic("underwater-basket-weaving")
+
+    def test_unknown_tag_raises(self):
+        vocabulary = TagVocabulary(n_tags=30)
+        with pytest.raises(KeyError, match="does not belong"):
+            vocabulary.topic_of_tag("nosuchtopic/999")
+
+
+class TestSampling:
+    def test_sample_size_respected(self):
+        vocabulary = TagVocabulary(n_tags=100)
+        rng = np.random.default_rng(0)
+        tags = vocabulary.sample_tagset(rng, size=8)
+        assert len(tags) == 8
+
+    def test_focus_concentrates_on_primary_topic(self):
+        vocabulary = TagVocabulary(n_tags=200)
+        rng = np.random.default_rng(1)
+        tags = vocabulary.sample_tagset(
+            rng, size=10, primary_topic="music", focus=1.0
+        )
+        assert all(vocabulary.topic_of_tag(tag) == "music" for tag in tags)
+
+    def test_zero_focus_spreads_over_topics(self):
+        vocabulary = TagVocabulary(n_tags=200)
+        rng = np.random.default_rng(2)
+        tags = vocabulary.sample_tagset(
+            rng, size=30, primary_topic="music", focus=0.0
+        )
+        topics = {vocabulary.topic_of_tag(tag) for tag in tags}
+        assert len(topics) > 1
+
+    def test_reproducible_given_seed(self):
+        vocabulary = TagVocabulary(n_tags=80)
+        a = vocabulary.sample_tagset(np.random.default_rng(5), size=6)
+        b = vocabulary.sample_tagset(np.random.default_rng(5), size=6)
+        assert a == b
+
+    def test_zero_size(self):
+        vocabulary = TagVocabulary(n_tags=20)
+        assert vocabulary.sample_tagset(np.random.default_rng(0), size=0) == frozenset()
+
+    def test_invalid_parameters(self):
+        vocabulary = TagVocabulary(n_tags=20)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="size"):
+            vocabulary.sample_tagset(rng, size=-1)
+        with pytest.raises(ValueError, match="focus"):
+            vocabulary.sample_tagset(rng, size=1, focus=2.0)
+
+    def test_default_topics_are_strings(self):
+        assert all(isinstance(topic, str) for topic in DEFAULT_TOPICS)

@@ -1,0 +1,63 @@
+"""Tests of the scipy/HiGHS MILP solver for MKPI."""
+
+import pytest
+
+from repro.hardness.milp import solve_mkpi_milp
+from repro.hardness.mkpi import MKPIInstance, solve_mkpi_exact, solve_mkpi_greedy
+
+
+class TestMILPSolver:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_branch_and_bound(self, seed):
+        """Two independent exact solvers must agree on the optimum."""
+        instance = MKPIInstance.random(7, 3, capacity=6.0, seed=seed)
+        milp_packing = solve_mkpi_milp(instance)
+        bnb_packing = solve_mkpi_exact(instance)
+        assert milp_packing.total_profit == pytest.approx(
+            bnb_packing.total_profit, abs=1e-6
+        )
+
+    def test_produces_valid_packing(self):
+        instance = MKPIInstance.random(8, 2, capacity=5.0, seed=42)
+        # MKPIPacking's constructor validates capacity; reaching here = valid
+        packing = solve_mkpi_milp(instance)
+        assert packing.instance is instance
+
+    def test_dominates_greedy(self):
+        for seed in range(4):
+            instance = MKPIInstance.random(8, 2, capacity=5.0, seed=seed)
+            assert (
+                solve_mkpi_milp(instance).total_profit
+                >= solve_mkpi_greedy(instance).total_profit - 1e-9
+            )
+
+    def test_single_item_fits(self):
+        instance = MKPIInstance(
+            weights=(2.0,), profits=(5.0,), n_bins=1, capacity=3.0
+        )
+        packing = solve_mkpi_milp(instance)
+        assert packing.total_profit == pytest.approx(5.0)
+        assert packing.bin_of == (0,)
+
+    def test_item_too_heavy_stays_out(self):
+        instance = MKPIInstance(
+            weights=(9.0, 1.0), profits=(100.0, 1.0), n_bins=1, capacity=3.0
+        )
+        packing = solve_mkpi_milp(instance)
+        assert packing.bin_of[0] is None
+        assert packing.total_profit == pytest.approx(1.0)
+
+    def test_knapsack_classic(self):
+        # same classic instance as the branch-and-bound test: optimum 9
+        instance = MKPIInstance(
+            weights=(6.0, 5.0, 5.0), profits=(7.0, 4.0, 5.0),
+            n_bins=1, capacity=10.0,
+        )
+        assert solve_mkpi_milp(instance).total_profit == pytest.approx(9.0)
+
+    def test_larger_than_bnb_budget_still_solves(self):
+        """MILP scales past the DFS node budget comfortably."""
+        instance = MKPIInstance.random(18, 3, capacity=8.0, seed=7)
+        packing = solve_mkpi_milp(instance)
+        greedy = solve_mkpi_greedy(instance)
+        assert packing.total_profit >= greedy.total_profit - 1e-9

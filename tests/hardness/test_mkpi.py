@@ -1,0 +1,129 @@
+"""Tests of the MKPI substrate (instances, exact and greedy solvers)."""
+
+import itertools
+
+import pytest
+
+from repro.hardness.mkpi import (
+    MKPIInstance,
+    MKPIPacking,
+    solve_mkpi_exact,
+    solve_mkpi_greedy,
+)
+
+
+def brute_force_mkpi(instance: MKPIInstance) -> float:
+    """Oracle: try every item->bin-or-none mapping (tiny sizes only)."""
+    best = 0.0
+    options = list(range(instance.n_bins)) + [None]
+    for mapping in itertools.product(options, repeat=instance.n_items):
+        loads = [0.0] * instance.n_bins
+        profit = 0.0
+        feasible = True
+        for item, bin_index in enumerate(mapping):
+            if bin_index is None:
+                continue
+            loads[bin_index] += instance.weights[item]
+            if loads[bin_index] > instance.capacity + 1e-9:
+                feasible = False
+                break
+            profit += instance.profits[item]
+        if feasible:
+            best = max(best, profit)
+    return best
+
+
+class TestInstanceValidation:
+    def test_basic_construction(self):
+        instance = MKPIInstance(
+            weights=(1.0, 2.0), profits=(3.0, 4.0), n_bins=2, capacity=5.0
+        )
+        assert instance.n_items == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            MKPIInstance(weights=(1.0,), profits=(1.0, 2.0), n_bins=1, capacity=1.0)
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            MKPIInstance(weights=(0.0,), profits=(1.0,), n_bins=1, capacity=1.0)
+
+    def test_non_positive_profit_rejected(self):
+        with pytest.raises(ValueError, match="profits"):
+            MKPIInstance(weights=(1.0,), profits=(-1.0,), n_bins=1, capacity=1.0)
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ValueError, match="n_bins"):
+            MKPIInstance(weights=(1.0,), profits=(1.0,), n_bins=0, capacity=1.0)
+
+    def test_random_factory_reproducible(self):
+        a = MKPIInstance.random(5, 2, capacity=6.0, seed=1)
+        b = MKPIInstance.random(5, 2, capacity=6.0, seed=1)
+        assert a == b
+
+
+class TestPackingValidation:
+    def test_overflow_rejected(self):
+        instance = MKPIInstance(
+            weights=(3.0, 3.0), profits=(1.0, 1.0), n_bins=1, capacity=5.0
+        )
+        with pytest.raises(ValueError, match="overflows"):
+            MKPIPacking(instance=instance, bin_of=(0, 0))
+
+    def test_unknown_bin_rejected(self):
+        instance = MKPIInstance(
+            weights=(1.0,), profits=(1.0,), n_bins=1, capacity=5.0
+        )
+        with pytest.raises(ValueError, match="unknown bin"):
+            MKPIPacking(instance=instance, bin_of=(7,))
+
+    def test_profit_and_packed_items(self):
+        instance = MKPIInstance(
+            weights=(1.0, 1.0, 1.0), profits=(2.0, 3.0, 5.0),
+            n_bins=2, capacity=2.0,
+        )
+        packing = MKPIPacking(instance=instance, bin_of=(0, None, 1))
+        assert packing.total_profit == pytest.approx(7.0)
+        assert packing.packed_items == (0, 2)
+
+
+class TestExactSolver:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        instance = MKPIInstance.random(5, 2, capacity=5.0, seed=seed)
+        exact = solve_mkpi_exact(instance)
+        assert exact.total_profit == pytest.approx(
+            brute_force_mkpi(instance), abs=1e-9
+        )
+
+    def test_all_items_fit_when_capacity_ample(self):
+        instance = MKPIInstance(
+            weights=(1.0, 1.0, 1.0), profits=(1.0, 2.0, 3.0),
+            n_bins=3, capacity=10.0,
+        )
+        exact = solve_mkpi_exact(instance)
+        assert exact.total_profit == pytest.approx(6.0)
+        assert len(exact.packed_items) == 3
+
+    def test_single_bin_degenerates_to_knapsack(self):
+        # classic 0/1 knapsack: capacity 10, expect items {1, 2} (profit 9)
+        instance = MKPIInstance(
+            weights=(6.0, 5.0, 5.0), profits=(7.0, 4.0, 5.0),
+            n_bins=1, capacity=10.0,
+        )
+        assert solve_mkpi_exact(instance).total_profit == pytest.approx(9.0)
+
+
+class TestGreedySolver:
+    def test_feasible_and_bounded_by_exact(self):
+        for seed in range(5):
+            instance = MKPIInstance.random(6, 2, capacity=5.0, seed=seed)
+            greedy = solve_mkpi_greedy(instance)
+            exact = solve_mkpi_exact(instance)
+            assert greedy.total_profit <= exact.total_profit + 1e-9
+
+    def test_greedy_packs_everything_with_ample_capacity(self):
+        instance = MKPIInstance(
+            weights=(1.0, 1.0), profits=(1.0, 1.0), n_bins=2, capacity=4.0
+        )
+        assert len(solve_mkpi_greedy(instance).packed_items) == 2

@@ -1,0 +1,119 @@
+"""Tests of the Theorem-1 reduction: MKPI optima transfer to SES optima."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.exhaustive import ExhaustiveScheduler
+from repro.hardness.mkpi import MKPIInstance, solve_mkpi_exact
+from repro.hardness.reduction import reduce_mkpi_to_ses
+
+
+@pytest.fixture
+def small_mkpi():
+    return MKPIInstance.random(5, 2, capacity=6.0, seed=13)
+
+
+class TestConstruction:
+    def test_restricted_shape(self, small_mkpi):
+        reduced = reduce_mkpi_to_ses(small_mkpi)
+        ses = reduced.ses
+        # users as many as events; one competing event per interval
+        assert ses.n_users == ses.n_events == small_mkpi.n_items
+        assert ses.n_competing == ses.n_intervals == small_mkpi.n_bins
+        # no location constraint: all locations distinct
+        assert ses.distinct_locations == ses.n_events
+        # capacity mapping
+        assert ses.theta == small_mkpi.capacity
+
+    def test_perfect_matching_interest(self, small_mkpi):
+        """Each user likes exactly one event and vice versa (diagonal mu)."""
+        reduced = reduce_mkpi_to_ses(small_mkpi)
+        candidate = reduced.ses.interest.candidate
+        off_diagonal = candidate[~np.eye(candidate.shape[0], dtype=bool)]
+        assert (off_diagonal == 0).all()
+        assert (np.diag(candidate) > 0).all()
+
+    def test_uniform_competing_interest(self, small_mkpi):
+        reduced = reduce_mkpi_to_ses(small_mkpi)
+        competing = reduced.ses.interest.competing
+        assert np.allclose(competing, reduced.competing_interest)
+
+    def test_interest_values_within_range(self, small_mkpi):
+        reduced = reduce_mkpi_to_ses(small_mkpi)
+        assert reduced.ses.interest.candidate.max() <= 1.0
+        assert reduced.competing_interest <= 1.0
+
+    def test_weights_become_required_resources(self, small_mkpi):
+        reduced = reduce_mkpi_to_ses(small_mkpi)
+        for item in range(small_mkpi.n_items):
+            assert reduced.ses.events[item].required_resources == pytest.approx(
+                small_mkpi.weights[item]
+            )
+
+    def test_parameter_validation(self, small_mkpi):
+        with pytest.raises(ValueError, match="sigma"):
+            reduce_mkpi_to_ses(small_mkpi, sigma=0.0)
+        with pytest.raises(ValueError, match="headroom"):
+            reduce_mkpi_to_ses(small_mkpi, headroom=1.0)
+
+
+class TestProfitTransfer:
+    def test_scheduled_event_contributes_sigma_times_profit(self, small_mkpi):
+        """The core identity: rho = sigma * p under the construction."""
+        from repro.core.engine import make_engine
+
+        reduced = reduce_mkpi_to_ses(small_mkpi, sigma=0.8)
+        engine = make_engine(reduced.ses)
+        normalized = np.array(small_mkpi.profits) / reduced.profit_scale
+        for item in range(small_mkpi.n_items):
+            gain = engine.score(item, 0)
+            assert gain == pytest.approx(0.8 * normalized[item], abs=1e-12)
+
+    def test_no_cross_event_interaction(self, small_mkpi):
+        """Co-scheduling matched events does not cannibalize (disjoint fans)."""
+        from repro.core.engine import make_engine
+
+        reduced = reduce_mkpi_to_ses(small_mkpi)
+        engine = make_engine(reduced.ses)
+        solo_gain = engine.score(1, 0)
+        engine.assign(0, 0)
+        paired_gain = engine.score(1, 0)
+        assert paired_gain == pytest.approx(solo_gain, abs=1e-12)
+
+    def test_utility_profit_round_trip(self, small_mkpi):
+        reduced = reduce_mkpi_to_ses(small_mkpi)
+        profit = 17.5
+        assert reduced.utility_to_profit(
+            reduced.profit_to_utility(profit)
+        ) == pytest.approx(profit)
+
+
+class TestOptimaCorrespondence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ses_optimum_recovers_mkpi_optimum(self, seed):
+        """max_k Omega*(k) translated back equals the MKPI optimum."""
+        mkpi = MKPIInstance.random(5, 2, capacity=6.0, seed=seed)
+        reduced = reduce_mkpi_to_ses(mkpi)
+        mkpi_opt = solve_mkpi_exact(mkpi).total_profit
+
+        best_profit = 0.0
+        for k in range(mkpi.n_items + 1):
+            result = ExhaustiveScheduler().solve(reduced.ses, k)
+            best_profit = max(best_profit, reduced.utility_to_profit(result.utility))
+        assert best_profit == pytest.approx(mkpi_opt, abs=1e-6)
+
+    def test_greedy_on_reduced_instance_is_feasible_knapsack(self):
+        """GRD on the reduction yields a valid MKPI packing (not nec. optimal)."""
+        from repro.algorithms.greedy import GreedyScheduler
+
+        mkpi = MKPIInstance.random(6, 2, capacity=6.0, seed=99)
+        reduced = reduce_mkpi_to_ses(mkpi)
+        result = GreedyScheduler().solve(reduced.ses, mkpi.n_items)
+        # translate the schedule into a packing and let MKPIPacking validate
+        from repro.hardness.mkpi import MKPIPacking
+
+        bin_of: list[int | None] = [None] * mkpi.n_items
+        for event, interval in result.schedule.as_mapping().items():
+            bin_of[event] = interval
+        packing = MKPIPacking(instance=mkpi, bin_of=tuple(bin_of))
+        assert packing.total_profit <= solve_mkpi_exact(mkpi).total_profit + 1e-9

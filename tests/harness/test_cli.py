@@ -1,0 +1,125 @@
+"""Tests of the ses-repro CLI (figure/dataset/solve/demo)."""
+
+import json
+
+import pytest
+
+from repro.data.serialization import save_instance
+from repro.harness.cli import build_parser, main
+
+from tests.conftest import make_random_instance
+
+
+class TestParser:
+    def test_figure_panels_accepted(self):
+        parser = build_parser()
+        for panel in ("1a", "1b", "1c", "1d"):
+            args = parser.parse_args(["figure", panel])
+            assert args.panel == panel
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "2z"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_requires_k(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "file.json"])
+
+
+class TestDatasetCommand:
+    def test_prints_summary_json(self, capsys):
+        exit_code = main(
+            ["dataset", "--users", "80", "--events", "60", "--groups", "8"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_users"] == 80.0
+        assert "mean_overlap" in payload
+
+
+class TestSolveCommand:
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        instance = make_random_instance(seed=310)
+        path = tmp_path / "instance.json"
+        save_instance(instance, path)
+        return path
+
+    def test_solves_and_prints_schedule(self, instance_file, capsys):
+        exit_code = main(["solve", str(instance_file), "-k", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "GRD" in output
+        assert "->" in output
+
+    def test_json_output_parses(self, instance_file, capsys):
+        exit_code = main(["solve", str(instance_file), "-k", "2", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["assignments"]) == 2
+
+    def test_alternative_solver(self, instance_file, capsys):
+        exit_code = main(
+            ["solve", str(instance_file), "-k", "2", "--solver", "rand"]
+        )
+        assert exit_code == 0
+        assert "RAND" in capsys.readouterr().out
+
+
+class TestDemoCommand:
+    def test_demo_runs_and_compares_methods(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        for method in ("GRD", "TOP", "RAND", "SA"):
+            assert method in output
+
+
+class TestFigureCommand:
+    def test_quick_figure_1a(self, capsys, tmp_path):
+        csv_path = tmp_path / "rows.csv"
+        exit_code = main(
+            [
+                "figure", "1a", "--quick", "--users", "60",
+                "--seed", "1", "--csv", str(csv_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Fig 1a" in output
+        assert "GRD" in output
+        assert csv_path.exists()
+
+    def test_quick_figure_1b(self, capsys):
+        exit_code = main(["figure", "1b", "--quick", "--users", "50"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Fig 1b" in output
+        assert "ms" in output  # time axis rendering
+
+    def test_quick_figure_1c(self, capsys):
+        exit_code = main(["figure", "1c", "--quick", "--users", "50"])
+        assert exit_code == 0
+        assert "Fig 1c" in capsys.readouterr().out
+
+    def test_quick_figure_1d(self, capsys):
+        exit_code = main(["figure", "1d", "--quick", "--users", "50"])
+        assert exit_code == 0
+        assert "Fig 1d" in capsys.readouterr().out
+
+    def test_solve_report_mode(self, tmp_path, capsys):
+        from repro.data.serialization import save_instance
+
+        from tests.conftest import make_random_instance
+
+        instance = make_random_instance(seed=311)
+        path = tmp_path / "instance.json"
+        save_instance(instance, path)
+        exit_code = main(["solve", str(path), "-k", "3", "--report"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "attend" in output
+        assert "interval" in output

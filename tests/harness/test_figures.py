@@ -1,0 +1,61 @@
+"""Tests of the one-call figure generation module."""
+
+import pytest
+
+from repro.harness.figures import (
+    FIGURE_SPECS,
+    figure_value_axis,
+    generate_figure,
+)
+
+
+class TestSpecs:
+    def test_all_four_panels_defined(self):
+        assert set(FIGURE_SPECS) == {"1a", "1b", "1c", "1d"}
+
+    def test_value_axis(self):
+        assert figure_value_axis("1a") == "utility"
+        assert figure_value_axis("1b") == "time"
+        assert figure_value_axis("1c") == "utility"
+        assert figure_value_axis("1d") == "time"
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(ValueError, match="unknown panel"):
+            figure_value_axis("9z")
+        with pytest.raises(ValueError, match="unknown panel"):
+            generate_figure("9z")
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def quick_1a(self):
+        return generate_figure("1a", n_users=60, seed=1, quick=True)
+
+    def test_quick_k_panel_grid(self, quick_1a):
+        assert quick_1a.x_values() == (20.0, 40.0, 60.0)
+        assert set(quick_1a.methods()) == {"GRD", "TOP", "RAND"}
+
+    def test_title_carried(self, quick_1a):
+        assert "Fig 1a" in quick_1a.title
+
+    def test_quick_interval_panel_grid(self):
+        table = generate_figure("1c", n_users=60, seed=1, quick=True)
+        # quick mode: k=20 with factors 0.5/1.5/3.0 -> |T| in {10, 30, 60}
+        assert table.x_values() == (10.0, 30.0, 60.0)
+
+    def test_progress_callback(self):
+        lines = []
+        generate_figure("1d", n_users=50, seed=0, quick=True,
+                        progress=lines.append)
+        assert len(lines) == 3
+
+    def test_reproducible(self):
+        a = generate_figure("1a", n_users=50, seed=5, quick=True)
+        b = generate_figure("1a", n_users=50, seed=5, quick=True)
+        assert [(r.method, r.utility) for r in a.rows] == [
+            (r.method, r.utility) for r in b.rows
+        ]
+
+    def test_grd_wins_even_in_quick_mode(self, quick_1a):
+        for x in quick_1a.x_values():
+            assert quick_1a.winner_at(x) == "GRD"

@@ -1,0 +1,103 @@
+"""Tests of the schedule inspection report."""
+
+import pytest
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.core.objective import total_utility
+from repro.core.schedule import Assignment, Schedule
+from repro.harness.inspect import ScheduleReport
+
+from tests.conftest import make_random_instance
+
+
+@pytest.fixture
+def solved():
+    instance = make_random_instance(seed=500, n_events=6, n_intervals=3)
+    result = GreedyScheduler().solve(instance, 4)
+    return instance, result.schedule, result.utility
+
+
+class TestScheduleReport:
+    def test_total_utility_matches_objective(self, solved):
+        instance, schedule, utility = solved
+        report = ScheduleReport(instance, schedule)
+        assert report.total_utility == pytest.approx(utility, abs=1e-9)
+
+    def test_one_event_report_per_assignment(self, solved):
+        instance, schedule, _ = solved
+        report = ScheduleReport(instance, schedule)
+        assert len(report.events) == len(schedule)
+        assert {r.event for r in report.events} == schedule.scheduled_events()
+
+    def test_one_interval_report_per_used_interval(self, solved):
+        instance, schedule, _ = solved
+        report = ScheduleReport(instance, schedule)
+        assert {r.interval for r in report.intervals} == schedule.used_intervals()
+
+    def test_event_attendance_matches_expected_attendance(self, solved):
+        from repro.core.attendance import expected_attendance
+
+        instance, schedule, _ = solved
+        report = ScheduleReport(instance, schedule)
+        for event_report in report.events:
+            assert event_report.expected_attendance == pytest.approx(
+                expected_attendance(instance, schedule, event_report.event),
+                abs=1e-9,
+            )
+
+    def test_solo_attendance_dominates_shared(self, solved):
+        """An event never does better with siblings than alone."""
+        instance, schedule, _ = solved
+        report = ScheduleReport(instance, schedule)
+        for event_report in report.events:
+            assert (
+                event_report.solo_attendance
+                >= event_report.expected_attendance - 1e-9
+            )
+            assert event_report.cannibalization >= 0.0
+
+    def test_lone_event_has_zero_cannibalization(self):
+        instance = make_random_instance(seed=501)
+        schedule = Schedule(instance, [Assignment(0, 0)])
+        report = ScheduleReport(instance, schedule)
+        assert report.events[0].cannibalization == pytest.approx(0.0, abs=1e-12)
+
+    def test_interval_resources_and_utilization(self, solved):
+        instance, schedule, _ = solved
+        report = ScheduleReport(instance, schedule)
+        for interval_report in report.intervals:
+            expected_load = sum(
+                instance.events[e].required_resources
+                for e in schedule.events_at(interval_report.interval)
+            )
+            assert interval_report.resources_used == pytest.approx(expected_load)
+            assert 0.0 <= interval_report.utilization <= 1.0 + 1e-9
+
+    def test_interval_utility_sums_to_total(self, solved):
+        instance, schedule, _ = solved
+        report = ScheduleReport(instance, schedule)
+        assert sum(r.utility for r in report.intervals) == pytest.approx(
+            total_utility(instance, schedule), abs=1e-9
+        )
+
+    def test_competing_counts(self, solved):
+        instance, schedule, _ = solved
+        report = ScheduleReport(instance, schedule)
+        for interval_report in report.intervals:
+            assert interval_report.n_competing == len(
+                instance.competing_by_interval[interval_report.interval]
+            )
+
+    def test_format_contains_headline_numbers(self, solved):
+        instance, schedule, utility = solved
+        text = ScheduleReport(instance, schedule).format()
+        assert f"{utility:.2f}" in text
+        assert "interval" in text
+        assert "attend" in text
+
+    def test_empty_schedule(self):
+        instance = make_random_instance(seed=502)
+        report = ScheduleReport(instance, Schedule(instance))
+        assert report.total_utility == 0.0
+        assert report.events == ()
+        assert report.total_cannibalization() == 0.0

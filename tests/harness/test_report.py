@@ -1,0 +1,73 @@
+"""Tests of the text figure rendering."""
+
+from repro.harness.report import format_ascii_chart, format_figure, format_table
+from repro.harness.results import SweepRow, SweepTable
+
+
+def _table():
+    table = SweepTable(x_label="k", title="Fig demo")
+    for x, method, utility, time in [
+        (10, "GRD", 50.0, 0.2),
+        (10, "RAND", 20.0, 0.01),
+        (20, "GRD", 90.0, 0.5),
+        (20, "RAND", 30.0, 0.02),
+    ]:
+        table.add(
+            SweepRow(
+                x=x, method=method, utility=utility, runtime_seconds=time,
+                achieved_k=x, requested_k=x,
+            )
+        )
+    return table
+
+
+class TestFormatTable:
+    def test_contains_header_and_values(self):
+        text = format_table(_table())
+        assert "GRD" in text and "RAND" in text
+        assert "50.00" in text and "90.00" in text
+
+    def test_time_mode_uses_milliseconds(self):
+        text = format_table(_table(), value="time")
+        assert "200.0ms" in text
+
+    def test_missing_cells_render_dash(self):
+        table = SweepTable(x_label="k")
+        table.add(
+            SweepRow(x=1, method="GRD", utility=1.0, runtime_seconds=0.1,
+                     achieved_k=1, requested_k=1)
+        )
+        table.add(
+            SweepRow(x=2, method="TOP", utility=2.0, runtime_seconds=0.1,
+                     achieved_k=2, requested_k=2)
+        )
+        assert "—" in format_table(table)
+
+
+class TestAsciiChart:
+    def test_bars_scale_with_values(self):
+        text = format_ascii_chart(_table())
+        lines = [line for line in text.splitlines() if "GRD" in line]
+        # the k=20 GRD bar (90.0, the max) must be the longest
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_every_series_point_rendered(self):
+        text = format_ascii_chart(_table())
+        assert len(text.splitlines()) == 4
+
+    def test_zero_utility_renders_empty_bar(self):
+        table = SweepTable(x_label="k")
+        table.add(
+            SweepRow(x=1, method="GRD", utility=0.0, runtime_seconds=0.0,
+                     achieved_k=0, requested_k=1)
+        )
+        text = format_ascii_chart(table)
+        assert "#" not in text
+
+
+class TestFormatFigure:
+    def test_includes_title_table_and_chart(self):
+        text = format_figure(_table())
+        assert "== Fig demo ==" in text
+        assert "#" in text
+        assert "GRD" in text

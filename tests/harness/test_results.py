@@ -1,0 +1,84 @@
+"""Tests of sweep result tables."""
+
+import pytest
+
+from repro.harness.results import SweepRow, SweepTable
+
+
+def _row(x, method, utility, time=0.1):
+    return SweepRow(
+        x=x, method=method, utility=utility, runtime_seconds=time,
+        achieved_k=int(x), requested_k=int(x),
+    )
+
+
+@pytest.fixture
+def table():
+    table = SweepTable(x_label="k", title="demo sweep")
+    table.add(_row(10, "GRD", 100.0, 0.5))
+    table.add(_row(10, "TOP", 60.0, 0.3))
+    table.add(_row(20, "GRD", 180.0, 1.0))
+    table.add(_row(20, "TOP", 90.0, 0.6))
+    return table
+
+
+class TestAccessors:
+    def test_methods_in_first_appearance_order(self, table):
+        assert table.methods() == ("GRD", "TOP")
+
+    def test_x_values_sorted(self, table):
+        assert table.x_values() == (10.0, 20.0)
+
+    def test_series_utility(self, table):
+        xs, ys = table.series("GRD")
+        assert xs == [10.0, 20.0]
+        assert ys == [100.0, 180.0]
+
+    def test_series_time(self, table):
+        xs, ys = table.series("TOP", value="time")
+        assert ys == [0.3, 0.6]
+
+    def test_series_unknown_method(self, table):
+        with pytest.raises(KeyError, match="RAND"):
+            table.series("RAND")
+
+    def test_series_bad_value(self, table):
+        with pytest.raises(ValueError, match="utility"):
+            table.series("GRD", value="memory")
+
+    def test_winner_at(self, table):
+        assert table.winner_at(10) == "GRD"
+        assert table.winner_at(10, value="time") == "TOP"
+
+    def test_winner_at_unknown_x(self, table):
+        with pytest.raises(KeyError):
+            table.winner_at(99)
+
+
+class TestRendering:
+    def test_markdown_contains_all_cells(self, table):
+        text = table.to_markdown()
+        assert "| k | GRD | TOP |" in text
+        assert "100.00" in text
+        assert "90.00" in text
+
+    def test_markdown_time_mode(self, table):
+        text = table.to_markdown(value="time")
+        assert "500.0ms" in text
+
+    def test_markdown_missing_cell_dash(self):
+        table = SweepTable(x_label="k")
+        table.add(_row(10, "GRD", 1.0))
+        table.add(_row(20, "TOP", 2.0))
+        assert "—" in table.to_markdown()
+
+    def test_csv_round_trip(self, table, tmp_path):
+        import csv
+
+        path = tmp_path / "rows.csv"
+        table.to_csv(path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert rows[0]["method"] == "GRD"
+        assert float(rows[0]["utility"]) == 100.0

@@ -1,0 +1,84 @@
+"""Tests of the repeated-trials statistics harness."""
+
+import pytest
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.algorithms.random_schedule import RandomScheduler
+from repro.harness.trials import TrialStats, run_trials
+from repro.workloads.config import ExperimentConfig
+
+
+class TestTrialStats:
+    def test_mean_and_std(self):
+        stats = TrialStats(
+            method="X", utilities=(10.0, 12.0, 14.0), runtimes=(0.1, 0.1, 0.1)
+        )
+        assert stats.mean_utility == pytest.approx(12.0)
+        assert stats.std_utility == pytest.approx(2.0)
+        assert stats.n_trials == 3
+
+    def test_single_trial_has_zero_spread(self):
+        stats = TrialStats(method="X", utilities=(5.0,), runtimes=(0.1,))
+        assert stats.std_utility == 0.0
+        assert stats.confidence_halfwidth() == 0.0
+
+    def test_confidence_halfwidth_shrinks_with_trials(self):
+        narrow = TrialStats(
+            method="X", utilities=(10.0, 12.0) * 8, runtimes=(0.1,) * 16
+        )
+        wide = TrialStats(
+            method="X", utilities=(10.0, 12.0), runtimes=(0.1, 0.1)
+        )
+        assert narrow.confidence_halfwidth() < wide.confidence_halfwidth()
+
+    def test_summary_mentions_method_and_mean(self):
+        stats = TrialStats(method="GRD", utilities=(10.0,), runtimes=(0.2,))
+        text = stats.summary()
+        assert "GRD" in text
+        assert "10.00" in text
+
+
+class TestRunTrials:
+    @pytest.fixture(scope="class")
+    def trial_results(self):
+        config = ExperimentConfig(k=6, n_users=60)
+        return run_trials(
+            config,
+            method_factory=lambda seed: {
+                "GRD": GreedyScheduler(),
+                "RAND": RandomScheduler(seed=seed),
+            },
+            n_trials=4,
+            root_seed=3,
+        )
+
+    def test_one_stats_per_method(self, trial_results):
+        assert set(trial_results) == {"GRD", "RAND"}
+
+    def test_each_method_has_all_trials(self, trial_results):
+        assert all(s.n_trials == 4 for s in trial_results.values())
+
+    def test_grd_beats_rand_on_average(self, trial_results):
+        assert (
+            trial_results["GRD"].mean_utility
+            > trial_results["RAND"].mean_utility
+        )
+
+    def test_utilities_vary_across_draws(self, trial_results):
+        """Different trial seeds must yield genuinely different instances."""
+        assert trial_results["GRD"].std_utility > 0.0
+
+    def test_reproducible_given_root_seed(self):
+        config = ExperimentConfig(k=5, n_users=50)
+        factory = lambda seed: {"GRD": GreedyScheduler()}  # noqa: E731
+        a = run_trials(config, factory, n_trials=2, root_seed=9)
+        b = run_trials(config, factory, n_trials=2, root_seed=9)
+        assert a["GRD"].utilities == b["GRD"].utilities
+
+    def test_bad_trial_count_rejected(self):
+        with pytest.raises(ValueError, match="n_trials"):
+            run_trials(
+                ExperimentConfig(k=5, n_users=50),
+                lambda seed: {"GRD": GreedyScheduler()},
+                n_trials=0,
+            )

@@ -1,0 +1,61 @@
+"""Scale smoke tests: the pipeline at a meaningful fraction of Meetup-CA.
+
+Not a benchmark — a guard that nothing falls over (memory, dtype, index
+width) when sizes grow by an order of magnitude over the unit-test
+defaults.  The full 42,444-user configuration is exercised shape-only
+(config arithmetic), not materialized, to keep the suite fast.
+"""
+
+import pytest
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.algorithms.top import TopKScheduler
+from repro.ebsn.generator import EBSNConfig, MeetupStyleGenerator
+from repro.ebsn.stats import mean_overlapping_events
+from repro.workloads.config import ExperimentConfig
+from repro.workloads.generator import WorkloadGenerator
+
+
+class TestQuarterScaleEBSN:
+    @pytest.fixture(scope="class")
+    def snapshot(self):
+        # ~10% of Meetup-CA: 4,244 users, 1,600 events
+        config = EBSNConfig.meetup_california(scale=0.1)
+        return MeetupStyleGenerator(config).generate(seed=1)
+
+    def test_sizes(self, snapshot):
+        assert snapshot.network.n_users == 4244
+        assert snapshot.network.n_events == 1600
+
+    def test_overlap_calibration_holds_at_scale(self, snapshot):
+        measured = mean_overlapping_events(snapshot.network)
+        assert measured == pytest.approx(8.1, rel=0.15)
+
+    def test_network_consistent(self, snapshot):
+        snapshot.network.validate()
+
+
+class TestLargeWorkloadPoint:
+    def test_k100_point_solves_at_5k_users(self):
+        """One paper-default grid point at 5,000 users end to end."""
+        config = ExperimentConfig(k=100, n_users=5000)
+        instance = WorkloadGenerator(root_seed=1).build(config)
+        assert instance.n_users == 5000
+        assert instance.n_events == 200
+        assert instance.n_intervals == 150
+
+        grd = GreedyScheduler().solve(instance, 100)
+        top = TopKScheduler().solve(instance, 100)
+        assert grd.achieved_k == 100
+        assert grd.utility > top.utility  # the headline finding, at scale
+
+
+class TestFullScaleConfigArithmetic:
+    def test_meetup_scale_config_shapes(self):
+        config = ExperimentConfig(k=500).at_meetup_scale()
+        assert config.n_users == 42_444
+        assert config.events == 1000
+        assert config.intervals == 750
+        # the pool needed for the biggest sweep point stays within the
+        # full Meetup event count's order of magnitude
+        assert config.required_pool_events < 30_000

@@ -1,0 +1,89 @@
+"""Property tests of Eq. 1–3 invariants (DESIGN.md §5).
+
+These are the *proved* facts of the model — they must hold on every
+instance, not just the unit-test fixtures:
+
+* rho is a probability and co-scheduled rhos share sigma;
+* Omega decomposes by interval and matches between implementations;
+* Omega respects the sigma-sum upper bound;
+* Omega is monotone under adding assignments (scores non-negative).
+"""
+
+from hypothesis import given, settings
+
+from repro.core.attendance import attendance_probability
+from repro.core.objective import (
+    total_utility,
+    total_utility_fast,
+    utility_upper_bound,
+)
+from repro.core.schedule import Assignment
+from repro.core.scoring import assignment_score
+from repro.core.feasibility import FeasibilityChecker
+
+from tests.properties.conftest import instances_with_schedules
+
+COMMON = settings(max_examples=60, deadline=None)
+
+
+@given(pair=instances_with_schedules())
+@COMMON
+def test_rho_is_a_probability(pair):
+    instance, schedule = pair
+    for event in schedule.scheduled_events():
+        for user in range(instance.n_users):
+            rho = attendance_probability(instance, schedule, user, event)
+            assert 0.0 <= rho <= 1.0 + 1e-12
+
+
+@given(pair=instances_with_schedules())
+@COMMON
+def test_cochedule_shares_bounded_by_sigma(pair):
+    """Sum of rho over the events of one interval never exceeds sigma[u,t]."""
+    instance, schedule = pair
+    for interval in schedule.used_intervals():
+        events = schedule.events_at(interval)
+        for user in range(instance.n_users):
+            share = sum(
+                attendance_probability(instance, schedule, user, event)
+                for event in events
+            )
+            assert share <= instance.activity.sigma(user, interval) + 1e-9
+
+
+@given(pair=instances_with_schedules())
+@COMMON
+def test_fast_and_reference_utilities_agree(pair):
+    instance, schedule = pair
+    reference = total_utility(instance, schedule)
+    fast = total_utility_fast(instance, schedule)
+    assert abs(reference - fast) <= 1e-9 * max(1.0, abs(reference))
+
+
+@given(pair=instances_with_schedules())
+@COMMON
+def test_utility_respects_upper_bound(pair):
+    instance, schedule = pair
+    assert total_utility(instance, schedule) <= utility_upper_bound(instance) + 1e-9
+
+
+@given(pair=instances_with_schedules())
+@COMMON
+def test_scores_non_negative_and_utility_monotone(pair):
+    """Every valid addition has non-negative Eq. 4 score (monotone Omega)."""
+    instance, schedule = pair
+    checker = FeasibilityChecker(instance, schedule)
+    before = total_utility(instance, schedule)
+    for event in range(instance.n_events):
+        if schedule.contains_event(event):
+            continue
+        for interval in range(instance.n_intervals):
+            assignment = Assignment(event, interval)
+            if not checker.is_valid(assignment):
+                continue
+            score = assignment_score(instance, schedule, assignment)
+            assert score >= -1e-12
+            grown = schedule.copy()
+            grown.add(assignment)
+            assert total_utility(instance, grown) >= before - 1e-9
+            break  # one interval per event keeps runtime bounded

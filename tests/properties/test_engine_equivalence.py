@@ -1,0 +1,84 @@
+"""Property test: the vectorized engine IS the reference engine, numerically.
+
+The single most load-bearing invariant in the library — every solver
+result, benchmark number and figure rests on it.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.engine import make_engine
+
+from tests.properties.conftest import instances_with_schedules
+
+COMMON = settings(max_examples=50, deadline=None)
+
+
+@given(pair=instances_with_schedules())
+@COMMON
+def test_engines_agree_on_everything(pair):
+    instance, schedule = pair
+    reference = make_engine(instance, "reference")
+    vectorized = make_engine(instance, "vectorized")
+    for assignment in schedule:
+        reference.assign(assignment.event, assignment.interval)
+        vectorized.assign(assignment.event, assignment.interval)
+
+    # total utility
+    assert abs(
+        reference.total_utility() - vectorized.total_utility()
+    ) <= 1e-9
+
+    # per-event omega
+    for event in schedule.scheduled_events():
+        assert abs(reference.omega(event) - vectorized.omega(event)) <= 1e-9
+
+    # per-interval utility
+    for interval in range(instance.n_intervals):
+        assert abs(
+            reference.interval_utility(interval)
+            - vectorized.interval_utility(interval)
+        ) <= 1e-9
+
+    # marginal scores for every remaining event everywhere
+    remaining = [
+        event
+        for event in range(instance.n_events)
+        if not schedule.contains_event(event)
+    ]
+    for interval in range(instance.n_intervals):
+        np.testing.assert_allclose(
+            vectorized.scores_for_interval(interval, remaining),
+            reference.scores_for_interval(interval, remaining),
+            atol=1e-9,
+        )
+
+
+@given(pair=instances_with_schedules())
+@settings(max_examples=30, deadline=None)
+def test_unassign_round_trip_preserves_scores(pair):
+    """assign + unassign must leave the vectorized engine's state intact."""
+    instance, schedule = pair
+    engine = make_engine(instance, "vectorized")
+    for assignment in schedule:
+        engine.assign(assignment.event, assignment.interval)
+    remaining = [
+        event
+        for event in range(instance.n_events)
+        if not schedule.contains_event(event)
+    ]
+    if not remaining:
+        return
+    probe = remaining[0]
+    baseline = [
+        engine.score(probe, interval)
+        for interval in range(instance.n_intervals)
+    ]
+    other = remaining[-1]
+    engine.assign(other, 0)
+    engine.unassign(other)
+    after = [
+        engine.score(probe, interval)
+        for interval in range(instance.n_intervals)
+    ]
+    np.testing.assert_allclose(after, baseline, atol=1e-9)

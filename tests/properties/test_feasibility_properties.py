@@ -1,0 +1,90 @@
+"""Property tests: the incremental checker agrees with the one-shot check.
+
+The :class:`FeasibilityChecker` maintains per-interval state move by move;
+:func:`is_schedule_feasible` re-derives everything from scratch.  Any
+divergence between them means solvers (which trust the checker) and
+validators (which trust the one-shot check) would disagree about the same
+schedule — so we pin them to each other over random build histories,
+including interleaved removals.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feasibility import FeasibilityChecker, is_schedule_feasible
+from repro.core.schedule import Assignment, Schedule
+
+from tests.properties.conftest import ses_instances
+
+COMMON = settings(max_examples=50, deadline=None)
+
+
+@given(
+    instance=ses_instances(),
+    seed=st.integers(0, 2**20),
+    churn=st.floats(0.0, 0.5),
+)
+@COMMON
+def test_checker_matches_oneshot_under_random_histories(instance, seed, churn):
+    """Build a schedule via random valid moves (with removals); states agree."""
+    rng = np.random.default_rng(seed)
+    checker = FeasibilityChecker(instance)
+    schedule = Schedule(instance)
+
+    for _ in range(3 * instance.n_events):
+        remove = schedule.scheduled_events() and rng.random() < churn
+        if remove:
+            victim = int(rng.choice(sorted(schedule.scheduled_events())))
+            removed = schedule.remove(victim)
+            checker.unapply(removed)
+        else:
+            event = int(rng.integers(instance.n_events))
+            interval = int(rng.integers(instance.n_intervals))
+            assignment = Assignment(event, interval)
+            if checker.is_valid(assignment):
+                checker.apply(assignment)
+                schedule.add(assignment)
+        # invariant: everything the checker accepted is one-shot feasible
+        assert is_schedule_feasible(instance, schedule)
+
+    # final cross-check: the checker's validity verdicts are consistent
+    # with actually attempting the addition
+    for event in range(instance.n_events):
+        if schedule.contains_event(event):
+            continue
+        for interval in range(instance.n_intervals):
+            assignment = Assignment(event, interval)
+            if checker.is_valid(assignment):
+                grown = schedule.copy()
+                grown.add(assignment)
+                assert is_schedule_feasible(instance, grown)
+            break  # one interval per event bounds runtime
+
+
+@given(instance=ses_instances(), seed=st.integers(0, 2**20))
+@settings(max_examples=40, deadline=None)
+def test_checker_rebuild_equals_incremental_state(instance, seed):
+    """A checker rebuilt from the final schedule behaves identically."""
+    rng = np.random.default_rng(seed)
+    incremental = FeasibilityChecker(instance)
+    schedule = Schedule(instance)
+    for _ in range(2 * instance.n_events):
+        event = int(rng.integers(instance.n_events))
+        interval = int(rng.integers(instance.n_intervals))
+        assignment = Assignment(event, interval)
+        if incremental.is_valid(assignment):
+            incremental.apply(assignment)
+            schedule.add(assignment)
+
+    rebuilt = FeasibilityChecker(instance, schedule)
+    for event in range(instance.n_events):
+        for interval in range(instance.n_intervals):
+            assignment = Assignment(event, interval)
+            assert incremental.is_valid(assignment) == rebuilt.is_valid(
+                assignment
+            )
+    for interval in range(instance.n_intervals):
+        assert incremental.remaining_resources(interval) == (
+            rebuilt.remaining_resources(interval)
+        )

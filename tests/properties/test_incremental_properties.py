@@ -1,0 +1,98 @@
+"""Stateful property test: the incremental scheduler under random histories.
+
+Drives :class:`~repro.algorithms.incremental.IncrementalScheduler` through
+random operation sequences (arrivals, cancellations, rival announcements,
+budget raises) and checks after every step that
+
+* the maintained schedule is feasible,
+* its size never exceeds the budget,
+* the reported utility equals the schedule's true Omega, and
+* instance/bookkeeping shapes stay consistent.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.algorithms.incremental import IncrementalScheduler
+from repro.core.feasibility import is_schedule_feasible
+from repro.core.objective import total_utility
+
+from tests.conftest import make_random_instance
+
+
+class IncrementalMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        instance = make_random_instance(
+            seed=77, n_users=8, n_events=5, n_intervals=3, n_locations=3,
+            theta=8.0, xi_range=(0.5, 2.5),
+        )
+        self.scheduler = IncrementalScheduler(instance, k=3)
+        self.rng = np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    @rule(density=st.sampled_from([0.0, 0.3, 0.9]))
+    def arrival(self, density):
+        interest = self.rng.uniform(0, 1, self.scheduler.instance.n_users)
+        interest *= self.rng.random(self.scheduler.instance.n_users) < density
+        self.scheduler.add_candidate_event(
+            location=int(self.rng.integers(5)),
+            required_resources=float(self.rng.uniform(0.5, 2.5)),
+            interest_column=interest,
+        )
+
+    @rule()
+    def cancellation(self):
+        if self.scheduler.instance.n_events <= 1:
+            return
+        victim = int(self.rng.integers(self.scheduler.instance.n_events))
+        self.scheduler.cancel_event(victim)
+
+    @rule()
+    def rival_announcement(self):
+        interval = int(self.rng.integers(self.scheduler.instance.n_intervals))
+        self.scheduler.add_competing_event(
+            interval=interval,
+            interest_column=self.rng.uniform(0, 1, self.scheduler.instance.n_users),
+        )
+
+    @rule(extra=st.integers(1, 2))
+    def budget_raise(self, extra):
+        self.scheduler.raise_budget(self.scheduler.k + extra)
+
+    @rule()
+    def rebuild(self):
+        self.scheduler.rebuild()
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def schedule_is_feasible(self):
+        assert is_schedule_feasible(
+            self.scheduler.instance, self.scheduler.schedule
+        )
+
+    @invariant()
+    def size_within_budget(self):
+        assert len(self.scheduler.schedule) <= self.scheduler.k
+
+    @invariant()
+    def utility_is_consistent(self):
+        reported = self.scheduler.utility()
+        truth = total_utility(self.scheduler.instance, self.scheduler.schedule)
+        assert abs(reported - truth) <= 1e-9 * max(1.0, abs(truth))
+
+    @invariant()
+    def shapes_are_consistent(self):
+        instance = self.scheduler.instance
+        assert instance.interest.n_events == instance.n_events
+        assert instance.interest.n_competing == instance.n_competing
+        for event in self.scheduler.schedule.scheduled_events():
+            assert event < instance.n_events
+
+
+TestIncrementalMachine = IncrementalMachine.TestCase
+TestIncrementalMachine.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)

@@ -1,0 +1,61 @@
+"""Property tests of the Theorem-1 reduction over random MKPI instances."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.exhaustive import ExhaustiveScheduler
+from repro.core.engine import make_engine
+from repro.hardness.mkpi import MKPIInstance, solve_mkpi_exact
+from repro.hardness.reduction import reduce_mkpi_to_ses
+
+
+@st.composite
+def mkpi_instances(draw) -> MKPIInstance:
+    n_items = draw(st.integers(1, 5))
+    n_bins = draw(st.integers(1, 3))
+    capacity = draw(st.sampled_from([3.0, 5.0, 8.0]))
+    seed = draw(st.integers(0, 2**20))
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(1.0, capacity, size=n_items)
+    profits = rng.uniform(0.5, 10.0, size=n_items)
+    return MKPIInstance(
+        weights=tuple(weights),
+        profits=tuple(profits),
+        n_bins=n_bins,
+        capacity=capacity,
+    )
+
+
+@given(mkpi=mkpi_instances())
+@settings(max_examples=40, deadline=None)
+def test_profit_encoding_is_exact(mkpi):
+    """Scheduling any single event alone yields sigma * normalized profit."""
+    reduced = reduce_mkpi_to_ses(mkpi, sigma=0.9)
+    engine = make_engine(reduced.ses)
+    normalized = np.array(mkpi.profits) / reduced.profit_scale
+    for item in range(mkpi.n_items):
+        for interval in range(mkpi.n_bins):
+            gain = engine.score(item, interval)
+            assert abs(gain - 0.9 * normalized[item]) <= 1e-10
+
+
+@given(mkpi=mkpi_instances())
+@settings(max_examples=40, deadline=None)
+def test_interests_stay_in_range(mkpi):
+    reduced = reduce_mkpi_to_ses(mkpi)
+    assert reduced.ses.interest.candidate.max() <= 1.0 + 1e-12
+    assert 0.0 < reduced.competing_interest <= 1.0 + 1e-12
+
+
+@given(mkpi=mkpi_instances())
+@settings(max_examples=15, deadline=None)
+def test_optima_correspond(mkpi):
+    """max over k of the SES optimum recovers the MKPI optimum exactly."""
+    reduced = reduce_mkpi_to_ses(mkpi)
+    mkpi_optimum = solve_mkpi_exact(mkpi).total_profit
+    best = 0.0
+    for k in range(mkpi.n_items + 1):
+        result = ExhaustiveScheduler().solve(reduced.ses, k)
+        best = max(best, reduced.utility_to_profit(result.utility))
+    assert abs(best - mkpi_optimum) <= 1e-6 * max(1.0, mkpi_optimum)

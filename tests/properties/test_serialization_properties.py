@@ -1,0 +1,38 @@
+"""Property test: serialization is utility-preserving for any instance."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.data.serialization import instance_from_dict, instance_to_dict
+
+from tests.properties.conftest import ses_instances
+
+
+@given(instance=ses_instances())
+@settings(max_examples=30, deadline=None)
+def test_round_trip_preserves_solver_behaviour(instance):
+    """Solving before and after a JSON round trip gives identical results."""
+    rebuilt = instance_from_dict(instance_to_dict(instance))
+    k = min(3, instance.n_events)
+    original = GreedyScheduler().solve(instance, k)
+    restored = GreedyScheduler().solve(rebuilt, k)
+    assert original.schedule.as_mapping() == restored.schedule.as_mapping()
+    assert abs(original.utility - restored.utility) <= 1e-12 * max(
+        1.0, original.utility
+    )
+
+
+@given(instance=ses_instances())
+@settings(max_examples=30, deadline=None)
+def test_round_trip_is_bitwise_for_matrices(instance):
+    rebuilt = instance_from_dict(instance_to_dict(instance))
+    np.testing.assert_array_equal(
+        rebuilt.interest.candidate, instance.interest.candidate
+    )
+    np.testing.assert_array_equal(
+        rebuilt.interest.competing, instance.interest.competing
+    )
+    np.testing.assert_array_equal(
+        rebuilt.activity.matrix, instance.activity.matrix
+    )

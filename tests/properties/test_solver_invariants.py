@@ -1,0 +1,109 @@
+"""Property tests over all solvers: feasibility, sizing, quality ordering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.greedy import GreedyScheduler
+from repro.algorithms.greedy_heap import LazyGreedyScheduler
+from repro.algorithms.random_schedule import RandomScheduler
+from repro.algorithms.top import TopKScheduler
+from repro.core.feasibility import FeasibilityChecker, is_schedule_feasible
+from repro.core.objective import total_utility
+from repro.core.schedule import Assignment
+
+from tests.properties.conftest import ses_instances
+
+COMMON = settings(max_examples=40, deadline=None)
+
+
+def _solvers(seed: int):
+    return [
+        GreedyScheduler(),
+        LazyGreedyScheduler(),
+        TopKScheduler(),
+        RandomScheduler(seed=seed),
+    ]
+
+
+@given(instance=ses_instances(), k=st.integers(0, 6), seed=st.integers(0, 99))
+@COMMON
+def test_every_solver_feasible_and_bounded(instance, k, seed):
+    for solver in _solvers(seed):
+        result = solver.solve(instance, k)
+        assert is_schedule_feasible(instance, result.schedule)
+        assert result.achieved_k <= min(k, instance.n_events)
+        assert result.utility >= -1e-12
+        # reported utility is the schedule's true Omega
+        assert abs(
+            result.utility - total_utility(instance, result.schedule)
+        ) <= 1e-9 * max(1.0, result.utility)
+
+
+@given(instance=ses_instances(), k=st.integers(1, 6), seed=st.integers(0, 99))
+@COMMON
+def test_solvers_fill_k_whenever_a_valid_assignment_remains(instance, k, seed):
+    """If a solver stops short of k, no valid assignment can exist.
+
+    This is the termination contract of Algorithm 1: it only returns
+    |S| < k when its list has emptied.
+    """
+    for solver in _solvers(seed):
+        result = solver.solve(instance, k)
+        if result.achieved_k >= min(k, instance.n_events):
+            continue
+        checker = FeasibilityChecker(instance, result.schedule)
+        for event in range(instance.n_events):
+            for interval in range(instance.n_intervals):
+                assert not checker.is_valid(Assignment(event, interval)), (
+                    f"{solver.name} stopped at {result.achieved_k} < {k} while "
+                    f"a[e{event}@t{interval}] was still valid"
+                )
+
+
+@given(instance=ses_instances(), k=st.integers(1, 5))
+@COMMON
+def test_heap_grd_matches_list_grd_utility(instance, k):
+    """The lazy heap must not change greedy's achieved utility.
+
+    Only *utility* is asserted: the two implementations may break exact
+    score ties differently.  All positive-score selections coincide (the
+    candidates and their scores are identical and distinct almost surely);
+    ties arise structurally at score 0 (events nobody wants), where
+    different placement orders can dead-end feasibility differently —
+    changing ``achieved_k`` but, since the tied scores are all zero, never
+    the utility.
+    """
+    list_result = GreedyScheduler().solve(instance, k)
+    heap_result = LazyGreedyScheduler().solve(instance, k)
+    assert abs(list_result.utility - heap_result.utility) <= 1e-9 * max(
+        1.0, list_result.utility
+    )
+
+
+@given(instance=ses_instances(max_users=8, max_events=5, max_intervals=3),
+       k=st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_grd_quality_floor_against_exact_optimum(instance, k):
+    """GRD stays above 1/3 of the exact optimum on tiny instances.
+
+    Note this is a *tripwire*, not the paper's claim: greedy on a monotone
+    submodular objective under one matroid gives 1/2, and the per-interval
+    location/resource constraints add further matroid/knapsack structure
+    that dilutes the provable factor.  Empirically GRD sits near optimal;
+    anything under 1/3 would indicate a scoring or update bug, which is
+    what this test is for.  (GRD >= TOP / RAND is deliberately NOT asserted
+    universally — with binding resource constraints greedy's early pick can
+    block a better pair, so it is not a theorem; the paper-shaped workloads
+    in the integration suite check the empirical ordering instead.)
+    """
+    from repro.algorithms.exhaustive import ExhaustiveScheduler
+
+    grd = GreedyScheduler().solve(instance, k)
+    exact = ExhaustiveScheduler().solve(instance, k)
+    # both fill maximally; compare only at equal size (the exact solver
+    # prefers larger schedules lexicographically, and utilities of
+    # different-size schedules are not comparable)
+    if grd.achieved_k == exact.achieved_k:
+        assert exact.utility >= grd.utility - 1e-9
+        if exact.utility > 1e-12:
+            assert grd.utility >= exact.utility / 3.0 - 1e-9

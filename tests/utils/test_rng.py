@@ -1,0 +1,52 @@
+"""Tests of the RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequenceFactory, ensure_rng
+
+
+class TestEnsureRng:
+    def test_accepts_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_accepts_int_seed_deterministically(self):
+        assert ensure_rng(5).integers(1000) == ensure_rng(5).integers(1000)
+
+    def test_passes_generators_through(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+
+class TestSeedSequenceFactory:
+    def test_children_are_deterministic(self):
+        a = SeedSequenceFactory(7).spawn().integers(10_000)
+        b = SeedSequenceFactory(7).spawn().integers(10_000)
+        assert a == b
+
+    def test_children_are_independent_streams(self):
+        factory = SeedSequenceFactory(7)
+        first = factory.spawn().integers(10_000)
+        second = factory.spawn().integers(10_000)
+        assert first != second  # overwhelmingly likely for distinct streams
+
+    def test_spawn_count_tracked(self):
+        factory = SeedSequenceFactory(0)
+        factory.spawn()
+        factory.spawn_many(3)
+        assert factory.spawned == 4
+
+    def test_spawn_many_length(self):
+        assert len(SeedSequenceFactory(0).spawn_many(5)) == 5
+
+    def test_spawn_many_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SeedSequenceFactory(0).spawn_many(-1)
+
+    def test_child_order_is_position_stable(self):
+        """The i-th child is the same regardless of later spawns."""
+        factory_a = SeedSequenceFactory(3)
+        children_a = [factory_a.spawn().integers(10**6) for _ in range(3)]
+        factory_b = SeedSequenceFactory(3)
+        children_b = [factory_b.spawn().integers(10**6) for _ in range(5)][:3]
+        assert children_a == children_b

@@ -1,0 +1,61 @@
+"""Tests of the stopwatch and timed helper."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_accumulates_across_blocks(self):
+        stopwatch = Stopwatch()
+        with stopwatch:
+            time.sleep(0.01)
+        first = stopwatch.elapsed
+        with stopwatch:
+            time.sleep(0.01)
+        assert stopwatch.elapsed > first
+
+    def test_elapsed_while_running(self):
+        stopwatch = Stopwatch()
+        stopwatch.start()
+        time.sleep(0.005)
+        assert stopwatch.elapsed > 0
+        assert stopwatch.running
+        stopwatch.stop()
+        assert not stopwatch.running
+
+    def test_double_start_rejected(self):
+        stopwatch = Stopwatch()
+        stopwatch.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            stopwatch.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        stopwatch = Stopwatch()
+        with stopwatch:
+            time.sleep(0.002)
+        stopwatch.reset()
+        assert stopwatch.elapsed == 0.0
+
+    def test_stop_returns_total(self):
+        stopwatch = Stopwatch()
+        stopwatch.start()
+        total = stopwatch.stop()
+        assert total == stopwatch.elapsed
+
+
+class TestTimed:
+    def test_returns_result_and_duration(self):
+        result, seconds = timed(sum, range(100))
+        assert result == 4950
+        assert seconds >= 0.0
+
+    def test_passes_kwargs(self):
+        result, _ = timed(sorted, [3, 1, 2], reverse=True)
+        assert result == [3, 2, 1]

@@ -1,0 +1,68 @@
+"""Tests of the validation guards."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_index,
+    check_non_negative,
+    check_positive,
+    check_probability_matrix,
+)
+
+
+class TestScalarGuards:
+    def test_check_positive_passes_and_returns(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive(0.0, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError, match="non-negative"):
+            check_non_negative(-0.1, "x")
+
+    def test_check_fraction(self):
+        assert check_fraction(1.0, "p") == 1.0
+        assert check_fraction(0.0, "p") == 0.0
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_fraction(1.01, "p")
+
+
+class TestIndexGuard:
+    def test_valid_index_returned_as_int(self):
+        value = check_index(np.int64(3), 5, "i")
+        assert value == 3
+        assert isinstance(value, int)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError, match=r"\[0, 5\)"):
+            check_index(5, 5, "i")
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError, match="integer index"):
+            check_index(2.5, 5, "i")
+
+
+class TestMatrixGuard:
+    def test_valid_matrix_passes(self):
+        matrix = check_probability_matrix(np.array([[0.0, 1.0]]), "m")
+        assert matrix.dtype == float
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="m entries"):
+            check_probability_matrix(np.array([[2.0]]), "m")
+
+    def test_nan_rejected_before_range(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_probability_matrix(np.array([[np.nan]]), "m")
+
+    def test_empty_matrix_passes(self):
+        check_probability_matrix(np.zeros((0, 3)), "m")
+
+    def test_lists_coerced(self):
+        matrix = check_probability_matrix([[0.5, 0.5]], "m")
+        assert isinstance(matrix, np.ndarray)

@@ -1,0 +1,49 @@
+"""Tests that the sigma-source choice flows through the workload pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.config import ExperimentConfig
+from repro.workloads.generator import WorkloadGenerator
+
+
+class TestSigmaSourcePropagation:
+    def test_uniform_is_the_default(self):
+        assert ExperimentConfig().sigma_source == "uniform"
+
+    def test_checkins_source_builds(self):
+        config = ExperimentConfig(k=8, n_users=60, sigma_source="checkins")
+        instance = WorkloadGenerator(root_seed=4).build(config)
+        sigma = instance.activity.matrix
+        assert sigma.shape == (60, config.intervals)
+        assert 0.0 <= sigma.min() and sigma.max() <= 1.0
+
+    def test_checkins_sigma_has_weekly_period(self):
+        """Check-in sigma tiles the weekly grid across candidate intervals."""
+        config = ExperimentConfig(k=20, n_users=60, sigma_source="checkins")
+        generator = WorkloadGenerator(root_seed=4)
+        instance = generator.build(config)
+        weekly_slots = generator.snapshot_for(config).config.weekly_slots
+        sigma = instance.activity.matrix
+        if sigma.shape[1] > weekly_slots:
+            np.testing.assert_allclose(
+                sigma[:, 0], sigma[:, weekly_slots]
+            )
+
+    def test_uniform_sigma_is_not_periodic(self):
+        config = ExperimentConfig(k=20, n_users=60, sigma_source="uniform")
+        generator = WorkloadGenerator(root_seed=4)
+        instance = generator.build(config)
+        weekly_slots = generator.snapshot_for(config).config.weekly_slots
+        sigma = instance.activity.matrix
+        if sigma.shape[1] > weekly_slots:
+            assert not np.allclose(sigma[:, 0], sigma[:, weekly_slots])
+
+    def test_solvers_work_under_checkin_sigma(self):
+        from repro.algorithms.greedy import GreedyScheduler
+
+        config = ExperimentConfig(k=8, n_users=60, sigma_source="checkins")
+        instance = WorkloadGenerator(root_seed=4).build(config)
+        result = GreedyScheduler().solve(instance, 8)
+        assert result.achieved_k == 8
+        assert result.utility > 0

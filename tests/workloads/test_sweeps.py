@@ -1,0 +1,76 @@
+"""Tests of the Figure-1 sweep definitions."""
+
+import pytest
+
+from repro.workloads.config import ExperimentConfig
+from repro.workloads.sweeps import (
+    PAPER_INTERVAL_FACTORS,
+    PAPER_K_GRID,
+    sweep_intervals,
+    sweep_k,
+)
+
+
+class TestPaperGrids:
+    def test_k_grid_spans_default_to_max(self):
+        assert min(PAPER_K_GRID) == 100
+        assert max(PAPER_K_GRID) == 500
+
+    def test_interval_factors_span_fifth_to_triple(self):
+        assert min(PAPER_INTERVAL_FACTORS) == pytest.approx(0.2)
+        assert max(PAPER_INTERVAL_FACTORS) == pytest.approx(3.0)
+        assert 1.5 in PAPER_INTERVAL_FACTORS  # the default 3k/2
+
+
+class TestSweepK:
+    def test_produces_one_config_per_k(self):
+        sweep = sweep_k((10, 20, 30))
+        assert {x for x, _ in sweep} == {10, 20, 30}
+
+    def test_largest_first_for_pool_sizing(self):
+        sweep = sweep_k((10, 30, 20))
+        assert [x for x, _ in sweep] == [30, 20, 10]
+
+    def test_configs_keep_paper_derived_sizes(self):
+        sweep = dict(sweep_k((10, 20)))
+        assert sweep[10].events == 20
+        assert sweep[20].intervals == 30
+
+    def test_base_config_propagates(self):
+        base = ExperimentConfig(n_users=55)
+        sweep = sweep_k((10,), base=base)
+        assert sweep[0][1].n_users == 55
+
+    def test_duplicates_collapsed(self):
+        assert len(sweep_k((10, 10, 20))) == 2
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            sweep_k(())
+
+
+class TestSweepIntervals:
+    def test_x_values_are_interval_counts(self):
+        sweep = sweep_intervals(k=100, factors=(0.2, 1.0, 3.0))
+        assert {x for x, _ in sweep} == {20, 100, 300}
+
+    def test_configs_pin_intervals_and_keep_k(self):
+        sweep = dict(sweep_intervals(k=100, factors=(0.5,)))
+        config = sweep[50]
+        assert config.k == 100
+        assert config.intervals == 50
+        assert config.events == 200
+
+    def test_default_factors_are_paper_grid(self):
+        sweep = sweep_intervals(k=100)
+        assert {x for x, _ in sweep} == {20, 50, 100, 150, 200, 300}
+
+    def test_largest_first(self):
+        xs = [x for x, _ in sweep_intervals(k=100)]
+        assert xs == sorted(xs, reverse=True)
+
+    def test_bad_factors_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            sweep_intervals(k=100, factors=(0.0,))
+        with pytest.raises(ValueError, match="non-empty"):
+            sweep_intervals(k=100, factors=())
