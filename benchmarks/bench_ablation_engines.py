@@ -1,14 +1,22 @@
-"""Abl 1 — vectorized numpy engine versus the pure-Python reference engine.
+"""Abl 1 — score-engine ablation: vectorized vs sparse vs the reference oracle.
 
-DESIGN.md commits to two interchangeable Eq. 1–4 evaluators.  This
-benchmark quantifies why the vectorized engine is the default: bulk
-scoring of one interval (the inner loop of GRD/TOP) and a full GRD run are
-timed under both engines on the *same* instance, with outputs asserted
-equal.  The reference engine uses a deliberately reduced instance — it is
-the semantic oracle, not a contender.
+DESIGN.md commits to interchangeable Eq. 1–4 evaluators.  This benchmark
+quantifies the choice three ways:
+
+* bulk scoring of one interval (the inner loop of GRD/TOP) and a full GRD
+  run are timed under every engine on the *same* instance, with outputs
+  asserted equal.  The reference engine uses a deliberately reduced
+  instance — it is the semantic oracle, not a contender.
+* a **scale panel** runs the same workload at 10x the suite's default
+  population (2,000 users) under the dense pipeline (dense ``mu`` +
+  vectorized engine) and the sparse pipeline (CSC ``mu`` + sparse
+  engine), asserting identical utilities and *lower peak memory* for
+  sparse — the property that unlocks Meetup-scale populations.
 """
 
 from __future__ import annotations
+
+import tracemalloc
 
 import numpy as np
 import pytest
@@ -19,8 +27,11 @@ from repro.workloads.config import ExperimentConfig
 from repro.workloads.generator import WorkloadGenerator
 
 _K = 10
+_USERS = 200
+#: The scale panel runs at 10x the default population of this module.
+_SCALE_FACTOR = 10
 _GENERATOR = WorkloadGenerator(root_seed=99)
-_CONFIG = ExperimentConfig(k=_K, n_users=200)
+_CONFIG = ExperimentConfig(k=_K, n_users=_USERS)
 _INSTANCE = None
 
 
@@ -32,21 +43,21 @@ def _instance():
 
 
 @pytest.mark.benchmark(group="ablation1-engines")
-@pytest.mark.parametrize("kind", ["vectorized", "reference"])
+@pytest.mark.parametrize("kind", ["vectorized", "sparse", "reference"])
 def test_bulk_interval_scoring(benchmark, kind: str):
     instance = _instance()
     engine = make_engine(instance, kind)
     events = list(range(instance.n_events))
 
     scores = benchmark(engine.scores_for_interval, 0, events)
-    # both engines must produce the same numbers
+    # every engine must produce the same numbers
     oracle = make_engine(instance, "reference").scores_for_interval(0, events)
     np.testing.assert_allclose(scores, oracle, atol=1e-9)
     benchmark.extra_info["engine"] = kind
 
 
 @pytest.mark.benchmark(group="ablation1-engines")
-@pytest.mark.parametrize("kind", ["vectorized", "reference"])
+@pytest.mark.parametrize("kind", ["vectorized", "sparse", "reference"])
 def test_full_grd_run(benchmark, kind: str):
     instance = _instance()
     solver = GreedyScheduler(engine_kind=kind)
@@ -58,3 +69,72 @@ def test_full_grd_run(benchmark, kind: str):
     # the choice of engine must not affect the outcome
     oracle = GreedyScheduler(engine_kind="vectorized").solve(instance, _K)
     assert result.utility == pytest.approx(oracle.utility, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# scale panel: dense vs sparse pipeline at 10x users
+# ----------------------------------------------------------------------
+
+#: pipeline name -> (interest backend, engine kind)
+_PIPELINES = {"dense": ("dense", "vectorized"), "sparse": ("sparse", "sparse")}
+
+
+def _scale_config(backend: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        k=_K, n_users=_USERS * _SCALE_FACTOR, interest_backend=backend
+    )
+
+
+def _run_scale_pipeline(pipeline: str) -> tuple[float, int]:
+    """Build + solve the 10x workload; return (utility, traced peak bytes).
+
+    The EBSN snapshot is generated before tracing starts — it is byte-for-
+    byte identical for both pipelines (same root seed, same sizes), so the
+    measured peak isolates what actually differs: mu mining, mu storage
+    and the engine's scoring temporaries.
+    """
+    backend, engine_kind = _PIPELINES[pipeline]
+    generator = WorkloadGenerator(root_seed=99)
+    config = _scale_config(backend)
+    generator.snapshot_for(config)  # shared, pre-traced
+
+    tracemalloc.start()
+    try:
+        instance = generator.build(config, seed=1)
+        result = GreedyScheduler(engine_kind=engine_kind).solve(instance, _K)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result.utility, peak
+
+
+@pytest.mark.benchmark(group="ablation1-engines-scale")
+@pytest.mark.parametrize("pipeline", sorted(_PIPELINES))
+def test_scale_panel_runtime(benchmark, pipeline: str):
+    """Wall-clock of the full 10x-user pipeline (build mu + GRD solve)."""
+    backend, engine_kind = _PIPELINES[pipeline]
+    generator = WorkloadGenerator(root_seed=99)
+    config = _scale_config(backend)
+    generator.snapshot_for(config)
+
+    def run():
+        instance = generator.build(config, seed=1)
+        return GreedyScheduler(engine_kind=engine_kind).solve(instance, _K)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["pipeline"] = pipeline
+    benchmark.extra_info["n_users"] = config.n_users
+    benchmark.extra_info["utility"] = result.utility
+
+
+def test_scale_panel_sparse_uses_less_memory_than_dense():
+    """At 10x users the sparse pipeline must beat dense on peak memory
+    while producing the identical schedule utility."""
+    dense_utility, dense_peak = _run_scale_pipeline("dense")
+    sparse_utility, sparse_peak = _run_scale_pipeline("sparse")
+
+    assert sparse_utility == pytest.approx(dense_utility, abs=1e-9)
+    assert sparse_peak < dense_peak, (
+        f"sparse pipeline peaked at {sparse_peak / 1e6:.1f} MB, dense at "
+        f"{dense_peak / 1e6:.1f} MB — sparse must be lower"
+    )

@@ -95,8 +95,10 @@ class Scheduler(ABC):
     Parameters
     ----------
     engine_kind:
-        ``"vectorized"`` (default) or ``"reference"``; every solver is
-        engine-agnostic, which is what makes the Abl-1 ablation possible.
+        ``"vectorized"`` (default), ``"sparse"`` or ``"reference"``; every
+        solver is engine-agnostic, which is what makes the Abl-1 ablation
+        possible.  Pick ``"sparse"`` (with a sparse-backed interest
+        matrix) for Meetup-scale populations.
     strict:
         When True, raise :class:`ScheduleSizeError` if fewer than ``k``
         assignments were placed.

@@ -16,6 +16,7 @@ from repro.core.attendance import (
 from repro.core.engine import (
     ReferenceEngine,
     ScoreEngine,
+    SparseEngine,
     VectorizedEngine,
     make_engine,
 )
@@ -77,6 +78,7 @@ __all__ = [
     "Schedule",
     "ScheduleSizeError",
     "ScoreEngine",
+    "SparseEngine",
     "TimeInterval",
     "UnknownEntityError",
     "User",

@@ -1,7 +1,7 @@
 """Score engines: interchangeable evaluators of Eq. 1–4 against a live schedule.
 
 Greedy solvers interrogate the objective thousands of times; this module
-provides that oracle behind one interface, :class:`ScoreEngine`, with two
+provides that oracle behind one interface, :class:`ScoreEngine`, with three
 implementations:
 
 * :class:`ReferenceEngine` — delegates to the loop-based reference functions
@@ -22,9 +22,42 @@ implementations:
   derived in DESIGN.md §5; equality with the reference engine to 1e-9 is a
   property test.
 
-Both engines mirror the schedule they evaluate: call :meth:`assign` /
-:meth:`unassign` as the solver commits moves.  0/0 is defined as 0
-throughout, matching the reference semantics.
+* :class:`SparseEngine` — the same algebra restricted to nonzero support.
+
+Sparse design notes
+-------------------
+
+The per-user summand of Eq. 4 above is ``f(M + m_r) - f(M)`` with
+``f(M) = M / (K + M)``; wherever ``mu[u, r] = 0`` the two terms coincide
+and the user contributes *exactly* zero.  Jaccard-mined Meetup interest is
+overwhelmingly sparse (a user shares tags with a tiny fraction of the
+event pool), so almost every user drops out of almost every query.  The
+sparse engine exploits this:
+
+* ``mu`` stays in CSC storage (``InterestMatrix(backend="sparse")``); a
+  score query gathers only the nonzero ``(rows, values)`` of event ``r``'s
+  column — O(nnz(r)) work and memory, independent of ``|U|``;
+* the scheduled mass ``M_t`` and competing mass ``K_t`` are kept as sorted
+  sparse vectors, gathered at a column's rows by binary search.  ``M_t``
+  additionally counts nonzero-mu contributors per row so that removals
+  drop entries whose true mass returned to zero (subtraction residue of
+  ~1e-16 would otherwise read as ``M / (K + M) = 1`` wherever ``K = 0``);
+* ``K_t`` is accumulated lazily per interval from the competing columns
+  (``InterestMatrix.competing_mass_entries``), so the dense
+  ``(|T|, |U|)`` ``competing_mass`` table on the instance is never
+  touched;
+* no dense ``(users, events)`` or even ``(users,)`` temporary is ever
+  materialized — :meth:`SparseEngine.scores_for_interval` is a per-column
+  loop over gathers, whose total footprint is the number of stored
+  entries of the queried columns.
+
+All three engines agree to 1e-9 on every query; the cross-engine property
+suite (``tests/properties/test_engine_equivalence.py``) draws both interest
+backends and random assign/unassign sequences to enforce it.
+
+Both stateful engines mirror the schedule they evaluate: call
+:meth:`assign` / :meth:`unassign` as the solver commits moves.  0/0 is
+defined as 0 throughout, matching the reference semantics.
 """
 
 from __future__ import annotations
@@ -37,9 +70,16 @@ import numpy as np
 from repro.core import attendance, objective, scoring
 from repro.core.errors import DuplicateEventError, UnknownEntityError
 from repro.core.instance import SESInstance
+from repro.core.interest import masked_ratio
 from repro.core.schedule import Assignment, Schedule
 
-__all__ = ["ScoreEngine", "ReferenceEngine", "VectorizedEngine", "make_engine"]
+__all__ = [
+    "ScoreEngine",
+    "ReferenceEngine",
+    "VectorizedEngine",
+    "SparseEngine",
+    "make_engine",
+]
 
 
 class ScoreEngine(ABC):
@@ -161,24 +201,41 @@ class VectorizedEngine(ScoreEngine):
         self._mu = instance.interest.candidate
         self._sigma = instance.activity.matrix
         self._scheduled_mass: dict[int, np.ndarray] = {}
+        self._contributors: dict[int, np.ndarray] = {}
         super().__init__(instance)
 
     # ------------------------------------------------------------------
     def _reset_state(self) -> None:
         self._scheduled_mass.clear()
+        self._contributors.clear()
 
     def _apply(self, event: int, interval: int, sign: int) -> None:
+        if sign < 0 and not self._schedule.events_at(interval):
+            del self._scheduled_mass[interval]
+            del self._contributors[interval]
+            return
         mass = self._scheduled_mass.get(interval)
         if mass is None:
             mass = np.zeros(self._instance.n_users)
             self._scheduled_mass[interval] = mass
+            self._contributors[interval] = np.zeros(
+                self._instance.n_users, dtype=np.int64
+            )
+        column = self._mu[:, event]
+        contributors = self._contributors[interval]
         if sign > 0:
-            mass += self._mu[:, event]
-        else:
-            mass -= self._mu[:, event]
-            if not self._schedule.events_at(interval):
-                # exact zero for emptied intervals, killing float residue
-                del self._scheduled_mass[interval]
+            mass += column
+            contributors += column != 0.0
+            return
+        # Plain subtraction leaves ~1e-16 residue on users whose remaining
+        # mass should be exactly zero, and where the competing mass is also
+        # zero the ratio M / (K + M) then evaluates to 1 instead of 0 — a
+        # whole sigma[u, t] of phantom utility per affected user.  Counting
+        # nonzero-mu contributors per user lets us hard-zero exactly those
+        # entries in O(|U|), without rebuilding from the sibling columns.
+        mass -= column
+        contributors -= column != 0.0
+        mass[contributors == 0] = 0.0
 
     def _mass(self, interval: int) -> np.ndarray:
         mass = self._scheduled_mass.get(interval)
@@ -199,18 +256,8 @@ class VectorizedEngine(ScoreEngine):
 
         old_denominator = competing + scheduled
         new_denominator = old_denominator + column
-        after = np.divide(
-            scheduled + column,
-            new_denominator,
-            out=np.zeros_like(scheduled),
-            where=new_denominator > 0.0,
-        )
-        before = np.divide(
-            scheduled,
-            old_denominator,
-            out=np.zeros_like(scheduled),
-            where=old_denominator > 0.0,
-        )
+        after = masked_ratio(scheduled + column, new_denominator)
+        before = masked_ratio(scheduled, old_denominator)
         return float(sigma @ (after - before))
 
     def scores_for_interval(self, interval: int, events: Sequence[int]) -> np.ndarray:
@@ -229,13 +276,7 @@ class VectorizedEngine(ScoreEngine):
         competing = self._instance.competing_mass[interval]
         sigma = self._sigma[:, interval]
         old_denominator = competing + scheduled
-        before = np.divide(
-            scheduled,
-            old_denominator,
-            out=np.zeros_like(scheduled),
-            where=old_denominator > 0.0,
-        )
-        base = float(sigma @ before)
+        base = float(sigma @ masked_ratio(scheduled, old_denominator))
 
         # Chunked, allocation-lean evaluation.  Per chunk only two
         # (users x events) temporaries are materialized: the mu column
@@ -263,24 +304,13 @@ class VectorizedEngine(ScoreEngine):
                 f"scheduled events"
             )
         denominator = self._instance.competing_mass[interval] + self._mass(interval)
-        column = self._mu[:, event]
-        ratio = np.divide(
-            column,
-            denominator,
-            out=np.zeros_like(column, dtype=float),
-            where=denominator > 0.0,
-        )
+        ratio = masked_ratio(self._mu[:, event], denominator)
         return float(self._sigma[:, interval] @ ratio)
 
     def interval_utility(self, interval: int) -> float:
         scheduled = self._mass(interval)
         denominator = self._instance.competing_mass[interval] + scheduled
-        ratio = np.divide(
-            scheduled,
-            denominator,
-            out=np.zeros_like(scheduled),
-            where=denominator > 0.0,
-        )
+        ratio = masked_ratio(scheduled, denominator)
         return float(self._sigma[:, interval] @ ratio)
 
     def total_utility(self) -> float:
@@ -289,11 +319,186 @@ class VectorizedEngine(ScoreEngine):
         )
 
 
-_ENGINES = {"reference": ReferenceEngine, "vectorized": VectorizedEngine}
+class _SparseMass:
+    """A sparse non-negative vector: sorted row indices + parallel values.
+
+    The scheduled interest mass ``M_t`` of one interval.  Alongside each
+    value we count how many scheduled columns contribute a nonzero entry
+    to that row; when a removal drops a row's count to zero the entry is
+    discarded outright, so subtraction residue (~1e-16 where the true
+    remaining mass is exactly zero) can never leak phantom utility into
+    the ``M / (K + M)`` ratio.
+    """
+
+    __slots__ = ("rows", "values", "counts")
+
+    def __init__(self) -> None:
+        self.rows = np.zeros(0, dtype=np.intp)
+        self.values = np.zeros(0)
+        self.counts = np.zeros(0, dtype=np.int64)
+
+    def update(self, rows: np.ndarray, values: np.ndarray, sign: int) -> None:
+        """Merge-add (``sign=+1``) or merge-subtract (``-1``) one column."""
+        merged_rows = np.concatenate([self.rows, rows])
+        merged_values = np.concatenate([self.values, sign * values])
+        merged_counts = np.concatenate(
+            [self.counts, np.full(rows.size, sign, dtype=np.int64)]
+        )
+        unique, inverse = np.unique(merged_rows, return_inverse=True)
+        summed = np.zeros(unique.size)
+        np.add.at(summed, inverse, merged_values)
+        counts = np.zeros(unique.size, dtype=np.int64)
+        np.add.at(counts, inverse, merged_counts)
+        keep = counts > 0
+        self.rows = unique[keep].astype(np.intp, copy=False)
+        self.values = summed[keep]
+        self.counts = counts[keep]
+
+    def gather(self, rows: np.ndarray) -> np.ndarray:
+        """Values at ``rows`` (sorted), zeros where absent."""
+        return _gather_sorted(self.rows, self.values, rows)
+
+
+def _gather_sorted(
+    vec_rows: np.ndarray, vec_values: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Gather a sorted sparse vector at sorted query rows (missing -> 0)."""
+    out = np.zeros(rows.size)
+    if vec_rows.size == 0 or rows.size == 0:
+        return out
+    positions = np.searchsorted(vec_rows, rows)
+    positions[positions == vec_rows.size] = vec_rows.size - 1
+    hits = vec_rows[positions] == rows
+    out[hits] = vec_values[positions[hits]]
+    return out
+
+
+class SparseEngine(ScoreEngine):
+    """CSC-native engine: every query costs O(nnz of the touched columns).
+
+    Works with either interest backend (a dense backend is gathered
+    column-by-column), but is built for ``InterestMatrix(backend="sparse")``
+    where it never materializes a dense user-axis temporary — see the
+    module docstring's sparse design notes.
+    """
+
+    def __init__(self, instance: SESInstance) -> None:
+        self._interest = instance.interest
+        self._sigma = instance.activity.matrix
+        self._scheduled_mass: dict[int, _SparseMass] = {}
+        # K_t as sparse vectors, accumulated lazily per interval so the
+        # dense (|T|, |U|) competing_mass table is never touched
+        self._competing_entries: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        super().__init__(instance)
+
+    # ------------------------------------------------------------------
+    def _reset_state(self) -> None:
+        self._scheduled_mass.clear()
+
+    def _apply(self, event: int, interval: int, sign: int) -> None:
+        if sign < 0 and not self._schedule.events_at(interval):
+            del self._scheduled_mass[interval]
+            return
+        mass = self._scheduled_mass.get(interval)
+        if mass is None:
+            mass = _SparseMass()
+            self._scheduled_mass[interval] = mass
+        rows, values = self._interest.event_column_entries(event)
+        mass.update(rows, values, sign)
+
+    def _competing_at(self, interval: int, rows: np.ndarray) -> np.ndarray:
+        cached = self._competing_entries.get(interval)
+        if cached is None:
+            cached = self._interest.competing_mass_entries(
+                self._instance.competing_by_interval[interval]
+            )
+            self._competing_entries[interval] = cached
+        return _gather_sorted(cached[0], cached[1], rows)
+
+    def _scheduled_at(self, interval: int, rows: np.ndarray) -> np.ndarray:
+        mass = self._scheduled_mass.get(interval)
+        if mass is None:
+            return np.zeros(rows.size)
+        return mass.gather(rows)
+
+    # ------------------------------------------------------------------
+    def _score_unchecked(self, event: int, interval: int) -> float:
+        rows, column = self._interest.event_column_entries(event)
+        if rows.size == 0:
+            # a zero-interest event changes no denominator: score is 0
+            return 0.0
+        scheduled = self._scheduled_at(interval, rows)
+        old_denominator = self._competing_at(interval, rows) + scheduled
+        new_denominator = old_denominator + column
+        after = masked_ratio(scheduled + column, new_denominator)
+        before = masked_ratio(scheduled, old_denominator)
+        sigma = self._sigma[rows, interval]
+        return float(sigma @ (after - before))
+
+    def score(self, event: int, interval: int) -> float:
+        if self._schedule.contains_event(event):
+            raise DuplicateEventError(
+                f"event {event} is already scheduled; Eq. 4 requires r not in E(S)"
+            )
+        return self._score_unchecked(event, interval)
+
+    def scores_for_interval(self, interval: int, events: Sequence[int]) -> np.ndarray:
+        event_indices = [int(event) for event in events]
+        for event in event_indices:
+            if self._schedule.contains_event(event):
+                raise DuplicateEventError(
+                    f"event {event} is already scheduled; "
+                    f"Eq. 4 requires r not in E(S)"
+                )
+        return np.array(
+            [self._score_unchecked(event, interval) for event in event_indices]
+        )
+
+    def omega(self, event: int) -> float:
+        interval = self._schedule.interval_of(event)
+        if interval is None:
+            raise UnknownEntityError(
+                f"event {event} is not scheduled; omega is defined only for "
+                f"scheduled events"
+            )
+        rows, column = self._interest.event_column_entries(event)
+        if rows.size == 0:
+            return 0.0
+        denominator = self._competing_at(interval, rows) + self._scheduled_at(
+            interval, rows
+        )
+        ratio = masked_ratio(column, denominator)
+        return float(self._sigma[rows, interval] @ ratio)
+
+    def interval_utility(self, interval: int) -> float:
+        mass = self._scheduled_mass.get(interval)
+        if mass is None or mass.rows.size == 0:
+            return 0.0
+        competing = self._competing_at(interval, mass.rows)
+        ratio = masked_ratio(mass.values, competing + mass.values)
+        return float(self._sigma[mass.rows, interval] @ ratio)
+
+    def total_utility(self) -> float:
+        return sum(
+            self.interval_utility(interval) for interval in self._scheduled_mass
+        )
+
+
+_ENGINES = {
+    "reference": ReferenceEngine,
+    "vectorized": VectorizedEngine,
+    "sparse": SparseEngine,
+}
 
 
 def make_engine(instance: SESInstance, kind: str = "vectorized") -> ScoreEngine:
-    """Factory: build a score engine by name (``"vectorized"``/``"reference"``)."""
+    """Factory: build a score engine by name.
+
+    ``"vectorized"`` (default) broadcasts over dense arrays; ``"sparse"``
+    touches only nonzero interest entries (pair with
+    ``InterestMatrix(backend="sparse")`` for Meetup-scale populations);
+    ``"reference"`` is the loop-based semantic oracle.
+    """
     try:
         engine_cls = _ENGINES[kind]
     except KeyError:

@@ -1,103 +1,348 @@
 """The interest function ``mu : U x (E u C) -> [0, 1]`` (paper Section II).
 
 The paper models a user's affinity for both candidate and competing events
-with one function ``mu``.  We store it as two dense ``float64`` matrices —
-``candidate`` of shape ``(n_users, n_events)`` and ``competing`` of shape
-``(n_users, n_competing)`` — because every kernel in the library consumes
-whole user-columns at once (Eq. 1's denominator sums ``mu`` over all events
-sharing an interval).
+with one function ``mu``.  We store it as two matrices — ``candidate`` of
+shape ``(n_users, n_events)`` and ``competing`` of shape
+``(n_users, n_competing)`` — behind one of two interchangeable *backends*:
 
-Constructors cover the three ways interest arises in practice:
+* ``"dense"`` — contiguous ``float64`` numpy arrays.  The right choice for
+  small instances and for workloads where most pairs carry interest.
+* ``"sparse"`` — scipy CSC matrices holding only the nonzero entries.
+  Jaccard-mined Meetup interest is overwhelmingly sparse (a user shares
+  tags with a tiny fraction of 16K events), so CSC storage is what lets
+  the scoring stack reach full Meetup scale without ``O(|U| * |E|)``
+  memory.  Requires scipy (the ``sparse`` extra); everything else in the
+  library runs on numpy alone.
+
+Both backends answer the same accessor protocol, which is all the engines
+consume:
+
+* **column gather** — :meth:`InterestMatrix.event_column_entries` /
+  :meth:`~InterestMatrix.competing_column_entries` return a column's
+  nonzero ``(rows, values)`` pair;
+* **per-interval mass accumulation** —
+  :meth:`~InterestMatrix.competing_mass_entries` sums a set of competing
+  columns into one sparse vector (``K_t`` of Eq. 1);
+* **masked ratio reduction** — :func:`masked_ratio` implements the
+  ``0 / 0 = 0`` divide every equation needs.
+
+Constructors cover the ways interest arises in practice:
 
 * :meth:`InterestMatrix.from_arrays` — you already have the numbers;
 * :meth:`InterestMatrix.from_function` — a callable ``mu(user, event)``;
 * :meth:`InterestMatrix.from_sparse` — ``{(user, event): value}`` dicts with
-  an implicit zero default, the natural shape of EBSN-mined affinities.
+  an implicit zero default, the natural shape of EBSN-mined affinities;
+* :meth:`InterestMatrix.from_scipy` — ready-made scipy sparse matrices
+  (what :func:`repro.ebsn.jaccard.jaccard_matrix_sparse` produces).
 
 The EBSN pipeline (``repro.ebsn.jaccard``) produces these matrices from tag
-sets via Jaccard similarity, exactly as the paper's Section IV.A prescribes.
+sets via Jaccard similarity, exactly as the paper's Section IV.A prescribes;
+with ``interest_backend="sparse"`` the pipeline never materializes a dense
+``(users, events)`` array at any point.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping
-from dataclasses import dataclass
+from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.errors import InstanceValidationError
 from repro.utils.validation import check_probability_matrix
 
-__all__ = ["InterestMatrix"]
+try:  # scipy is an optional dependency (the "sparse" extra)
+    from scipy import sparse as _sp
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _sp = None
+
+__all__ = ["InterestMatrix", "INTEREST_BACKENDS", "masked_ratio", "merge_entries"]
+
+#: Supported storage backends.
+INTEREST_BACKENDS = ("dense", "sparse")
+
+_EMPTY_ROWS = np.zeros(0, dtype=np.intp)
+_EMPTY_VALUES = np.zeros(0)
 
 
-@dataclass(frozen=True)
+def _require_scipy() -> None:
+    if _sp is None:  # pragma: no cover - exercised only without scipy
+        raise ImportError(
+            "the 'sparse' interest backend requires scipy; install the "
+            "'sparse' extra (pip install ses-repro[sparse]) or use "
+            "backend='dense'"
+        )
+
+
+def masked_ratio(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """Elementwise ``numerator / denominator`` with the ``0 / 0 = 0`` rule.
+
+    The shared reduction of Eq. 1–4: wherever the denominator is zero the
+    numerator is necessarily zero too (all masses are non-negative), and the
+    paper defines the ratio as 0 there.
+    """
+    return np.divide(
+        numerator,
+        denominator,
+        out=np.zeros_like(numerator, dtype=float),
+        where=denominator > 0.0,
+    )
+
+
+def merge_entries(
+    rows: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce duplicate rows of a sparse-vector entry list by summation.
+
+    Returns sorted unique rows with their summed values, explicit zeros
+    dropped — the canonical form shared by the sparse engine's mass
+    vectors and the serializer.
+    """
+    if rows.size == 0:
+        return _EMPTY_ROWS, _EMPTY_VALUES
+    unique, inverse = np.unique(rows, return_inverse=True)
+    summed = np.zeros(unique.size)
+    np.add.at(summed, inverse, values)
+    keep = summed != 0.0
+    if keep.all():
+        return unique.astype(np.intp, copy=False), summed
+    return unique[keep].astype(np.intp, copy=False), summed[keep]
+
+
+def _validate_sparse_matrix(matrix, name: str):
+    """Canonicalize a scipy matrix to CSC and range-check its entries."""
+    _require_scipy()
+    csc = _sp.csc_matrix(matrix, copy=True)
+    csc.sum_duplicates()
+    csc.eliminate_zeros()
+    csc.sort_indices()
+    data = csc.data
+    if np.isnan(data).any():
+        raise ValueError(f"{name} contains NaN entries")
+    if data.size and (data.min() < 0.0 or data.max() > 1.0):
+        raise ValueError(
+            f"{name} entries must lie in [0, 1]; observed range "
+            f"[{data.min()}, {data.max()}]"
+        )
+    data.setflags(write=False)
+    return csc
+
+
 class InterestMatrix:
-    """Dense storage of ``mu`` over candidate and competing events.
+    """Storage of ``mu`` over candidate and competing events.
 
-    Instances are immutable; the arrays are set non-writeable so a matrix
-    can safely be shared between engines and schedules.
+    Instances are immutable; dense arrays are set non-writeable and sparse
+    data buffers likewise, so a matrix can safely be shared between
+    engines and schedules.
+
+    Parameters
+    ----------
+    candidate, competing:
+        numpy arrays or scipy sparse matrices of shapes
+        ``(n_users, n_events)`` / ``(n_users, n_competing)``.
+    backend:
+        ``"dense"`` or ``"sparse"``; inputs are converted to the requested
+        storage.  Scipy inputs default the backend to ``"sparse"``.
     """
 
-    candidate: np.ndarray
-    competing: np.ndarray
+    __slots__ = ("_backend", "_candidate", "_competing")
 
-    def __post_init__(self) -> None:
-        candidate = check_probability_matrix(self.candidate, "candidate interest")
-        competing = check_probability_matrix(self.competing, "competing interest")
-        if candidate.ndim != 2:
-            raise InstanceValidationError(
-                f"candidate interest must be 2-D, got shape {candidate.shape}"
+    def __init__(self, candidate, competing, backend: str | None = None) -> None:
+        if backend is None:
+            backend = (
+                "sparse"
+                if _sp is not None
+                and (_sp.issparse(candidate) or _sp.issparse(competing))
+                else "dense"
             )
-        if competing.ndim != 2:
-            raise InstanceValidationError(
-                f"competing interest must be 2-D, got shape {competing.shape}"
+        if backend not in INTEREST_BACKENDS:
+            raise ValueError(
+                f"unknown interest backend {backend!r}; "
+                f"choose from {INTEREST_BACKENDS}"
             )
+
+        if backend == "sparse":
+            candidate = _validate_sparse_matrix(candidate, "candidate interest")
+            competing = _validate_sparse_matrix(competing, "competing interest")
+        else:
+            if _sp is not None and _sp.issparse(candidate):
+                candidate = candidate.toarray()
+            if _sp is not None and _sp.issparse(competing):
+                competing = competing.toarray()
+            candidate = check_probability_matrix(candidate, "candidate interest")
+            competing = check_probability_matrix(competing, "competing interest")
+            if candidate.ndim != 2:
+                raise InstanceValidationError(
+                    f"candidate interest must be 2-D, got shape {candidate.shape}"
+                )
+            if competing.ndim != 2:
+                raise InstanceValidationError(
+                    f"competing interest must be 2-D, got shape {competing.shape}"
+                )
+            candidate = np.ascontiguousarray(candidate)
+            competing = np.ascontiguousarray(competing)
+            candidate.setflags(write=False)
+            competing.setflags(write=False)
+
         if competing.shape[0] != candidate.shape[0]:
             raise InstanceValidationError(
                 "candidate and competing interest must agree on the user axis: "
                 f"{candidate.shape[0]} vs {competing.shape[0]}"
             )
-        candidate = np.ascontiguousarray(candidate)
-        competing = np.ascontiguousarray(competing)
-        candidate.setflags(write=False)
-        competing.setflags(write=False)
-        object.__setattr__(self, "candidate", candidate)
-        object.__setattr__(self, "competing", competing)
+        self._backend = backend
+        self._candidate = candidate
+        self._competing = competing
 
     # ------------------------------------------------------------------
-    # shape accessors
+    # backend + shape accessors
     # ------------------------------------------------------------------
     @property
+    def backend(self) -> str:
+        """``"dense"`` or ``"sparse"`` — how ``mu`` is stored."""
+        return self._backend
+
+    @property
+    def candidate(self) -> np.ndarray:
+        """Candidate interest as a dense read-only array.
+
+        For the sparse backend this **materializes** a fresh
+        ``(n_users, n_events)`` array on every call — an escape hatch for
+        dense-only consumers, not something to call in a hot loop.
+        """
+        if self._backend == "dense":
+            return self._candidate
+        dense = self._candidate.toarray()
+        dense.setflags(write=False)
+        return dense
+
+    @property
+    def competing(self) -> np.ndarray:
+        """Competing interest as a dense read-only array (see :attr:`candidate`)."""
+        if self._backend == "dense":
+            return self._competing
+        dense = self._competing.toarray()
+        dense.setflags(write=False)
+        return dense
+
+    @property
+    def candidate_sparse(self):
+        """Candidate interest as a canonical scipy CSC matrix."""
+        if self._backend == "sparse":
+            return self._candidate
+        _require_scipy()
+        return _sp.csc_matrix(self._candidate)
+
+    @property
+    def competing_sparse(self):
+        """Competing interest as a canonical scipy CSC matrix."""
+        if self._backend == "sparse":
+            return self._competing
+        _require_scipy()
+        return _sp.csc_matrix(self._competing)
+
+    @property
     def n_users(self) -> int:
-        return self.candidate.shape[0]
+        return self._candidate.shape[0]
 
     @property
     def n_events(self) -> int:
-        return self.candidate.shape[1]
+        return self._candidate.shape[1]
 
     @property
     def n_competing(self) -> int:
-        return self.competing.shape[1]
+        return self._competing.shape[1]
 
     # ------------------------------------------------------------------
     # element accessors
     # ------------------------------------------------------------------
     def mu_event(self, user: int, event: int) -> float:
         """``mu(u, e)`` for a candidate event."""
-        return float(self.candidate[user, event])
+        return float(self._candidate[user, event])
 
     def mu_competing(self, user: int, competing: int) -> float:
         """``mu(u, c)`` for a competing event."""
-        return float(self.competing[user, competing])
+        return float(self._competing[user, competing])
 
     def event_column(self, event: int) -> np.ndarray:
-        """All users' interest in candidate ``event`` (read-only view)."""
-        return self.candidate[:, event]
+        """All users' interest in candidate ``event`` as a dense vector."""
+        return self._dense_column(self._candidate, event)
 
     def competing_column(self, competing: int) -> np.ndarray:
         """All users' interest in competing event ``competing``."""
-        return self.competing[:, competing]
+        return self._dense_column(self._competing, competing)
+
+    def _dense_column(self, matrix, column: int) -> np.ndarray:
+        if self._backend == "dense":
+            return matrix[:, column]
+        out = np.zeros(matrix.shape[0])
+        start, stop = matrix.indptr[column], matrix.indptr[column + 1]
+        out[matrix.indices[start:stop]] = matrix.data[start:stop]
+        return out
+
+    # ------------------------------------------------------------------
+    # accessor protocol: column gather + mass accumulation
+    # ------------------------------------------------------------------
+    def event_column_entries(self, event: int) -> tuple[np.ndarray, np.ndarray]:
+        """Nonzero ``(rows, values)`` of one candidate column (sorted rows)."""
+        return self._column_entries(self._candidate, event)
+
+    def competing_column_entries(
+        self, competing: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Nonzero ``(rows, values)`` of one competing column (sorted rows)."""
+        return self._column_entries(self._competing, competing)
+
+    def _column_entries(self, matrix, column: int) -> tuple[np.ndarray, np.ndarray]:
+        if self._backend == "sparse":
+            start, stop = matrix.indptr[column], matrix.indptr[column + 1]
+            return (
+                matrix.indices[start:stop].astype(np.intp, copy=False),
+                matrix.data[start:stop],
+            )
+        dense = matrix[:, column]
+        rows = np.flatnonzero(dense)
+        return rows.astype(np.intp, copy=False), dense[rows]
+
+    def competing_mass_entries(
+        self, rivals: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``K_t`` as a sparse vector: sum of the given competing columns.
+
+        This is the per-interval mass accumulation of Eq. 1's denominator,
+        returned as canonical sorted ``(rows, values)`` with zeros dropped.
+        Values are accumulated in ``rivals`` order per user, matching the
+        reference :func:`repro.core.attendance.luce_denominator` loop.
+        """
+        if not len(rivals):
+            return _EMPTY_ROWS, _EMPTY_VALUES
+        parts = [self.competing_column_entries(rival) for rival in rivals]
+        rows = np.concatenate([rows for rows, _ in parts])
+        values = np.concatenate([values for _, values in parts])
+        return merge_entries(rows, values)
+
+    # ------------------------------------------------------------------
+    # canonical export (serialization)
+    # ------------------------------------------------------------------
+    def candidate_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical ``(rows, cols, values)`` of the candidate matrix.
+
+        Entries are emitted column-major (CSC order: sorted by column, then
+        row) with explicit zeros dropped, so two equal matrices always
+        serialize identically regardless of construction history.
+        """
+        return self._coo(self.candidate_sparse)
+
+    def competing_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical ``(rows, cols, values)`` of the competing matrix."""
+        return self._coo(self.competing_sparse)
+
+    @staticmethod
+    def _coo(csc) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        coo = csc.tocoo()
+        return (
+            coo.row.astype(np.intp, copy=False),
+            coo.col.astype(np.intp, copy=False),
+            np.asarray(coo.data, dtype=float),
+        )
 
     # ------------------------------------------------------------------
     # constructors
@@ -107,12 +352,32 @@ class InterestMatrix:
         cls,
         candidate: np.ndarray,
         competing: np.ndarray | None = None,
+        backend: str | None = None,
     ) -> "InterestMatrix":
-        """Build from ready-made arrays; ``competing=None`` means no rivals."""
-        candidate = np.asarray(candidate, dtype=float)
+        """Build from ready-made arrays; ``competing=None`` means no rivals.
+
+        ``backend=None`` auto-detects: scipy sparse inputs stay sparse,
+        numpy arrays stay dense.
+        """
+        if _sp is None or not _sp.issparse(candidate):
+            candidate = np.asarray(candidate, dtype=float)
         if competing is None:
             competing = np.zeros((candidate.shape[0], 0))
-        return cls(candidate=candidate, competing=np.asarray(competing, dtype=float))
+        elif _sp is None or not _sp.issparse(competing):
+            competing = np.asarray(competing, dtype=float)
+        return cls(candidate=candidate, competing=competing, backend=backend)
+
+    @classmethod
+    def from_scipy(
+        cls,
+        candidate,
+        competing=None,
+    ) -> "InterestMatrix":
+        """Build a sparse-backed matrix from scipy sparse inputs."""
+        _require_scipy()
+        if competing is None:
+            competing = _sp.csc_matrix((candidate.shape[0], 0))
+        return cls(candidate=candidate, competing=competing, backend="sparse")
 
     @classmethod
     def from_function(
@@ -122,6 +387,7 @@ class InterestMatrix:
         n_competing: int,
         event_interest: Callable[[int, int], float],
         competing_interest: Callable[[int, int], float] | None = None,
+        backend: str = "dense",
     ) -> "InterestMatrix":
         """Materialize ``mu`` by evaluating callables over every pair."""
         candidate = np.empty((n_users, n_events))
@@ -133,7 +399,7 @@ class InterestMatrix:
             for user in range(n_users):
                 for rival in range(n_competing):
                     competing[user, rival] = competing_interest(user, rival)
-        return cls(candidate=candidate, competing=competing)
+        return cls(candidate=candidate, competing=competing, backend=backend)
 
     @classmethod
     def from_sparse(
@@ -143,26 +409,96 @@ class InterestMatrix:
         n_competing: int,
         event_entries: Mapping[tuple[int, int], float],
         competing_entries: Mapping[tuple[int, int], float] | None = None,
+        backend: str = "dense",
     ) -> "InterestMatrix":
-        """Build from ``{(user, event): mu}`` mappings; absent pairs are 0."""
+        """Build from ``{(user, event): mu}`` mappings; absent pairs are 0.
+
+        With ``backend="sparse"`` the entries go straight into CSC storage
+        and no dense ``(n_users, n_events)`` array ever exists.
+        """
+        if backend == "sparse":
+            _require_scipy()
+            candidate = cls._coo_from_entries(event_entries, (n_users, n_events))
+            competing = cls._coo_from_entries(
+                competing_entries or {}, (n_users, n_competing)
+            )
+            return cls(candidate=candidate, competing=competing, backend="sparse")
         candidate = np.zeros((n_users, n_events))
         for (user, event), value in event_entries.items():
             candidate[user, event] = value
         competing = np.zeros((n_users, n_competing))
         for (user, rival), value in (competing_entries or {}).items():
             competing[user, rival] = value
-        return cls(candidate=candidate, competing=competing)
+        return cls(candidate=candidate, competing=competing, backend=backend)
+
+    @staticmethod
+    def _coo_from_entries(entries: Mapping[tuple[int, int], float], shape):
+        if not entries:
+            return _sp.csc_matrix(shape)
+        rows = np.fromiter((pair[0] for pair in entries), dtype=np.intp)
+        cols = np.fromiter((pair[1] for pair in entries), dtype=np.intp)
+        values = np.fromiter(entries.values(), dtype=float)
+        return _sp.coo_matrix((values, (rows, cols)), shape=shape)
+
+    # ------------------------------------------------------------------
+    # backend conversion / restriction
+    # ------------------------------------------------------------------
+    def to_backend(self, backend: str) -> "InterestMatrix":
+        """This matrix with ``backend`` storage (``self`` if already there)."""
+        if backend not in INTEREST_BACKENDS:
+            raise ValueError(
+                f"unknown interest backend {backend!r}; "
+                f"choose from {INTEREST_BACKENDS}"
+            )
+        if backend == self._backend:
+            return self
+        if backend == "sparse":
+            return InterestMatrix.from_scipy(
+                self.candidate_sparse, self.competing_sparse
+            )
+        return InterestMatrix(
+            candidate=self.candidate, competing=self.competing, backend="dense"
+        )
+
+    def restrict_users(self, n_users: int) -> "InterestMatrix":
+        """The first ``n_users`` rows of both matrices, backend preserved."""
+        if not 0 <= n_users <= self.n_users:
+            raise ValueError(
+                f"cannot restrict to {n_users} users; matrix has {self.n_users}"
+            )
+        return InterestMatrix(
+            candidate=self._candidate[:n_users],
+            competing=self._competing[:n_users],
+            backend=self._backend,
+        )
 
     # ------------------------------------------------------------------
     # derived statistics (used by reports and calibration)
     # ------------------------------------------------------------------
+    def nnz_candidate(self) -> int:
+        """Number of stored nonzero candidate-interest entries."""
+        if self._backend == "sparse":
+            return int(self._candidate.nnz)
+        return int(np.count_nonzero(self._candidate))
+
     def sparsity(self) -> float:
         """Fraction of exactly-zero candidate-interest entries."""
-        if self.candidate.size == 0:
+        size = self.n_users * self.n_events
+        if size == 0:
             return 1.0
-        return float(np.count_nonzero(self.candidate == 0.0) / self.candidate.size)
+        return float((size - self.nnz_candidate()) / size)
 
     def mean_positive_interest(self) -> float:
         """Mean of the strictly positive candidate-interest values (0 if none)."""
-        positive = self.candidate[self.candidate > 0]
+        if self._backend == "sparse":
+            positive = self._candidate.data[self._candidate.data > 0]
+        else:
+            positive = self._candidate[self._candidate > 0]
         return float(positive.mean()) if positive.size else 0.0
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InterestMatrix(users={self.n_users}, events={self.n_events}, "
+            f"competing={self.n_competing}, backend={self._backend!r})"
+        )

@@ -2,9 +2,21 @@
 
 Pipelines need reproducible artifacts: a workload generator run once can be
 frozen to disk and re-solved later (or shipped as a bug report).  The
-format is plain JSON — entity lists plus nested-list matrices — favoring
-transparency over compactness; full-scale Meetup matrices belong in ``.npz``
+format is plain JSON — entity lists plus matrices — favoring transparency
+over compactness; full-scale Meetup matrices belong in ``.npz``
 (see :func:`save_instance_npz`) rather than JSON.
+
+Interest matrices serialize according to their backend:
+
+* ``dense`` — nested value lists, exactly as before;
+* ``sparse`` — a *canonical explicit-zero-free* coordinate form: parallel
+  ``rows`` / ``cols`` / ``values`` lists in CSC order (sorted by column,
+  then row) with zero entries dropped.  Two equal sparse matrices always
+  produce byte-identical payloads regardless of how they were assembled,
+  and the round trip reconstructs CSC storage without ever materializing
+  a dense array.  The ``.npz`` variant stores the raw CSC component
+  arrays (``data`` / ``indices`` / ``indptr``) for the same guarantee at
+  binary scale.
 """
 
 from __future__ import annotations
@@ -80,12 +92,68 @@ def instance_to_dict(instance: SESInstance) -> dict:
             }
             for c in instance.competing
         ],
-        "interest": {
-            "candidate": instance.interest.candidate.tolist(),
-            "competing": instance.interest.competing.tolist(),
-        },
+        "interest": _interest_to_dict(instance.interest),
         "activity": instance.activity.matrix.tolist(),
     }
+
+
+def _interest_to_dict(interest: InterestMatrix) -> dict:
+    if interest.backend == "dense":
+        return {
+            "candidate": interest.candidate.tolist(),
+            "competing": interest.competing.tolist(),
+        }
+    return {
+        "backend": "sparse",
+        "n_users": interest.n_users,
+        "n_events": interest.n_events,
+        "n_competing": interest.n_competing,
+        "candidate": _coo_to_dict(*interest.candidate_coo()),
+        "competing": _coo_to_dict(*interest.competing_coo()),
+    }
+
+
+def _coo_to_dict(rows: np.ndarray, cols: np.ndarray, values: np.ndarray) -> dict:
+    return {
+        "rows": rows.tolist(),
+        "cols": cols.tolist(),
+        "values": values.tolist(),
+    }
+
+
+def _interest_from_dict(payload: dict | InterestMatrix) -> InterestMatrix:
+    if isinstance(payload, InterestMatrix):  # pre-built by the npz loader
+        return payload
+    if payload.get("backend", "dense") != "sparse":
+        return InterestMatrix.from_arrays(
+            np.asarray(payload["candidate"], dtype=float),
+            np.asarray(payload["competing"], dtype=float),
+        )
+    try:
+        from scipy import sparse as sp
+    except ImportError as error:  # pragma: no cover - requires scipy absence
+        raise ValueError(
+            "this instance was saved with the sparse interest backend; "
+            "loading it requires scipy (the 'sparse' extra)"
+        ) from error
+    n_users = payload["n_users"]
+
+    def matrix(entry: dict, n_columns: int):
+        return sp.coo_matrix(
+            (
+                np.asarray(entry["values"], dtype=float),
+                (
+                    np.asarray(entry["rows"], dtype=np.intp),
+                    np.asarray(entry["cols"], dtype=np.intp),
+                ),
+            ),
+            shape=(n_users, n_columns),
+        )
+
+    return InterestMatrix.from_scipy(
+        matrix(payload["candidate"], payload["n_events"]),
+        matrix(payload["competing"], payload["n_competing"]),
+    )
 
 
 def instance_from_dict(payload: dict) -> SESInstance:
@@ -125,10 +193,7 @@ def instance_from_dict(payload: dict) -> SESInstance:
         )
         for c in payload["competing"]
     ]
-    interest = InterestMatrix.from_arrays(
-        np.asarray(payload["interest"]["candidate"], dtype=float),
-        np.asarray(payload["interest"]["competing"], dtype=float),
-    )
+    interest = _interest_from_dict(payload["interest"])
     activity = ActivityModel(np.asarray(payload["activity"], dtype=float))
     organizer = Organizer(
         resources=payload["organizer"]["resources"],
@@ -162,18 +227,36 @@ def save_instance_npz(instance: SESInstance, path: str | Path) -> None:
 
     Preferred for large instances — a full Meetup-scale interest matrix is
     hundreds of MB as JSON text but compresses well as float arrays.
+    Sparse-backed interest is stored as raw CSC component arrays
+    (``data`` / ``indices`` / ``indptr``), so neither saving nor loading
+    materializes a dense matrix.
     """
     metadata = instance_to_dict(instance)
     del metadata["interest"]
     del metadata["activity"]
+    arrays: dict[str, np.ndarray] = {
+        "activity": instance.activity.matrix,
+    }
+    interest = instance.interest
+    if interest.backend == "sparse":
+        metadata["interest_backend"] = "sparse"
+        for name, csc in (
+            ("candidate", interest.candidate_sparse),
+            ("competing", interest.competing_sparse),
+        ):
+            arrays[f"interest_{name}_data"] = csc.data
+            arrays[f"interest_{name}_indices"] = csc.indices
+            arrays[f"interest_{name}_indptr"] = csc.indptr
+            arrays[f"interest_{name}_shape"] = np.asarray(csc.shape)
+    else:
+        arrays["interest_candidate"] = interest.candidate
+        arrays["interest_competing"] = interest.competing
     np.savez_compressed(
         path,
         metadata=np.frombuffer(
             json.dumps(metadata).encode("utf-8"), dtype=np.uint8
         ),
-        interest_candidate=instance.interest.candidate,
-        interest_competing=instance.interest.competing,
-        activity=instance.activity.matrix,
+        **arrays,
     )
 
 
@@ -181,10 +264,26 @@ def load_instance_npz(path: str | Path) -> SESInstance:
     """Read an instance previously written by :func:`save_instance_npz`."""
     with np.load(path) as archive:
         metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
-        metadata["interest"] = {
-            "candidate": archive["interest_candidate"],
-            "competing": archive["interest_competing"],
-        }
+        if metadata.pop("interest_backend", "dense") == "sparse":
+            from scipy import sparse as sp
+
+            def csc(name: str):
+                return sp.csc_matrix(
+                    (
+                        archive[f"interest_{name}_data"],
+                        archive[f"interest_{name}_indices"],
+                        archive[f"interest_{name}_indptr"],
+                    ),
+                    shape=tuple(archive[f"interest_{name}_shape"]),
+                )
+
+            interest = InterestMatrix.from_scipy(csc("candidate"), csc("competing"))
+            metadata["interest"] = interest
+        else:
+            metadata["interest"] = {
+                "candidate": archive["interest_candidate"],
+                "competing": archive["interest_competing"],
+            }
         metadata["activity"] = archive["activity"]
         # reuse the dict loader; arrays pass through np.asarray unchanged
         return instance_from_dict(metadata)

@@ -52,6 +52,18 @@ _SOLVERS = {
     "sa": AnnealingScheduler,
 }
 
+_ENGINE_KINDS = ("vectorized", "sparse", "reference")
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=_ENGINE_KINDS,
+        default="vectorized",
+        help="score engine: vectorized (dense numpy, default), sparse "
+        "(CSC interest, Meetup-scale populations), reference (slow oracle)",
+    )
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ses-repro",
@@ -72,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="tiny grid for a fast sanity run"
     )
     figure.add_argument("--csv", type=str, default=None, help="write raw rows here")
+    _add_engine_argument(figure)
+    figure.add_argument(
+        "--backend",
+        choices=("dense", "sparse"),
+        default=None,
+        help="mu storage for generated workloads "
+        "(default: sparse when --engine sparse, else dense)",
+    )
 
     dataset = commands.add_parser("dataset", help="generate + summarize the EBSN")
     dataset.add_argument("--seed", type=int, default=0)
@@ -93,8 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full schedule report (per-event attendance, "
         "staffing utilization, cannibalization)",
     )
+    _add_engine_argument(solve)
 
-    commands.add_parser("demo", help="small end-to-end comparison run")
+    demo = commands.add_parser("demo", help="small end-to-end comparison run")
+    _add_engine_argument(demo)
     return parser
 
 
@@ -113,12 +135,17 @@ def main(argv: Sequence[str] | None = None) -> int:
 def _run_figure(args: argparse.Namespace) -> int:
     from repro.harness.figures import figure_value_axis, generate_figure
 
+    backend = args.backend
+    if backend is None:
+        backend = "sparse" if args.engine == "sparse" else "dense"
     table = generate_figure(
         args.panel,
         n_users=args.users,
         seed=args.seed,
         quick=args.quick,
         progress=lambda line: print(line, file=sys.stderr),
+        engine_kind=args.engine,
+        interest_backend=backend,
     )
     print(format_figure(table, value=figure_value_axis(args.panel)))
     if args.csv:
@@ -146,9 +173,9 @@ def _run_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.path)
     solver_cls = _SOLVERS[args.solver]
     if solver_cls in (RandomScheduler, AnnealingScheduler):
-        solver = solver_cls(seed=args.seed)
+        solver = solver_cls(engine_kind=args.engine, seed=args.seed)
     else:
-        solver = solver_cls()
+        solver = solver_cls(engine_kind=args.engine)
     result = solver.solve(instance, args.k)
     if args.json:
         print(json.dumps(schedule_to_dict(result.schedule)))
@@ -173,15 +200,17 @@ def _run_solve(args: argparse.Namespace) -> int:
 def _run_demo(args: argparse.Namespace) -> int:
     from repro.workloads.generator import WorkloadGenerator
 
-    config = ExperimentConfig(k=20, n_users=500)
+    engine = args.engine
+    backend = "sparse" if engine == "sparse" else "dense"
+    config = ExperimentConfig(k=20, n_users=500, interest_backend=backend)
     instance = WorkloadGenerator(root_seed=7).build(config)
     print(instance.describe())
     methods = {
-        "GRD": GreedyScheduler(),
-        "GRD-heap": LazyGreedyScheduler(),
-        "TOP": TopKScheduler(),
-        "RAND": RandomScheduler(seed=7),
-        "SA": AnnealingScheduler(seed=7, steps=500),
+        "GRD": GreedyScheduler(engine_kind=engine),
+        "GRD-heap": LazyGreedyScheduler(engine_kind=engine),
+        "TOP": TopKScheduler(engine_kind=engine),
+        "RAND": RandomScheduler(engine_kind=engine, seed=7),
+        "SA": AnnealingScheduler(engine_kind=engine, seed=7, steps=500),
     }
     for name, solver in methods.items():
         print(" ", solver.solve(instance, config.k).summary())

@@ -47,6 +47,8 @@ def generate_figure(
     seed: int = 0,
     quick: bool = False,
     progress: Callable[[str], None] | None = None,
+    engine_kind: str = "vectorized",
+    interest_backend: str = "dense",
 ) -> SweepTable:
     """Run the sweep behind one Figure-1 panel and return its table.
 
@@ -63,6 +65,12 @@ def generate_figure(
         hold, absolute values shrink.
     progress:
         Optional per-grid-point callback (the CLI passes a stderr print).
+    engine_kind:
+        Score engine behind every method (``"vectorized"``, ``"sparse"``
+        or ``"reference"``).
+    interest_backend:
+        ``mu`` storage for the generated workloads; pick ``"sparse"``
+        together with ``engine_kind="sparse"`` for large populations.
     """
     if panel not in FIGURE_SPECS:
         raise ValueError(
@@ -74,6 +82,7 @@ def generate_figure(
         if n_users is not None
         else ExperimentConfig()
     )
+    base = base.with_backend(interest_backend)
 
     if panel in ("1a", "1b"):
         grid = QUICK_K_GRID if quick else FULL_K_GRID
@@ -92,4 +101,5 @@ def generate_figure(
         title=title,
         root_seed=seed,
         progress=progress,
+        engine_kind=engine_kind,
     )

@@ -60,6 +60,7 @@ def run_sweep(
     method_factory: MethodFactory | None = None,
     workload: WorkloadGenerator | None = None,
     progress: Callable[[str], None] | None = None,
+    engine_kind: str = "vectorized",
 ) -> SweepTable:
     """Execute a sweep and return the populated table.
 
@@ -79,6 +80,10 @@ def run_sweep(
     progress:
         Optional callback receiving one line per completed grid point
         (the CLI passes ``print``).
+    engine_kind:
+        Score engine behind the default method trio (``"vectorized"``,
+        ``"sparse"`` or ``"reference"``); ignored when ``method_factory``
+        is given.
     """
     table = SweepTable(x_label=x_label, title=title)
     workload = workload or WorkloadGenerator(root_seed=root_seed)
@@ -88,7 +93,9 @@ def run_sweep(
         instance = workload.build(config)
         point_seed = int(seeds.spawn().integers(2**31 - 1))
         methods = (
-            method_factory() if method_factory else paper_methods(seed=point_seed)
+            method_factory()
+            if method_factory
+            else paper_methods(seed=point_seed, engine_kind=engine_kind)
         )
         for name, result in run_point(instance, config.k, methods).items():
             table.add(

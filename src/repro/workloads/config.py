@@ -49,6 +49,10 @@ class ExperimentConfig:
     xi_range: tuple[float, float] = (1.0, 20.0 / 3.0)
     sigma_source: str = "uniform"
     n_users: int = DEFAULT_BENCH_USERS
+    #: ``mu`` storage: ``"dense"`` arrays or ``"sparse"`` CSC (scipy).
+    #: Sparse is what makes Meetup-scale user counts tractable; pair it
+    #: with the ``"sparse"`` engine kind on the solvers.
+    interest_backend: str = "dense"
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -66,6 +70,11 @@ class ExperimentConfig:
         if self.mean_competing < 0:
             raise ValueError(
                 f"mean_competing must be non-negative, got {self.mean_competing}"
+            )
+        if self.interest_backend not in ("dense", "sparse"):
+            raise ValueError(
+                f"interest_backend must be 'dense' or 'sparse', got "
+                f"{self.interest_backend!r}"
             )
 
     # ------------------------------------------------------------------
@@ -112,6 +121,10 @@ class ExperimentConfig:
     def at_meetup_scale(self) -> "ExperimentConfig":
         """Copy with the full 42,444-user Meetup population."""
         return replace(self, n_users=MEETUP_USERS)
+
+    def with_backend(self, interest_backend: str) -> "ExperimentConfig":
+        """Copy with a different ``mu`` storage backend."""
+        return replace(self, interest_backend=interest_backend)
 
     def label(self) -> str:
         return (

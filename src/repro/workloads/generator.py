@@ -86,6 +86,7 @@ class WorkloadGenerator:
             theta=config.theta,
             xi_range=config.xi_range,
             sigma_source=config.sigma_source,
+            interest_backend=config.interest_backend,
         )
         if seed is None:
             seed = self._seeds.spawn()
@@ -100,14 +101,11 @@ def _restrict_users(instance: SESInstance, n_users: int) -> SESInstance:
 
     The EBSN snapshot may be shared by configs with different user counts;
     slicing the user axis keeps matrices consistent without regenerating.
+    The interest backend is preserved — a sparse ``mu`` stays sparse.
     """
     from repro.core.activity import ActivityModel
-    from repro.core.interest import InterestMatrix
 
-    interest = InterestMatrix.from_arrays(
-        instance.interest.candidate[:n_users],
-        instance.interest.competing[:n_users],
-    )
+    interest = instance.interest.restrict_users(n_users)
     activity = ActivityModel(instance.activity.matrix[:n_users])
     return SESInstance(
         users=instance.users[:n_users],

@@ -27,8 +27,13 @@ def make_random_instance(
     xi_range: tuple[float, float] = (1.0, 4.0),
     interest_density: float = 0.5,
     seed: int = 0,
+    interest_backend: str = "dense",
 ) -> SESInstance:
-    """Random dense SES instance for tests; deterministic given ``seed``."""
+    """Random SES instance for tests; deterministic given ``seed``.
+
+    ``interest_backend`` selects ``mu`` storage; the values are identical
+    across backends, so the same seed yields numerically equal instances.
+    """
     rng = np.random.default_rng(seed)
     users = [User(index=i) for i in range(n_users)]
     intervals = [TimeInterval(index=t) for t in range(n_intervals)]
@@ -48,7 +53,9 @@ def make_random_instance(
     candidate *= rng.random((n_users, n_events)) < interest_density
     rivals = rng.uniform(0, 1, (n_users, n_competing))
     rivals *= rng.random((n_users, n_competing)) < interest_density
-    interest = InterestMatrix.from_arrays(candidate, rivals)
+    interest = InterestMatrix.from_arrays(candidate, rivals).to_backend(
+        interest_backend
+    )
     activity = ActivityModel.uniform_random(n_users, n_intervals, seed=rng)
     return SESInstance(
         users=users,

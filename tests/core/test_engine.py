@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.engine import (
     ReferenceEngine,
+    SparseEngine,
     VectorizedEngine,
     make_engine,
 )
@@ -15,7 +16,7 @@ from repro.core.schedule import Assignment, Schedule
 from tests.conftest import make_random_instance
 
 
-@pytest.fixture(params=["reference", "vectorized"])
+@pytest.fixture(params=["reference", "vectorized", "sparse"])
 def engine_kind(request):
     return request.param
 
@@ -28,6 +29,7 @@ class TestFactory:
         assert isinstance(
             make_engine(random_instance, "vectorized"), VectorizedEngine
         )
+        assert isinstance(make_engine(random_instance, "sparse"), SparseEngine)
 
     def test_default_is_vectorized(self, random_instance):
         assert isinstance(make_engine(random_instance), VectorizedEngine)

@@ -81,3 +81,39 @@ class TestJaccardMatrix:
     def test_accepts_any_iterable(self):
         matrix = jaccard_matrix([["a", "b"]], [("a",)])
         assert matrix[0, 0] == pytest.approx(0.5)
+
+
+class TestSparseJaccard:
+    def _tagsets(self, seed=0, n=25, k=4):
+        rng = np.random.default_rng(seed)
+        alphabet = np.array([f"tag{i}" for i in range(30)])
+        return [
+            frozenset(rng.choice(alphabet, size=k, replace=False))
+            for _ in range(n)
+        ]
+
+    def test_matches_dense_builder_exactly(self):
+        from repro.ebsn.jaccard import jaccard_matrix_sparse
+
+        users = self._tagsets(seed=1)
+        events = self._tagsets(seed=2, n=15)
+        dense = jaccard_matrix(users, events)
+        sparse = jaccard_matrix_sparse(users, events)
+        np.testing.assert_array_equal(sparse.toarray(), dense)
+
+    def test_support_is_exactly_the_intersections(self):
+        from repro.ebsn.jaccard import jaccard_matrix_sparse
+
+        users = [frozenset({"a", "b"}), frozenset({"c"})]
+        events = [frozenset({"a"}), frozenset({"d"})]
+        sparse = jaccard_matrix_sparse(users, events)
+        assert sparse.nnz == 1
+        assert sparse[0, 0] == pytest.approx(0.5)
+
+    def test_empty_inputs(self):
+        from repro.ebsn.jaccard import jaccard_matrix_sparse
+
+        assert jaccard_matrix_sparse([], []).shape == (0, 0)
+        empty_tags = jaccard_matrix_sparse([frozenset()], [frozenset()])
+        assert empty_tags.shape == (1, 1)
+        assert empty_tags.nnz == 0

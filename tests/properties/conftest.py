@@ -25,16 +25,23 @@ def ses_instances(
     max_users: int = 12,
     max_events: int = 6,
     max_intervals: int = 4,
+    backends: tuple[str, ...] = ("dense",),
 ) -> SESInstance:
-    """A random, always-valid SES instance of bounded size."""
+    """A random, always-valid SES instance of bounded size.
+
+    ``backends`` lists the ``mu`` storage kinds to draw from; pass
+    ``("dense", "sparse")`` for backend-agnostic properties.  The all-zero
+    interest edge case (density 0) is part of the draw.
+    """
     n_users = draw(st.integers(1, max_users))
     n_events = draw(st.integers(1, max_events))
     n_intervals = draw(st.integers(1, max_intervals))
     n_competing = draw(st.integers(0, 5))
     n_locations = draw(st.integers(1, 4))
-    density = draw(st.sampled_from([0.2, 0.5, 0.9]))
+    density = draw(st.sampled_from([0.0, 0.2, 0.5, 0.9]))
     theta = draw(st.sampled_from([4.0, 8.0, 100.0]))
     seed = draw(st.integers(0, 2**20))
+    backend = draw(st.sampled_from(backends))
     return make_random_instance(
         n_users=n_users,
         n_events=n_events,
@@ -45,15 +52,17 @@ def ses_instances(
         xi_range=(0.5, min(3.0, theta)),
         interest_density=density,
         seed=seed,
+        interest_backend=backend,
     )
 
 
 @st.composite
 def instances_with_schedules(
     draw,
+    backends: tuple[str, ...] = ("dense",),
 ) -> tuple[SESInstance, Schedule]:
     """An instance plus a feasible schedule over it (possibly empty)."""
-    instance = draw(ses_instances())
+    instance = draw(ses_instances(backends=backends))
     seed = draw(st.integers(0, 2**20))
     target = draw(st.integers(0, instance.n_events))
 

@@ -94,3 +94,25 @@ class TestValidation:
     def test_negative_competing_mean(self):
         with pytest.raises(ValueError, match="mean_competing"):
             ExperimentConfig(mean_competing=-1.0)
+
+
+class TestInterestBackend:
+    def test_default_is_dense(self):
+        from repro.workloads.config import ExperimentConfig
+
+        assert ExperimentConfig().interest_backend == "dense"
+
+    def test_with_backend_copies(self):
+        from repro.workloads.config import ExperimentConfig
+
+        config = ExperimentConfig().with_backend("sparse")
+        assert config.interest_backend == "sparse"
+        assert ExperimentConfig().interest_backend == "dense"
+
+    def test_invalid_backend_rejected(self):
+        import pytest
+
+        from repro.workloads.config import ExperimentConfig
+
+        with pytest.raises(ValueError, match="interest_backend"):
+            ExperimentConfig(interest_backend="hologram")

@@ -67,3 +67,36 @@ class TestBuild:
         result = GreedyScheduler().solve(instance, 10)
         assert result.achieved_k == 10
         assert result.utility > 0
+
+
+class TestSparseBackendBuild:
+    def test_backend_flows_through_and_survives_restriction(self):
+        from repro.workloads.config import ExperimentConfig
+        from repro.workloads.generator import WorkloadGenerator
+
+        config = ExperimentConfig(k=5, n_users=40, interest_backend="sparse")
+        instance = WorkloadGenerator(root_seed=11).build(config, seed=2)
+        assert instance.interest.backend == "sparse"
+        assert instance.n_users == 40
+
+    def test_sparse_and_dense_builds_are_numerically_identical(self):
+        import numpy as np
+
+        from repro.workloads.config import ExperimentConfig
+        from repro.workloads.generator import WorkloadGenerator
+
+        dense = WorkloadGenerator(root_seed=11).build(
+            ExperimentConfig(k=5, n_users=40), seed=2
+        )
+        sparse = WorkloadGenerator(root_seed=11).build(
+            ExperimentConfig(k=5, n_users=40, interest_backend="sparse"), seed=2
+        )
+        np.testing.assert_array_equal(
+            sparse.interest.candidate, dense.interest.candidate
+        )
+        np.testing.assert_array_equal(
+            sparse.interest.competing, dense.interest.competing
+        )
+        np.testing.assert_array_equal(
+            sparse.activity.matrix, dense.activity.matrix
+        )
