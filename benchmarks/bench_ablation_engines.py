@@ -22,7 +22,7 @@ import numpy as np
 import pytest
 
 from repro.algorithms.greedy import GreedyScheduler
-from repro.core.engine import make_engine
+from repro.core.engine import EngineSpec, make_engine
 from repro.workloads.config import ExperimentConfig
 from repro.workloads.generator import WorkloadGenerator
 
@@ -46,12 +46,12 @@ def _instance():
 @pytest.mark.parametrize("kind", ["vectorized", "sparse", "reference"])
 def test_bulk_interval_scoring(benchmark, kind: str):
     instance = _instance()
-    engine = make_engine(instance, kind)
+    engine = make_engine(instance, EngineSpec(kind))
     events = list(range(instance.n_events))
 
     scores = benchmark(engine.scores_for_interval, 0, events)
     # every engine must produce the same numbers
-    oracle = make_engine(instance, "reference").scores_for_interval(0, events)
+    oracle = make_engine(instance, EngineSpec("reference")).scores_for_interval(0, events)
     np.testing.assert_allclose(scores, oracle, atol=1e-9)
     benchmark.extra_info["engine"] = kind
 
@@ -60,14 +60,14 @@ def test_bulk_interval_scoring(benchmark, kind: str):
 @pytest.mark.parametrize("kind", ["vectorized", "sparse", "reference"])
 def test_full_grd_run(benchmark, kind: str):
     instance = _instance()
-    solver = GreedyScheduler(engine_kind=kind)
+    solver = GreedyScheduler(engine=EngineSpec(kind))
     result = benchmark.pedantic(
         solver.solve, args=(instance, _K), rounds=1, iterations=1
     )
     benchmark.extra_info["engine"] = kind
     benchmark.extra_info["utility"] = result.utility
     # the choice of engine must not affect the outcome
-    oracle = GreedyScheduler(engine_kind="vectorized").solve(instance, _K)
+    oracle = GreedyScheduler(engine="vectorized").solve(instance, _K)
     assert result.utility == pytest.approx(oracle.utility, abs=1e-6)
 
 
@@ -75,8 +75,11 @@ def test_full_grd_run(benchmark, kind: str):
 # scale panel: dense vs sparse pipeline at 10x users
 # ----------------------------------------------------------------------
 
-#: pipeline name -> (interest backend, engine kind)
-_PIPELINES = {"dense": ("dense", "vectorized"), "sparse": ("sparse", "sparse")}
+#: pipeline name -> engine spec (backend pairing follows the spec)
+_PIPELINES = {
+    "dense": EngineSpec(kind="vectorized", backend="dense"),
+    "sparse": EngineSpec(kind="sparse", backend="sparse"),
+}
 
 
 def _scale_config(backend: str) -> ExperimentConfig:
@@ -93,15 +96,15 @@ def _run_scale_pipeline(pipeline: str) -> tuple[float, int]:
     measured peak isolates what actually differs: mu mining, mu storage
     and the engine's scoring temporaries.
     """
-    backend, engine_kind = _PIPELINES[pipeline]
+    spec = _PIPELINES[pipeline]
     generator = WorkloadGenerator(root_seed=99)
-    config = _scale_config(backend)
+    config = _scale_config(spec.interest_backend)
     generator.snapshot_for(config)  # shared, pre-traced
 
     tracemalloc.start()
     try:
         instance = generator.build(config, seed=1)
-        result = GreedyScheduler(engine_kind=engine_kind).solve(instance, _K)
+        result = GreedyScheduler(engine=spec).solve(instance, _K)
         _, peak = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()
@@ -112,14 +115,14 @@ def _run_scale_pipeline(pipeline: str) -> tuple[float, int]:
 @pytest.mark.parametrize("pipeline", sorted(_PIPELINES))
 def test_scale_panel_runtime(benchmark, pipeline: str):
     """Wall-clock of the full 10x-user pipeline (build mu + GRD solve)."""
-    backend, engine_kind = _PIPELINES[pipeline]
+    spec = _PIPELINES[pipeline]
     generator = WorkloadGenerator(root_seed=99)
-    config = _scale_config(backend)
+    config = _scale_config(spec.interest_backend)
     generator.snapshot_for(config)
 
     def run():
         instance = generator.build(config, seed=1)
-        return GreedyScheduler(engine_kind=engine_kind).solve(instance, _K)
+        return GreedyScheduler(engine=spec).solve(instance, _K)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["pipeline"] = pipeline

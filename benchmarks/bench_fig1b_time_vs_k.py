@@ -19,9 +19,7 @@ import time
 
 import pytest
 
-from repro.algorithms.greedy import GreedyScheduler
-from repro.algorithms.random_schedule import RandomScheduler
-from repro.algorithms.top import TopKScheduler
+from repro.api import solver_registry
 
 from benchmarks.conftest import K_GRID, instance_for_k
 
@@ -29,11 +27,8 @@ _TIMES: dict[tuple[str, int], float] = {}
 
 
 def _method(name: str, k: int):
-    if name == "GRD":
-        return GreedyScheduler()
-    if name == "TOP":
-        return TopKScheduler()
-    return RandomScheduler(seed=k)
+    seeded = solver_registry.get(name.lower()).seeded
+    return solver_registry.create(name.lower(), seed=k if seeded else None)
 
 
 @pytest.mark.benchmark(group="fig1b-time-vs-k")

@@ -12,9 +12,7 @@ import time
 
 import pytest
 
-from repro.algorithms.greedy import GreedyScheduler
-from repro.algorithms.random_schedule import RandomScheduler
-from repro.algorithms.top import TopKScheduler
+from repro.api import solver_registry
 
 from benchmarks.conftest import INTERVAL_GRID, instance_for_intervals
 
@@ -23,11 +21,8 @@ _TIMES: dict[tuple[str, int], float] = {}
 
 
 def _method(name: str, seed: int):
-    if name == "GRD":
-        return GreedyScheduler()
-    if name == "TOP":
-        return TopKScheduler()
-    return RandomScheduler(seed=seed)
+    seeded = solver_registry.get(name.lower()).seeded
+    return solver_registry.create(name.lower(), seed=seed if seeded else None)
 
 
 @pytest.mark.benchmark(group="fig1d-time-vs-T")

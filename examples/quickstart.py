@@ -1,10 +1,13 @@
-"""Quickstart: build a small SES instance by hand and schedule it with GRD.
+"""Quickstart: build a small SES instance by hand and schedule it via repro.api.
 
 This walks the whole public API surface in ~60 lines:
 
 1. define users, intervals, candidate events and one competing event;
 2. supply the interest function ``mu`` and activity probabilities ``sigma``;
-3. run the paper's GRD algorithm and inspect the schedule.
+3. open a :class:`repro.api.ScheduleSession` over the instance and serve
+   several solve queries from it — the paper's GRD first, then a batch
+   comparing other registered solvers against it, all sharing one cached
+   score engine.
 
 Run with::
 
@@ -17,13 +20,13 @@ from repro import (
     ActivityModel,
     CandidateEvent,
     CompetingEvent,
-    GreedyScheduler,
     InterestMatrix,
     Organizer,
     SESInstance,
     TimeInterval,
     User,
 )
+from repro.api import ScheduleSession, SolveRequest
 
 
 def build_instance() -> SESInstance:
@@ -83,7 +86,8 @@ def main() -> None:
     instance = build_instance()
     print(instance.describe())
 
-    result = GreedyScheduler().solve(instance, k=3)
+    session = ScheduleSession(instance)
+    result = session.solve(k=3, solver="grd").result
     print(f"\n{result.summary()}\n")
     for assignment in result.schedule:
         event = instance.events[assignment.event]
@@ -100,6 +104,18 @@ def main() -> None:
         omega = expected_attendance(instance, result.schedule, assignment.event)
         name = instance.events[assignment.event].display_name
         print(f"  {name:>14}: {omega:.3f} attendees")
+
+    # the same session serves further queries without rebuilding the engine
+    print("\nOther solvers on the same session:")
+    for response in session.solve_many(
+        [
+            SolveRequest(k=3, solver="top"),
+            SolveRequest(k=3, solver="rand", seed=7),
+            SolveRequest(k=3, solver="exact"),
+        ]
+    ):
+        print(f"  {response.summary()}")
+    print(f"\n({session.describe()})")
 
 
 if __name__ == "__main__":

@@ -6,13 +6,14 @@ algorithm plus the TOP/RAND baselines (Sections III-IV), the Theorem-1
 NP-hardness reduction, a calibrated synthetic Meetup-style EBSN substrate,
 and the full experimental harness regenerating Figure 1.
 
-Quickstart::
+Quickstart (service facade, see :mod:`repro.api`)::
 
-    from repro import ExperimentConfig, WorkloadGenerator, GreedyScheduler
+    from repro import ExperimentConfig, WorkloadGenerator
+    from repro.api import ScheduleSession
 
     instance = WorkloadGenerator(root_seed=7).build(ExperimentConfig(k=20, n_users=500))
-    result = GreedyScheduler().solve(instance, k=20)
-    print(result.summary())
+    session = ScheduleSession(instance)
+    print(session.solve(k=20).summary())
 
 See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -20,6 +21,8 @@ paper-vs-measured record.
 
 from repro.algorithms import (
     AnnealingScheduler,
+    register_solver,
+    solver_registry,
     BeamSearchScheduler,
     GraspScheduler,
     ExhaustiveScheduler,
@@ -32,9 +35,16 @@ from repro.algorithms import (
     Scheduler,
     TopKScheduler,
 )
+from repro.api import (
+    ScheduleSession,
+    SolveRequest,
+    SolveResponse,
+    solve_once,
+)
 from repro.core import (
     ActivityModel,
     Assignment,
+    EngineSpec,
     CandidateEvent,
     CompetingEvent,
     CalendarGrid,
@@ -64,6 +74,7 @@ __all__ = [
     "ExperimentConfig",
     "CalendarGrid",
     "DayPart",
+    "EngineSpec",
     "FeasibilityChecker",
     "GraspScheduler",
     "GreedyScheduler",
@@ -76,12 +87,18 @@ __all__ = [
     "SESInstance",
     "Schedule",
     "ScheduleResult",
+    "ScheduleSession",
     "Scheduler",
+    "SolveRequest",
+    "SolveResponse",
     "TimeInterval",
     "TopKScheduler",
     "User",
     "WorkloadGenerator",
     "make_engine",
+    "register_solver",
+    "solve_once",
+    "solver_registry",
     "total_utility",
     "__version__",
 ]

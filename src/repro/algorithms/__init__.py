@@ -21,6 +21,12 @@ Reproduction infrastructure and extensions:
 from repro.algorithms.annealing import AnnealingScheduler
 from repro.algorithms.beam import BeamSearchScheduler
 from repro.algorithms.base import ScheduleResult, Scheduler, SolverStats
+from repro.algorithms.registry import (
+    SolverInfo,
+    SolverRegistry,
+    register_solver,
+    solver_registry,
+)
 from repro.algorithms.exhaustive import (
     ExhaustiveScheduler,
     SearchBudgetExceeded,
@@ -47,7 +53,11 @@ __all__ = [
     "ScheduleResult",
     "Scheduler",
     "SearchBudgetExceeded",
+    "SolverInfo",
+    "SolverRegistry",
     "SolverStats",
     "TopKScheduler",
     "optimal_utility",
+    "register_solver",
+    "solver_registry",
 ]

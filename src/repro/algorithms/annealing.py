@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.algorithms.base import ScheduleResult, Scheduler, SolverStats
 from repro.algorithms.random_schedule import RandomScheduler
-from repro.core.engine import ScoreEngine
+from repro.algorithms.registry import register_solver
+from repro.core.engine import EngineSpec, ScoreEngine
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment, Schedule
@@ -28,6 +29,12 @@ from repro.utils.rng import ensure_rng
 __all__ = ["AnnealingScheduler"]
 
 
+@register_solver(
+    summary="simulated annealing over relocate/replace moves",
+    seeded=True,
+    anytime=True,
+    default_params={"steps": 2000},
+)
 class AnnealingScheduler(Scheduler):
     """Metropolis search over relocate/replace moves with geometric cooling."""
 
@@ -35,15 +42,17 @@ class AnnealingScheduler(Scheduler):
 
     def __init__(
         self,
-        engine_kind: str = "vectorized",
+        engine: EngineSpec | str | None = None,
         strict: bool = False,
         seed: int | np.random.Generator | None = None,
         steps: int = 2000,
         initial_temperature: float = 1.0,
         cooling: float = 0.995,
         seed_schedule: Schedule | None = None,
+        *,
+        engine_kind: str | None = None,
     ):
-        super().__init__(engine_kind=engine_kind, strict=strict)
+        super().__init__(engine, strict=strict, engine_kind=engine_kind)
         if steps <= 0:
             raise ValueError(f"steps must be positive, got {steps}")
         if not 0.0 < cooling < 1.0:
@@ -69,9 +78,7 @@ class AnnealingScheduler(Scheduler):
     ) -> None:
         seed_schedule = self._seed_schedule
         if seed_schedule is None:
-            seeder = RandomScheduler(
-                engine_kind=self._engine_kind, seed=self._rng
-            )
+            seeder = RandomScheduler(self._engine_spec, seed=self._rng)
             seed_schedule = seeder.solve(instance, k).schedule
         for assignment in seed_schedule:
             checker.apply(assignment)

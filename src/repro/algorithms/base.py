@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
-from repro.core.engine import ScoreEngine, make_engine
+from repro.core.engine import EngineSpec, ScoreEngine, resolve_engine_spec
 from repro.core.errors import ScheduleSizeError
 from repro.core.feasibility import FeasibilityChecker, is_schedule_feasible
 from repro.core.instance import SESInstance
@@ -44,15 +44,8 @@ class SolverStats:
     moves_accepted: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "initial_scores": self.initial_scores,
-            "score_updates": self.score_updates,
-            "pops": self.pops,
-            "iterations": self.iterations,
-            "nodes_explored": self.nodes_explored,
-            "moves_evaluated": self.moves_evaluated,
-            "moves_accepted": self.moves_accepted,
-        }
+        """Every counter by field name — new counters appear automatically."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 @dataclass(frozen=True)
@@ -94,33 +87,69 @@ class Scheduler(ABC):
 
     Parameters
     ----------
-    engine_kind:
-        ``"vectorized"`` (default), ``"sparse"`` or ``"reference"``; every
-        solver is engine-agnostic, which is what makes the Abl-1 ablation
-        possible.  Pick ``"sparse"`` (with a sparse-backed interest
+    engine:
+        An :class:`~repro.core.engine.EngineSpec` (or bare kind string /
+        ``None`` for the vectorized default); every solver is
+        engine-agnostic, which is what makes the Abl-1 ablation possible.
+        Pick ``EngineSpec(kind="sparse")`` (with a sparse-backed interest
         matrix) for Meetup-scale populations.
     strict:
         When True, raise :class:`ScheduleSizeError` if fewer than ``k``
         assignments were placed.
+    engine_kind:
+        Deprecated alias for ``engine`` taking the bare kind string; emits
+        a :class:`DeprecationWarning`.
     """
 
     #: Human-facing solver name; subclasses override.
     name: str = "abstract"
 
-    def __init__(self, engine_kind: str = "vectorized", strict: bool = False):
-        self._engine_kind = engine_kind
+    def __init__(
+        self,
+        engine: EngineSpec | str | None = None,
+        strict: bool = False,
+        *,
+        engine_kind: str | None = None,
+    ):
+        self._engine_spec = resolve_engine_spec(
+            engine, engine_kind, owner=type(self).__name__
+        )
         self._strict = strict
 
     @property
-    def engine_kind(self) -> str:
-        return self._engine_kind
+    def engine_spec(self) -> EngineSpec:
+        return self._engine_spec
 
-    def solve(self, instance: SESInstance, k: int) -> ScheduleResult:
-        """Run the solver and return a validated, timed result."""
+    @property
+    def engine_kind(self) -> str:
+        """Back-compat accessor: the kind of :attr:`engine_spec`."""
+        return self._engine_spec.kind
+
+    def solve(
+        self,
+        instance: SESInstance,
+        k: int,
+        *,
+        engine: ScoreEngine | None = None,
+    ) -> ScheduleResult:
+        """Run the solver and return a validated, timed result.
+
+        ``engine`` lets a caller that amortizes engine construction across
+        many requests (:class:`repro.api.ScheduleSession`) inject a
+        pre-built engine; it must belong to ``instance`` and is reset
+        before use, so the result is identical to a one-shot solve.
+        """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
         k = min(k, instance.n_events)
-        engine = make_engine(instance, self._engine_kind)
+        if engine is None:
+            engine = self._engine_spec.build(instance)
+        else:
+            if engine.instance is not instance:
+                raise ValueError(
+                    "injected engine was built for a different instance"
+                )
+            engine.reset()
         checker = FeasibilityChecker(instance)
         stats = SolverStats()
 

@@ -20,7 +20,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import Scheduler, SolverStats
-from repro.core.engine import ScoreEngine, make_engine
+from repro.algorithms.registry import register_solver
+from repro.core.engine import EngineSpec, ScoreEngine
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment
@@ -28,6 +29,11 @@ from repro.core.schedule import Assignment
 __all__ = ["BeamSearchScheduler"]
 
 
+@register_solver(
+    summary="width-w beam search generalizing GRD",
+    anytime=True,
+    default_params={"beam_width": 4},
+)
 class BeamSearchScheduler(Scheduler):
     """Keep the ``beam_width`` best partial schedules per depth."""
 
@@ -35,12 +41,14 @@ class BeamSearchScheduler(Scheduler):
 
     def __init__(
         self,
-        engine_kind: str = "vectorized",
+        engine: EngineSpec | str | None = None,
         strict: bool = False,
         beam_width: int = 4,
         branch_factor: int | None = None,
+        *,
+        engine_kind: str | None = None,
     ):
-        super().__init__(engine_kind=engine_kind, strict=strict)
+        super().__init__(engine, strict=strict, engine_kind=engine_kind)
         if beam_width <= 0:
             raise ValueError(f"beam_width must be positive, got {beam_width}")
         if branch_factor is not None and branch_factor <= 0:
@@ -102,7 +110,7 @@ class BeamSearchScheduler(Scheduler):
         stats: SolverStats,
     ) -> list[tuple[float, dict[int, int]]]:
         """Top ``branch_factor`` one-assignment extensions of ``mapping``."""
-        engine = make_engine(instance, self._engine_kind)
+        engine = self._engine_spec.build(instance)
         checker = FeasibilityChecker(instance)
         for event, interval in mapping.items():
             checker.apply(Assignment(event, interval))

@@ -25,7 +25,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import Scheduler, SolverStats
-from repro.core.engine import ScoreEngine
+from repro.algorithms.registry import register_solver
+from repro.core.engine import EngineSpec, ScoreEngine
 from repro.core.errors import SESError
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
@@ -38,6 +39,10 @@ class SearchBudgetExceeded(SESError):
     """The exhaustive search hit its node budget before completing."""
 
 
+@register_solver(
+    summary="exact optimum via pruned DFS (tiny instances only)",
+    default_params={"max_nodes": 2_000_000},
+)
 class ExhaustiveScheduler(Scheduler):
     """Optimal solver via pruned depth-first search (tiny instances only)."""
 
@@ -45,11 +50,13 @@ class ExhaustiveScheduler(Scheduler):
 
     def __init__(
         self,
-        engine_kind: str = "vectorized",
+        engine: EngineSpec | str | None = None,
         strict: bool = False,
         max_nodes: int = 2_000_000,
+        *,
+        engine_kind: str | None = None,
     ):
-        super().__init__(engine_kind=engine_kind, strict=strict)
+        super().__init__(engine, strict=strict, engine_kind=engine_kind)
         if max_nodes <= 0:
             raise ValueError(f"max_nodes must be positive, got {max_nodes}")
         self._max_nodes = max_nodes

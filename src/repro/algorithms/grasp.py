@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.algorithms.base import Scheduler, SolverStats
 from repro.algorithms.local_search import LocalSearchRefiner
-from repro.core.engine import ScoreEngine, make_engine
+from repro.algorithms.registry import register_solver
+from repro.core.engine import EngineSpec, ScoreEngine
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment
@@ -28,6 +29,12 @@ from repro.utils.rng import ensure_rng
 __all__ = ["GraspScheduler"]
 
 
+@register_solver(
+    summary="multi-restart randomized greedy with local-search polishing",
+    seeded=True,
+    anytime=True,
+    default_params={"restarts": 5, "alpha": 0.15},
+)
 class GraspScheduler(Scheduler):
     """Multi-restart randomized greedy with local-search polishing."""
 
@@ -35,15 +42,17 @@ class GraspScheduler(Scheduler):
 
     def __init__(
         self,
-        engine_kind: str = "vectorized",
+        engine: EngineSpec | str | None = None,
         strict: bool = False,
         seed: int | np.random.Generator | None = None,
         restarts: int = 5,
         alpha: float = 0.15,
         polish: bool = True,
         polish_rounds: int = 3,
+        *,
+        engine_kind: str | None = None,
     ):
-        super().__init__(engine_kind=engine_kind, strict=strict)
+        super().__init__(engine, strict=strict, engine_kind=engine_kind)
         if restarts <= 0:
             raise ValueError(f"restarts must be positive, got {restarts}")
         if not 0.0 <= alpha <= 1.0:
@@ -86,7 +95,7 @@ class GraspScheduler(Scheduler):
         self, instance: SESInstance, k: int, stats: SolverStats
     ) -> tuple[dict[int, int], float]:
         """One randomized-greedy pass: RCL sampling until k or stuck."""
-        engine = make_engine(instance, self._engine_kind)
+        engine = self._engine_spec.build(instance)
         checker = FeasibilityChecker(instance)
         utility = 0.0
         while len(engine.schedule) < k:
@@ -132,7 +141,7 @@ class GraspScheduler(Scheduler):
             (Assignment(event, interval) for event, interval in mapping.items()),
         )
         refiner = LocalSearchRefiner(
-            engine_kind=self._engine_kind,
+            self._engine_spec,
             max_rounds=self._polish_rounds,
             seed=self._rng,
         )

@@ -32,6 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import Scheduler, SolverStats
+from repro.algorithms.registry import register_solver
 from repro.core.engine import ScoreEngine
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
@@ -40,6 +41,7 @@ from repro.core.schedule import Assignment
 __all__ = ["GreedyScheduler"]
 
 
+@register_solver(summary="the paper's greedy Algorithm 1 (list-based)")
 class GreedyScheduler(Scheduler):
     """Paper-faithful GRD over a dense assignment-score matrix."""
 

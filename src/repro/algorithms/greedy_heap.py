@@ -30,6 +30,7 @@ import heapq
 import itertools
 
 from repro.algorithms.base import Scheduler, SolverStats
+from repro.algorithms.registry import register_solver
 from repro.core.engine import ScoreEngine
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
@@ -38,6 +39,7 @@ from repro.core.schedule import Assignment
 __all__ = ["LazyGreedyScheduler"]
 
 
+@register_solver(summary="GRD with a lazy max-heap: same schedules, fewer updates")
 class LazyGreedyScheduler(Scheduler):
     """GRD with a lazily-revalidated max-heap candidate store."""
 

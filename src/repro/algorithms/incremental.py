@@ -32,8 +32,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algorithms.registry import register_solver
 from repro.core.activity import ActivityModel
-from repro.core.engine import make_engine
+from repro.core.engine import EngineSpec, resolve_engine_spec
 from repro.core.entities import CandidateEvent, CompetingEvent
 from repro.core.errors import UnknownEntityError
 from repro.core.feasibility import FeasibilityChecker
@@ -44,21 +45,33 @@ from repro.core.schedule import Assignment, Schedule
 __all__ = ["IncrementalScheduler"]
 
 
+@register_solver(
+    name="incremental",
+    summary="online maintenance under arrivals, cancellations and new rivals",
+    kind="online",
+    strict_capable=False,
+)
 class IncrementalScheduler:
     """Keeps a feasible, greedily-maintained schedule under change events."""
+
+    name = "INC"
 
     def __init__(
         self,
         instance: SESInstance,
         k: int,
-        engine_kind: str = "vectorized",
+        engine: EngineSpec | str | None = None,
+        *,
+        engine_kind: str | None = None,
     ):
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
-        self._engine_kind = engine_kind
+        self._engine_spec = resolve_engine_spec(
+            engine, engine_kind, owner=type(self).__name__
+        )
         self._k = k
         self._instance = instance
-        self._engine = make_engine(instance, engine_kind)
+        self._engine = self._engine_spec.build(instance)
         self._checker = FeasibilityChecker(instance)
         self._fill()
 
@@ -311,7 +324,7 @@ class IncrementalScheduler:
             else self.schedule.as_mapping()
         )
         self._instance = new_instance
-        self._engine = make_engine(new_instance, self._engine_kind)
+        self._engine = self._engine_spec.build(new_instance)
         self._checker = FeasibilityChecker(new_instance)
         for event, interval in sorted(mapping.items()):
             self._checker.apply(Assignment(event, interval))

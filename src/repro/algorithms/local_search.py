@@ -20,7 +20,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import ScheduleResult, SolverStats
-from repro.core.engine import make_engine
+from repro.algorithms.registry import register_solver
+from repro.core.engine import EngineSpec, resolve_engine_spec
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment, Schedule
@@ -30,6 +31,13 @@ from repro.utils.timing import Stopwatch
 __all__ = ["LocalSearchRefiner"]
 
 
+@register_solver(
+    summary="relocate/replace/exchange hill climbing over an existing schedule",
+    kind="refiner",
+    seeded=True,
+    anytime=True,
+    strict_capable=False,
+)
 class LocalSearchRefiner:
     """First-improvement hill climber over relocate/replace/exchange moves."""
 
@@ -37,13 +45,17 @@ class LocalSearchRefiner:
 
     def __init__(
         self,
-        engine_kind: str = "vectorized",
+        engine: EngineSpec | str | None = None,
         max_rounds: int = 50,
         seed: int | np.random.Generator | None = None,
+        *,
+        engine_kind: str | None = None,
     ):
         if max_rounds <= 0:
             raise ValueError(f"max_rounds must be positive, got {max_rounds}")
-        self._engine_kind = engine_kind
+        self._engine_spec = resolve_engine_spec(
+            engine, engine_kind, owner=type(self).__name__
+        )
         self._max_rounds = max_rounds
         self._rng = ensure_rng(seed)
 
@@ -58,7 +70,7 @@ class LocalSearchRefiner:
         stats = SolverStats()
         stopwatch = Stopwatch()
         with stopwatch:
-            engine = make_engine(instance, self._engine_kind)
+            engine = self._engine_spec.build(instance)
             checker = FeasibilityChecker(instance)
             for assignment in schedule:
                 checker.apply(assignment)

@@ -16,7 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import Scheduler, SolverStats
-from repro.core.engine import ScoreEngine
+from repro.algorithms.registry import register_solver
+from repro.core.engine import EngineSpec, ScoreEngine
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment
@@ -25,6 +26,9 @@ from repro.utils.rng import ensure_rng
 __all__ = ["RandomScheduler"]
 
 
+@register_solver(
+    summary="the paper's RAND baseline: random valid assignments", seeded=True
+)
 class RandomScheduler(Scheduler):
     """Commit uniformly random valid assignments until ``k`` are placed."""
 
@@ -32,11 +36,13 @@ class RandomScheduler(Scheduler):
 
     def __init__(
         self,
-        engine_kind: str = "vectorized",
+        engine: EngineSpec | str | None = None,
         strict: bool = False,
         seed: int | np.random.Generator | None = None,
+        *,
+        engine_kind: str | None = None,
     ):
-        super().__init__(engine_kind=engine_kind, strict=strict)
+        super().__init__(engine, strict=strict, engine_kind=engine_kind)
         self._rng = ensure_rng(seed)
 
     def _solve(

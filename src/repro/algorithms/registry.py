@@ -1,0 +1,222 @@
+"""The solver registry: one catalog of every scheduling method in the library.
+
+Before the :mod:`repro.api` facade existed there were three divergent
+solver lists (the CLI's hand-written dict, ``runner.paper_methods``, and
+direct class imports in benchmarks/examples), each exposing a different
+subset.  Every solver module now declares itself once via
+:func:`register_solver`, and every entry point derives its choices from
+:data:`solver_registry` — a new solver file shows up in the CLI, the
+runner and the session API the moment it is imported.
+
+Capabilities are part of the registration so callers can dispatch without
+``isinstance`` probing:
+
+* ``kind`` — ``"batch"`` (one-shot ``solve(instance, k)``), ``"refiner"``
+  (improves an existing schedule), or ``"online"`` (stateful maintainer
+  constructed around a live instance);
+* ``seeded`` — the constructor accepts ``seed=``;
+* ``anytime`` — quality improves with a tunable budget parameter;
+* ``strict_capable`` — the constructor accepts ``strict=``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.engine import EngineSpec
+
+__all__ = [
+    "SolverInfo",
+    "SolverRegistry",
+    "register_solver",
+    "solver_registry",
+]
+
+#: Valid values for :attr:`SolverInfo.kind`.
+SOLVER_KINDS: tuple[str, ...] = ("batch", "refiner", "online")
+
+
+@dataclass(frozen=True)
+class SolverInfo:
+    """One registry entry: the solver class plus its declared capabilities."""
+
+    name: str
+    cls: type
+    display_name: str
+    summary: str
+    kind: str = "batch"
+    seeded: bool = False
+    anytime: bool = False
+    strict_capable: bool = True
+    default_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in SOLVER_KINDS:
+            raise ValueError(
+                f"unknown solver kind {self.kind!r}; choose from {SOLVER_KINDS}"
+            )
+
+    @property
+    def module(self) -> str:
+        """The defining module, e.g. ``"repro.algorithms.greedy"``."""
+        return self.cls.__module__
+
+    @property
+    def one_shot(self) -> bool:
+        """Whether the solver answers a one-shot ``solve(instance, k)``."""
+        return self.kind == "batch"
+
+    def describe(self) -> str:
+        flags = [self.kind]
+        if self.seeded:
+            flags.append("seeded")
+        if self.anytime:
+            flags.append("anytime")
+        if self.strict_capable:
+            flags.append("strict-capable")
+        return f"{self.name} ({self.display_name}): {self.summary} [{', '.join(flags)}]"
+
+
+class SolverRegistry:
+    """Name -> :class:`SolverInfo` catalog with construction helpers."""
+
+    def __init__(self) -> None:
+        self._infos: dict[str, SolverInfo] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(
+        self,
+        cls: type,
+        *,
+        name: str | None = None,
+        summary: str = "",
+        kind: str = "batch",
+        seeded: bool = False,
+        anytime: bool = False,
+        strict_capable: bool = True,
+        default_params: Mapping[str, Any] | None = None,
+    ) -> type:
+        """Add ``cls`` under ``name`` (default: ``cls.name`` lowercased)."""
+        display_name = getattr(cls, "name", cls.__name__)
+        key = name if name is not None else display_name.lower()
+        existing = self._infos.get(key)
+        if existing is not None and existing.cls is not cls:
+            raise ValueError(
+                f"solver name {key!r} already registered by "
+                f"{existing.cls.__qualname__}"
+            )
+        self._infos[key] = SolverInfo(
+            name=key,
+            cls=cls,
+            display_name=display_name,
+            summary=summary,
+            kind=kind,
+            seeded=seeded,
+            anytime=anytime,
+            strict_capable=strict_capable,
+            default_params=dict(default_params or {}),
+        )
+        return cls
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, name: str) -> SolverInfo:
+        try:
+            return self._infos[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown solver {name!r}; choose from {sorted(self._infos)}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Every registered name, sorted."""
+        return tuple(sorted(self._infos))
+
+    def one_shot_names(self) -> tuple[str, ...]:
+        """Names answering one-shot ``solve(instance, k)`` — CLI choices."""
+        return tuple(
+            sorted(name for name, info in self._infos.items() if info.one_shot)
+        )
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._infos
+
+    def __iter__(self) -> Iterator[SolverInfo]:
+        return iter(self._infos[name] for name in sorted(self._infos))
+
+    def __len__(self) -> int:
+        return len(self._infos)
+
+    # -- construction ---------------------------------------------------
+    def create(
+        self,
+        name: str,
+        *,
+        engine: EngineSpec | str | None = None,
+        seed: int | None = None,
+        strict: bool = False,
+        **params: Any,
+    ) -> Any:
+        """Instantiate the named solver with capability-aware arguments.
+
+        ``engine`` is forwarded as the solver's engine spec; ``seed`` only
+        to solvers registered as ``seeded`` (an explicit seed for a
+        deterministic solver is an error, not silently dropped); ``strict``
+        only to ``strict_capable`` solvers.  ``params`` override the
+        registered ``default_params``.
+        """
+        info = self.get(name)
+        if info.kind == "online":
+            raise ValueError(
+                f"solver {name!r} is an online maintainer; construct "
+                f"{info.cls.__name__}(instance, k, ...) directly"
+            )
+        kwargs: dict[str, Any] = dict(info.default_params)
+        kwargs.update(params)
+        if engine is not None:
+            kwargs["engine"] = EngineSpec.coerce(engine)
+        if seed is not None:
+            if not info.seeded:
+                raise ValueError(
+                    f"solver {name!r} is deterministic; seed= is not accepted"
+                )
+            kwargs["seed"] = seed
+        if strict:
+            if not info.strict_capable:
+                raise ValueError(f"solver {name!r} does not support strict=")
+            kwargs["strict"] = True
+        return info.cls(**kwargs)
+
+
+#: The process-wide registry; populated on ``import repro.algorithms``.
+solver_registry = SolverRegistry()
+
+
+def register_solver(
+    name: str | None = None,
+    *,
+    summary: str = "",
+    kind: str = "batch",
+    seeded: bool = False,
+    anytime: bool = False,
+    strict_capable: bool = True,
+    default_params: Mapping[str, Any] | None = None,
+    registry: SolverRegistry | None = None,
+) -> Callable[[type], type]:
+    """Class decorator registering a solver into :data:`solver_registry`."""
+
+    def decorate(cls: type) -> type:
+        (registry or solver_registry).register(
+            cls,
+            name=name,
+            summary=summary,
+            kind=kind,
+            seeded=seeded,
+            anytime=anytime,
+            strict_capable=strict_capable,
+            default_params=default_params,
+        )
+        return cls
+
+    return decorate

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import Scheduler, SolverStats
+from repro.algorithms.registry import register_solver
 from repro.core.engine import ScoreEngine
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
@@ -24,6 +25,7 @@ from repro.core.schedule import Assignment
 __all__ = ["TopKScheduler"]
 
 
+@register_solver(summary="the paper's TOP baseline: rank initial scores, no updates")
 class TopKScheduler(Scheduler):
     """Rank all assignments by initial score; take the best valid ``k``."""
 

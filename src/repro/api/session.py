@@ -1,0 +1,255 @@
+"""A reusable scheduling session: one instance, many queries.
+
+The paper's evaluation is one-shot (build instance, run each method,
+plot), but a production deployment answers *streams* of queries against
+one large user×event instance: "schedule 20 events", "what if k were 30",
+"how does SA compare", "what does hiring more staff buy".  Re-paying
+engine construction per query is pure waste — a vectorized engine
+allocates per-interval mass vectors and a sparse engine lazily
+accumulates competing-mass columns, both of which are query-independent.
+
+:class:`ScheduleSession` is that serving loop: it holds the instance,
+memoizes one engine per :class:`~repro.core.engine.EngineSpec`, resets it
+between requests (reset is O(state), construction is O(instance)), and
+resolves solvers through the registry.  Results are *bit-identical* to
+one-shot solves — the session-reuse parity suite in
+``tests/api/test_session.py`` enforces it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from repro.algorithms.base import Scheduler
+from repro.algorithms.registry import SolverRegistry, solver_registry
+from repro.core.engine import EngineSpec, ScoreEngine
+from repro.core.instance import SESInstance
+from repro.core.schedule import Schedule
+
+from repro.api.requests import SolveRequest, SolveResponse
+
+__all__ = ["ScheduleSession", "solve_once"]
+
+
+class ScheduleSession:
+    """Serve repeated solve / what-if / report queries over one instance.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance all requests run against.
+    default_engine:
+        :class:`EngineSpec` (or kind string) used when a request does not
+        name one; defaults to the vectorized engine.
+    registry:
+        Solver catalog; the process-wide registry unless a test injects
+        its own.
+    """
+
+    def __init__(
+        self,
+        instance: SESInstance,
+        default_engine: EngineSpec | str | None = None,
+        registry: SolverRegistry | None = None,
+    ):
+        self._instance = instance
+        self._default_spec = EngineSpec.coerce(default_engine)
+        self._registry = registry if registry is not None else solver_registry
+        # keyed by spec.kind: the backend field is a workload-generation
+        # hint, so specs differing only there share one engine
+        self._engines: dict[str, ScoreEngine] = {}
+        self._engines_built = 0
+        self._requests_served = 0
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_file(
+        cls,
+        path: Any,
+        default_engine: EngineSpec | str | None = None,
+    ) -> ScheduleSession:
+        """Open a session over an instance JSON file (see repro.data)."""
+        from repro.data.serialization import load_instance
+
+        return cls(load_instance(path), default_engine=default_engine)
+
+    @classmethod
+    def from_config(
+        cls,
+        config: Any,
+        root_seed: int = 0,
+        default_engine: EngineSpec | str | None = None,
+    ) -> ScheduleSession:
+        """Open a session over a generated workload.
+
+        ``config`` is an :class:`~repro.workloads.config.ExperimentConfig`;
+        when ``default_engine`` is given, the workload's ``mu`` storage is
+        rewritten to the spec's ``interest_backend`` — pass
+        ``EngineSpec(kind=..., backend=...)`` to pin a storage/engine
+        pairing explicitly (e.g. the sparse engine over dense storage).
+        """
+        from repro.workloads.generator import WorkloadGenerator
+
+        if default_engine is not None:
+            spec = EngineSpec.coerce(default_engine)
+            if config.interest_backend != spec.interest_backend:
+                config = config.with_backend(spec.interest_backend)
+        return cls(
+            WorkloadGenerator(root_seed=root_seed).build(config),
+            default_engine=default_engine,
+        )
+
+    # -- introspection --------------------------------------------------
+    @property
+    def instance(self) -> SESInstance:
+        return self._instance
+
+    @property
+    def default_engine(self) -> EngineSpec:
+        return self._default_spec
+
+    @property
+    def engines_built(self) -> int:
+        """Engine constructions so far (== distinct specs served)."""
+        return self._engines_built
+
+    @property
+    def requests_served(self) -> int:
+        return self._requests_served
+
+    def describe(self) -> str:
+        return (
+            f"{self._instance.describe()} | default engine "
+            f"{self._default_spec.kind} | {self._engines_built} engine(s) "
+            f"cached, {self._requests_served} request(s) served"
+        )
+
+    # -- the serving hot path -------------------------------------------
+    def engine_for(self, spec: EngineSpec | str | None = None) -> ScoreEngine:
+        """The cached engine for ``spec``, constructing it on first use."""
+        resolved = (
+            self._default_spec if spec is None else EngineSpec.coerce(spec)
+        )
+        engine = self._engines.get(resolved.kind)
+        if engine is None:
+            engine = resolved.build(self._instance)
+            self._engines[resolved.kind] = engine
+            self._engines_built += 1
+        return engine
+
+    def solver_for(self, request: SolveRequest) -> Scheduler:
+        """Build the request's solver via the registry (fresh per request,
+        so stochastic state never leaks between queries)."""
+        info = self._registry.get(request.solver)
+        if not info.one_shot:
+            raise ValueError(
+                f"solver {request.solver!r} is a {info.kind}, not a one-shot "
+                f"solver; construct {info.cls.__name__} via "
+                f"solver_registry.create/direct instantiation instead"
+            )
+        spec = (
+            EngineSpec.coerce(request.engine)
+            if request.engine is not None
+            else self._default_spec
+        )
+        return self._registry.create(
+            request.solver,
+            engine=spec,
+            seed=request.seed,
+            strict=request.strict,
+            **request.params,
+        )
+
+    def solve(
+        self, request: SolveRequest | None = None, /, **query: Any
+    ) -> SolveResponse:
+        """Serve one request; accepts a :class:`SolveRequest` or its fields.
+
+        ``session.solve(k=20)`` and
+        ``session.solve(SolveRequest(k=20))`` are equivalent.
+        """
+        if request is None:
+            request = SolveRequest(**query)
+        elif query:
+            raise TypeError(
+                "pass either a SolveRequest or keyword fields, not both"
+            )
+        spec = (
+            EngineSpec.coerce(request.engine)
+            if request.engine is not None
+            else self._default_spec
+        )
+        reused = spec.kind in self._engines
+        engine = self.engine_for(spec)
+        solver = self.solver_for(request)
+        result = solver.solve(self._instance, request.k, engine=engine)
+        self._requests_served += 1
+        return SolveResponse(
+            request=request, result=result, engine=spec, reused_engine=reused
+        )
+
+    def solve_many(
+        self, requests: Iterable[SolveRequest]
+    ) -> list[SolveResponse]:
+        """Serve a batch of requests in order, sharing cached engines."""
+        return [self.solve(request) for request in requests]
+
+    # -- analysis conveniences ------------------------------------------
+    def report(self, schedule: Schedule) -> Any:
+        """Full :class:`~repro.harness.inspect.ScheduleReport` for a schedule."""
+        from repro.harness.inspect import ScheduleReport
+
+        return ScheduleReport(self._instance, schedule)
+
+    def what_if_theta(
+        self, k: int, thetas: Sequence[float], solver: str = "grd", **params: Any
+    ) -> Any:
+        """Utility curve as the staffing budget varies (see harness.whatif)."""
+        from repro.harness import whatif
+
+        return whatif.sweep_theta(
+            self._instance, k, thetas, solver=self._whatif_solver(solver, params)
+        )
+
+    def what_if_locations(
+        self,
+        k: int,
+        location_counts: Sequence[int],
+        solver: str = "grd",
+        **params: Any,
+    ) -> Any:
+        """Utility curve as the venue budget varies (see harness.whatif)."""
+        from repro.harness import whatif
+
+        return whatif.sweep_locations(
+            self._instance,
+            k,
+            location_counts,
+            solver=self._whatif_solver(solver, params),
+        )
+
+    def competition_cost(
+        self, k: int, competing_index: int, solver: str = "grd", **params: Any
+    ) -> float:
+        """Attendance recovered if one competing event vanished."""
+        from repro.harness import whatif
+
+        return whatif.competition_cost(
+            self._instance,
+            k,
+            competing_index,
+            solver=self._whatif_solver(solver, params),
+        )
+
+    def _whatif_solver(self, solver: str, params: dict[str, Any]) -> Scheduler:
+        return self._registry.create(
+            solver, engine=self._default_spec, **params
+        )
+
+
+def solve_once(
+    instance: SESInstance, request: SolveRequest | None = None, /, **query: Any
+) -> SolveResponse:
+    """One-shot convenience: a throwaway session serving a single request."""
+    return ScheduleSession(instance).solve(request, **query)

@@ -14,6 +14,8 @@ from repro.core.attendance import (
     luce_denominator,
 )
 from repro.core.engine import (
+    ENGINE_KINDS,
+    EngineSpec,
     ReferenceEngine,
     ScoreEngine,
     SparseEngine,
@@ -66,7 +68,9 @@ __all__ = [
     "CompetingEvent",
     "DayPart",
     "DuplicateEventError",
+    "ENGINE_KINDS",
     "EVENING_ONLY",
+    "EngineSpec",
     "FeasibilityChecker",
     "InfeasibleAssignmentError",
     "InstanceValidationError",

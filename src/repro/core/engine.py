@@ -62,8 +62,11 @@ defined as 0 throughout, matching the reference semantics.
 
 from __future__ import annotations
 
+import sys
+import warnings
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -78,6 +81,10 @@ __all__ = [
     "ReferenceEngine",
     "VectorizedEngine",
     "SparseEngine",
+    "EngineSpec",
+    "ENGINE_KINDS",
+    "INTEREST_BACKENDS",
+    "resolve_engine_spec",
     "make_engine",
 ]
 
@@ -485,24 +492,146 @@ class SparseEngine(ScoreEngine):
 
 
 _ENGINES = {
-    "reference": ReferenceEngine,
     "vectorized": VectorizedEngine,
     "sparse": SparseEngine,
+    "reference": ReferenceEngine,
 }
 
+#: The one source of truth for valid engine kinds: the CLI's ``--engine``
+#: choices, :class:`EngineSpec` validation and :func:`make_engine` dispatch
+#: all derive from this tuple (ordered: default first).
+ENGINE_KINDS: tuple[str, ...] = tuple(_ENGINES)
 
-def make_engine(instance: SESInstance, kind: str = "vectorized") -> ScoreEngine:
-    """Factory: build a score engine by name.
+#: Valid ``mu`` storage backends (see :class:`repro.core.interest.InterestMatrix`).
+INTEREST_BACKENDS: tuple[str, ...] = ("dense", "sparse")
 
-    ``"vectorized"`` (default) broadcasts over dense arrays; ``"sparse"``
-    touches only nonzero interest entries (pair with
+
+@dataclass(frozen=True, slots=True)
+class EngineSpec:
+    """Typed description of a score-engine configuration.
+
+    Replaces the stringly-typed ``engine_kind`` previously threaded through
+    every solver constructor, :func:`make_engine` and the CLI.  Being a
+    frozen (hashable) value object, it doubles as the cache key under which
+    :class:`repro.api.ScheduleSession` memoizes engine construction.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`ENGINE_KINDS` — ``"vectorized"`` (default),
+        ``"sparse"`` or ``"reference"``.
+    backend:
+        Optional ``mu`` storage hint for *generated* workloads (``"dense"``
+        or ``"sparse"``); ``None`` lets :attr:`interest_backend` pick the
+        natural pairing (sparse storage for the sparse engine).
+    """
+
+    kind: str = "vectorized"
+    backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ENGINES:
+            raise ValueError(
+                f"unknown engine kind {self.kind!r}; choose from {sorted(_ENGINES)}"
+            )
+        if self.backend is not None and self.backend not in INTEREST_BACKENDS:
+            raise ValueError(
+                f"unknown interest backend {self.backend!r}; "
+                f"choose from {INTEREST_BACKENDS}"
+            )
+
+    @classmethod
+    def coerce(cls, value: EngineSpec | str | None) -> EngineSpec:
+        """Normalize ``None`` (default), a kind string, or a spec to a spec."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(kind=value)
+        raise TypeError(
+            f"expected EngineSpec, engine-kind string or None, got {value!r}"
+        )
+
+    @property
+    def interest_backend(self) -> str:
+        """The ``mu`` storage this spec implies for generated workloads."""
+        if self.backend is not None:
+            return self.backend
+        return "sparse" if self.kind == "sparse" else "dense"
+
+    def build(self, instance: SESInstance) -> ScoreEngine:
+        """Construct the described engine for ``instance``."""
+        return _ENGINES[self.kind](instance)
+
+
+def _stacklevel_outside_repro() -> int:
+    """Stacklevel (for a warn() call in our caller) of the first frame
+    outside the ``repro`` package.
+
+    The ``engine_kind`` shim is reached through differing depths of
+    library frames (``Subclass.__init__ -> Scheduler.__init__ ->
+    resolve_engine_spec`` vs a direct base-class construction), so a fixed
+    constant would attribute the warning to library code — which Python's
+    default filter then silently drops for script callers.
+    """
+    level = 2  # stacklevel 2 from our caller == that caller's caller
+    frame = sys._getframe(2)  # the frame that called our caller
+    while frame is not None:
+        name = frame.f_globals.get("__name__", "")
+        if name != "repro" and not name.startswith("repro."):
+            break
+        frame = frame.f_back
+        level += 1
+    return level
+
+
+def resolve_engine_spec(
+    engine: EngineSpec | str | None = None,
+    engine_kind: str | None = None,
+    owner: str = "Scheduler",
+) -> EngineSpec:
+    """Collapse the new ``engine`` and legacy ``engine_kind`` arguments.
+
+    Shared by every constructor that still accepts the deprecated
+    ``engine_kind=`` keyword; passing it emits a :class:`DeprecationWarning`
+    attributed to the first frame outside the library.
+    """
+    if engine_kind is not None:
+        warnings.warn(
+            f"{owner}(engine_kind=...) is deprecated; pass "
+            f"engine=EngineSpec(kind={engine_kind!r}) instead",
+            DeprecationWarning,
+            stacklevel=_stacklevel_outside_repro(),
+        )
+        if engine is not None:
+            raise TypeError(
+                f"{owner}: pass either engine= or the deprecated "
+                f"engine_kind=, not both"
+            )
+        engine = engine_kind
+    return EngineSpec.coerce(engine)
+
+
+def make_engine(
+    instance: SESInstance, spec: EngineSpec | str | None = None
+) -> ScoreEngine:
+    """Factory: build a score engine from an :class:`EngineSpec`.
+
+    ``EngineSpec(kind="vectorized")`` (the default) broadcasts over dense
+    arrays; ``"sparse"`` touches only nonzero interest entries (pair with
     ``InterestMatrix(backend="sparse")`` for Meetup-scale populations);
     ``"reference"`` is the loop-based semantic oracle.
+
+    Passing a bare kind string is deprecated (it predates
+    :class:`EngineSpec`); it still works but emits a
+    :class:`DeprecationWarning`.
     """
-    try:
-        engine_cls = _ENGINES[kind]
-    except KeyError:
-        raise ValueError(
-            f"unknown engine kind {kind!r}; choose from {sorted(_ENGINES)}"
-        ) from None
-    return engine_cls(instance)
+    if isinstance(spec, str):
+        warnings.warn(
+            f'make_engine(instance, "{spec}") with a string kind is '
+            f"deprecated; pass EngineSpec(kind={spec!r}) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return EngineSpec.coerce(spec).build(instance)

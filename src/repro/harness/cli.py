@@ -1,5 +1,12 @@
 """Command-line interface: ``ses-repro`` / ``python -m repro``.
 
+The CLI is a thin client of the :mod:`repro.api` facade: solver choices
+come from :data:`~repro.api.solver_registry` (a newly registered solver
+appears here automatically), engine choices from
+:data:`~repro.core.engine.ENGINE_KINDS`, and the ``solve``/``demo``
+commands serve their queries through a
+:class:`~repro.api.ScheduleSession`.
+
 Subcommands
 -----------
 
@@ -17,6 +24,9 @@ Subcommands
     Load an instance JSON (see :mod:`repro.data.serialization`), run a
     solver, print the schedule and utility.
 
+``solvers``
+    List every registered solver with its capabilities.
+
 ``demo``
     End-to-end smoke run on a small instance: all methods side by side.
 """
@@ -28,14 +38,13 @@ import json
 import sys
 from collections.abc import Sequence
 
-from repro.algorithms import (
-    AnnealingScheduler,
-    GreedyScheduler,
-    LazyGreedyScheduler,
-    RandomScheduler,
-    TopKScheduler,
+from repro.api import (
+    ENGINE_KINDS,
+    EngineSpec,
+    ScheduleSession,
+    SolveRequest,
+    solver_registry,
 )
-from repro.data.serialization import load_instance, schedule_to_dict
 from repro.ebsn.generator import EBSNConfig, MeetupStyleGenerator
 from repro.ebsn.stats import summarize
 from repro.harness.figures import FIGURE_SPECS
@@ -44,25 +53,20 @@ from repro.workloads.config import ExperimentConfig
 
 __all__ = ["main", "build_parser"]
 
-_SOLVERS = {
-    "grd": GreedyScheduler,
-    "grd-heap": LazyGreedyScheduler,
-    "top": TopKScheduler,
-    "rand": RandomScheduler,
-    "sa": AnnealingScheduler,
-}
-
-_ENGINE_KINDS = ("vectorized", "sparse", "reference")
-
 
 def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
-        choices=_ENGINE_KINDS,
-        default="vectorized",
+        choices=ENGINE_KINDS,
+        default=ENGINE_KINDS[0],
         help="score engine: vectorized (dense numpy, default), sparse "
         "(CSC interest, Meetup-scale populations), reference (slow oracle)",
     )
+
+
+def _engine_spec(args: argparse.Namespace) -> EngineSpec:
+    return EngineSpec(kind=args.engine, backend=getattr(args, "backend", None))
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -102,7 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     solve = commands.add_parser("solve", help="solve an instance JSON file")
     solve.add_argument("path", help="instance file from repro.data.save_instance")
     solve.add_argument("-k", type=int, required=True, help="events to schedule")
-    solve.add_argument("--solver", choices=sorted(_SOLVERS), default="grd")
+    solve.add_argument(
+        "--solver",
+        choices=solver_registry.one_shot_names(),
+        default="grd",
+    )
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument(
         "--json", action="store_true", help="emit the schedule as JSON"
@@ -115,6 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_argument(solve)
 
+    commands.add_parser(
+        "solvers", help="list every registered solver and its capabilities"
+    )
+
     demo = commands.add_parser("demo", help="small end-to-end comparison run")
     _add_engine_argument(demo)
     return parser
@@ -126,6 +138,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figure": _run_figure,
         "dataset": _run_dataset,
         "solve": _run_solve,
+        "solvers": _run_solvers,
         "demo": _run_demo,
     }[args.command]
     return handler(args)
@@ -135,17 +148,13 @@ def main(argv: Sequence[str] | None = None) -> int:
 def _run_figure(args: argparse.Namespace) -> int:
     from repro.harness.figures import figure_value_axis, generate_figure
 
-    backend = args.backend
-    if backend is None:
-        backend = "sparse" if args.engine == "sparse" else "dense"
     table = generate_figure(
         args.panel,
         n_users=args.users,
         seed=args.seed,
         quick=args.quick,
         progress=lambda line: print(line, file=sys.stderr),
-        engine_kind=args.engine,
-        interest_backend=backend,
+        engine=_engine_spec(args),
     )
     print(format_figure(table, value=figure_value_axis(args.panel)))
     if args.csv:
@@ -170,21 +179,27 @@ def _run_dataset(args: argparse.Namespace) -> int:
 
 
 def _run_solve(args: argparse.Namespace) -> int:
-    instance = load_instance(args.path)
-    solver_cls = _SOLVERS[args.solver]
-    if solver_cls in (RandomScheduler, AnnealingScheduler):
-        solver = solver_cls(engine_kind=args.engine, seed=args.seed)
-    else:
-        solver = solver_cls(engine_kind=args.engine)
-    result = solver.solve(instance, args.k)
+    from repro.data.serialization import schedule_to_dict
+
+    session = ScheduleSession.from_file(
+        args.path, default_engine=_engine_spec(args)
+    )
+    info = solver_registry.get(args.solver)
+    response = session.solve(
+        SolveRequest(
+            k=args.k,
+            solver=args.solver,
+            seed=args.seed if info.seeded else None,
+        )
+    )
+    result = response.result
+    instance = session.instance
     if args.json:
         print(json.dumps(schedule_to_dict(result.schedule)))
     elif args.report:
-        from repro.harness.inspect import ScheduleReport
-
         print(result.summary())
         print()
-        print(ScheduleReport(instance, result.schedule).format())
+        print(session.report(result.schedule).format())
     else:
         print(result.summary())
         for assignment in result.schedule:
@@ -197,23 +212,50 @@ def _run_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_solvers(args: argparse.Namespace) -> int:
+    for info in solver_registry:
+        print(info.describe())
+        if info.default_params:
+            defaults = ", ".join(
+                f"{key}={value}" for key, value in sorted(info.default_params.items())
+            )
+            print(f"    defaults: {defaults}")
+    return 0
+
+
+#: demo line-up: registry name -> extra request params
+_DEMO_METHODS: dict[str, dict] = {
+    "grd": {},
+    "grd-heap": {},
+    "top": {},
+    "rand": {},
+    "sa": {"steps": 500},
+}
+_DEMO_SEED = 7
+
+
 def _run_demo(args: argparse.Namespace) -> int:
     from repro.workloads.generator import WorkloadGenerator
 
-    engine = args.engine
-    backend = "sparse" if engine == "sparse" else "dense"
-    config = ExperimentConfig(k=20, n_users=500, interest_backend=backend)
-    instance = WorkloadGenerator(root_seed=7).build(config)
-    print(instance.describe())
-    methods = {
-        "GRD": GreedyScheduler(engine_kind=engine),
-        "GRD-heap": LazyGreedyScheduler(engine_kind=engine),
-        "TOP": TopKScheduler(engine_kind=engine),
-        "RAND": RandomScheduler(engine_kind=engine, seed=7),
-        "SA": AnnealingScheduler(engine_kind=engine, seed=7, steps=500),
-    }
-    for name, solver in methods.items():
-        print(" ", solver.solve(instance, config.k).summary())
+    spec = EngineSpec(kind=args.engine)
+    config = ExperimentConfig(
+        k=20, n_users=500, interest_backend=spec.interest_backend
+    )
+    session = ScheduleSession(
+        WorkloadGenerator(root_seed=7).build(config), default_engine=spec
+    )
+    print(session.instance.describe())
+    requests = [
+        SolveRequest(
+            k=config.k,
+            solver=name,
+            seed=_DEMO_SEED if solver_registry.get(name).seeded else None,
+            params=params,
+        )
+        for name, params in _DEMO_METHODS.items()
+    ]
+    for response in session.solve_many(requests):
+        print(" ", response.result.summary())
     return 0
 
 

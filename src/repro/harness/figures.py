@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro.core.engine import EngineSpec, resolve_engine_spec
 from repro.harness.results import SweepTable
 from repro.harness.runner import run_sweep
 from repro.workloads.config import ExperimentConfig
@@ -47,8 +48,10 @@ def generate_figure(
     seed: int = 0,
     quick: bool = False,
     progress: Callable[[str], None] | None = None,
-    engine_kind: str = "vectorized",
-    interest_backend: str = "dense",
+    engine: EngineSpec | str | None = None,
+    interest_backend: str | None = None,
+    *,
+    engine_kind: str | None = None,
 ) -> SweepTable:
     """Run the sweep behind one Figure-1 panel and return its table.
 
@@ -65,24 +68,25 @@ def generate_figure(
         hold, absolute values shrink.
     progress:
         Optional per-grid-point callback (the CLI passes a stderr print).
-    engine_kind:
-        Score engine behind every method (``"vectorized"``, ``"sparse"``
-        or ``"reference"``).
+    engine:
+        :class:`EngineSpec` (or kind string) behind every method;
+        ``engine_kind`` is the deprecated string-only spelling.
     interest_backend:
-        ``mu`` storage for the generated workloads; pick ``"sparse"``
-        together with ``engine_kind="sparse"`` for large populations.
+        ``mu`` storage for the generated workloads; ``None`` follows the
+        engine spec (sparse storage for the sparse engine).
     """
     if panel not in FIGURE_SPECS:
         raise ValueError(
             f"unknown panel {panel!r}; choose from {sorted(FIGURE_SPECS)}"
         )
+    spec = resolve_engine_spec(engine, engine_kind, owner="generate_figure")
     x_label, __, title = FIGURE_SPECS[panel]
     base = (
         ExperimentConfig(n_users=n_users)
         if n_users is not None
         else ExperimentConfig()
     )
-    base = base.with_backend(interest_backend)
+    base = base.with_backend(interest_backend or spec.interest_backend)
 
     if panel in ("1a", "1b"):
         grid = QUICK_K_GRID if quick else FULL_K_GRID
@@ -101,5 +105,5 @@ def generate_figure(
         title=title,
         root_seed=seed,
         progress=progress,
-        engine_kind=engine_kind,
+        engine=spec,
     )

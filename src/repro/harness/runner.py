@@ -15,29 +15,45 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 
 from repro.algorithms.base import ScheduleResult, Scheduler
-from repro.algorithms.greedy import GreedyScheduler
-from repro.algorithms.random_schedule import RandomScheduler
-from repro.algorithms.top import TopKScheduler
+from repro.algorithms.registry import solver_registry
+from repro.core.engine import EngineSpec, resolve_engine_spec
 from repro.core.instance import SESInstance
 from repro.harness.results import SweepRow, SweepTable
 from repro.utils.rng import SeedSequenceFactory
 from repro.workloads.config import ExperimentConfig
 from repro.workloads.generator import WorkloadGenerator
 
-__all__ = ["paper_methods", "run_point", "run_sweep"]
+__all__ = ["PAPER_METHOD_NAMES", "paper_methods", "run_point", "run_sweep"]
 
 MethodFactory = Callable[[], dict[str, Scheduler]]
 
+#: Registry names of the paper's evaluation trio, in figure order.
+PAPER_METHOD_NAMES: tuple[str, ...] = ("grd", "top", "rand")
+
 
 def paper_methods(
-    seed: int = 0, engine_kind: str = "vectorized"
+    seed: int = 0,
+    engine: EngineSpec | str | None = None,
+    extras: Sequence[str] = (),
+    *,
+    engine_kind: str | None = None,
 ) -> dict[str, Scheduler]:
-    """The three methods of the paper's evaluation: GRD, TOP, RAND."""
-    return {
-        "GRD": GreedyScheduler(engine_kind=engine_kind),
-        "TOP": TopKScheduler(engine_kind=engine_kind),
-        "RAND": RandomScheduler(engine_kind=engine_kind, seed=seed),
-    }
+    """The paper's GRD/TOP/RAND trio, built from the solver registry.
+
+    ``extras`` appends further registry names (e.g. ``("sa", "grasp")``)
+    so sweeps can compare extension heuristics against the paper methods
+    without hand-rolling another solver dict.  ``seed`` is applied to
+    every solver registered as seeded.  ``engine_kind`` is the deprecated
+    string form of ``engine``.
+    """
+    spec = resolve_engine_spec(engine, engine_kind, owner="paper_methods")
+    methods: dict[str, Scheduler] = {}
+    for name in (*PAPER_METHOD_NAMES, *extras):
+        info = solver_registry.get(name)
+        methods[info.display_name] = solver_registry.create(
+            name, engine=spec, seed=seed if info.seeded else None
+        )
+    return methods
 
 
 def run_point(
@@ -60,7 +76,9 @@ def run_sweep(
     method_factory: MethodFactory | None = None,
     workload: WorkloadGenerator | None = None,
     progress: Callable[[str], None] | None = None,
-    engine_kind: str = "vectorized",
+    engine: EngineSpec | str | None = None,
+    *,
+    engine_kind: str | None = None,
 ) -> SweepTable:
     """Execute a sweep and return the populated table.
 
@@ -80,11 +98,12 @@ def run_sweep(
     progress:
         Optional callback receiving one line per completed grid point
         (the CLI passes ``print``).
-    engine_kind:
-        Score engine behind the default method trio (``"vectorized"``,
-        ``"sparse"`` or ``"reference"``); ignored when ``method_factory``
-        is given.
+    engine:
+        :class:`EngineSpec` (or kind string) behind the default method
+        trio; ignored when ``method_factory`` is given.  ``engine_kind``
+        is the deprecated string-only spelling.
     """
+    spec = resolve_engine_spec(engine, engine_kind, owner="run_sweep")
     table = SweepTable(x_label=x_label, title=title)
     workload = workload or WorkloadGenerator(root_seed=root_seed)
     seeds = SeedSequenceFactory(root_seed + 1)
@@ -95,7 +114,7 @@ def run_sweep(
         methods = (
             method_factory()
             if method_factory
-            else paper_methods(seed=point_seed, engine_kind=engine_kind)
+            else paper_methods(seed=point_seed, engine=spec)
         )
         for name, result in run_point(instance, config.k, methods).items():
             table.add(

@@ -79,9 +79,9 @@ class TestSolveContract:
         result = GreedyScheduler().solve(instance, 3)
         assert result.runtime_seconds > 0.0
 
-    def test_engine_kind_is_respected(self):
+    def test_engine_spec_is_respected(self):
         instance = make_random_instance(seed=77)
-        vectorized = GreedyScheduler(engine_kind="vectorized").solve(instance, 3)
-        reference = GreedyScheduler(engine_kind="reference").solve(instance, 3)
+        vectorized = GreedyScheduler(engine="vectorized").solve(instance, 3)
+        reference = GreedyScheduler(engine="reference").solve(instance, 3)
         assert vectorized.utility == pytest.approx(reference.utility, abs=1e-9)
         assert vectorized.schedule == reference.schedule

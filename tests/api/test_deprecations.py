@@ -1,0 +1,116 @@
+"""Back-compat shims: old stringly-typed entry points still work, but warn."""
+
+import pytest
+
+from repro.algorithms import (
+    GreedyScheduler,
+    IncrementalScheduler,
+    LocalSearchRefiner,
+    RandomScheduler,
+)
+from repro.algorithms.base import SolverStats
+from repro.api import EngineSpec
+from repro.core.engine import ReferenceEngine, VectorizedEngine, make_engine
+from repro.harness.runner import paper_methods
+
+from tests.conftest import make_random_instance
+
+
+class TestMakeEngineShim:
+    def test_string_kind_warns_but_works(self):
+        instance = make_random_instance(seed=500)
+        with pytest.deprecated_call():
+            engine = make_engine(instance, "vectorized")
+        assert isinstance(engine, VectorizedEngine)
+
+    def test_spec_does_not_warn(self, recwarn):
+        instance = make_random_instance(seed=500)
+        engine = make_engine(instance, EngineSpec("reference"))
+        assert isinstance(engine, ReferenceEngine)
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_default_does_not_warn(self, recwarn):
+        instance = make_random_instance(seed=500)
+        assert isinstance(make_engine(instance), VectorizedEngine)
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+class TestSchedulerShim:
+    def test_engine_kind_keyword_warns_but_works(self):
+        with pytest.deprecated_call():
+            solver = GreedyScheduler(engine_kind="reference")
+        assert solver.engine_kind == "reference"
+        assert solver.engine_spec == EngineSpec("reference")
+
+    def test_old_and_new_solves_agree(self):
+        instance = make_random_instance(seed=501)
+        with pytest.deprecated_call():
+            old = GreedyScheduler(engine_kind="reference").solve(instance, 3)
+        new = GreedyScheduler(engine=EngineSpec("reference")).solve(instance, 3)
+        assert old.utility == new.utility
+        assert old.schedule == new.schedule
+
+    def test_both_arguments_rejected(self):
+        with pytest.raises(TypeError, match="not both"), pytest.deprecated_call():
+            GreedyScheduler(engine=EngineSpec(), engine_kind="sparse")
+
+    def test_subclass_keyword_warns(self):
+        with pytest.deprecated_call():
+            RandomScheduler(engine_kind="vectorized", seed=1)
+        with pytest.deprecated_call():
+            LocalSearchRefiner(engine_kind="vectorized")
+
+    def test_warning_attributed_to_caller_not_library(self):
+        """The shim walks out of repro.* frames, so the warning lands on
+        the user's line even through subclass __init__ chains — otherwise
+        Python's default filter would silently drop it in scripts."""
+        import warnings
+
+        from repro.algorithms import AnnealingScheduler
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            AnnealingScheduler(engine_kind="reference", seed=0)
+        assert len(caught) == 1
+        assert caught[0].filename == __file__
+
+    def test_incremental_keyword_warns(self):
+        instance = make_random_instance(seed=502)
+        with pytest.deprecated_call():
+            live = IncrementalScheduler(instance, k=2, engine_kind="vectorized")
+        assert len(live.schedule) == 2
+
+    def test_plain_construction_does_not_warn(self, recwarn):
+        GreedyScheduler()
+        RandomScheduler(seed=1)
+        GreedyScheduler(engine="sparse")
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_injected_engine_must_match_instance(self):
+        a = make_random_instance(seed=503)
+        b = make_random_instance(seed=504)
+        engine = EngineSpec().build(b)
+        with pytest.raises(ValueError, match="different instance"):
+            GreedyScheduler().solve(a, 2, engine=engine)
+
+
+class TestPaperMethodsShim:
+    def test_engine_kind_keyword_warns(self):
+        with pytest.deprecated_call():
+            methods = paper_methods(seed=0, engine_kind="reference")
+        assert all(m.engine_kind == "reference" for m in methods.values())
+
+
+class TestSolverStatsFields:
+    def test_as_dict_mirrors_every_dataclass_field(self):
+        """as_dict derives from dataclasses.fields — a newly added counter
+        can no longer silently drop from benchmark output."""
+        import dataclasses
+
+        stats = SolverStats(initial_scores=1, moves_accepted=2)
+        payload = stats.as_dict()
+        assert set(payload) == {
+            f.name for f in dataclasses.fields(SolverStats)
+        }
+        assert payload["initial_scores"] == 1
+        assert payload["moves_accepted"] == 2

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.engine import (
+    EngineSpec,
     ReferenceEngine,
     SparseEngine,
     VectorizedEngine,
@@ -24,19 +25,19 @@ def engine_kind(request):
 class TestFactory:
     def test_known_kinds(self, random_instance):
         assert isinstance(
-            make_engine(random_instance, "reference"), ReferenceEngine
+            make_engine(random_instance, EngineSpec("reference")), ReferenceEngine
         )
         assert isinstance(
-            make_engine(random_instance, "vectorized"), VectorizedEngine
+            make_engine(random_instance, EngineSpec("vectorized")), VectorizedEngine
         )
-        assert isinstance(make_engine(random_instance, "sparse"), SparseEngine)
+        assert isinstance(make_engine(random_instance, EngineSpec("sparse")), SparseEngine)
 
     def test_default_is_vectorized(self, random_instance):
         assert isinstance(make_engine(random_instance), VectorizedEngine)
 
     def test_unknown_kind_rejected(self, random_instance):
         with pytest.raises(ValueError, match="unknown engine kind"):
-            make_engine(random_instance, "quantum")
+            make_engine(random_instance, EngineSpec("quantum"))
 
     def test_bad_chunk_size_rejected(self, random_instance):
         with pytest.raises(ValueError, match="chunk_elements"):
@@ -45,7 +46,7 @@ class TestFactory:
 
 class TestEngineBehaviour:
     def test_total_utility_tracks_assignments(self, random_instance, engine_kind):
-        engine = make_engine(random_instance, engine_kind)
+        engine = make_engine(random_instance, EngineSpec(engine_kind))
         assert engine.total_utility() == pytest.approx(0.0)
         engine.assign(0, 1)
         engine.assign(2, 1)
@@ -56,7 +57,7 @@ class TestEngineBehaviour:
         assert engine.total_utility() == pytest.approx(expected, abs=1e-9)
 
     def test_score_is_utility_delta(self, random_instance, engine_kind):
-        engine = make_engine(random_instance, engine_kind)
+        engine = make_engine(random_instance, EngineSpec(engine_kind))
         engine.assign(0, 0)
         before = engine.total_utility()
         gain = engine.score(1, 0)
@@ -64,7 +65,7 @@ class TestEngineBehaviour:
         assert engine.total_utility() - before == pytest.approx(gain, abs=1e-9)
 
     def test_unassign_restores_utility(self, random_instance, engine_kind):
-        engine = make_engine(random_instance, engine_kind)
+        engine = make_engine(random_instance, EngineSpec(engine_kind))
         engine.assign(0, 0)
         baseline = engine.total_utility()
         engine.assign(1, 0)
@@ -73,35 +74,35 @@ class TestEngineBehaviour:
         assert not engine.schedule.contains_event(1)
 
     def test_reset_clears_everything(self, random_instance, engine_kind):
-        engine = make_engine(random_instance, engine_kind)
+        engine = make_engine(random_instance, EngineSpec(engine_kind))
         engine.assign(0, 0)
         engine.reset()
         assert engine.total_utility() == pytest.approx(0.0)
         assert len(engine.schedule) == 0
 
     def test_score_of_assigned_event_rejected(self, random_instance, engine_kind):
-        engine = make_engine(random_instance, engine_kind)
+        engine = make_engine(random_instance, EngineSpec(engine_kind))
         engine.assign(0, 0)
         with pytest.raises(DuplicateEventError):
             engine.score(0, 1)
 
     def test_scores_for_interval_rejects_assigned(self, random_instance, engine_kind):
-        engine = make_engine(random_instance, engine_kind)
+        engine = make_engine(random_instance, EngineSpec(engine_kind))
         engine.assign(0, 0)
         with pytest.raises(DuplicateEventError):
             engine.scores_for_interval(0, [0, 1])
 
     def test_omega_requires_scheduled_event(self, random_instance, engine_kind):
-        engine = make_engine(random_instance, engine_kind)
+        engine = make_engine(random_instance, EngineSpec(engine_kind))
         with pytest.raises(UnknownEntityError):
             engine.omega(0)
 
     def test_empty_scores_request(self, random_instance, engine_kind):
-        engine = make_engine(random_instance, engine_kind)
+        engine = make_engine(random_instance, EngineSpec(engine_kind))
         assert engine.scores_for_interval(0, []).shape == (0,)
 
     def test_interval_utility_sums_omegas(self, random_instance, engine_kind):
-        engine = make_engine(random_instance, engine_kind)
+        engine = make_engine(random_instance, EngineSpec(engine_kind))
         engine.assign(0, 2)
         engine.assign(3, 2)
         assert engine.interval_utility(2) == pytest.approx(
@@ -114,8 +115,8 @@ class TestEngineEquivalence:
 
     def _pair(self, seed):
         instance = make_random_instance(seed=seed)
-        return instance, make_engine(instance, "reference"), make_engine(
-            instance, "vectorized"
+        return instance, make_engine(instance, EngineSpec("reference")), make_engine(
+            instance, EngineSpec("vectorized")
         )
 
     def test_scores_match_on_empty_schedule(self):
@@ -198,7 +199,7 @@ class TestZeroDenominatorConvention:
             ActivityModel.constant(1, 1), Organizer(resources=1.0),
         )
         for kind in ("reference", "vectorized"):
-            engine = make_engine(instance, kind)
+            engine = make_engine(instance, EngineSpec(kind))
             assert engine.score(0, 0) == 0.0
             engine.assign(0, 0)
             assert engine.omega(0) == 0.0

@@ -70,6 +70,16 @@ class TestSolveCommand:
         assert "RAND" in capsys.readouterr().out
 
 
+class TestSolversCommand:
+    def test_lists_every_registered_solver(self, capsys):
+        from repro.api import solver_registry
+
+        assert main(["solvers"]) == 0
+        output = capsys.readouterr().out
+        for name in solver_registry.names():
+            assert name in output
+
+
 class TestDemoCommand:
     def test_demo_runs_and_compares_methods(self, capsys):
         assert main(["demo"]) == 0

@@ -16,8 +16,8 @@ class TestPaperMethods:
         methods = paper_methods(seed=0)
         assert set(methods) == {"GRD", "TOP", "RAND"}
 
-    def test_engine_kind_propagates(self):
-        methods = paper_methods(seed=0, engine_kind="reference")
+    def test_engine_spec_propagates(self):
+        methods = paper_methods(seed=0, engine="reference")
         assert all(m.engine_kind == "reference" for m in methods.values())
 
 

@@ -81,8 +81,8 @@ class TestFullPipeline:
         )
 
     def test_engines_agree_at_pipeline_scale(self, pipeline_instance):
-        vec = GreedyScheduler(engine_kind="vectorized").solve(pipeline_instance, 8)
-        ref = GreedyScheduler(engine_kind="reference").solve(pipeline_instance, 8)
+        vec = GreedyScheduler(engine="vectorized").solve(pipeline_instance, 8)
+        ref = GreedyScheduler(engine="reference").solve(pipeline_instance, 8)
         # schedules may diverge on float-level score ties, utilities may not
         assert vec.utility == pytest.approx(ref.utility, abs=1e-6)
 

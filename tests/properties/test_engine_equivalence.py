@@ -12,7 +12,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.engine import make_engine
+from repro.core.engine import EngineSpec, make_engine
 
 from tests.conftest import make_random_instance
 from tests.properties.conftest import instances_with_schedules
@@ -60,7 +60,7 @@ def _assert_engines_agree(instance, schedule, engines):
 def test_engines_agree_on_everything(pair):
     instance, schedule = pair
     engines = {
-        kind: make_engine(instance, kind)
+        kind: make_engine(instance, EngineSpec(kind))
         for kind in ("reference", "vectorized", "sparse")
     }
     for assignment in schedule:
@@ -84,7 +84,7 @@ def test_engines_agree_after_unassigns(pair, drop_seed):
     """
     instance, schedule = pair
     engines = {
-        kind: make_engine(instance, kind)
+        kind: make_engine(instance, EngineSpec(kind))
         for kind in ("reference", "vectorized", "sparse")
     }
     for assignment in schedule:
@@ -108,7 +108,7 @@ def test_emptied_intervals_leave_no_trace(pair):
     """Assigning then unassigning everything returns every engine to zero."""
     instance, schedule = pair
     engines = {
-        kind: make_engine(instance, kind)
+        kind: make_engine(instance, EngineSpec(kind))
         for kind in ("reference", "vectorized", "sparse")
     }
     for assignment in schedule:
@@ -121,7 +121,7 @@ def test_emptied_intervals_leave_no_trace(pair):
     all_events = list(range(instance.n_events))
     for kind, engine in engines.items():
         assert engine.total_utility() == 0.0, kind
-        fresh = make_engine(instance, kind)
+        fresh = make_engine(instance, EngineSpec(kind))
         for interval in range(instance.n_intervals):
             assert engine.interval_utility(interval) == 0.0, kind
             np.testing.assert_allclose(
@@ -143,7 +143,7 @@ def test_all_zero_interest_scores_nothing(backend, kind, seed):
     instance = make_random_instance(
         interest_density=0.0, seed=seed, interest_backend=backend
     )
-    engine = make_engine(instance, kind)
+    engine = make_engine(instance, EngineSpec(kind))
     engine.assign(0, 0)
     engine.assign(1, 0)
     assert engine.total_utility() == 0.0
@@ -164,7 +164,7 @@ def test_all_zero_interest_scores_nothing(backend, kind, seed):
 def test_unassign_round_trip_preserves_scores(pair, kind):
     """assign + unassign must leave a stateful engine's answers intact."""
     instance, schedule = pair
-    engine = make_engine(instance, kind)
+    engine = make_engine(instance, EngineSpec(kind))
     for assignment in schedule:
         engine.assign(assignment.event, assignment.interval)
     remaining = [
