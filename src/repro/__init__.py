@@ -59,9 +59,15 @@ from repro.core import (
     make_engine,
     total_utility,
 )
-from repro.workloads import ExperimentConfig, WorkloadGenerator
+from repro.stream import StreamDriver, StreamResult, Trace, make_policy
+from repro.workloads import (
+    ExperimentConfig,
+    TraceConfig,
+    TraceGenerator,
+    WorkloadGenerator,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ActivityModel",
@@ -91,11 +97,17 @@ __all__ = [
     "Scheduler",
     "SolveRequest",
     "SolveResponse",
+    "StreamDriver",
+    "StreamResult",
     "TimeInterval",
     "TopKScheduler",
+    "Trace",
+    "TraceConfig",
+    "TraceGenerator",
     "User",
     "WorkloadGenerator",
     "make_engine",
+    "make_policy",
     "register_solver",
     "solve_once",
     "solver_registry",

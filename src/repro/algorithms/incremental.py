@@ -4,7 +4,7 @@ Real organizers do not schedule once: new candidate events surface, acts
 cancel, and rival venues announce shows after the program is drafted.
 This module (extension scope — the paper's related work discusses
 incremental *user-assignment*; we provide the event-centric analogue)
-keeps a feasible schedule alive under four change operations:
+keeps a feasible schedule alive under five change operations:
 
 * :meth:`IncrementalScheduler.add_candidate_event` — a new event becomes
   available; it is scheduled immediately if the budget has headroom,
@@ -13,22 +13,64 @@ keeps a feasible schedule alive under four change operations:
   event disappears; freed budget is refilled greedily.
 * :meth:`IncrementalScheduler.add_competing_event` — a rival show is
   announced; affected intervals are re-optimized by relocation.
+* :meth:`IncrementalScheduler.update_event_interest` — audience taste
+  drifts: one event's interest column is replaced, and the event gets a
+  relocation (or displacement) chance under its new profile.
 * :meth:`IncrementalScheduler.raise_budget` — grow ``k`` and fill
   greedily.
 
 All operations preserve feasibility and never lower utility below what a
 fresh greedy refill of the same state would achieve *locally*; global
-re-optimization is available via :meth:`rebuild`.
+re-optimization is available via :meth:`rebuild`, and an externally
+computed schedule (e.g. a batch re-solve) can be transplanted wholesale
+via :meth:`adopt`.  Every change operation accepts ``maintain=False`` to
+apply only the *structural* change (repair-only mode: cancelled events
+vanish, indices stay consistent, nothing is re-optimized) — the mode the
+``periodic-rebuild`` streaming policy runs between its batch re-solves.
+
+Hot-path design (the ``repro.stream`` replay loop)
+--------------------------------------------------
+
+Greedy maintenance interrogates Eq. 4 constantly; recomputing every
+``(interval, event)`` score per decision — as a naive refill does — costs
+``O(|T| * |E|)`` engine queries *per change op*.  Instead the scheduler
+keeps the GRD assignment list ``L`` alive **across** operations as a
+``(|T|, |E|)`` score matrix plus a dirty-row set, exploiting the same
+structure GRD does: Eq. 1's denominator couples events only *within* an
+interval, so a change op invalidates exactly the rows whose scheduled or
+competing mass it touched.
+
+* assignment / withdrawal at ``t``   -> row ``t`` dirty;
+* rival announced at ``t``           -> row ``t`` dirty;
+* candidate arrival                  -> one appended column (O(|T|) queries);
+* cancellation                       -> one deleted column (+ home row if
+  the victim was scheduled);
+* interest drift on ``e``            -> ``e``'s column (and its home row if
+  scheduled).
+
+Dirty rows are rescored lazily before the next greedy decision, so a
+typical change op costs a couple of row/column refreshes instead of a
+full sweep — the measured gap versus re-solving from scratch is what
+``benchmarks/bench_stream_policies.py`` reports.  Scheduled events hold
+``-inf`` in their column; feasibility is *not* baked into the cache
+(unlike batch GRD, feasibility can be restored by later ops), so greedy
+pops validate lazily against the live :class:`FeasibilityChecker` and
+evict losers only from the pass-local working copy.
 
 Because the instance is immutable, the incremental scheduler works on a
 *mutable copy* of the instance data: it rebuilds a new
 :class:`~repro.core.instance.SESInstance` when entities change and
-transplants the schedule.  This costs O(instance) per structural change —
-cheap next to rescoring — and keeps every downstream component oblivious
-to mutation.
+transplants the schedule.  Interest-matrix edits preserve the storage
+backend (a sparse CSC ``mu`` stays sparse through arrivals, cancellations
+and drift — see :meth:`InterestMatrix.with_event_column` and friends), and
+the configured :class:`~repro.core.engine.EngineSpec` is re-used for every
+rebuilt engine, so a sparse-backed scheduler never silently reverts to
+dense storage or a default engine mid-stream.
 """
 
 from __future__ import annotations
+
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -43,6 +85,9 @@ from repro.core.interest import InterestMatrix
 from repro.core.schedule import Assignment, Schedule
 
 __all__ = ["IncrementalScheduler"]
+
+#: Strict-improvement margin for displacement / relocation decisions.
+_GAIN_EPS = 1e-12
 
 
 @register_solver(
@@ -73,6 +118,10 @@ class IncrementalScheduler:
         self._instance = instance
         self._engine = self._engine_spec.build(instance)
         self._checker = FeasibilityChecker(instance)
+        # the persistent GRD assignment list: Eq. 4 scores per (t, e) cell,
+        # -inf for scheduled events, None until the first greedy decision
+        self._scores: np.ndarray | None = None
+        self._dirty: set[int] = set()
         self._fill()
 
     # ------------------------------------------------------------------
@@ -89,6 +138,11 @@ class IncrementalScheduler:
     def k(self) -> int:
         return self._k
 
+    @property
+    def engine_spec(self) -> EngineSpec:
+        """The spec every (re)built engine is constructed from."""
+        return self._engine_spec
+
     def utility(self) -> float:
         return self._engine.total_utility()
 
@@ -102,19 +156,16 @@ class IncrementalScheduler:
         interest_column: np.ndarray,
         name: str = "",
         tags: frozenset[str] = frozenset(),
+        *,
+        maintain: bool = True,
     ) -> int:
         """Register a new candidate event; returns its index.
 
         If the schedule is below budget the event competes for a free
         slot greedily; at budget, it replaces the weakest scheduled event
-        whenever swapping strictly improves total utility.
+        whenever swapping strictly improves total utility.  With
+        ``maintain=False`` the event is only registered.
         """
-        interest_column = np.asarray(interest_column, dtype=float)
-        if interest_column.shape != (self._instance.n_users,):
-            raise ValueError(
-                f"interest_column must have shape ({self._instance.n_users},), "
-                f"got {interest_column.shape}"
-            )
         event = CandidateEvent(
             index=self._instance.n_events,
             location=location,
@@ -122,25 +173,27 @@ class IncrementalScheduler:
             name=name or f"arrival-{self._instance.n_events}",
             tags=tags,
         )
-        candidate = np.column_stack(
-            [self._instance.interest.candidate, interest_column]
-        )
         self._rebuild_instance(
             events=[*self._instance.events, event],
-            interest=InterestMatrix.from_arrays(
-                candidate, self._instance.interest.competing
-            ),
+            interest=self._instance.interest.with_event_column(interest_column),
         )
-        if len(self.schedule) < self._k:
-            self._fill()
-        else:
-            self._try_displacement(event.index)
+        if self._scores is not None:
+            self._scores = np.column_stack(
+                [self._scores, np.full(self._instance.n_intervals, -np.inf)]
+            )
+            self._restore_column(event.index)
+        if maintain:
+            if len(self.schedule) < self._k:
+                self._fill()
+            else:
+                self._try_displacement(event.index)
         return event.index
 
-    def cancel_event(self, event: int) -> None:
+    def cancel_event(self, event: int, *, maintain: bool = True) -> None:
         """Remove a candidate event entirely (scheduled or not)."""
         if not 0 <= event < self._instance.n_events:
             raise UnknownEntityError(f"no candidate event {event}")
+        home = self.schedule.interval_of(event)
         keep = [e for e in range(self._instance.n_events) if e != event]
         mapping = {old: new for new, old in enumerate(keep)}
 
@@ -162,19 +215,24 @@ class IncrementalScheduler:
         ]
         self._rebuild_instance(
             events=events,
-            interest=InterestMatrix.from_arrays(
-                self._instance.interest.candidate[:, keep],
-                self._instance.interest.competing,
-            ),
+            interest=self._instance.interest.without_event_column(event),
             keep_schedule=survivors,
         )
-        self._fill()
+        if self._scores is not None:
+            # renumbering shifts indices left, exactly like the deletion
+            self._scores = np.delete(self._scores, event, axis=1)
+            if home is not None:
+                self._dirty.add(home)
+        if maintain:
+            self._fill()
 
     def add_competing_event(
         self,
         interval: int,
         interest_column: np.ndarray,
         name: str = "",
+        *,
+        maintain: bool = True,
     ) -> int:
         """Announce a new third-party event at ``interval``; re-optimize it.
 
@@ -182,30 +240,62 @@ class IncrementalScheduler:
         pass: each is moved to whichever interval now yields the highest
         gain (often away from the newly contested slot).
         """
-        interest_column = np.asarray(interest_column, dtype=float)
-        if interest_column.shape != (self._instance.n_users,):
-            raise ValueError(
-                f"interest_column must have shape ({self._instance.n_users},), "
-                f"got {interest_column.shape}"
-            )
         rival = CompetingEvent(
             index=self._instance.n_competing,
             interval=interval,
             name=name or f"rival-arrival-{self._instance.n_competing}",
         )
-        competing = np.column_stack(
-            [self._instance.interest.competing, interest_column]
-        )
         self._rebuild_instance(
             competing_events=[*self._instance.competing, rival],
-            interest=InterestMatrix.from_arrays(
-                self._instance.interest.candidate, competing
+            interest=self._instance.interest.with_competing_column(
+                interest_column
             ),
         )
-        self._relocate_interval(interval)
+        if self._scores is not None:
+            self._dirty.add(interval)
+        if maintain:
+            self._relocate_interval(interval)
         return rival.index
 
-    def raise_budget(self, new_k: int) -> None:
+    def update_event_interest(
+        self,
+        event: int,
+        interest_column: np.ndarray,
+        *,
+        maintain: bool = True,
+    ) -> None:
+        """Replace ``event``'s interest column (audience taste drift).
+
+        Feasibility is untouched (interest plays no part in it); with
+        ``maintain=True`` the drifted event gets a relocation pass if it
+        is scheduled, and a chance to enter the schedule (fill or
+        displacement) if it is not.
+        """
+        if not 0 <= event < self._instance.n_events:
+            raise UnknownEntityError(f"no candidate event {event}")
+        home = self.schedule.interval_of(event)
+        self._rebuild_instance(
+            interest=self._instance.interest.with_replaced_event_column(
+                event, interest_column
+            )
+        )
+        if self._scores is not None:
+            if home is not None:
+                self._dirty.add(home)
+            else:
+                self._restore_column(event)
+        if not maintain:
+            return
+        if home is not None:
+            self._ensure_scores()
+            self._relocate_event(event, home)
+            self._flush_dirty()
+        elif len(self.schedule) < self._k:
+            self._fill()
+        else:
+            self._try_displacement(event)
+
+    def raise_budget(self, new_k: int, *, maintain: bool = True) -> None:
         """Increase the budget and fill the new headroom greedily."""
         if new_k < self._k:
             raise ValueError(
@@ -213,7 +303,8 @@ class IncrementalScheduler:
                 f"{new_k} < {self._k}"
             )
         self._k = new_k
-        self._fill()
+        if maintain:
+            self._fill()
 
     def rebuild(self) -> None:
         """Drop the current schedule and re-run greedy from scratch.
@@ -223,79 +314,189 @@ class IncrementalScheduler:
         """
         self._engine.reset()
         self._checker = FeasibilityChecker(self._instance)
+        self._invalidate_cache()
         self._fill()
 
+    def adopt(self, schedule: Schedule | Mapping[int, int]) -> None:
+        """Replace the maintained schedule with an external one wholesale.
+
+        ``schedule`` is a :class:`Schedule` (built against an instance of
+        identical shape) or an ``{event: interval}`` mapping — typically
+        the outcome of a batch re-solve on :attr:`instance`.  The schedule
+        is validated assignment by assignment; no refill is performed.
+        """
+        mapping = (
+            schedule.as_mapping()
+            if isinstance(schedule, Schedule)
+            else dict(schedule)
+        )
+        # validate the whole mapping before touching live state, so a
+        # rejected adoption leaves the current schedule intact (atomic)
+        rehearsal = FeasibilityChecker(self._instance)
+        for event, interval in sorted(mapping.items()):
+            rehearsal.apply(Assignment(event, interval))
+        self._engine.reset()
+        self._checker = FeasibilityChecker(self._instance)
+        for event, interval in sorted(mapping.items()):
+            self._checker.apply(Assignment(event, interval))
+            self._engine.assign(event, interval)
+        self._invalidate_cache()
+
     # ------------------------------------------------------------------
-    # internals
+    # score-cache bookkeeping
+    # ------------------------------------------------------------------
+    def _invalidate_cache(self) -> None:
+        self._scores = None
+        self._dirty.clear()
+
+    def _ensure_scores(self) -> None:
+        """Build (or bring up to date) the persistent score matrix."""
+        if self._scores is None:
+            self._scores = np.empty(
+                (self._instance.n_intervals, self._instance.n_events)
+            )
+            self._dirty = set(range(self._instance.n_intervals))
+        self._flush_dirty()
+
+    def _flush_dirty(self) -> None:
+        for interval in sorted(self._dirty):
+            self._refresh_row(interval)
+        self._dirty.clear()
+
+    def _refresh_row(self, interval: int) -> None:
+        """Rescore one interval against the engine's current mass state."""
+        row = self._scores[interval]
+        row[:] = -np.inf
+        unscheduled = [
+            e
+            for e in range(self._instance.n_events)
+            if not self.schedule.contains_event(e)
+        ]
+        if unscheduled:
+            row[unscheduled] = self._engine.scores_for_interval(
+                interval, unscheduled
+            )
+
+    def _restore_column(self, event: int) -> None:
+        """Recompute an unscheduled event's scores at every clean row."""
+        if self._scores is None:
+            return
+        for interval in range(self._instance.n_intervals):
+            if interval not in self._dirty:
+                self._scores[interval, event] = self._engine.score(
+                    event, interval
+                )
+
+    def _commit(self, event: int, interval: int) -> None:
+        self._checker.apply(Assignment(event, interval))
+        self._engine.assign(event, interval)
+        if self._scores is not None:
+            self._scores[:, event] = -np.inf
+            self._dirty.add(interval)
+
+    def _uncommit(self, event: int, interval: int) -> None:
+        self._engine.unassign(event)
+        self._checker.unapply(Assignment(event, interval))
+        if self._scores is not None:
+            self._dirty.add(interval)
+            self._restore_column(event)
+
+    # ------------------------------------------------------------------
+    # greedy maintenance passes
     # ------------------------------------------------------------------
     def _fill(self) -> None:
-        """Greedy refill up to budget (the GRD inner loop on live state)."""
+        """Greedy refill up to budget (the GRD inner loop on live state).
+
+        Pops the best cell of the persistent score matrix, validating
+        lazily: infeasible pops are evicted from a pass-local working
+        copy only, because a later change op can make them feasible
+        again.  Selection order matches GRD's flat argmax exactly.
+        """
+        if len(self.schedule) >= self._k or self._instance.n_events == 0:
+            return
+        self._ensure_scores()
+        work = self._scores.copy()
+        n_events = self._instance.n_events
         while len(self.schedule) < self._k:
-            best_score, best_assignment = -1.0, None
-            for interval in range(self._instance.n_intervals):
-                events = [
-                    e
-                    for e in range(self._instance.n_events)
-                    if not self.schedule.contains_event(e)
-                    and self._checker.is_valid(Assignment(e, interval))
-                ]
-                if not events:
-                    continue
-                scores = self._engine.scores_for_interval(interval, events)
-                top = int(np.argmax(scores))
-                if scores[top] > best_score:
-                    best_score = float(scores[top])
-                    best_assignment = Assignment(events[top], interval)
-            if best_assignment is None:
+            flat = int(np.argmax(work))
+            interval, event = divmod(flat, n_events)
+            if not np.isfinite(work[interval, event]):
+                break  # no assignable cell remains
+            assignment = Assignment(event, interval)
+            if not self._checker.is_valid(assignment):
+                work[interval, event] = -np.inf
+                continue
+            self._commit(event, interval)
+            if len(self.schedule) >= self._k:
                 break
-            self._checker.apply(best_assignment)
-            self._engine.assign(best_assignment.event, best_assignment.interval)
+            self._flush_dirty()
+            work[:, event] = -np.inf
+            work[interval] = self._scores[interval]
+        self._flush_dirty()
 
     def _try_displacement(self, arrival: int) -> None:
-        """Swap the arrival in for a scheduled event if strictly better."""
+        """Swap the arrival in for a scheduled event if strictly better.
+
+        Removing a victim changes mass only at its home interval, so the
+        arrival's cached scores stay exact for every other target; the
+        one contested cell is rescored live.
+        """
+        self._ensure_scores()
+        arrival_scores = self._scores[:, arrival].copy()
         best_gain, best_move = 0.0, None
-        for victim, interval in self.schedule.as_mapping().items():
-            removed = Assignment(victim, interval)
+        for victim, home in self.schedule.as_mapping().items():
+            removed = Assignment(victim, home)
             self._engine.unassign(victim)
             self._checker.unapply(removed)
-            loss = self._engine.score(victim, interval)
+            loss = self._engine.score(victim, home)
             for target in range(self._instance.n_intervals):
                 candidate = Assignment(arrival, target)
                 if not self._checker.is_valid(candidate):
                     continue
-                gain = self._engine.score(arrival, target) - loss
-                if gain > best_gain + 1e-12:
-                    best_gain, best_move = gain, (victim, interval, target)
+                score = (
+                    self._engine.score(arrival, target)
+                    if target == home
+                    else arrival_scores[target]
+                )
+                gain = score - loss
+                if gain > best_gain + _GAIN_EPS:
+                    best_gain, best_move = gain, (victim, home, target)
             self._checker.apply(removed)
-            self._engine.assign(victim, interval)
+            self._engine.assign(victim, home)
         if best_move is not None:
-            victim, interval, target = best_move
-            self._engine.unassign(victim)
-            self._checker.unapply(Assignment(victim, interval))
-            self._checker.apply(Assignment(arrival, target))
-            self._engine.assign(arrival, target)
+            victim, home, target = best_move
+            self._uncommit(victim, home)
+            self._commit(arrival, target)
+            self._flush_dirty()
 
     def _relocate_interval(self, interval: int) -> None:
         """Give each event at ``interval`` a chance to flee new competition."""
-        for event in list(self.schedule.events_at(interval)):
-            current = Assignment(event, interval)
-            self._engine.unassign(event)
-            self._checker.unapply(current)
-            best_interval = interval
-            best_gain = self._engine.score(event, interval)
-            for target in range(self._instance.n_intervals):
-                if target == interval:
-                    continue
-                candidate = Assignment(event, target)
-                if not self._checker.is_valid(candidate):
-                    continue
-                gain = self._engine.score(event, target)
-                if gain > best_gain + 1e-12:
-                    best_gain, best_interval = gain, target
-            chosen = Assignment(event, best_interval)
-            self._checker.apply(chosen)
-            self._engine.assign(event, best_interval)
+        occupants = list(self.schedule.events_at(interval))
+        if not occupants:
+            return
+        self._ensure_scores()
+        for event in occupants:
+            self._relocate_event(event, interval)
+        self._flush_dirty()
 
+    def _relocate_event(self, event: int, home: int) -> None:
+        """Move one scheduled event to its best interval (staying allowed)."""
+        self._uncommit(event, home)
+        self._flush_dirty()
+        column = self._scores[:, event]
+        best_interval, best_gain = home, column[home]
+        for target in range(self._instance.n_intervals):
+            if target == home:
+                continue
+            if not self._checker.is_valid(Assignment(event, target)):
+                continue
+            if column[target] > best_gain + _GAIN_EPS:
+                best_gain, best_interval = column[target], target
+        self._commit(event, best_interval)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
     def _rebuild_instance(
         self,
         events=None,

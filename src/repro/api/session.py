@@ -195,6 +195,46 @@ class ScheduleSession:
         """Serve a batch of requests in order, sharing cached engines."""
         return [self.solve(request) for request in requests]
 
+    # -- streaming ------------------------------------------------------
+    def stream(
+        self,
+        trace: Any,
+        policy: Any = "incremental",
+        k: int | None = None,
+        engine: EngineSpec | str | None = None,
+        *,
+        oracle_every: int | None = None,
+        oracle_solver: str = "grd",
+        **policy_params: Any,
+    ) -> Any:
+        """Replay a change trace against this session's instance.
+
+        ``trace`` is a :class:`repro.stream.Trace`; ``policy`` a
+        maintenance-policy name (``"incremental"``, ``"periodic-rebuild"``,
+        ``"hybrid"``) or a ready policy object, with ``policy_params``
+        forwarded to construction.  ``k`` defaults to the trace's
+        ``initial_k`` and ``engine`` to the session default.  Returns the
+        :class:`repro.stream.StreamResult` observation record.
+
+        The replay works on rebuilt copies of the instance (change ops
+        never mutate session state), so the session keeps serving batch
+        queries against the original instance afterwards.
+        """
+        from repro.stream import StreamDriver
+
+        driver = StreamDriver(
+            self._instance,
+            k=k,
+            policy=policy,
+            engine=engine if engine is not None else self._default_spec,
+            oracle_every=oracle_every,
+            oracle_solver=oracle_solver,
+            **policy_params,
+        )
+        result = driver.run(trace)
+        self._requests_served += 1
+        return result
+
     # -- analysis conveniences ------------------------------------------
     def report(self, schedule: Schedule) -> Any:
         """Full :class:`~repro.harness.inspect.ScheduleReport` for a schedule."""

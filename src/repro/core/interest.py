@@ -441,6 +441,84 @@ class InterestMatrix:
         return _sp.coo_matrix((values, (rows, cols)), shape=shape)
 
     # ------------------------------------------------------------------
+    # column edits (streaming change ops) — backend preserving
+    # ------------------------------------------------------------------
+    def _as_column(self, column) -> "np.ndarray":
+        column = np.asarray(column, dtype=float)
+        if column.shape != (self.n_users,):
+            raise ValueError(
+                f"interest column must have shape ({self.n_users},), "
+                f"got {column.shape}"
+            )
+        return column
+
+    def _stack(self, matrix, column: np.ndarray):
+        if self._backend == "sparse":
+            return _sp.hstack(
+                [matrix, _sp.csc_matrix(column.reshape(-1, 1))], format="csc"
+            )
+        return np.column_stack([matrix, column])
+
+    def with_event_column(self, column) -> "InterestMatrix":
+        """A copy with ``column`` appended as a new candidate event.
+
+        The storage backend is preserved: a sparse matrix stays CSC (the
+        column is appended in O(nnz)), so streaming arrivals never silently
+        densify a Meetup-scale instance.
+        """
+        column = self._as_column(column)
+        return InterestMatrix(
+            candidate=self._stack(self._candidate, column),
+            competing=self._competing,
+            backend=self._backend,
+        )
+
+    def without_event_column(self, event: int) -> "InterestMatrix":
+        """A copy with candidate ``event``'s column removed (backend kept)."""
+        if not 0 <= event < self.n_events:
+            raise ValueError(
+                f"cannot drop event column {event}; matrix has "
+                f"{self.n_events} events"
+            )
+        keep = [e for e in range(self.n_events) if e != event]
+        return InterestMatrix(
+            candidate=self._candidate[:, keep],
+            competing=self._competing,
+            backend=self._backend,
+        )
+
+    def with_replaced_event_column(self, event: int, column) -> "InterestMatrix":
+        """A copy with candidate ``event``'s column replaced (backend kept)."""
+        if not 0 <= event < self.n_events:
+            raise ValueError(
+                f"cannot replace event column {event}; matrix has "
+                f"{self.n_events} events"
+            )
+        column = self._as_column(column)
+        if self._backend == "sparse":
+            parts = [
+                self._candidate[:, :event],
+                _sp.csc_matrix(column.reshape(-1, 1)),
+                self._candidate[:, event + 1 :],
+            ]
+            candidate = _sp.hstack(parts, format="csc")
+        else:
+            candidate = np.array(self._candidate)
+            candidate[:, event] = column
+        return InterestMatrix(
+            candidate=candidate, competing=self._competing, backend=self._backend
+        )
+
+    def with_competing_column(self, column) -> "InterestMatrix":
+        """A copy with ``column`` appended as a new competing event."""
+        column = self._as_column(column)
+        return InterestMatrix(
+            candidate=self._candidate,
+            competing=self._stack(self._competing, column),
+            backend=self._backend,
+        )
+
+    # ------------------------------------------------------------------
     # backend conversion / restriction
     # ------------------------------------------------------------------
     def to_backend(self, backend: str) -> "InterestMatrix":

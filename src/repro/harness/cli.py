@@ -25,7 +25,13 @@ Subcommands
     solver, print the schedule and utility.
 
 ``solvers``
-    List every registered solver with its capabilities.
+    List every registered solver with its capabilities, as aligned
+    kind/capability columns; ``--kind {batch,refiner,online}`` filters.
+
+``stream``
+    Streaming workloads: generate (or load) a change-event trace and
+    replay it against one or more maintenance policies, printing per-op
+    latency and final-utility lines per policy (see :mod:`repro.stream`).
 
 ``demo``
     End-to-end smoke run on a small instance: all methods side by side.
@@ -45,6 +51,8 @@ from repro.api import (
     SolveRequest,
     solver_registry,
 )
+from repro.algorithms.registry import SOLVER_KINDS
+from repro.stream.policies import POLICY_NAMES
 from repro.ebsn.generator import EBSNConfig, MeetupStyleGenerator
 from repro.ebsn.stats import summarize
 from repro.harness.figures import FIGURE_SPECS
@@ -123,8 +131,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_argument(solve)
 
-    commands.add_parser(
+    solvers = commands.add_parser(
         "solvers", help="list every registered solver and its capabilities"
+    )
+    solvers.add_argument(
+        "--kind",
+        choices=SOLVER_KINDS,
+        default=None,
+        help="only list solvers of this kind (batch one-shot solvers, "
+        "refiners of existing schedules, or online maintainers)",
+    )
+
+    stream = commands.add_parser(
+        "stream",
+        help="replay a change-event trace under maintenance policies",
+    )
+    stream.add_argument(
+        "--trace", type=str, default=None,
+        help="JSONL trace to replay (default: generate one)",
+    )
+    stream.add_argument(
+        "--save-trace", type=str, default=None,
+        help="write the generated trace here (JSONL)",
+    )
+    stream.add_argument(
+        "--policy",
+        action="append",
+        choices=POLICY_NAMES,
+        default=None,
+        help="maintenance policy to replay under (repeatable; "
+        "default: all of them)",
+    )
+    stream.add_argument("--ops", type=int, default=30, help="trace length")
+    stream.add_argument("-k", type=int, default=20, help="initial budget")
+    stream.add_argument(
+        "--users", type=int, default=500, help="population size"
+    )
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--rebuild-every", type=int, default=1,
+        help="ops between re-solves (periodic-rebuild policy)",
+    )
+    stream.add_argument(
+        "--drift-threshold", type=float, default=None,
+        help="interest-mass pressure triggering a rebuild (hybrid policy; "
+        "default: 10%% of total candidate interest mass)",
+    )
+    stream.add_argument(
+        "--oracle-every", type=int, default=None,
+        help="sample regret vs a fresh GRD re-solve every N ops "
+        "(each sample costs a full solve)",
+    )
+    _add_engine_argument(stream)
+    stream.add_argument(
+        "--backend",
+        choices=("dense", "sparse"),
+        default=None,
+        help="mu storage for the generated workload "
+        "(default: sparse when --engine sparse, else dense)",
     )
 
     demo = commands.add_parser("demo", help="small end-to-end comparison run")
@@ -139,6 +203,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "dataset": _run_dataset,
         "solve": _run_solve,
         "solvers": _run_solvers,
+        "stream": _run_stream,
         "demo": _run_demo,
     }[args.command]
     return handler(args)
@@ -213,13 +278,94 @@ def _run_solve(args: argparse.Namespace) -> int:
 
 
 def _run_solvers(args: argparse.Namespace) -> int:
-    for info in solver_registry:
-        print(info.describe())
+    kind_filter = getattr(args, "kind", None)
+    infos = [
+        info
+        for info in solver_registry
+        if kind_filter is None or info.kind == kind_filter
+    ]
+    if not infos:
+        print(f"no registered solvers of kind {kind_filter!r}")
+        return 0
+    name_width = max(len(info.name) for info in infos)
+    kind_width = max(len(info.kind) for info in infos)
+    for info in infos:
+        capabilities = [
+            flag
+            for flag, enabled in (
+                ("seeded", info.seeded),
+                ("anytime", info.anytime),
+                ("strict", info.strict_capable),
+            )
+            if enabled
+        ]
+        print(
+            f"{info.name:<{name_width}}  {info.kind:<{kind_width}}  "
+            f"{', '.join(capabilities) or '-':<22}  "
+            f"{info.display_name}: {info.summary}"
+        )
         if info.default_params:
             defaults = ", ".join(
                 f"{key}={value}" for key, value in sorted(info.default_params.items())
             )
-            print(f"    defaults: {defaults}")
+            print(f"{'':<{name_width}}  {'':<{kind_width}}  defaults: {defaults}")
+    return 0
+
+
+def _run_stream(args: argparse.Namespace) -> int:
+    from repro.stream import POLICY_NAMES as ALL_POLICIES
+    from repro.stream import StreamDriver, Trace, make_policy
+    from repro.workloads.generator import WorkloadGenerator
+    from repro.workloads.traces import TraceConfig, TraceGenerator
+
+    spec = _engine_spec(args)
+    if args.trace is not None:
+        # replay instance shape comes from the trace header, so the ops'
+        # event/interval indices are valid regardless of -k/--users
+        trace = Trace.load(args.trace)
+        config = ExperimentConfig(
+            k=trace.initial_k,
+            n_users=trace.n_users,
+            n_events=trace.n_events,
+            n_intervals=trace.n_intervals,
+            interest_backend=spec.interest_backend,
+        )
+        if trace.n_users != args.users or trace.initial_k != args.k:
+            print(
+                f"using the trace's shape (k={trace.initial_k}, "
+                f"users={trace.n_users}); -k/--users are for generation",
+                file=sys.stderr,
+            )
+    else:
+        config = ExperimentConfig(
+            k=args.k,
+            n_users=args.users,
+            interest_backend=spec.interest_backend,
+        )
+        trace = TraceGenerator(
+            config, TraceConfig(n_ops=args.ops), root_seed=args.seed
+        ).generate()
+    if args.save_trace:
+        trace.save(args.save_trace)
+        print(f"trace written to {args.save_trace}", file=sys.stderr)
+    print(trace.describe(), file=sys.stderr)
+
+    instance = WorkloadGenerator(root_seed=args.seed).build(config)
+    print(instance.describe(), file=sys.stderr)
+    policies = args.policy or list(ALL_POLICIES)
+    for name in policies:
+        params = {}
+        if name == "periodic-rebuild":
+            params["rebuild_every"] = args.rebuild_every
+        elif name == "hybrid" and args.drift_threshold is not None:
+            params["drift_threshold"] = args.drift_threshold
+        driver = StreamDriver(
+            instance,
+            policy=make_policy(name, **params),
+            engine=spec,
+            oracle_every=args.oracle_every,
+        )
+        print(f"  {driver.run(trace).summary()}")
     return 0
 
 

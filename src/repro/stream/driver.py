@@ -1,0 +1,280 @@
+"""The stream driver: replay a change trace against a maintenance policy.
+
+:class:`StreamDriver` is the streaming subsystem's serving loop — the
+online analogue of :class:`repro.api.ScheduleSession`.  It binds a
+:class:`~repro.stream.policies.MaintenancePolicy` to an instance, feeds
+the trace op by op, and records what a production operator would watch:
+
+* **per-op latency** — wall-clock cost of absorbing each change;
+* **utility trajectory** — expected attendance after every op;
+* **regret vs. an oracle** — the gap to a fresh batch re-solve on the
+  same live state, sampled every ``oracle_every`` ops (the oracle run is
+  itself a full solve, so it is opt-in and never counted into latency).
+
+Replay is deterministic: the same trace and policy produce an identical
+op log, utility trajectory and final schedule on every run (the
+streaming test suite asserts it on both interest backends).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.algorithms.registry import solver_registry
+from repro.core.engine import EngineSpec
+from repro.core.instance import SESInstance
+
+from repro.stream.policies import MaintenancePolicy, make_policy
+from repro.stream.trace import Trace
+
+__all__ = ["OpRecord", "StreamResult", "StreamDriver"]
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """What the driver observed while absorbing one change op."""
+
+    index: int
+    label: str
+    latency_seconds: float
+    utility: float
+    schedule_size: int
+    #: ``oracle_utility - utility`` when an oracle re-solve was sampled
+    #: at this op, else ``None``.
+    regret: float | None = None
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """The outcome of replaying one trace under one policy."""
+
+    policy: str
+    engine: EngineSpec
+    records: tuple[OpRecord, ...]
+    final_utility: float
+    final_schedule: dict[int, int]
+    final_k: int
+    rebuilds: int
+    finish_seconds: float
+    total_seconds: float
+
+    # -- trajectory accessors -------------------------------------------
+    @property
+    def op_log(self) -> tuple[str, ...]:
+        """The applied op labels, in order (the determinism fingerprint)."""
+        return tuple(record.label for record in self.records)
+
+    @property
+    def utilities(self) -> tuple[float, ...]:
+        """Utility after each op (the trajectory)."""
+        return tuple(record.utility for record in self.records)
+
+    @property
+    def latencies(self) -> tuple[float, ...]:
+        return tuple(record.latency_seconds for record in self.records)
+
+    @property
+    def regrets(self) -> tuple[float, ...]:
+        """The sampled oracle regrets, in sampling order."""
+        return tuple(
+            record.regret for record in self.records if record.regret is not None
+        )
+
+    # -- latency statistics ---------------------------------------------
+    def mean_latency(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(self.latencies) / len(self.records)
+
+    def max_latency(self) -> float:
+        return max(self.latencies, default=0.0)
+
+    def percentile_latency(self, q: float) -> float:
+        """Latency at quantile ``q`` in [0, 1] (nearest-rank)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        if not self.records:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def summary(self) -> str:
+        regrets = self.regrets
+        regret = (
+            f" max-regret={max(regrets):.4f}" if regrets else ""
+        )
+        return (
+            f"{self.policy}: {len(self.records)} ops, "
+            f"final-utility={self.final_utility:.4f} k={self.final_k} "
+            f"mean-op={self.mean_latency() * 1e3:.2f}ms "
+            f"p95-op={self.percentile_latency(0.95) * 1e3:.2f}ms "
+            f"rebuilds={self.rebuilds}{regret}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready record (benchmark output, experiment logs)."""
+        return {
+            "policy": self.policy,
+            "engine": self.engine.kind,
+            "ops": len(self.records),
+            "op_log": list(self.op_log),
+            "utilities": list(self.utilities),
+            "latencies_ms": [lat * 1e3 for lat in self.latencies],
+            "regrets": list(self.regrets),
+            "final_utility": self.final_utility,
+            "final_schedule": {
+                str(event): interval
+                for event, interval in sorted(self.final_schedule.items())
+            },
+            "final_k": self.final_k,
+            "rebuilds": self.rebuilds,
+            "total_seconds": self.total_seconds,
+        }
+
+
+class StreamDriver:
+    """Replays change traces against one instance under one policy.
+
+    Parameters
+    ----------
+    instance:
+        The starting instance (the trace's ``n_users`` must match).
+    k:
+        Initial schedule budget; ``None`` takes the trace's ``initial_k``
+        at :meth:`run` time.
+    policy:
+        A policy name (``"incremental"``, ``"periodic-rebuild"``,
+        ``"hybrid"``) or a ready, *unbound* policy object.
+    engine:
+        :class:`EngineSpec` (or kind string) for every engine the policy
+        builds; pick the sparse spec for Meetup-scale replays.
+    oracle_every:
+        Sample regret against a fresh batch re-solve every this many ops
+        (``None`` disables — the default, as each sample costs a solve).
+    oracle_solver:
+        Registry name of the batch solver used as the oracle.
+    """
+
+    def __init__(
+        self,
+        instance: SESInstance,
+        k: int | None = None,
+        policy: MaintenancePolicy | str = "incremental",
+        engine: EngineSpec | str | None = None,
+        *,
+        oracle_every: int | None = None,
+        oracle_solver: str = "grd",
+        **policy_params,
+    ):
+        if isinstance(policy, str):
+            self._policy_name: str | None = policy
+            self._policy_params = dict(policy_params)
+            policy = make_policy(policy, **policy_params)
+        else:
+            if policy_params:
+                raise TypeError(
+                    "policy parameters are only accepted together with a "
+                    "policy name, not a ready policy object"
+                )
+            self._policy_name = None
+            self._policy_params = {}
+        if oracle_every is not None and oracle_every <= 0:
+            raise ValueError(
+                f"oracle_every must be positive, got {oracle_every}"
+            )
+        solver_registry.get(oracle_solver)  # fail fast on unknown names
+        self._instance = instance
+        self._k = k
+        self._policy = policy
+        self._engine = EngineSpec.coerce(engine)
+        self._oracle_every = oracle_every
+        self._oracle_solver = oracle_solver
+
+    @property
+    def policy(self) -> MaintenancePolicy:
+        return self._policy
+
+    def run(self, trace: Trace) -> StreamResult:
+        """Replay ``trace`` and return the full observation record.
+
+        A driver constructed from a policy *name* can replay repeatedly
+        (each run gets a fresh policy); one wrapping a ready policy
+        object is single-use, since policies are.
+        """
+        self._validate_shape(trace)
+        if self._policy.bound:
+            if self._policy_name is None:
+                raise RuntimeError(
+                    "this StreamDriver wraps an already-used policy object "
+                    "(policies are single-use); construct the driver with a "
+                    "policy name to replay more than once"
+                )
+            self._policy = make_policy(self._policy_name, **self._policy_params)
+        k = self._k if self._k is not None else trace.initial_k
+        started = time.perf_counter()
+        self._policy.bind(self._instance, k, engine=self._engine)
+
+        records = []
+        for index, op in enumerate(trace):
+            op_started = time.perf_counter()
+            self._policy.apply(op)
+            latency = time.perf_counter() - op_started
+            regret = None
+            if (
+                self._oracle_every is not None
+                and (index + 1) % self._oracle_every == 0
+            ):
+                regret = self._oracle_regret()
+            records.append(
+                OpRecord(
+                    index=index,
+                    label=op.label(),
+                    latency_seconds=latency,
+                    utility=self._policy.utility(),
+                    schedule_size=len(self._policy.schedule),
+                    regret=regret,
+                )
+            )
+
+        finish_started = time.perf_counter()
+        self._policy.finish()
+        finish_seconds = time.perf_counter() - finish_started
+
+        live = self._policy.scheduler
+        return StreamResult(
+            policy=self._policy.describe(),
+            engine=self._engine,
+            records=tuple(records),
+            final_utility=self._policy.utility(),
+            final_schedule=live.schedule.as_mapping(),
+            final_k=live.k,
+            rebuilds=self._policy.rebuilds,
+            finish_seconds=finish_seconds,
+            total_seconds=time.perf_counter() - started,
+        )
+
+    def _validate_shape(self, trace: Trace) -> None:
+        """Reject traces whose recorded shape mismatches the instance."""
+        instance = self._instance
+        checks = (
+            ("users", trace.n_users, instance.n_users),
+            ("candidate events", trace.n_events, instance.n_events),
+            ("intervals", trace.n_intervals, instance.n_intervals),
+        )
+        for what, expected, actual in checks:
+            if expected is not None and expected != actual:
+                raise ValueError(
+                    f"trace was generated for {expected} {what} but the "
+                    f"instance has {actual}"
+                )
+
+    def _oracle_regret(self) -> float:
+        """Utility gap to a fresh batch re-solve on the current live state."""
+        live = self._policy.scheduler
+        oracle = solver_registry.create(
+            self._oracle_solver, engine=live.engine_spec
+        ).solve(live.instance, live.k)
+        return oracle.utility - self._policy.utility()

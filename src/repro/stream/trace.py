@@ -1,0 +1,401 @@
+"""The streaming trace model: frozen, timestamped change operations.
+
+A *trace* is the unit of replay for the streaming subsystem: an ordered
+tuple of change ops — candidate arrivals, cancellations, rival
+announcements, interest drift, budget raises — each stamped with a
+monotonically non-decreasing ``time``.  Ops are frozen dataclasses, so a
+trace can be shared between policies, replayed repeatedly, and hashed
+into experiment records without aliasing surprises.
+
+Interest payloads are stored as sparse ``(user, value)`` entry tuples,
+never dense vectors: a Meetup-scale arrival touches a few hundred of
+42,444 users, and keeping ops sparse is what lets traces serialize
+compactly and replay against the CSC interest backend without ever
+materializing an ``O(|U|)`` payload per op (the replay driver expands a
+column only at apply time).
+
+Serialization is deterministic JSONL: one canonical JSON object per line
+(sorted keys, no whitespace), preceded by a header line carrying the
+trace's shape metadata.  Two equal traces always serialize to identical
+bytes — the replay-determinism suite relies on it.
+
+Event indices in ops refer to the *live* instance at apply time:
+:class:`CancelEvent` renumbers subsequent events exactly like
+:meth:`~repro.algorithms.incremental.IncrementalScheduler.cancel_event`
+does, and :class:`~repro.workloads.traces.TraceGenerator` tracks that
+index space while sampling, so generated traces are always applicable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, ClassVar
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.incremental import IncrementalScheduler
+
+__all__ = [
+    "ChangeOp",
+    "ArriveCandidate",
+    "CancelEvent",
+    "AnnounceRival",
+    "DriftInterest",
+    "RaiseBudget",
+    "Trace",
+    "entries_from_column",
+]
+
+#: Serialization format tag written into every trace header.
+TRACE_FORMAT = "ses-trace/1"
+
+#: ``(user, value)`` interest entries, sorted by user, values in (0, 1].
+Entries = tuple[tuple[int, float], ...]
+
+
+def entries_from_column(column: np.ndarray) -> Entries:
+    """Canonical sparse entries of a dense interest column (zeros dropped)."""
+    column = np.asarray(column, dtype=float)
+    rows = np.flatnonzero(column)
+    return tuple((int(u), float(column[u])) for u in rows)
+
+
+def _normalize_entries(entries) -> Entries:
+    """Sort by user, reject duplicates and out-of-range values."""
+    pairs = tuple(sorted((int(u), float(v)) for u, v in entries))
+    seen: set[int] = set()
+    for user, value in pairs:
+        if user < 0:
+            raise ValueError(f"interest entry user must be non-negative, got {user}")
+        if user in seen:
+            raise ValueError(f"duplicate interest entry for user {user}")
+        if not 0.0 < value <= 1.0:
+            raise ValueError(
+                f"interest entry values must lie in (0, 1], got {value} "
+                f"for user {user}"
+            )
+        seen.add(user)
+    return pairs
+
+
+def _column_from_entries(entries: Entries, n_users: int) -> np.ndarray:
+    column = np.zeros(n_users)
+    for user, value in entries:
+        if user >= n_users:
+            raise ValueError(
+                f"interest entry user {user} out of range for {n_users} users"
+            )
+        column[user] = value
+    return column
+
+
+@dataclass(frozen=True)
+class ChangeOp:
+    """Base of all streaming change operations (timestamped, frozen)."""
+
+    time: float
+
+    #: Short serialization / op-log tag; subclasses override.
+    kind: ClassVar[str] = "op"
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"op time must be non-negative, got {self.time}")
+
+    # -- replay ---------------------------------------------------------
+    def apply(self, live: "IncrementalScheduler", *, maintain: bool = True) -> None:
+        """Apply this op to a live scheduler (structural + optional upkeep)."""
+        raise NotImplementedError
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"op": self.kind}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = [list(pair) for pair in value]
+            payload[spec.name] = value
+        return payload
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "ChangeOp":
+        data = dict(payload)
+        kind = data.pop("op", None)
+        cls = _OP_KINDS.get(kind)
+        if cls is None:
+            raise ValueError(
+                f"unknown change-op kind {kind!r}; "
+                f"choose from {sorted(_OP_KINDS)}"
+            )
+        if "interest" in data:
+            data["interest"] = tuple(
+                (int(u), float(v)) for u, v in data["interest"]
+            )
+        return cls(**data)
+
+    def label(self) -> str:
+        """Compact tag for op logs, e.g. ``"arrive"`` / ``"cancel:3"``."""
+        return self.kind
+
+
+@dataclass(frozen=True)
+class ArriveCandidate(ChangeOp):
+    """A new candidate event becomes available."""
+
+    location: int = 0
+    required_resources: float = 0.0
+    interest: Entries = ()
+    name: str = ""
+
+    kind: ClassVar[str] = "arrive"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "interest", _normalize_entries(self.interest))
+
+    def apply(self, live, *, maintain: bool = True) -> None:
+        live.add_candidate_event(
+            location=self.location,
+            required_resources=self.required_resources,
+            interest_column=_column_from_entries(
+                self.interest, live.instance.n_users
+            ),
+            name=self.name,
+            maintain=maintain,
+        )
+
+
+@dataclass(frozen=True)
+class CancelEvent(ChangeOp):
+    """A candidate event (scheduled or not) disappears."""
+
+    event: int = 0
+
+    kind: ClassVar[str] = "cancel"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.event < 0:
+            raise ValueError(f"event index must be non-negative, got {self.event}")
+
+    def apply(self, live, *, maintain: bool = True) -> None:
+        live.cancel_event(self.event, maintain=maintain)
+
+    def label(self) -> str:
+        return f"{self.kind}:{self.event}"
+
+
+@dataclass(frozen=True)
+class AnnounceRival(ChangeOp):
+    """A third-party show is announced at one interval."""
+
+    interval: int = 0
+    interest: Entries = ()
+    name: str = ""
+
+    kind: ClassVar[str] = "rival"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.interval < 0:
+            raise ValueError(
+                f"interval index must be non-negative, got {self.interval}"
+            )
+        object.__setattr__(self, "interest", _normalize_entries(self.interest))
+
+    def apply(self, live, *, maintain: bool = True) -> None:
+        live.add_competing_event(
+            interval=self.interval,
+            interest_column=_column_from_entries(
+                self.interest, live.instance.n_users
+            ),
+            name=self.name,
+            maintain=maintain,
+        )
+
+    def label(self) -> str:
+        return f"{self.kind}:t{self.interval}"
+
+
+@dataclass(frozen=True)
+class DriftInterest(ChangeOp):
+    """One event's audience interest drifts to a new column."""
+
+    event: int = 0
+    interest: Entries = ()
+
+    kind: ClassVar[str] = "drift"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.event < 0:
+            raise ValueError(f"event index must be non-negative, got {self.event}")
+        object.__setattr__(self, "interest", _normalize_entries(self.interest))
+
+    def apply(self, live, *, maintain: bool = True) -> None:
+        live.update_event_interest(
+            self.event,
+            _column_from_entries(self.interest, live.instance.n_users),
+            maintain=maintain,
+        )
+
+    def label(self) -> str:
+        return f"{self.kind}:{self.event}"
+
+
+@dataclass(frozen=True)
+class RaiseBudget(ChangeOp):
+    """The organizer's budget ``k`` grows."""
+
+    new_k: int = 1
+
+    kind: ClassVar[str] = "budget"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.new_k <= 0:
+            raise ValueError(f"new_k must be positive, got {self.new_k}")
+
+    def apply(self, live, *, maintain: bool = True) -> None:
+        live.raise_budget(self.new_k, maintain=maintain)
+
+    def label(self) -> str:
+        return f"{self.kind}:{self.new_k}"
+
+
+_OP_KINDS: dict[str, type[ChangeOp]] = {
+    cls.kind: cls
+    for cls in (
+        ArriveCandidate,
+        CancelEvent,
+        AnnounceRival,
+        DriftInterest,
+        RaiseBudget,
+    )
+}
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered, replayable stream of change ops plus shape metadata.
+
+    ``n_users`` and ``initial_k`` pin the instance shape the trace was
+    generated against — and, when known, ``n_events`` / ``n_intervals``
+    pin the starting entity counts the ops' indices assume.  The replay
+    driver validates whatever is present, so a trace can never be
+    silently applied to a mismatched instance.
+    """
+
+    ops: tuple[ChangeOp, ...]
+    n_users: int
+    initial_k: int
+    #: Candidate-event count at the start of the stream (``None``: unknown).
+    n_events: int | None = None
+    #: Interval count the ops' interval indices assume (``None``: unknown).
+    n_intervals: int | None = None
+    seed: int | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ops", tuple(self.ops))
+        if self.n_users <= 0:
+            raise ValueError(f"n_users must be positive, got {self.n_users}")
+        if self.initial_k < 0:
+            raise ValueError(
+                f"initial_k must be non-negative, got {self.initial_k}"
+            )
+        if self.n_events is not None and self.n_events <= 0:
+            raise ValueError(f"n_events must be positive, got {self.n_events}")
+        if self.n_intervals is not None and self.n_intervals <= 0:
+            raise ValueError(
+                f"n_intervals must be positive, got {self.n_intervals}"
+            )
+        previous = 0.0
+        for op in self.ops:
+            if op.time < previous:
+                raise ValueError(
+                    f"op times must be non-decreasing; {op.time} follows "
+                    f"{previous}"
+                )
+            previous = op.time
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def op_counts(self) -> dict[str, int]:
+        """``{kind: count}`` over the trace, sorted by kind."""
+        counts: dict[str, int] = {}
+        for op in self.ops:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def describe(self) -> str:
+        mix = ", ".join(f"{kind}={n}" for kind, n in self.op_counts().items())
+        tag = f" [{self.label}]" if self.label else ""
+        return (
+            f"trace{tag}: {len(self.ops)} ops over {self.n_users} users, "
+            f"k0={self.initial_k} ({mix or 'empty'})"
+        )
+
+    # ------------------------------------------------------------------
+    # deterministic JSONL serialization
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The canonical JSONL encoding (header line + one line per op)."""
+        header = {
+            "format": TRACE_FORMAT,
+            "n_users": self.n_users,
+            "initial_k": self.initial_k,
+            "n_events": self.n_events,
+            "n_intervals": self.n_intervals,
+            "seed": self.seed,
+            "label": self.label,
+        }
+        lines = [_canonical(header)]
+        lines.extend(_canonical(op.to_dict()) for op in self.ops)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ValueError("empty trace document (missing header line)")
+        header = json.loads(lines[0])
+        if header.get("format") != TRACE_FORMAT:
+            raise ValueError(
+                f"unsupported trace format {header.get('format')!r}; "
+                f"expected {TRACE_FORMAT!r}"
+            )
+        ops = tuple(ChangeOp.from_dict(json.loads(line)) for line in lines[1:])
+        n_events = header.get("n_events")
+        n_intervals = header.get("n_intervals")
+        return cls(
+            ops=ops,
+            n_users=int(header["n_users"]),
+            initial_k=int(header["initial_k"]),
+            n_events=None if n_events is None else int(n_events),
+            n_intervals=None if n_intervals is None else int(n_intervals),
+            seed=header.get("seed"),
+            label=header.get("label", ""),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trace as JSONL; returns the path."""
+        path = Path(path)
+        path.write_text(self.to_jsonl(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        return cls.from_jsonl(Path(path).read_text(encoding="utf-8"))
+
+
+def _canonical(payload: dict[str, Any]) -> str:
+    """One deterministic JSON line: sorted keys, minimal separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -13,6 +13,7 @@ from repro.workloads.sweeps import (
     sweep_intervals,
     sweep_k,
 )
+from repro.workloads.traces import TraceConfig, TraceGenerator
 
 __all__ = [
     "ExperimentConfig",
@@ -21,6 +22,8 @@ __all__ = [
     "PAPER_INTERVAL_FACTORS",
     "PAPER_K_GRID",
     "PAPER_MAX_K",
+    "TraceConfig",
+    "TraceGenerator",
     "WorkloadGenerator",
     "sweep_intervals",
     "sweep_k",

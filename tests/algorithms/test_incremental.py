@@ -5,7 +5,8 @@ import pytest
 
 from repro.algorithms.greedy import GreedyScheduler
 from repro.algorithms.incremental import IncrementalScheduler
-from repro.core.errors import UnknownEntityError
+from repro.core.engine import EngineSpec, SparseEngine
+from repro.core.errors import InfeasibleAssignmentError, UnknownEntityError
 from repro.core.feasibility import is_schedule_feasible
 
 from tests.conftest import make_random_instance
@@ -133,6 +134,186 @@ class TestCompetitionArrival:
         # with an overwhelming rival, staying is dominated whenever another
         # interval is free — occupants must not have grown
         assert occupants_after <= occupants_before
+
+
+class TestInterestDrift:
+    def test_drift_on_unknown_event_rejected(self, scheduler):
+        with pytest.raises(UnknownEntityError, match="no candidate event"):
+            scheduler.update_event_interest(
+                99, np.zeros(scheduler.instance.n_users)
+            )
+
+    def test_bad_drift_shape_rejected(self, scheduler):
+        with pytest.raises(ValueError, match="shape"):
+            scheduler.update_event_interest(0, np.ones(3))
+
+    def test_drift_changes_reported_utility(self, scheduler):
+        victim = next(iter(scheduler.schedule.scheduled_events()))
+        before = scheduler.utility()
+        scheduler.update_event_interest(
+            victim, np.zeros(scheduler.instance.n_users)
+        )
+        # the drifted event now attracts nobody: utility must drop
+        assert scheduler.utility() < before
+        assert is_schedule_feasible(scheduler.instance, scheduler.schedule)
+
+    def test_hot_drift_can_pull_event_into_schedule(self):
+        instance = make_random_instance(seed=405, n_events=3, n_intervals=4)
+        incremental = IncrementalScheduler(instance, k=4)  # headroom remains
+        outsider = incremental.add_candidate_event(
+            location=99,
+            required_resources=0.5,
+            interest_column=np.zeros(instance.n_users),
+            maintain=False,
+        )
+        assert not incremental.schedule.contains_event(outsider)
+        incremental.update_event_interest(
+            outsider, np.ones(incremental.instance.n_users)
+        )
+        assert incremental.schedule.contains_event(outsider)
+
+
+class TestRepairOnlyMode:
+    """maintain=False applies the structural change without upkeep."""
+
+    def test_arrival_without_maintenance_stays_unscheduled(self, scheduler):
+        index = scheduler.add_candidate_event(
+            location=99,
+            required_resources=0.5,
+            interest_column=np.ones(scheduler.instance.n_users),
+            maintain=False,
+        )
+        assert scheduler.instance.n_events == 7
+        assert not scheduler.schedule.contains_event(index)
+
+    def test_cancel_without_maintenance_leaves_slot_empty(self, scheduler):
+        victim = next(iter(scheduler.schedule.scheduled_events()))
+        scheduler.cancel_event(victim, maintain=False)
+        assert len(scheduler.schedule) == 3
+        assert is_schedule_feasible(scheduler.instance, scheduler.schedule)
+
+    def test_budget_raise_without_maintenance_defers_fill(self, scheduler):
+        scheduler.raise_budget(6, maintain=False)
+        assert len(scheduler.schedule) == 4
+        scheduler.raise_budget(6)  # maintained: fills the headroom now
+        assert len(scheduler.schedule) == 6
+
+
+class TestAdopt:
+    def test_adopt_replaces_schedule_wholesale(self, scheduler):
+        greedy = GreedyScheduler().solve(scheduler.instance, 2)
+        scheduler.adopt(greedy.schedule)
+        assert scheduler.schedule.as_mapping() == greedy.schedule.as_mapping()
+        assert scheduler.utility() == pytest.approx(greedy.utility, abs=1e-9)
+
+    def test_adopt_accepts_plain_mappings(self, scheduler):
+        mapping = dict(list(scheduler.schedule.as_mapping().items())[:2])
+        scheduler.adopt(mapping)
+        assert scheduler.schedule.as_mapping() == mapping
+
+    def test_adopt_validates_feasibility(self, scheduler):
+        events = scheduler.instance.events
+        twin_location = [
+            (a.index, b.index)
+            for a in events
+            for b in events
+            if a.index < b.index and a.location == b.location
+        ]
+        if not twin_location:
+            pytest.skip("no co-located event pair in this instance")
+        first, second = twin_location[0]
+        with pytest.raises(InfeasibleAssignmentError):
+            scheduler.adopt({first: 0, second: 0})
+
+    def test_rejected_adopt_leaves_state_untouched(self, scheduler):
+        """Adoption is atomic: a rejected mapping must not leave a
+        half-applied schedule behind."""
+        before_mapping = scheduler.schedule.as_mapping()
+        before_utility = scheduler.utility()
+        events = scheduler.instance.events
+        twin_location = [
+            (a.index, b.index)
+            for a in events
+            for b in events
+            if a.index < b.index and a.location == b.location
+        ]
+        if not twin_location:
+            pytest.skip("no co-located event pair in this instance")
+        first, second = twin_location[0]
+        with pytest.raises(InfeasibleAssignmentError):
+            scheduler.adopt({first: 0, second: 0})
+        assert scheduler.schedule.as_mapping() == before_mapping
+        assert scheduler.utility() == before_utility
+
+
+class TestEngineSpecSurvival:
+    """Regression: structural rebuilds must preserve the configured
+    engine spec AND the interest-storage backend (a sparse instance once
+    silently reverted to dense on the first arrival)."""
+
+    def make_sparse_scheduler(self, **kwargs):
+        pytest.importorskip("scipy")
+        instance = make_random_instance(
+            seed=406, n_events=6, n_intervals=4, interest_backend="sparse"
+        )
+        return IncrementalScheduler(
+            instance, k=4, engine=EngineSpec(kind="sparse"), **kwargs
+        )
+
+    def ops(self, scheduler):
+        n_users = scheduler.instance.n_users
+        yield "arrival", lambda: scheduler.add_candidate_event(
+            location=99, required_resources=0.5,
+            interest_column=np.full(n_users, 0.3),
+        )
+        yield "cancel", lambda: scheduler.cancel_event(0)
+        yield "rival", lambda: scheduler.add_competing_event(
+            interval=1, interest_column=np.full(n_users, 0.4)
+        )
+        yield "drift", lambda: scheduler.update_event_interest(
+            1, np.full(n_users, 0.2)
+        )
+
+    def test_backend_and_engine_survive_every_structural_op(self):
+        scheduler = self.make_sparse_scheduler()
+        spec = scheduler.engine_spec
+        for label, op in self.ops(scheduler):
+            op()
+            assert scheduler.instance.interest.backend == "sparse", label
+            assert isinstance(scheduler._engine, SparseEngine), label
+            assert scheduler.engine_spec is spec, label
+
+    def test_dense_backend_also_preserved(self):
+        instance = make_random_instance(seed=407, n_events=6, n_intervals=4)
+        scheduler = IncrementalScheduler(instance, k=3)
+        scheduler.add_candidate_event(
+            location=99, required_resources=0.5,
+            interest_column=np.full(instance.n_users, 0.3),
+        )
+        assert scheduler.instance.interest.backend == "dense"
+
+    def test_sparse_matches_dense_trajectory(self):
+        """The same op sequence yields the same utilities on both stacks."""
+        pytest.importorskip("scipy")
+        dense_instance = make_random_instance(seed=408, n_events=6, n_intervals=4)
+        sparse_instance = make_random_instance(
+            seed=408, n_events=6, n_intervals=4, interest_backend="sparse"
+        )
+        dense = IncrementalScheduler(dense_instance, k=4)
+        sparse = IncrementalScheduler(
+            sparse_instance, k=4, engine=EngineSpec(kind="sparse")
+        )
+        n_users = dense_instance.n_users
+        column = np.linspace(0.1, 0.9, n_users)
+        for live in (dense, sparse):
+            live.add_candidate_event(
+                location=99, required_resources=0.5, interest_column=column
+            )
+            live.cancel_event(2)
+            live.add_competing_event(interval=0, interest_column=column)
+            live.update_event_interest(1, column[::-1].copy())
+        assert dense.schedule.as_mapping() == sparse.schedule.as_mapping()
+        assert dense.utility() == pytest.approx(sparse.utility(), abs=1e-9)
 
 
 class TestBudget:

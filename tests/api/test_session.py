@@ -205,3 +205,61 @@ class TestSessionAnalysis:
         served = session.solve(k=3)
         direct = solve_once(instance, k=3)
         assert served.utility == pytest.approx(direct.utility, abs=1e-12)
+
+
+class TestSessionStreaming:
+    """session.stream(): the facade entry into the streaming subsystem."""
+
+    def _trace(self, instance, n_ops=8, seed=5):
+        from repro.workloads.config import ExperimentConfig
+        from repro.workloads.traces import TraceConfig, TraceGenerator
+
+        config = ExperimentConfig(
+            k=3,
+            n_users=instance.n_users,
+            n_events=instance.n_events,
+            n_intervals=instance.n_intervals,
+        )
+        return TraceGenerator(
+            config, TraceConfig(n_ops=n_ops), root_seed=seed
+        ).generate()
+
+    def test_stream_matches_direct_driver(self, instance):
+        from repro.stream import StreamDriver
+
+        trace = self._trace(instance)
+        session = ScheduleSession(instance)
+        served = session.stream(trace, policy="incremental")
+        direct = StreamDriver(instance, policy="incremental").run(trace)
+        assert served.op_log == direct.op_log
+        assert served.utilities == direct.utilities
+        assert served.final_schedule == direct.final_schedule
+
+    def test_stream_leaves_session_state_untouched(self, instance):
+        trace = self._trace(instance)
+        session = ScheduleSession(instance)
+        before = session.solve(k=3)
+        session.stream(trace)  # replays mutate only rebuilt copies
+        assert session.instance is instance
+        after = session.solve(k=3)
+        assert after.utility == before.utility
+        assert after.schedule.as_mapping() == before.schedule.as_mapping()
+
+    def test_stream_counts_as_served_request(self, instance):
+        session = ScheduleSession(instance)
+        session.stream(self._trace(instance))
+        assert session.requests_served == 1
+
+    def test_stream_forwards_policy_params(self, instance):
+        trace = self._trace(instance)
+        session = ScheduleSession(instance)
+        result = session.stream(
+            trace, policy="periodic-rebuild", rebuild_every=4
+        )
+        assert "every=4" in result.policy
+
+    def test_stream_uses_session_default_engine(self, instance):
+        trace = self._trace(instance)
+        session = ScheduleSession(instance, default_engine="sparse")
+        result = session.stream(trace)
+        assert result.engine == EngineSpec(kind="sparse")

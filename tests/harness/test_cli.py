@@ -79,6 +79,65 @@ class TestSolversCommand:
         for name in solver_registry.names():
             assert name in output
 
+    def test_prints_kind_column(self, capsys):
+        assert main(["solvers"]) == 0
+        output = capsys.readouterr().out
+        for kind in ("batch", "refiner", "online"):
+            assert kind in output
+
+    def test_kind_filter_online(self, capsys):
+        assert main(["solvers", "--kind", "online"]) == 0
+        output = capsys.readouterr().out
+        assert "incremental" in output
+        assert "grd " not in output  # batch solvers filtered out
+
+    def test_kind_filter_batch_excludes_online(self, capsys):
+        assert main(["solvers", "--kind", "batch"]) == 0
+        output = capsys.readouterr().out
+        assert "grd" in output
+        assert "incremental" not in output
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solvers", "--kind", "mystery"])
+
+
+class TestStreamCommand:
+    _SMALL = ["--ops", "6", "--users", "60", "-k", "4", "--seed", "3"]
+
+    def test_replays_all_policies_by_default(self, capsys):
+        assert main(["stream", *self._SMALL]) == 0
+        output = capsys.readouterr().out
+        for policy in ("incremental", "periodic-rebuild", "hybrid"):
+            assert policy in output
+        assert "mean-op" in output
+
+    def test_single_policy_selection(self, capsys):
+        assert main(["stream", *self._SMALL, "--policy", "incremental"]) == 0
+        output = capsys.readouterr().out
+        assert "incremental" in output
+        assert "periodic-rebuild" not in output
+
+    def test_save_and_replay_trace(self, tmp_path, capsys):
+        import re
+
+        def utilities(text):
+            return re.findall(r"final-utility=\S+", text)
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["stream", *self._SMALL, "--save-trace", str(path)]) == 0
+        assert path.exists()
+        first = capsys.readouterr().out
+        assert main(["stream", *self._SMALL, "--trace", str(path)]) == 0
+        # replaying the saved trace reproduces the generated outcomes
+        # exactly (only wall-clock latencies may differ between runs)
+        replayed = utilities(capsys.readouterr().out)
+        assert replayed and replayed == utilities(first)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--policy", "eager"])
+
 
 class TestDemoCommand:
     def test_demo_runs_and_compares_methods(self, capsys):

@@ -2,12 +2,17 @@
 
 Drives :class:`~repro.algorithms.incremental.IncrementalScheduler` through
 random operation sequences (arrivals, cancellations, rival announcements,
-budget raises) and checks after every step that
+interest drift, budget raises — maintained and repair-only) and checks
+after every step that
 
-* the maintained schedule is feasible,
+* the maintained schedule passes a :class:`FeasibilityChecker` replay
+  (every change op preserves feasibility),
 * its size never exceeds the budget,
-* the reported utility equals the schedule's true Omega, and
-* instance/bookkeeping shapes stay consistent.
+* the reported utility equals the schedule's true Omega,
+* instance/bookkeeping shapes stay consistent, and
+* :meth:`rebuild` after an arbitrary op sequence is **bit-identical** to
+  a fresh greedy solve on the mutated instance (same schedule mapping,
+  same float utility).
 """
 
 import numpy as np
@@ -16,8 +21,9 @@ from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 from hypothesis import strategies as st
 
 from repro.algorithms.incremental import IncrementalScheduler
-from repro.core.feasibility import is_schedule_feasible
+from repro.core.feasibility import FeasibilityChecker
 from repro.core.objective import total_utility
+from repro.core.schedule import Assignment
 
 from tests.conftest import make_random_instance
 
@@ -32,30 +38,51 @@ class IncrementalMachine(RuleBasedStateMachine):
         self.scheduler = IncrementalScheduler(instance, k=3)
         self.rng = np.random.default_rng(0)
 
+    def _interest_column(self, density: float) -> np.ndarray:
+        n_users = self.scheduler.instance.n_users
+        interest = self.rng.uniform(0, 1, n_users)
+        interest *= self.rng.random(n_users) < density
+        return interest
+
     # ------------------------------------------------------------------
-    @rule(density=st.sampled_from([0.0, 0.3, 0.9]))
-    def arrival(self, density):
-        interest = self.rng.uniform(0, 1, self.scheduler.instance.n_users)
-        interest *= self.rng.random(self.scheduler.instance.n_users) < density
+    @rule(
+        density=st.sampled_from([0.0, 0.3, 0.9]),
+        maintain=st.booleans(),
+    )
+    def arrival(self, density, maintain):
         self.scheduler.add_candidate_event(
             location=int(self.rng.integers(5)),
             required_resources=float(self.rng.uniform(0.5, 2.5)),
-            interest_column=interest,
+            interest_column=self._interest_column(density),
+            maintain=maintain,
         )
 
-    @rule()
-    def cancellation(self):
+    @rule(maintain=st.booleans())
+    def cancellation(self, maintain):
         if self.scheduler.instance.n_events <= 1:
             return
         victim = int(self.rng.integers(self.scheduler.instance.n_events))
-        self.scheduler.cancel_event(victim)
+        self.scheduler.cancel_event(victim, maintain=maintain)
 
-    @rule()
-    def rival_announcement(self):
+    @rule(maintain=st.booleans())
+    def rival_announcement(self, maintain):
         interval = int(self.rng.integers(self.scheduler.instance.n_intervals))
         self.scheduler.add_competing_event(
             interval=interval,
-            interest_column=self.rng.uniform(0, 1, self.scheduler.instance.n_users),
+            interest_column=self.rng.uniform(
+                0, 1, self.scheduler.instance.n_users
+            ),
+            maintain=maintain,
+        )
+
+    @rule(
+        density=st.sampled_from([0.0, 0.5, 1.0]),
+        maintain=st.booleans(),
+    )
+    def interest_drift(self, density, maintain):
+        event = int(self.rng.integers(self.scheduler.instance.n_events))
+        self.scheduler.update_event_interest(
+            event, self._interest_column(density), maintain=maintain
         )
 
     @rule(extra=st.integers(1, 2))
@@ -66,12 +93,30 @@ class IncrementalMachine(RuleBasedStateMachine):
     def rebuild(self):
         self.scheduler.rebuild()
 
+    @rule()
+    def rebuild_matches_fresh_solve(self):
+        """rebuild() == a from-scratch solve on the mutated instance,
+        bit for bit (same greedy, same engine kind, same instance)."""
+        self.scheduler.rebuild()
+        fresh = IncrementalScheduler(
+            self.scheduler.instance,
+            k=self.scheduler.k,
+            engine=self.scheduler.engine_spec,
+        )
+        assert (
+            self.scheduler.schedule.as_mapping() == fresh.schedule.as_mapping()
+        )
+        assert self.scheduler.utility() == fresh.utility()
+
     # ------------------------------------------------------------------
     @invariant()
-    def schedule_is_feasible(self):
-        assert is_schedule_feasible(
-            self.scheduler.instance, self.scheduler.schedule
-        )
+    def schedule_passes_a_feasibility_checker_replay(self):
+        checker = FeasibilityChecker(self.scheduler.instance)
+        for event, interval in sorted(
+            self.scheduler.schedule.as_mapping().items()
+        ):
+            # apply() raises InfeasibleAssignmentError on any violation
+            checker.apply(Assignment(event, interval))
 
     @invariant()
     def size_within_budget(self):
@@ -90,6 +135,32 @@ class IncrementalMachine(RuleBasedStateMachine):
         assert instance.interest.n_competing == instance.n_competing
         for event in self.scheduler.schedule.scheduled_events():
             assert event < instance.n_events
+
+    @invariant()
+    def score_cache_matches_engine_state(self):
+        """Clean cached rows must equal freshly computed Eq. 4 scores."""
+        scores = self.scheduler._scores
+        if scores is None:
+            return
+        instance = self.scheduler.instance
+        engine = self.scheduler._engine
+        unscheduled = [
+            e
+            for e in range(instance.n_events)
+            if not self.scheduler.schedule.contains_event(e)
+        ]
+        for interval in range(instance.n_intervals):
+            if interval in self.scheduler._dirty:
+                continue
+            if unscheduled:
+                fresh = engine.scores_for_interval(interval, unscheduled)
+                np.testing.assert_allclose(
+                    scores[interval, unscheduled], fresh, atol=1e-12
+                )
+            scheduled = [
+                e for e in range(instance.n_events) if e not in unscheduled
+            ]
+            assert np.all(np.isneginf(scores[interval, scheduled]))
 
 
 TestIncrementalMachine = IncrementalMachine.TestCase

@@ -1,0 +1,123 @@
+"""Tests of the streaming trace model and its JSONL serialization."""
+
+import numpy as np
+import pytest
+
+from repro.stream.trace import (
+    AnnounceRival,
+    ArriveCandidate,
+    CancelEvent,
+    ChangeOp,
+    DriftInterest,
+    RaiseBudget,
+    Trace,
+    entries_from_column,
+)
+
+_OPS = (
+    ArriveCandidate(
+        time=0.5,
+        location=3,
+        required_resources=2.0,
+        interest=((0, 0.4), (2, 1.0)),
+        name="late-show",
+    ),
+    CancelEvent(time=1.0, event=1),
+    AnnounceRival(time=1.5, interval=2, interest=((1, 0.9),)),
+    DriftInterest(time=2.0, event=0, interest=((0, 0.2), (3, 0.7))),
+    RaiseBudget(time=3.0, new_k=5),
+)
+
+
+def make_trace(**overrides):
+    kwargs = dict(ops=_OPS, n_users=4, initial_k=3, seed=7, label="unit")
+    kwargs.update(overrides)
+    return Trace(**kwargs)
+
+
+class TestOps:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CancelEvent(time=-1.0, event=0)
+
+    def test_duplicate_interest_entries_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ArriveCandidate(time=0.0, interest=((1, 0.5), (1, 0.6)))
+
+    def test_zero_interest_value_rejected(self):
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            AnnounceRival(time=0.0, interval=0, interest=((1, 0.0),))
+
+    def test_entries_sorted_by_user(self):
+        op = DriftInterest(time=0.0, event=0, interest=((5, 0.3), (1, 0.8)))
+        assert op.interest == ((1, 0.8), (5, 0.3))
+
+    def test_labels_identify_targets(self):
+        labels = [op.label() for op in _OPS]
+        assert labels == ["arrive", "cancel:1", "rival:t2", "drift:0", "budget:5"]
+
+    def test_entries_from_column_drops_zeros(self):
+        entries = entries_from_column(np.array([0.0, 0.5, 0.0, 1.0]))
+        assert entries == ((1, 0.5), (3, 1.0))
+
+    def test_dict_roundtrip_every_kind(self):
+        for op in _OPS:
+            assert ChangeOp.from_dict(op.to_dict()) == op
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown change-op kind"):
+            ChangeOp.from_dict({"op": "merge", "time": 0.0})
+
+
+class TestTrace:
+    def test_validates_monotone_times(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            make_trace(
+                ops=(CancelEvent(time=2.0, event=0), CancelEvent(time=1.0, event=1))
+            )
+
+    def test_op_counts(self):
+        assert make_trace().op_counts() == {
+            "arrive": 1,
+            "budget": 1,
+            "cancel": 1,
+            "drift": 1,
+            "rival": 1,
+        }
+
+    def test_describe_mentions_shape(self):
+        text = make_trace().describe()
+        assert "5 ops" in text and "4 users" in text and "k0=3" in text
+
+    def test_len_and_iteration(self):
+        trace = make_trace()
+        assert len(trace) == 5
+        assert tuple(trace) == _OPS
+
+
+class TestJsonl:
+    def test_roundtrip(self):
+        trace = make_trace()
+        assert Trace.from_jsonl(trace.to_jsonl()) == trace
+
+    def test_serialization_is_deterministic(self):
+        text = make_trace().to_jsonl()
+        rebuilt = Trace.from_jsonl(text)
+        assert rebuilt.to_jsonl() == text
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = make_trace()
+        path = trace.save(tmp_path / "trace.jsonl")
+        assert Trace.load(path) == trace
+
+    def test_header_is_first_line(self):
+        first = make_trace().to_jsonl().splitlines()[0]
+        assert '"format":"ses-trace/1"' in first
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(ValueError, match="empty trace"):
+            Trace.from_jsonl("")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="unsupported trace format"):
+            Trace.from_jsonl('{"format":"other/9","n_users":1,"initial_k":0}')

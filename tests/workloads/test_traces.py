@@ -1,0 +1,141 @@
+"""Tests of the seeded trace generator (repro.workloads.traces)."""
+
+import pytest
+
+from repro.stream.trace import CancelEvent, RaiseBudget
+from repro.workloads.config import ExperimentConfig
+from repro.workloads.traces import TraceConfig, TraceGenerator
+
+_CONFIG = ExperimentConfig(k=5, n_users=30, n_events=8, n_intervals=6)
+
+
+class TestTraceConfig:
+    def test_defaults_are_valid(self):
+        TraceConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            (dict(n_ops=-1), "n_ops"),
+            (dict(arrival_rate=-0.1), "arrival_rate"),
+            (
+                dict(
+                    arrival_rate=0,
+                    cancel_rate=0,
+                    rival_rate=0,
+                    drift_rate=0,
+                    budget_rate=0,
+                ),
+                "at least one",
+            ),
+            (dict(interest_density=0.0), "interest_density"),
+            (dict(interest_density=1.5), "interest_density"),
+            (dict(mean_interarrival=0.0), "mean_interarrival"),
+            (dict(budget_step=0), "budget_step"),
+            (dict(min_live_events=0), "min_live_events"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            TraceConfig(**kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        first = TraceGenerator(_CONFIG, root_seed=11).generate()
+        second = TraceGenerator(_CONFIG, root_seed=11).generate()
+        assert first == second
+
+    def test_different_seed_different_trace(self):
+        first = TraceGenerator(_CONFIG, root_seed=11).generate()
+        second = TraceGenerator(_CONFIG, root_seed=12).generate()
+        assert first != second
+
+    def test_serialization_roundtrip_preserves_identity(self):
+        from repro.stream.trace import Trace
+
+        trace = TraceGenerator(_CONFIG, root_seed=11).generate()
+        assert Trace.from_jsonl(trace.to_jsonl()) == trace
+
+
+class TestStreamShape:
+    def test_requested_length_and_metadata(self):
+        trace = TraceGenerator(
+            _CONFIG, TraceConfig(n_ops=23), root_seed=4
+        ).generate()
+        assert len(trace) == 23
+        assert trace.n_users == _CONFIG.n_users
+        assert trace.initial_k == _CONFIG.k
+        assert trace.seed == 4
+
+    def test_generate_length_override(self):
+        generator = TraceGenerator(_CONFIG, TraceConfig(n_ops=5), root_seed=4)
+        assert len(generator.generate(n_ops=9)) == 9
+
+    def test_times_are_non_decreasing(self):
+        trace = TraceGenerator(
+            _CONFIG, TraceConfig(n_ops=40), root_seed=1
+        ).generate()
+        times = [op.time for op in trace]
+        assert times == sorted(times)
+
+    def test_cancel_indices_stay_in_live_range(self):
+        """Every cancel targets an index valid at its replay position."""
+        trace = TraceGenerator(
+            _CONFIG,
+            TraceConfig(n_ops=60, cancel_rate=3.0, arrival_rate=0.5),
+            root_seed=2,
+        ).generate()
+        n_live = _CONFIG.events
+        for op in trace:
+            if isinstance(op, CancelEvent):
+                assert 0 <= op.event < n_live
+                n_live -= 1
+            elif op.kind == "arrive":
+                n_live += 1
+        assert n_live >= 1
+
+    def test_pool_never_drains_below_floor(self):
+        config = ExperimentConfig(k=2, n_users=10, n_events=3, n_intervals=3)
+        trace = TraceGenerator(
+            config,
+            TraceConfig(n_ops=30, cancel_rate=10.0, arrival_rate=0.1,
+                        rival_rate=0.0, drift_rate=0.0, budget_rate=0.0,
+                        min_live_events=2),
+            root_seed=3,
+        ).generate()
+        n_live = config.events
+        for op in trace:
+            if op.kind == "cancel":
+                n_live -= 1
+            elif op.kind == "arrive":
+                n_live += 1
+            assert n_live >= 2
+
+    def test_budget_raises_are_monotone(self):
+        trace = TraceGenerator(
+            _CONFIG,
+            TraceConfig(n_ops=40, budget_rate=3.0),
+            root_seed=6,
+        ).generate()
+        current = _CONFIG.k
+        raises = [op for op in trace if isinstance(op, RaiseBudget)]
+        assert raises, "expected budget ops at this rate"
+        for op in raises:
+            assert op.new_k > current
+            current = op.new_k
+
+    def test_interest_payloads_are_sparse_and_valid(self):
+        config = ExperimentConfig(k=5, n_users=200, n_events=8, n_intervals=6)
+        trace = TraceGenerator(
+            config, TraceConfig(n_ops=30, interest_density=0.05), root_seed=7
+        ).generate()
+        payload_ops = [op for op in trace if hasattr(op, "interest")]
+        assert payload_ops
+        for op in payload_ops:
+            users = [user for user, _ in op.interest]
+            assert users == sorted(users)
+            assert all(0 <= user < config.n_users for user in users)
+            assert all(0.0 < value <= 1.0 for _, value in op.interest)
+            # sparse regime: far fewer entries than users
+            assert len(op.interest) <= config.n_users // 4
