@@ -8,11 +8,19 @@ utility, and the number of full re-solves each policy paid for.
 The headline comparison is **incremental maintenance vs. full re-solve
 per change op**: the ``periodic-rebuild`` policy with ``rebuild_every=1``
 is exactly the "re-solve after every change" baseline, while the
-``incremental`` policy absorbs each op with row/column-local score
+``incremental`` policy absorbs each op with O(delta) LiveInstance
+mutations, engine ``apply_delta`` updates and row/column-local score
 refreshes.  At the default large setting — the paper's full 42,444-user
 Meetup population on the sparse interest backend — the incremental
 policy's mean per-op latency beats the rebuild baseline by well over an
 order of magnitude at equal final utility (both are GRD-quality).
+
+A per-kind *structural latency* panel breaks each policy's cost down by
+op kind (arrive / cancel / rival / drift / budget), and the ``freezes``
+column counts O(instance) snapshot materializations
+(:attr:`repro.core.live.LiveInstance.freezes`): the pure incremental
+fast path must show 0 — ``--smoke`` asserts it, so CI catches any silent
+fallback to full-instance rebuilds.
 
 Usage::
 
@@ -120,11 +128,21 @@ def run_policies(
     return results, scale
 
 
+def latency_by_kind(result: StreamResult) -> dict[str, list[float]]:
+    """Per-op-kind latency samples (op labels are ``kind[:target]``)."""
+    samples: dict[str, list[float]] = {}
+    for record in result.records:
+        samples.setdefault(record.label.split(":")[0], []).append(
+            record.latency_seconds
+        )
+    return samples
+
+
 def report(results: Sequence[StreamResult]) -> None:
     print()
     header = (
         f"{'policy':<28} {'final utility':>14} {'mean op':>10} "
-        f"{'p95 op':>10} {'max op':>10} {'rebuilds':>9}"
+        f"{'p95 op':>10} {'max op':>10} {'rebuilds':>9} {'freezes':>8}"
     )
     print(header)
     print("-" * len(header))
@@ -134,8 +152,27 @@ def report(results: Sequence[StreamResult]) -> None:
             f"{result.mean_latency() * 1e3:>8.1f}ms "
             f"{result.percentile_latency(0.95) * 1e3:>8.1f}ms "
             f"{result.max_latency() * 1e3:>8.1f}ms "
-            f"{result.rebuilds:>9}"
+            f"{result.rebuilds:>9} {result.freezes:>8}"
         )
+
+    kinds = sorted(
+        {kind for result in results for kind in latency_by_kind(result)}
+    )
+    print("\nstructural latency by op kind (mean ms):")
+    header = f"{'policy':<28}" + "".join(f" {kind:>9}" for kind in kinds)
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        samples = latency_by_kind(result)
+        cells = []
+        for kind in kinds:
+            kind_samples = samples.get(kind)
+            cells.append(
+                f" {sum(kind_samples) / len(kind_samples) * 1e3:>7.1f}ms"
+                if kind_samples
+                else f" {'-':>9}"
+            )
+        print(f"{result.policy:<28}" + "".join(cells))
 
     by_name = {result.policy.split("(")[0]: result for result in results}
     incremental = by_name.get("incremental")
@@ -150,10 +187,61 @@ def report(results: Sequence[StreamResult]) -> None:
         )
 
 
+def check_fast_path(
+    results: Sequence[StreamResult], oracle_samples: int = 0
+) -> int:
+    """Assert the O(delta) structural fast path was actually taken.
+
+    Runs on every invocation (CI exercises it via ``--smoke``).  The
+    pure incremental policy must absorb every op without a single
+    O(instance) snapshot materialization beyond what opt-in oracle
+    regret sampling legitimately pays (one freeze per sample); the
+    periodic policy must freeze at most once per batch re-solve plus
+    those samples.  A regression that silently reroutes change ops
+    through full-instance rebuilds shows up here.
+    """
+    failures = []
+    for result in results:
+        name = result.policy.split("(")[0]
+        if name == "incremental" and result.freezes > oracle_samples:
+            failures.append(
+                f"incremental policy froze {result.freezes} snapshot(s) "
+                f"for {oracle_samples} oracle sample(s); the structural "
+                f"fast path must not rebuild the instance"
+            )
+        if name == "periodic-rebuild" and (
+            result.freezes > result.rebuilds + oracle_samples
+        ):
+            # at most one freeze per re-solve / oracle sample: a re-solve
+            # preceded only by non-structural ops (budget raises) even
+            # reuses the cached snapshot
+            failures.append(
+                f"periodic-rebuild froze {result.freezes} snapshot(s) for "
+                f"{result.rebuilds} re-solve(s) and {oracle_samples} "
+                f"oracle sample(s); expected at most one each"
+            )
+    for failure in failures:
+        print(f"FAST-PATH CHECK FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"fast-path check: ok (incremental replay froze "
+            f"{oracle_samples} snapshot(s), all accounted to oracle "
+            f"sampling)"
+            if oracle_samples
+            else "fast-path check: ok (incremental replay froze 0 snapshots)"
+        )
+    return len(failures)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    results, _ = run_policies(args)
+    results, scale = run_policies(args)
     report(results)
+    oracle_samples = (
+        scale["ops"] // args.oracle_every if args.oracle_every else 0
+    )
+    if check_fast_path(results, oracle_samples):
+        return 1
     return 0
 
 

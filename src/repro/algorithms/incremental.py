@@ -57,15 +57,23 @@ full sweep — the measured gap versus re-solving from scratch is what
 pops validate lazily against the live :class:`FeasibilityChecker` and
 evict losers only from the pass-local working copy.
 
-Because the instance is immutable, the incremental scheduler works on a
-*mutable copy* of the instance data: it rebuilds a new
-:class:`~repro.core.instance.SESInstance` when entities change and
-transplants the schedule.  Interest-matrix edits preserve the storage
-backend (a sparse CSC ``mu`` stays sparse through arrivals, cancellations
-and drift — see :meth:`InterestMatrix.with_event_column` and friends), and
-the configured :class:`~repro.core.engine.EngineSpec` is re-used for every
-rebuilt engine, so a sparse-backed scheduler never silently reverts to
-dense storage or a default engine mid-stream.
+The scheduler holds its state in a
+:class:`~repro.core.live.LiveInstance` — the mutable counterpart of the
+immutable :class:`~repro.core.instance.SESInstance`.  Every structural op
+is applied as an O(delta) mutation (one interest column touched, entity
+lists patched in place) whose :class:`~repro.core.live.LiveDelta` the
+score engine ingests via
+:meth:`~repro.core.engine.ScoreEngine.apply_delta`, updating its cached
+mass/score state instead of being rebuilt from a fresh instance.  Interest
+storage stays backend-preserving (a sparse CSC ``mu`` remains sparse
+through arrivals, cancellations and drift), and the engine object itself
+survives the whole stream, so the configured
+:class:`~repro.core.engine.EngineSpec` trivially survives too.  Batch
+consumers (``periodic-rebuild`` re-solves, oracle regret queries,
+:attr:`instance`) get an equivalent immutable snapshot from
+:meth:`LiveInstance.freeze`, cached until the next mutation and counted
+(:attr:`LiveInstance.freezes`) so benchmarks can assert the hot path
+never silently falls back to O(instance) rebuilds.
 """
 
 from __future__ import annotations
@@ -75,13 +83,12 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.algorithms.registry import register_solver
-from repro.core.activity import ActivityModel
 from repro.core.engine import EngineSpec, resolve_engine_spec
 from repro.core.entities import CandidateEvent, CompetingEvent
 from repro.core.errors import UnknownEntityError
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
-from repro.core.interest import InterestMatrix
+from repro.core.live import LiveInstance
 from repro.core.schedule import Assignment, Schedule
 
 __all__ = ["IncrementalScheduler"]
@@ -115,9 +122,11 @@ class IncrementalScheduler:
             engine, engine_kind, owner=type(self).__name__
         )
         self._k = k
-        self._instance = instance
-        self._engine = self._engine_spec.build(instance)
-        self._checker = FeasibilityChecker(instance)
+        self._live = LiveInstance(instance)
+        # engines, schedules and checkers are built over the live view
+        # once and observe its mutations for the scheduler's lifetime
+        self._engine = self._engine_spec.build(self._live)
+        self._checker = FeasibilityChecker(self._live)
         # the persistent GRD assignment list: Eq. 4 scores per (t, e) cell,
         # -inf for scheduled events, None until the first greedy decision
         self._scores: np.ndarray | None = None
@@ -126,9 +135,18 @@ class IncrementalScheduler:
 
     # ------------------------------------------------------------------
     @property
+    def live(self) -> LiveInstance:
+        """The mutable live state every change op is applied to."""
+        return self._live
+
+    @property
     def instance(self) -> SESInstance:
-        """The current (possibly rebuilt) instance."""
-        return self._instance
+        """An immutable snapshot of the current state (cached freeze).
+
+        Costs O(instance) after a mutation; streaming hot paths should
+        read through :attr:`live` instead.
+        """
+        return self._live.freeze()
 
     @property
     def schedule(self) -> Schedule:
@@ -167,19 +185,17 @@ class IncrementalScheduler:
         ``maintain=False`` the event is only registered.
         """
         event = CandidateEvent(
-            index=self._instance.n_events,
+            index=self._live.n_events,
             location=location,
             required_resources=required_resources,
-            name=name or f"arrival-{self._instance.n_events}",
+            name=name or f"arrival-{self._live.n_events}",
             tags=tags,
         )
-        self._rebuild_instance(
-            events=[*self._instance.events, event],
-            interest=self._instance.interest.with_event_column(interest_column),
-        )
+        delta = self._live.add_event(event, interest_column)
+        self._engine.apply_delta(delta)
         if self._scores is not None:
             self._scores = np.column_stack(
-                [self._scores, np.full(self._instance.n_intervals, -np.inf)]
+                [self._scores, np.full(self._live.n_intervals, -np.inf)]
             )
             self._restore_column(event.index)
         if maintain:
@@ -191,33 +207,19 @@ class IncrementalScheduler:
 
     def cancel_event(self, event: int, *, maintain: bool = True) -> None:
         """Remove a candidate event entirely (scheduled or not)."""
-        if not 0 <= event < self._instance.n_events:
+        if not 0 <= event < self._live.n_events:
             raise UnknownEntityError(f"no candidate event {event}")
         home = self.schedule.interval_of(event)
-        keep = [e for e in range(self._instance.n_events) if e != event]
-        mapping = {old: new for new, old in enumerate(keep)}
-
-        survivors = {
-            mapping[e]: t
-            for e, t in self.schedule.as_mapping().items()
-            if e != event
-        }
-        events = [
-            CandidateEvent(
-                index=mapping[old.index],
-                location=old.location,
-                required_resources=old.required_resources,
-                name=old.name,
-                tags=old.tags,
-            )
-            for old in self._instance.events
-            if old.index != event
-        ]
-        self._rebuild_instance(
-            events=events,
-            interest=self._instance.interest.without_event_column(event),
-            keep_schedule=survivors,
-        )
+        if home is not None:
+            # withdraw while the victim's interest column is still live,
+            # so the engine's mass update sees the right values
+            self._engine.unassign(event)
+            self._checker.unapply(Assignment(event, home))
+        delta = self._live.remove_event(event)
+        self._engine.apply_delta(delta)  # renumbers the schedule mirror
+        # the checker tracks events by index: replay the renumbered
+        # schedule (O(k), with k the schedule size — not O(instance))
+        self._checker = FeasibilityChecker(self._live, self.schedule)
         if self._scores is not None:
             # renumbering shifts indices left, exactly like the deletion
             self._scores = np.delete(self._scores, event, axis=1)
@@ -241,16 +243,12 @@ class IncrementalScheduler:
         gain (often away from the newly contested slot).
         """
         rival = CompetingEvent(
-            index=self._instance.n_competing,
+            index=self._live.n_competing,
             interval=interval,
-            name=name or f"rival-arrival-{self._instance.n_competing}",
+            name=name or f"rival-arrival-{self._live.n_competing}",
         )
-        self._rebuild_instance(
-            competing_events=[*self._instance.competing, rival],
-            interest=self._instance.interest.with_competing_column(
-                interest_column
-            ),
-        )
+        delta = self._live.add_competing(rival, interest_column)
+        self._engine.apply_delta(delta)
         if self._scores is not None:
             self._dirty.add(interval)
         if maintain:
@@ -271,14 +269,11 @@ class IncrementalScheduler:
         is scheduled, and a chance to enter the schedule (fill or
         displacement) if it is not.
         """
-        if not 0 <= event < self._instance.n_events:
+        if not 0 <= event < self._live.n_events:
             raise UnknownEntityError(f"no candidate event {event}")
         home = self.schedule.interval_of(event)
-        self._rebuild_instance(
-            interest=self._instance.interest.with_replaced_event_column(
-                event, interest_column
-            )
-        )
+        delta = self._live.replace_event_interest(event, interest_column)
+        self._engine.apply_delta(delta)
         if self._scores is not None:
             if home is not None:
                 self._dirty.add(home)
@@ -313,7 +308,7 @@ class IncrementalScheduler:
         many changes a fresh GRD run can find better global structure.
         """
         self._engine.reset()
-        self._checker = FeasibilityChecker(self._instance)
+        self._checker = FeasibilityChecker(self._live)
         self._invalidate_cache()
         self._fill()
 
@@ -332,11 +327,11 @@ class IncrementalScheduler:
         )
         # validate the whole mapping before touching live state, so a
         # rejected adoption leaves the current schedule intact (atomic)
-        rehearsal = FeasibilityChecker(self._instance)
+        rehearsal = FeasibilityChecker(self._live)
         for event, interval in sorted(mapping.items()):
             rehearsal.apply(Assignment(event, interval))
         self._engine.reset()
-        self._checker = FeasibilityChecker(self._instance)
+        self._checker = FeasibilityChecker(self._live)
         for event, interval in sorted(mapping.items()):
             self._checker.apply(Assignment(event, interval))
             self._engine.assign(event, interval)
@@ -353,9 +348,9 @@ class IncrementalScheduler:
         """Build (or bring up to date) the persistent score matrix."""
         if self._scores is None:
             self._scores = np.empty(
-                (self._instance.n_intervals, self._instance.n_events)
+                (self._live.n_intervals, self._live.n_events)
             )
-            self._dirty = set(range(self._instance.n_intervals))
+            self._dirty = set(range(self._live.n_intervals))
         self._flush_dirty()
 
     def _flush_dirty(self) -> None:
@@ -369,7 +364,7 @@ class IncrementalScheduler:
         row[:] = -np.inf
         unscheduled = [
             e
-            for e in range(self._instance.n_events)
+            for e in range(self._live.n_events)
             if not self.schedule.contains_event(e)
         ]
         if unscheduled:
@@ -381,11 +376,15 @@ class IncrementalScheduler:
         """Recompute an unscheduled event's scores at every clean row."""
         if self._scores is None:
             return
-        for interval in range(self._instance.n_intervals):
-            if interval not in self._dirty:
-                self._scores[interval, event] = self._engine.score(
-                    event, interval
-                )
+        clean = [
+            interval
+            for interval in range(self._live.n_intervals)
+            if interval not in self._dirty
+        ]
+        if clean:
+            self._scores[clean, event] = self._engine.scores_for_event(
+                event, clean
+            )
 
     def _commit(self, event: int, interval: int) -> None:
         self._checker.apply(Assignment(event, interval))
@@ -412,11 +411,11 @@ class IncrementalScheduler:
         copy only, because a later change op can make them feasible
         again.  Selection order matches GRD's flat argmax exactly.
         """
-        if len(self.schedule) >= self._k or self._instance.n_events == 0:
+        if len(self.schedule) >= self._k or self._live.n_events == 0:
             return
         self._ensure_scores()
         work = self._scores.copy()
-        n_events = self._instance.n_events
+        n_events = self._live.n_events
         while len(self.schedule) < self._k:
             flat = int(np.argmax(work))
             interval, event = divmod(flat, n_events)
@@ -432,29 +431,52 @@ class IncrementalScheduler:
             self._flush_dirty()
             work[:, event] = -np.inf
             work[interval] = self._scores[interval]
-        self._flush_dirty()
+        # rows dirtied by the final commit stay dirty: they are rescored
+        # lazily by the next _ensure_scores() that actually reads them,
+        # which merges consecutive refreshes of the same interval across
+        # ops (identical values — a refresh is a pure function of the
+        # engine state at read time, and any op that perturbs an interval
+        # re-dirties it)
 
     def _try_displacement(self, arrival: int) -> None:
         """Swap the arrival in for a scheduled event if strictly better.
 
         Removing a victim changes mass only at its home interval, so the
         arrival's cached scores stay exact for every other target; the
-        one contested cell is rescored live.
+        one contested cell is rescored live.  The what-if evaluation is
+        pure: the feasibility checker briefly rehearses the removal (two
+        O(1) toggles per victim), while the engine answers
+        :meth:`~repro.core.engine.ScoreEngine.removal_loss` and
+        :meth:`~repro.core.engine.ScoreEngine.score_excluding` without
+        any mass-state churn.
         """
         self._ensure_scores()
         arrival_scores = self._scores[:, arrival].copy()
+        victims = list(self.schedule.as_mapping().items())
+        losses = self._engine.removal_losses([victim for victim, _ in victims])
+        by_home: dict[int, list[int]] = {}
+        for victim, home in victims:
+            by_home.setdefault(home, []).append(victim)
+        contested = {
+            victim: score
+            for home, home_victims in by_home.items()
+            for victim, score in zip(
+                home_victims,
+                self._engine.scores_excluding_each(
+                    arrival, home, home_victims
+                ),
+            )
+        }
         best_gain, best_move = 0.0, None
-        for victim, home in self.schedule.as_mapping().items():
+        for (victim, home), loss in zip(victims, losses):
             removed = Assignment(victim, home)
-            self._engine.unassign(victim)
             self._checker.unapply(removed)
-            loss = self._engine.score(victim, home)
-            for target in range(self._instance.n_intervals):
+            for target in range(self._live.n_intervals):
                 candidate = Assignment(arrival, target)
                 if not self._checker.is_valid(candidate):
                     continue
                 score = (
-                    self._engine.score(arrival, target)
+                    contested[victim]
                     if target == home
                     else arrival_scores[target]
                 )
@@ -462,7 +484,6 @@ class IncrementalScheduler:
                 if gain > best_gain + _GAIN_EPS:
                     best_gain, best_move = gain, (victim, home, target)
             self._checker.apply(removed)
-            self._engine.assign(victim, home)
         if best_move is not None:
             victim, home, target = best_move
             self._uncommit(victim, home)
@@ -485,7 +506,7 @@ class IncrementalScheduler:
         self._flush_dirty()
         column = self._scores[:, event]
         best_interval, best_gain = home, column[home]
-        for target in range(self._instance.n_intervals):
+        for target in range(self._live.n_intervals):
             if target == home:
                 continue
             if not self._checker.is_valid(Assignment(event, target)):
@@ -493,40 +514,3 @@ class IncrementalScheduler:
             if column[target] > best_gain + _GAIN_EPS:
                 best_gain, best_interval = column[target], target
         self._commit(event, best_interval)
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-    def _rebuild_instance(
-        self,
-        events=None,
-        competing_events=None,
-        interest: InterestMatrix | None = None,
-        keep_schedule: dict[int, int] | None = None,
-    ) -> None:
-        """Construct the updated immutable instance and transplant state."""
-        old = self._instance
-        new_instance = SESInstance(
-            users=old.users,
-            intervals=old.intervals,
-            events=tuple(events) if events is not None else old.events,
-            competing=(
-                tuple(competing_events)
-                if competing_events is not None
-                else old.competing
-            ),
-            interest=interest if interest is not None else old.interest,
-            activity=ActivityModel(old.activity.matrix),
-            organizer=old.organizer,
-        )
-        mapping = (
-            keep_schedule
-            if keep_schedule is not None
-            else self.schedule.as_mapping()
-        )
-        self._instance = new_instance
-        self._engine = self._engine_spec.build(new_instance)
-        self._checker = FeasibilityChecker(new_instance)
-        for event, interval in sorted(mapping.items()):
-            self._checker.apply(Assignment(event, interval))
-            self._engine.assign(event, interval)

@@ -216,9 +216,14 @@ class ScheduleSession:
         ``initial_k`` and ``engine`` to the session default.  Returns the
         :class:`repro.stream.StreamResult` observation record.
 
-        The replay works on rebuilt copies of the instance (change ops
-        never mutate session state), so the session keeps serving batch
-        queries against the original instance afterwards.
+        The replay materializes its own
+        :class:`~repro.core.live.LiveInstance` over the session's
+        instance and applies every change op as an O(delta) in-place
+        mutation of that private view (the immutable session instance is
+        never touched), so the session keeps serving batch queries
+        against the original state afterwards.  The returned result's
+        ``freezes`` field counts how many O(instance) snapshots the
+        replay paid for — 0 on the pure incremental fast path.
         """
         from repro.stream import StreamDriver
 

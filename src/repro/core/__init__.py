@@ -3,8 +3,12 @@
 This subpackage is the executable form of the paper's Section II.  The
 import graph is strictly layered::
 
-    entities -> interest/activity -> instance -> schedule -> feasibility
-             -> attendance -> objective -> scoring -> engine
+    entities -> interest/activity -> instance -> live -> schedule
+             -> feasibility -> attendance -> objective -> scoring -> engine
+
+:mod:`repro.core.live` adds the mutable counterpart of the immutable
+instance: :class:`LiveInstance` absorbs streaming change ops in O(delta)
+and freezes back into an equivalent :class:`SESInstance` on demand.
 """
 
 from repro.core.activity import ActivityModel
@@ -44,6 +48,15 @@ from repro.core.feasibility import (
 )
 from repro.core.instance import SESInstance
 from repro.core.interest import InterestMatrix
+from repro.core.live import (
+    CompetingAdded,
+    EventAdded,
+    EventInterestReplaced,
+    EventRemoved,
+    LiveDelta,
+    LiveInstance,
+    LiveInterest,
+)
 from repro.core.objective import (
     interval_utility_fast,
     total_utility,

@@ -73,7 +73,15 @@ import numpy as np
 from repro.core import attendance, objective, scoring
 from repro.core.errors import DuplicateEventError, UnknownEntityError
 from repro.core.instance import SESInstance
-from repro.core.interest import masked_ratio
+from repro.core.interest import masked_ratio, merge_entries
+from repro.core.live import (
+    CompetingAdded,
+    EventAdded,
+    EventInterestReplaced,
+    EventRemoved,
+    LiveDelta,
+    _DenseColumns,
+)
 from repro.core.schedule import Assignment, Schedule
 
 __all__ = [
@@ -122,6 +130,64 @@ class ScoreEngine(ABC):
         self._apply(removed.event, removed.interval, sign=-1)
 
     # ------------------------------------------------------------------
+    # live-instance deltas
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: LiveDelta) -> None:
+        """Absorb one :class:`~repro.core.live.LiveDelta` in O(delta).
+
+        Only meaningful for an engine built over a
+        :class:`~repro.core.live.LiveInstance`: the live instance mutates
+        first, then the engine patches whatever state it caches (dense
+        ``mu`` views, per-interval mass vectors, competing-entry caches)
+        instead of being rebuilt.  Queries answered before and after are
+        consistent with the live state at all times.
+        """
+        if isinstance(delta, EventAdded):
+            self._on_event_added(delta)
+        elif isinstance(delta, EventRemoved):
+            if self._schedule.contains_event(delta.event):
+                # a caller-ordering bug, not a domain error: removal must
+                # be preceded by unassign so the mass update still sees
+                # the event's interest column
+                raise ValueError(
+                    f"cannot remove event {delta.event} while it is "
+                    f"scheduled; unassign it first"
+                )
+            self._renumber_after_removal(delta.event)
+            self._on_event_removed(delta)
+        elif isinstance(delta, EventInterestReplaced):
+            self._on_event_interest_replaced(delta)
+        elif isinstance(delta, CompetingAdded):
+            self._on_competing_added(delta)
+        else:
+            raise TypeError(f"unknown live delta {delta!r}")
+
+    def _renumber_after_removal(self, removed: int) -> None:
+        """Shift the schedule mirror's event indices past a removal."""
+        mapping = self._schedule.as_mapping()
+        self._schedule = Schedule(self._instance)
+        for event, interval in sorted(mapping.items()):
+            self._schedule.add(
+                Assignment(
+                    event=event if event < removed else event - 1,
+                    interval=interval,
+                )
+            )
+
+    # per-engine cache hooks; the default engine caches nothing
+    def _on_event_added(self, delta: EventAdded) -> None:
+        pass
+
+    def _on_event_removed(self, delta: EventRemoved) -> None:
+        pass
+
+    def _on_event_interest_replaced(self, delta: EventInterestReplaced) -> None:
+        pass
+
+    def _on_competing_added(self, delta: CompetingAdded) -> None:
+        pass
+
+    # ------------------------------------------------------------------
     # queries every engine must answer
     # ------------------------------------------------------------------
     @abstractmethod
@@ -133,6 +199,78 @@ class ScoreEngine(ABC):
         self, interval: int, events: Sequence[int]
     ) -> np.ndarray:
         """Vector of Eq. 4 scores for many candidate events at one interval."""
+
+    def removal_loss(self, event: int) -> float:
+        """The Eq. 4 score ``event`` would get back if it were withdrawn.
+
+        Equals ``unassign(event); score(event, home); assign(event, home)``
+        bit for bit, but without mutating any engine state — the query the
+        displacement pass asks once per scheduled victim.  This is
+        exactly the what-if score of the event with *itself* excluded, so
+        every engine answers through its ``_score_excluding``.
+        """
+        interval = self._schedule.interval_of(event)
+        if interval is None:
+            raise UnknownEntityError(
+                f"event {event} is not scheduled; removal_loss is defined "
+                f"only for scheduled events"
+            )
+        return self._score_excluding(event, interval, event)
+
+    def removal_losses(self, events: Sequence[int]) -> np.ndarray:
+        """Vector of :meth:`removal_loss` over many scheduled events.
+
+        The displacement pass asks this once per change op; engines with
+        batchable state override it to amortize their gathers.
+        """
+        return np.array([self.removal_loss(event) for event in events])
+
+    def score_excluding(self, event: int, interval: int, excluding: int) -> float:
+        """Eq. 4 score of ``event`` at ``interval`` with one sibling removed.
+
+        ``excluding`` must be scheduled at ``interval``; the result equals
+        scoring ``event`` right after withdrawing ``excluding`` (again bit
+        for bit, without engine mutation).
+        """
+        if self._schedule.contains_event(event):
+            raise DuplicateEventError(
+                f"event {event} is already scheduled; Eq. 4 requires r not in E(S)"
+            )
+        if self._schedule.interval_of(excluding) != interval:
+            raise UnknownEntityError(
+                f"event {excluding} is not scheduled at interval {interval}; "
+                f"cannot exclude it"
+            )
+        return self._score_excluding(event, interval, excluding)
+
+    def scores_excluding_each(
+        self, event: int, interval: int, excluding: Sequence[int]
+    ) -> np.ndarray:
+        """Vector of :meth:`score_excluding` over many withdrawn siblings."""
+        return np.array(
+            [
+                self.score_excluding(event, interval, excluded)
+                for excluded in excluding
+            ]
+        )
+
+    def scores_for_event(
+        self, event: int, intervals: Sequence[int]
+    ) -> np.ndarray:
+        """Vector of Eq. 4 scores for one candidate event at many intervals."""
+        return np.array(
+            [self.score(event, interval) for interval in intervals]
+        )
+
+    @abstractmethod
+    def _score_excluding(
+        self, event: int, interval: int, excluding: int
+    ) -> float:
+        """Eq. 4 score of ``event`` at ``interval`` without ``excluding``.
+
+        ``excluding`` may equal ``event`` (the :meth:`removal_loss`
+        case); implementations must not assume the two differ.
+        """
 
     @abstractmethod
     def omega(self, event: int) -> float:
@@ -166,6 +304,18 @@ class ReferenceEngine(ScoreEngine):
 
     def scores_for_interval(self, interval: int, events: Sequence[int]) -> np.ndarray:
         return np.array([self.score(event, interval) for event in events])
+
+    def _score_excluding(self, event: int, interval: int, excluding: int) -> float:
+        # the reference engine has no mass state: withdrawing from the
+        # schedule mirror and scoring IS the definition (this also covers
+        # excluding == event, i.e. removal_loss)
+        self._schedule.remove(excluding)
+        try:
+            return self.score(event, interval)
+        finally:
+            self._schedule.add(
+                Assignment(event=excluding, interval=interval)
+            )
 
     def omega(self, event: int) -> float:
         return attendance.expected_attendance(self._instance, self._schedule, event)
@@ -206,6 +356,7 @@ class VectorizedEngine(ScoreEngine):
             raise ValueError(f"chunk_elements must be positive, got {chunk_elements}")
         self._chunk_elements = int(chunk_elements)
         self._mu = instance.interest.candidate
+        self._mu_store: _DenseColumns | None = None
         self._sigma = instance.activity.matrix
         self._scheduled_mass: dict[int, np.ndarray] = {}
         self._contributors: dict[int, np.ndarray] = {}
@@ -250,22 +401,83 @@ class VectorizedEngine(ScoreEngine):
             return np.zeros(self._instance.n_users)
         return mass
 
+    # -- live-instance deltas -------------------------------------------
+    def _delta_column(self, rows, values) -> np.ndarray:
+        column = np.zeros(self._instance.n_users)
+        column[rows] = values
+        return column
+
+    def _own_mu(self) -> _DenseColumns:
+        """The engine-owned dense ``mu`` buffer for non-dense interest.
+
+        Over a dense-backed live instance ``interest.candidate`` is a
+        zero-copy view, so no engine copy is needed — but a sparse-backed
+        live instance would have to materialize the full dense matrix on
+        every access.  Instead the engine densifies once on the first
+        structural delta and patches its own growable column buffer in
+        O(delta) afterwards.
+        """
+        if self._mu_store is None:
+            self._mu_store = _DenseColumns(np.asarray(self._mu))
+        return self._mu_store
+
+    def _mu_is_live_view(self) -> bool:
+        return getattr(self._instance.interest, "backend", "dense") == "dense"
+
+    def _on_event_added(self, delta) -> None:
+        if self._mu_is_live_view():
+            self._mu = self._instance.interest.candidate
+        else:
+            store = self._own_mu()
+            store.append(self._delta_column(delta.rows, delta.values))
+            self._mu = store.view()
+
+    def _on_event_removed(self, delta) -> None:
+        if self._mu_is_live_view():
+            self._mu = self._instance.interest.candidate
+        else:
+            store = self._own_mu()
+            store.remove(delta.event)
+            self._mu = store.view()
+
+    def _on_event_interest_replaced(self, delta) -> None:
+        if self._mu_is_live_view():
+            self._mu = self._instance.interest.candidate
+        else:
+            store = self._own_mu()
+            store.put(delta.event, self._delta_column(delta.rows, delta.values))
+            self._mu = store.view()
+        interval = self._schedule.interval_of(delta.event)
+        if interval is None:
+            return
+        # the scheduled-mass vector still carries the old column: swap the
+        # contributions in O(nnz(old) + nnz(new)), hard-zeroing entries
+        # whose nonzero-contributor count returned to zero (see _apply)
+        mass = self._scheduled_mass[interval]
+        contributors = self._contributors[interval]
+        mass[delta.old_rows] -= delta.old_values
+        contributors[delta.old_rows] -= 1
+        mass[delta.rows] += delta.values
+        contributors[delta.rows] += 1
+        touched = np.union1d(delta.old_rows, delta.rows)
+        dead = touched[contributors[touched] == 0]
+        mass[dead] = 0.0
+
+    def _on_competing_added(self, delta) -> None:
+        pass  # K_t is read through the live instance at query time
+
     # ------------------------------------------------------------------
     def score(self, event: int, interval: int) -> float:
         if self._schedule.contains_event(event):
             raise DuplicateEventError(
                 f"event {event} is already scheduled; Eq. 4 requires r not in E(S)"
             )
-        scheduled = self._mass(interval)
-        competing = self._instance.competing_mass[interval]
-        sigma = self._sigma[:, interval]
-        column = self._mu[:, event]
-
-        old_denominator = competing + scheduled
-        new_denominator = old_denominator + column
-        after = masked_ratio(scheduled + column, new_denominator)
-        before = masked_ratio(scheduled, old_denominator)
-        return float(sigma @ (after - before))
+        return _eq4_gain(
+            self._mass(interval),
+            self._instance.competing_mass[interval],
+            self._mu[:, event],
+            self._sigma[:, interval],
+        )
 
     def scores_for_interval(self, interval: int, events: Sequence[int]) -> np.ndarray:
         event_indices = np.asarray(list(events), dtype=np.intp)
@@ -302,6 +514,27 @@ class VectorizedEngine(ScoreEngine):
             np.divide(work, denominator, out=work, where=denominator > 0.0)
             scores += sigma[start:stop] @ work
         return scores - base
+
+    def _mass_without(self, interval: int, excluding: int) -> np.ndarray:
+        """``M_t`` with one scheduled column withdrawn (pure function).
+
+        Reproduces :meth:`_apply`'s subtraction exactly — including the
+        contributor-count hard-zeroing — without touching engine state.
+        """
+        column = self._mu[:, excluding]
+        mass = self._mass(interval) - column
+        contributors = self._contributors.get(interval)
+        if contributors is not None:
+            mass[(contributors - (column != 0.0)) == 0] = 0.0
+        return mass
+
+    def _score_excluding(self, event: int, interval: int, excluding: int) -> float:
+        return _eq4_gain(
+            self._mass_without(interval, excluding),
+            self._instance.competing_mass[interval],
+            self._mu[:, event],
+            self._sigma[:, interval],
+        )
 
     def omega(self, event: int) -> float:
         interval = self._schedule.interval_of(event)
@@ -345,39 +578,117 @@ class _SparseMass:
         self.counts = np.zeros(0, dtype=np.int64)
 
     def update(self, rows: np.ndarray, values: np.ndarray, sign: int) -> None:
-        """Merge-add (``sign=+1``) or merge-subtract (``-1``) one column."""
-        merged_rows = np.concatenate([self.rows, rows])
-        merged_values = np.concatenate([self.values, sign * values])
-        merged_counts = np.concatenate(
-            [self.counts, np.full(rows.size, sign, dtype=np.int64)]
+        """Merge-add (``sign=+1``) or merge-subtract (``-1``) one column.
+
+        Both directions are sort-free merges against the already-sorted
+        state: a subtraction only ever touches rows a prior addition
+        created (columns are removed at most once per addition), so it is
+        a pure in-place update plus a compaction of rows whose
+        contributor count returned to zero; an addition updates hit rows
+        in place and splices the genuinely new ones in with one
+        ``searchsorted``.  O((nnz(state) + nnz(column))) worst case, with
+        no O(n log n) re-sort.
+        """
+        if rows.size == 0:
+            return
+        if sign < 0:
+            positions = np.searchsorted(self.rows, rows)
+            self.values[positions] -= values
+            self.counts[positions] -= 1
+            if (self.counts[positions] == 0).any():
+                keep = self.counts > 0
+                self.rows = self.rows[keep]
+                self.values = self.values[keep]
+                self.counts = self.counts[keep]
+            return
+        positions = np.searchsorted(self.rows, rows)
+        clipped = np.minimum(positions, max(0, self.rows.size - 1))
+        hits = (
+            (positions < self.rows.size) & (self.rows[clipped] == rows)
+            if self.rows.size
+            else np.zeros(rows.size, dtype=bool)
         )
-        unique, inverse = np.unique(merged_rows, return_inverse=True)
-        summed = np.zeros(unique.size)
-        np.add.at(summed, inverse, merged_values)
-        counts = np.zeros(unique.size, dtype=np.int64)
-        np.add.at(counts, inverse, merged_counts)
-        keep = counts > 0
-        self.rows = unique[keep].astype(np.intp, copy=False)
-        self.values = summed[keep]
-        self.counts = counts[keep]
+        self.values[positions[hits]] += values[hits]
+        self.counts[positions[hits]] += 1
+        if hits.all():
+            return
+        fresh = ~hits
+        insert_at = positions[fresh]
+        self.rows = np.insert(self.rows, insert_at, rows[fresh])
+        self.values = np.insert(self.values, insert_at, values[fresh])
+        self.counts = np.insert(
+            self.counts, insert_at, np.ones(int(fresh.sum()), dtype=np.int64)
+        )
 
     def gather(self, rows: np.ndarray) -> np.ndarray:
-        """Values at ``rows`` (sorted), zeros where absent."""
+        """Values at ``rows``, zeros where absent."""
         return _gather_sorted(self.rows, self.values, rows)
+
+    def gather_counts(self, rows: np.ndarray) -> np.ndarray:
+        """Contributor counts at ``rows``, zeros where absent."""
+        out = np.zeros(rows.size, dtype=np.int64)
+        hits, positions = _sorted_hits(self.rows, rows)
+        out[hits] = self.counts[positions]
+        return out
+
+
+def _sorted_hits(
+    vec_rows: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Locate query ``rows`` inside a sorted index vector.
+
+    Returns ``(hits, positions)``: a boolean mask over ``rows`` marking
+    which queries are present in ``vec_rows``, and the position of each
+    hit inside ``vec_rows`` (aligned with ``rows[hits]``).  The one
+    binary-search-with-end-clamp dance every sparse gather in this
+    module needs.
+    """
+    if vec_rows.size == 0 or rows.size == 0:
+        return np.zeros(rows.size, dtype=bool), np.zeros(0, dtype=np.intp)
+    positions = np.searchsorted(vec_rows, rows)
+    positions[positions == vec_rows.size] = vec_rows.size - 1
+    hits = vec_rows[positions] == rows
+    return hits, positions[hits]
 
 
 def _gather_sorted(
     vec_rows: np.ndarray, vec_values: np.ndarray, rows: np.ndarray
 ) -> np.ndarray:
-    """Gather a sorted sparse vector at sorted query rows (missing -> 0)."""
+    """Gather a sorted sparse vector at query rows (missing -> 0)."""
     out = np.zeros(rows.size)
-    if vec_rows.size == 0 or rows.size == 0:
-        return out
-    positions = np.searchsorted(vec_rows, rows)
-    positions[positions == vec_rows.size] = vec_rows.size - 1
-    hits = vec_rows[positions] == rows
-    out[hits] = vec_values[positions[hits]]
+    hits, positions = _sorted_hits(vec_rows, rows)
+    out[hits] = vec_values[positions]
     return out
+
+
+def _eq4_diff(
+    scheduled: np.ndarray, competing: np.ndarray, column: np.ndarray
+) -> np.ndarray:
+    """Per-user Eq. 4 gain of adding ``column`` on top of the given masses.
+
+    The one what-if algebra every engine query reduces to::
+
+        (M + m_r) / (K + M + m_r)  -  M / (K + M)
+
+    with the ``0 / 0 = 0`` rule.  Kept as the single shared
+    implementation so the scalar and batched query paths cannot drift
+    apart (their bit-identical agreement is a documented contract).
+    """
+    old_denominator = competing + scheduled
+    new_denominator = old_denominator + column
+    after = masked_ratio(scheduled + column, new_denominator)
+    before = masked_ratio(scheduled, old_denominator)
+    return after - before
+
+
+def _eq4_gain(
+    scheduled: np.ndarray,
+    competing: np.ndarray,
+    column: np.ndarray,
+    sigma: np.ndarray,
+) -> float:
+    """``sigma @ _eq4_diff(...)`` — the scalar Eq. 4 score."""
+    return float(sigma @ _eq4_diff(scheduled, competing, column))
 
 
 class SparseEngine(ScoreEngine):
@@ -389,13 +700,27 @@ class SparseEngine(ScoreEngine):
     module docstring's sparse design notes.
     """
 
+    #: Densify an interval's ``K_t`` gathers once its accumulated rival
+    #: mass covers more than this fraction of the user base: fancy
+    #: indexing a dense vector is then far cheaper than binary-searching
+    #: a near-dense sparse one, and one O(|U|) vector per *rival-heavy*
+    #: interval is a bounded trade (never the O(|U| * |E|) table the
+    #: sparse engine exists to avoid).  Gathered values are bit-identical
+    #: either way.
+    DENSIFY_FRACTION = 0.125
+
     def __init__(self, instance: SESInstance) -> None:
         self._interest = instance.interest
-        self._sigma = instance.activity.matrix
+        # Fortran order makes the per-query sigma[rows, t] gather walk one
+        # contiguous column instead of striding the whole matrix; the
+        # gathered values (and every downstream dot) are unchanged.
+        self._sigma = np.asfortranarray(instance.activity.matrix)
         self._scheduled_mass: dict[int, _SparseMass] = {}
         # K_t as sparse vectors, accumulated lazily per interval so the
         # dense (|T|, |U|) competing_mass table is never touched
         self._competing_entries: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # dense K_t expansions for rival-heavy intervals (see above)
+        self._competing_dense: dict[int, np.ndarray] = {}
         super().__init__(instance)
 
     # ------------------------------------------------------------------
@@ -414,12 +739,23 @@ class SparseEngine(ScoreEngine):
         mass.update(rows, values, sign)
 
     def _competing_at(self, interval: int, rows: np.ndarray) -> np.ndarray:
+        dense = self._competing_dense.get(interval)
+        if dense is not None:
+            return dense[rows]
         cached = self._competing_entries.get(interval)
         if cached is None:
             cached = self._interest.competing_mass_entries(
                 self._instance.competing_by_interval[interval]
             )
             self._competing_entries[interval] = cached
+        if cached[0].size > self.DENSIFY_FRACTION * self._instance.n_users:
+            dense = np.zeros(self._instance.n_users)
+            dense[cached[0]] = cached[1]
+            self._competing_dense[interval] = dense
+            # the sparse entries are dead from here on: reads short-circuit
+            # on the dense expansion and rival deltas update it in place
+            del self._competing_entries[interval]
+            return dense[rows]
         return _gather_sorted(cached[0], cached[1], rows)
 
     def _scheduled_at(self, interval: int, rows: np.ndarray) -> np.ndarray:
@@ -428,19 +764,45 @@ class SparseEngine(ScoreEngine):
             return np.zeros(rows.size)
         return mass.gather(rows)
 
+    # -- live-instance deltas -------------------------------------------
+    # column gathers go through the (live) interest store at query time,
+    # so arrivals and removals need no cache surgery at all
+    def _on_event_interest_replaced(self, delta) -> None:
+        interval = self._schedule.interval_of(delta.event)
+        if interval is None:
+            return
+        mass = self._scheduled_mass[interval]
+        mass.update(delta.old_rows, delta.old_values, sign=-1)
+        mass.update(delta.rows, delta.values, sign=+1)
+
+    def _on_competing_added(self, delta) -> None:
+        dense = self._competing_dense.get(delta.interval)
+        if dense is not None:
+            # densified intervals keep only the dense expansion current
+            dense[delta.rows] += delta.values
+            return
+        cached = self._competing_entries.get(delta.interval)
+        if cached is not None:
+            # merge-add the new rival's column: same left-to-right per-user
+            # accumulation order as a fresh competing_mass_entries() call
+            rows = np.concatenate([cached[0], delta.rows])
+            values = np.concatenate([cached[1], delta.values])
+            self._competing_entries[delta.interval] = merge_entries(
+                rows, values
+            )
+
     # ------------------------------------------------------------------
     def _score_unchecked(self, event: int, interval: int) -> float:
         rows, column = self._interest.event_column_entries(event)
         if rows.size == 0:
             # a zero-interest event changes no denominator: score is 0
             return 0.0
-        scheduled = self._scheduled_at(interval, rows)
-        old_denominator = self._competing_at(interval, rows) + scheduled
-        new_denominator = old_denominator + column
-        after = masked_ratio(scheduled + column, new_denominator)
-        before = masked_ratio(scheduled, old_denominator)
-        sigma = self._sigma[rows, interval]
-        return float(sigma @ (after - before))
+        return _eq4_gain(
+            self._scheduled_at(interval, rows),
+            self._competing_at(interval, rows),
+            column,
+            self._sigma[rows, interval],
+        )
 
     def score(self, event: int, interval: int) -> float:
         if self._schedule.contains_event(event):
@@ -457,9 +819,190 @@ class SparseEngine(ScoreEngine):
                     f"event {event} is already scheduled; "
                     f"Eq. 4 requires r not in E(S)"
                 )
-        return np.array(
-            [self._score_unchecked(event, interval) for event in event_indices]
+        if not event_indices:
+            return np.zeros(0)
+        # Batched evaluation: concatenate every queried column's entries,
+        # gather K_t and M_t once over the combined rows, do the Eq. 4
+        # algebra elementwise, then reduce per column over its slice.
+        # Identical floating-point results to the one-column-at-a-time
+        # path (same gathers, same elementwise ops, same per-slice dot),
+        # but the searchsorted/gather overhead is paid once per row
+        # refresh instead of once per candidate event.
+        parts = [self._interest.event_column_entries(e) for e in event_indices]
+        sizes = np.array([rows.size for rows, _ in parts], dtype=np.intp)
+        if not sizes.sum():
+            return np.zeros(len(event_indices))
+        rows = np.concatenate([rows for rows, _ in parts])
+        column = np.concatenate([values for _, values in parts])
+        diff = _eq4_diff(
+            self._scheduled_at(interval, rows),
+            self._competing_at(interval, rows),
+            column,
         )
+        weighted = self._sigma[rows, interval]
+        scores = np.zeros(len(event_indices))
+        offset = 0
+        for position, size in enumerate(sizes):
+            if size:
+                scores[position] = float(
+                    weighted[offset : offset + size]
+                    @ diff[offset : offset + size]
+                )
+            offset += size
+        return scores
+
+    def _mass_without_at(
+        self, interval: int, excluding: int, rows: np.ndarray
+    ) -> np.ndarray:
+        """``M_t`` gathered at ``rows`` with one scheduled column withdrawn.
+
+        Pure function mirroring :class:`_SparseMass.update`'s subtraction:
+        the excluded column's values are removed where they overlap
+        ``rows``, and rows whose contributor count would return to zero
+        are hard-zeroed exactly.
+        """
+        mass = self._scheduled_mass[interval]
+        gathered = mass.gather(rows)
+        excluded_rows, excluded_values = self._interest.event_column_entries(
+            excluding
+        )
+        if excluded_rows.size == 0:
+            return gathered
+        hits, positions = _sorted_hits(excluded_rows, rows)
+        gathered[hits] -= excluded_values[positions]
+        dead = hits & (mass.gather_counts(rows) == 1)
+        gathered[dead] = 0.0
+        return gathered
+
+    def removal_losses(self, events: Sequence[int]) -> np.ndarray:
+        """Batched removal losses: one gather pass per home interval.
+
+        Groups the victims by their home interval, concatenates their
+        column entries, gathers ``M_t`` (values + contributor counts) and
+        ``K_t`` once over the combined rows and reduces per victim over
+        its slice — the same elementwise operations as the scalar
+        :meth:`removal_loss`, so the results are bit-identical, but the
+        searchsorted/gather overhead is paid once per interval instead of
+        once per victim.
+        """
+        event_indices = [int(event) for event in events]
+        losses = np.zeros(len(event_indices))
+        groups: dict[int, list[int]] = {}
+        for position, event in enumerate(event_indices):
+            interval = self._schedule.interval_of(event)
+            if interval is None:
+                raise UnknownEntityError(
+                    f"event {event} is not scheduled; removal_loss is "
+                    f"defined only for scheduled events"
+                )
+            groups.setdefault(interval, []).append(position)
+        for interval, positions in groups.items():
+            parts = [
+                self._interest.event_column_entries(event_indices[p])
+                for p in positions
+            ]
+            sizes = [rows.size for rows, _ in parts]
+            if not sum(sizes):
+                continue
+            rows = np.concatenate([rows for rows, _ in parts])
+            column = np.concatenate([values for _, values in parts])
+            mass = self._scheduled_mass[interval]
+            gathered = mass.gather(rows)
+            counts = mass.gather_counts(rows)
+            # each victim's own rows are necessarily present in M_t, so
+            # the exclusion is a pure subtraction plus the count==1
+            # hard-zero rule (exactly _mass_without_at, batched)
+            scheduled = gathered - column
+            scheduled[counts == 1] = 0.0
+            diff = _eq4_diff(
+                scheduled, self._competing_at(interval, rows), column
+            )
+            sigma = self._sigma[rows, interval]
+            offset = 0
+            for position, size in zip(positions, sizes):
+                if size:
+                    losses[position] = float(
+                        sigma[offset : offset + size]
+                        @ diff[offset : offset + size]
+                    )
+                offset += size
+        return losses
+
+    def _score_excluding(self, event: int, interval: int, excluding: int) -> float:
+        rows, column = self._interest.event_column_entries(event)
+        if rows.size == 0:
+            return 0.0
+        return _eq4_gain(
+            self._mass_without_at(interval, excluding, rows),
+            self._competing_at(interval, rows),
+            column,
+            self._sigma[rows, interval],
+        )
+
+    def scores_excluding_each(
+        self, event: int, interval: int, excluding: Sequence[int]
+    ) -> np.ndarray:
+        """Batched what-if scores: the base gathers are shared.
+
+        ``event``'s column, ``K_t``, ``M_t`` and the contributor counts
+        are gathered once; each excluded sibling then only pays for its
+        own overlap adjustment.  Elementwise operations match the scalar
+        :meth:`score_excluding` exactly (bit-identical results).
+        """
+        excluded_events = [int(excluded) for excluded in excluding]
+        if self._schedule.contains_event(event):
+            raise DuplicateEventError(
+                f"event {event} is already scheduled; Eq. 4 requires r not in E(S)"
+            )
+        for excluded in excluded_events:
+            if self._schedule.interval_of(excluded) != interval:
+                raise UnknownEntityError(
+                    f"event {excluded} is not scheduled at interval "
+                    f"{interval}; cannot exclude it"
+                )
+        scores = np.zeros(len(excluded_events))
+        rows, column = self._interest.event_column_entries(event)
+        if rows.size == 0 or not excluded_events:
+            return scores
+        mass = self._scheduled_mass[interval]
+        base = mass.gather(rows)
+        counts = mass.gather_counts(rows)
+        competing = self._competing_at(interval, rows)
+        sigma = self._sigma[rows, interval]
+        for position, excluded in enumerate(excluded_events):
+            excluded_rows, excluded_values = (
+                self._interest.event_column_entries(excluded)
+            )
+            scheduled = base.copy()
+            if excluded_rows.size:
+                hits, positions = _sorted_hits(excluded_rows, rows)
+                scheduled[hits] -= excluded_values[positions]
+                dead = hits & (counts == 1)
+                scheduled[dead] = 0.0
+            scores[position] = _eq4_gain(scheduled, competing, column, sigma)
+        return scores
+
+    def scores_for_event(
+        self, event: int, intervals: Sequence[int]
+    ) -> np.ndarray:
+        """Batched one-column scoring: the column gather is shared."""
+        if self._schedule.contains_event(event):
+            raise DuplicateEventError(
+                f"event {event} is already scheduled; Eq. 4 requires r not in E(S)"
+            )
+        interval_indices = [int(interval) for interval in intervals]
+        rows, column = self._interest.event_column_entries(event)
+        if rows.size == 0:
+            return np.zeros(len(interval_indices))
+        scores = np.empty(len(interval_indices))
+        for position, interval in enumerate(interval_indices):
+            scores[position] = _eq4_gain(
+                self._scheduled_at(interval, rows),
+                self._competing_at(interval, rows),
+                column,
+                self._sigma[rows, interval],
+            )
+        return scores
 
     def omega(self, event: int) -> float:
         interval = self._schedule.interval_of(event)

@@ -13,6 +13,7 @@ __all__ = [
     "UnknownEntityError",
     "InstanceValidationError",
     "ScheduleSizeError",
+    "TraceError",
 ]
 
 
@@ -46,3 +47,14 @@ class UnknownEntityError(SESError):
 
 class ScheduleSizeError(SESError):
     """A solver could not produce a feasible schedule of the requested size."""
+
+
+class TraceError(SESError):
+    """A streaming change trace is not replayable.
+
+    Raised by :class:`~repro.stream.trace.Trace` validation when an op
+    references an event index that is not live at its replay position
+    (a cancel/drift of an unknown id), duplicates a still-live named
+    arrival, or shrinks the budget.  The message names the offending op
+    index so broken traces are debuggable without replaying them.
+    """

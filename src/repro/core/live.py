@@ -1,0 +1,626 @@
+"""Mutable in-place instance state for O(delta) streaming change ops.
+
+:class:`~repro.core.instance.SESInstance` is deliberately immutable, which
+is the right contract for batch solvers — but the streaming subsystem pays
+for it dearly: reconstructing an instance per change op costs O(instance)
+in validation, interest-matrix copies, competing-mass recomputation and
+engine re-assembly.  :class:`LiveInstance` is the mutable counterpart for
+the online hot path:
+
+* it mirrors the read surface every engine, schedule and feasibility
+  checker consumes (``events``, ``interest``, ``activity``,
+  ``competing_by_interval``, ``competing_mass``, ``theta``, the ``n_*``
+  counts), so all of them can be *built over a live instance directly* and
+  simply observe mutations;
+* its four structural mutators — :meth:`add_event`, :meth:`remove_event`,
+  :meth:`replace_event_interest`, :meth:`add_competing` — apply a change
+  in O(delta) (one column touched, entity lists patched in place) and
+  return a :class:`LiveDelta` describing exactly what changed;
+* engines ingest that delta through
+  :meth:`~repro.core.engine.ScoreEngine.apply_delta`, updating any state
+  they cache (dense ``mu`` views, per-interval mass vectors, competing
+  entry caches) in place instead of being rebuilt;
+* :meth:`freeze` materializes an equivalent immutable
+  :class:`SESInstance` — field-for-field identical to what rebuilding from
+  scratch would produce — for batch re-solves, oracle queries and
+  serialization.  The snapshot is cached until the next mutation, and the
+  number of materializations is counted (:attr:`freezes`) so benchmarks
+  and tests can assert the O(delta) fast path is actually taken.
+
+Interest storage lives in :class:`LiveInterest`, which preserves the
+backend of the source :class:`~repro.core.interest.InterestMatrix`: a
+dense matrix becomes a growable Fortran-ordered column buffer (append /
+replace are single-column writes), a sparse CSC matrix becomes a list of
+per-column ``(rows, values)`` entry pairs (append / replace / remove are
+O(nnz of the touched column)).  Either way the accessor protocol engines
+consume (:meth:`~LiveInterest.event_column_entries`,
+:meth:`~LiveInterest.competing_mass_entries`, ...) answers directly from
+live storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.activity import ActivityModel
+from repro.core.entities import CandidateEvent, CompetingEvent
+from repro.core.errors import InstanceValidationError, UnknownEntityError
+from repro.core.instance import SESInstance
+from repro.core.interest import InterestMatrix, merge_entries
+
+try:  # scipy is an optional dependency (the "sparse" extra)
+    from scipy import sparse as _sp
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _sp = None
+
+__all__ = [
+    "LiveDelta",
+    "EventAdded",
+    "EventRemoved",
+    "EventInterestReplaced",
+    "CompetingAdded",
+    "LiveInterest",
+    "LiveInstance",
+]
+
+_EMPTY_ROWS = np.zeros(0, dtype=np.intp)
+_EMPTY_VALUES = np.zeros(0)
+
+
+# ----------------------------------------------------------------------
+# deltas: what one structural mutation changed
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class LiveDelta:
+    """Base of the structural-change records produced by mutators."""
+
+
+@dataclass(frozen=True, eq=False)
+class EventAdded(LiveDelta):
+    """A candidate event was appended; ``rows``/``values`` is its column."""
+
+    event: int
+    rows: np.ndarray
+    values: np.ndarray
+
+
+@dataclass(frozen=True, eq=False)
+class EventRemoved(LiveDelta):
+    """Candidate ``event`` was removed; later events shifted down by one.
+
+    The event must be *unscheduled* at removal time (withdraw it from the
+    engine and the feasibility checker first); engines only need to
+    renumber their schedule mirrors.
+    """
+
+    event: int
+
+
+@dataclass(frozen=True, eq=False)
+class EventInterestReplaced(LiveDelta):
+    """Candidate ``event``'s interest column drifted old -> new."""
+
+    event: int
+    old_rows: np.ndarray
+    old_values: np.ndarray
+    rows: np.ndarray
+    values: np.ndarray
+
+
+@dataclass(frozen=True, eq=False)
+class CompetingAdded(LiveDelta):
+    """A rival was appended at ``interval``; ``rows``/``values`` is its column."""
+
+    competing: int
+    interval: int
+    rows: np.ndarray
+    values: np.ndarray
+
+
+# ----------------------------------------------------------------------
+# interest storage
+# ----------------------------------------------------------------------
+class _DenseColumns:
+    """A growable Fortran-ordered column buffer over one dense matrix.
+
+    Appends amortize to O(n_users) via capacity doubling; the active
+    window is exposed as a zero-copy view.  Column deletion shifts the
+    tail left (a contiguous memmove in Fortran order), matching the
+    renumbering semantics of event cancellation.
+    """
+
+    __slots__ = ("_buffer", "_n")
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self._n = matrix.shape[1]
+        self._buffer = np.array(matrix, dtype=float, order="F", copy=True)
+
+    @property
+    def n_columns(self) -> int:
+        return self._n
+
+    def view(self) -> np.ndarray:
+        """The active ``(n_users, n_columns)`` window (do not mutate)."""
+        return self._buffer[:, : self._n]
+
+    def column(self, index: int) -> np.ndarray:
+        return self._buffer[:, index].copy()
+
+    def append(self, column: np.ndarray) -> None:
+        if self._n == self._buffer.shape[1]:
+            capacity = max(4, 2 * self._buffer.shape[1])
+            grown = np.empty(
+                (self._buffer.shape[0], capacity), dtype=float, order="F"
+            )
+            grown[:, : self._n] = self._buffer[:, : self._n]
+            self._buffer = grown
+        self._buffer[:, self._n] = column
+        self._n += 1
+
+    def remove(self, index: int) -> None:
+        self._buffer[:, index : self._n - 1] = self._buffer[
+            :, index + 1 : self._n
+        ]
+        self._n -= 1
+
+    def put(self, index: int, column: np.ndarray) -> None:
+        self._buffer[:, index] = column
+
+
+def _entries_of(column: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Nonzero ``(rows, values)`` of a dense column (sorted rows)."""
+    rows = np.flatnonzero(column)
+    return rows.astype(np.intp, copy=False), column[rows].copy()
+
+
+class LiveInterest:
+    """Mutable, backend-preserving storage of ``mu`` for one live instance.
+
+    Answers the same accessor protocol as
+    :class:`~repro.core.interest.InterestMatrix` (column gather, dense
+    column expansion, per-interval competing-mass accumulation, element
+    access), so engines and the reference Eq. 1–4 functions consume live
+    and frozen interest interchangeably.
+    """
+
+    def __init__(self, matrix: InterestMatrix) -> None:
+        self._backend = matrix.backend
+        self._n_users = matrix.n_users
+        if self._backend == "dense":
+            self._candidate = _DenseColumns(matrix.candidate)
+            self._competing = _DenseColumns(matrix.competing)
+            self._event_entries = None
+            self._competing_entries = None
+        else:
+            self._candidate = None
+            self._competing = None
+            self._event_entries = [
+                matrix.event_column_entries(e) for e in range(matrix.n_events)
+            ]
+            self._competing_entries = [
+                matrix.competing_column_entries(c)
+                for c in range(matrix.n_competing)
+            ]
+
+    # -- shape ----------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def n_users(self) -> int:
+        return self._n_users
+
+    @property
+    def n_events(self) -> int:
+        if self._backend == "dense":
+            return self._candidate.n_columns
+        return len(self._event_entries)
+
+    @property
+    def n_competing(self) -> int:
+        if self._backend == "dense":
+            return self._competing.n_columns
+        return len(self._competing_entries)
+
+    # -- validation -----------------------------------------------------
+    def _as_column(self, column) -> np.ndarray:
+        column = np.asarray(column, dtype=float)
+        if column.shape != (self._n_users,):
+            raise ValueError(
+                f"interest column must have shape ({self._n_users},), "
+                f"got {column.shape}"
+            )
+        if np.isnan(column).any():
+            raise ValueError("interest column contains NaN entries")
+        if column.size and (column.min() < 0.0 or column.max() > 1.0):
+            raise ValueError(
+                f"interest column entries must lie in [0, 1]; observed "
+                f"range [{column.min()}, {column.max()}]"
+            )
+        return column
+
+    # -- accessor protocol (what engines consume) -----------------------
+    @property
+    def candidate(self) -> np.ndarray:
+        """Candidate ``mu`` as a dense array (zero-copy view when dense)."""
+        if self._backend == "dense":
+            return self._candidate.view()
+        dense = np.zeros((self._n_users, self.n_events))
+        for event, (rows, values) in enumerate(self._event_entries):
+            dense[rows, event] = values
+        return dense
+
+    @property
+    def competing(self) -> np.ndarray:
+        """Competing ``mu`` as a dense array (zero-copy view when dense)."""
+        if self._backend == "dense":
+            return self._competing.view()
+        dense = np.zeros((self._n_users, self.n_competing))
+        for rival, (rows, values) in enumerate(self._competing_entries):
+            dense[rows, rival] = values
+        return dense
+
+    def mu_event(self, user: int, event: int) -> float:
+        if self._backend == "dense":
+            return float(self._candidate.view()[user, event])
+        rows, values = self._event_entries[event]
+        position = np.searchsorted(rows, user)
+        if position < rows.size and rows[position] == user:
+            return float(values[position])
+        return 0.0
+
+    def mu_competing(self, user: int, competing: int) -> float:
+        if self._backend == "dense":
+            return float(self._competing.view()[user, competing])
+        rows, values = self._competing_entries[competing]
+        position = np.searchsorted(rows, user)
+        if position < rows.size and rows[position] == user:
+            return float(values[position])
+        return 0.0
+
+    def event_column(self, event: int) -> np.ndarray:
+        if self._backend == "dense":
+            return self._candidate.column(event)
+        rows, values = self._event_entries[event]
+        out = np.zeros(self._n_users)
+        out[rows] = values
+        return out
+
+    def competing_column(self, competing: int) -> np.ndarray:
+        if self._backend == "dense":
+            return self._competing.column(competing)
+        rows, values = self._competing_entries[competing]
+        out = np.zeros(self._n_users)
+        out[rows] = values
+        return out
+
+    def event_column_entries(self, event: int) -> tuple[np.ndarray, np.ndarray]:
+        if self._backend == "dense":
+            return _entries_of(self._candidate.view()[:, event])
+        return self._event_entries[event]
+
+    def competing_column_entries(
+        self, competing: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self._backend == "dense":
+            return _entries_of(self._competing.view()[:, competing])
+        return self._competing_entries[competing]
+
+    def competing_mass_entries(self, rivals) -> tuple[np.ndarray, np.ndarray]:
+        """``K_t`` as a sparse vector (see :class:`InterestMatrix`)."""
+        if not len(rivals):
+            return _EMPTY_ROWS, _EMPTY_VALUES
+        parts = [self.competing_column_entries(rival) for rival in rivals]
+        rows = np.concatenate([rows for rows, _ in parts])
+        values = np.concatenate([values for _, values in parts])
+        return merge_entries(rows, values)
+
+    def nnz_candidate(self) -> int:
+        """Number of nonzero candidate-interest entries."""
+        if self._backend == "dense":
+            return int(np.count_nonzero(self._candidate.view()))
+        return int(sum(rows.size for rows, _ in self._event_entries))
+
+    # -- mutators (O(delta)) --------------------------------------------
+    def append_event(self, column) -> tuple[np.ndarray, np.ndarray]:
+        column = self._as_column(column)
+        entries = _entries_of(column)
+        if self._backend == "dense":
+            self._candidate.append(column)
+        else:
+            self._event_entries.append(entries)
+        return entries
+
+    def remove_event(self, event: int) -> None:
+        if self._backend == "dense":
+            self._candidate.remove(event)
+        else:
+            del self._event_entries[event]
+
+    def replace_event(
+        self, event: int, column
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Swap one candidate column; returns old and new entries."""
+        column = self._as_column(column)
+        old_rows, old_values = self.event_column_entries(event)
+        rows, values = _entries_of(column)
+        if self._backend == "dense":
+            self._candidate.put(event, column)
+        else:
+            self._event_entries[event] = (rows, values)
+        return old_rows, old_values, rows, values
+
+    def append_competing(self, column) -> tuple[np.ndarray, np.ndarray]:
+        column = self._as_column(column)
+        entries = _entries_of(column)
+        if self._backend == "dense":
+            self._competing.append(column)
+        else:
+            self._competing_entries.append(entries)
+        return entries
+
+    # -- freezing -------------------------------------------------------
+    def freeze(self) -> InterestMatrix:
+        """An immutable :class:`InterestMatrix` equal to the live state."""
+        if self._backend == "dense":
+            return InterestMatrix.from_arrays(
+                self._candidate.view().copy(),
+                self._competing.view().copy(),
+                backend="dense",
+            )
+        return InterestMatrix.from_scipy(
+            self._to_csc(self._event_entries, self.n_events),
+            self._to_csc(self._competing_entries, self.n_competing),
+        )
+
+    def _to_csc(self, columns, n_columns: int):
+        indptr = np.zeros(n_columns + 1, dtype=np.intp)
+        for index, (rows, _) in enumerate(columns):
+            indptr[index + 1] = indptr[index] + rows.size
+        if n_columns:
+            indices = np.concatenate([rows for rows, _ in columns])
+            data = np.concatenate([values for _, values in columns])
+        else:
+            indices, data = _EMPTY_ROWS, _EMPTY_VALUES
+        return _sp.csc_matrix(
+            (data, indices, indptr), shape=(self._n_users, n_columns)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LiveInterest(users={self.n_users}, events={self.n_events}, "
+            f"competing={self.n_competing}, backend={self._backend!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# the live instance
+# ----------------------------------------------------------------------
+class LiveInstance:
+    """Mutable view over an :class:`SESInstance` for streaming change ops.
+
+    Mirrors the instance read surface engines and checkers consume, so
+    they can be constructed over a live instance directly (duck typing —
+    every consumer only indexes and iterates).  Structural mutators apply
+    a change in O(delta) and return the :class:`LiveDelta` that
+    :meth:`~repro.core.engine.ScoreEngine.apply_delta` ingests.
+
+    ``freeze()`` materializes the equivalent immutable snapshot (cached
+    until the next mutation); :attr:`freezes` counts materializations so
+    the streaming fast path can prove it never fell back to O(instance)
+    rebuilds.
+    """
+
+    def __init__(self, instance: SESInstance) -> None:
+        self._users = instance.users
+        self._intervals = instance.intervals
+        self._events: list[CandidateEvent] = list(instance.events)
+        self._competing: list[CompetingEvent] = list(instance.competing)
+        self._interest = LiveInterest(instance.interest)
+        self._activity = instance.activity
+        self._organizer = instance.organizer
+        self._competing_by_interval: list[list[int]] = [
+            list(group) for group in instance.competing_by_interval
+        ]
+        self._competing_mass: np.ndarray | None = None
+        # the source instance doubles as the first frozen snapshot
+        self._frozen: SESInstance | None = instance
+        self._freezes = 0
+        self._mutations = 0
+
+    # -- entity access (SESInstance read surface) -----------------------
+    @property
+    def users(self):
+        return self._users
+
+    @property
+    def intervals(self):
+        return self._intervals
+
+    @property
+    def events(self):
+        """Live candidate-event list (indexable; do not mutate)."""
+        return self._events
+
+    @property
+    def competing(self):
+        """Live competing-event list (indexable; do not mutate)."""
+        return self._competing
+
+    @property
+    def interest(self) -> LiveInterest:
+        return self._interest
+
+    @property
+    def activity(self) -> ActivityModel:
+        return self._activity
+
+    @property
+    def organizer(self):
+        return self._organizer
+
+    @property
+    def theta(self) -> float:
+        return self._organizer.resources
+
+    @property
+    def n_users(self) -> int:
+        return len(self._users)
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self._intervals)
+
+    @property
+    def n_events(self) -> int:
+        return len(self._events)
+
+    @property
+    def n_competing(self) -> int:
+        return len(self._competing)
+
+    @property
+    def competing_by_interval(self):
+        """``C_t`` as live index lists (do not mutate)."""
+        return self._competing_by_interval
+
+    @property
+    def competing_mass(self) -> np.ndarray:
+        """``K_t[u]`` as a dense ``(n_intervals, n_users)`` array.
+
+        Materialized on first access (only the dense engines touch it)
+        and thereafter maintained in place by :meth:`add_competing` —
+        accumulation order matches :attr:`SESInstance.competing_mass`
+        exactly, so frozen snapshots agree bit for bit.
+        """
+        if self._competing_mass is None:
+            mass = np.zeros((self.n_intervals, self.n_users))
+            for interval, rivals in enumerate(self._competing_by_interval):
+                for rival in rivals:
+                    mass[interval] += self._interest.competing_column(rival)
+            self._competing_mass = mass
+        return self._competing_mass
+
+    # -- bookkeeping ----------------------------------------------------
+    @property
+    def freezes(self) -> int:
+        """Number of O(instance) snapshot materializations so far."""
+        return self._freezes
+
+    @property
+    def mutations(self) -> int:
+        """Number of structural mutations applied so far."""
+        return self._mutations
+
+    def _touch(self) -> None:
+        self._frozen = None
+        self._mutations += 1
+
+    # -- structural mutators --------------------------------------------
+    def add_event(self, event: CandidateEvent, interest_column) -> EventAdded:
+        """Append a candidate event with its interest column."""
+        if event.index != self.n_events:
+            raise InstanceValidationError(
+                f"{event.display_name} carries index {event.index}; the next "
+                f"candidate-event index is {self.n_events}"
+            )
+        if event.required_resources > self.theta:
+            raise InstanceValidationError(
+                f"{event.display_name} requires {event.required_resources} "
+                f"resources, exceeding organizer capacity {self.theta}; "
+                f"it could never be scheduled"
+            )
+        rows, values = self._interest.append_event(interest_column)
+        self._events.append(event)
+        self._touch()
+        return EventAdded(event=event.index, rows=rows, values=values)
+
+    def remove_event(self, event: int) -> EventRemoved:
+        """Delete a candidate event; subsequent events are renumbered."""
+        if not 0 <= event < self.n_events:
+            raise UnknownEntityError(f"no candidate event {event}")
+        self._interest.remove_event(event)
+        del self._events[event]
+        for index in range(event, len(self._events)):
+            self._events[index] = replace(self._events[index], index=index)
+        self._touch()
+        return EventRemoved(event=event)
+
+    def replace_event_interest(
+        self, event: int, interest_column
+    ) -> EventInterestReplaced:
+        """Swap one candidate event's interest column (taste drift)."""
+        if not 0 <= event < self.n_events:
+            raise UnknownEntityError(f"no candidate event {event}")
+        old_rows, old_values, rows, values = self._interest.replace_event(
+            event, interest_column
+        )
+        self._touch()
+        return EventInterestReplaced(
+            event=event,
+            old_rows=old_rows,
+            old_values=old_values,
+            rows=rows,
+            values=values,
+        )
+
+    def add_competing(
+        self, rival: CompetingEvent, interest_column
+    ) -> CompetingAdded:
+        """Append a competing event pinned to its interval."""
+        if rival.index != self.n_competing:
+            raise InstanceValidationError(
+                f"{rival.display_name} carries index {rival.index}; the next "
+                f"competing-event index is {self.n_competing}"
+            )
+        if rival.interval >= self.n_intervals:
+            raise InstanceValidationError(
+                f"{rival.display_name} references interval {rival.interval}, "
+                f"instance has only {self.n_intervals}"
+            )
+        rows, values = self._interest.append_competing(interest_column)
+        self._competing.append(rival)
+        self._competing_by_interval[rival.interval].append(rival.index)
+        if self._competing_mass is not None:
+            # in-place K_t update keeps the dense cache O(delta)-current
+            np.add.at(self._competing_mass[rival.interval], rows, values)
+        self._touch()
+        return CompetingAdded(
+            competing=rival.index, interval=rival.interval, rows=rows,
+            values=values,
+        )
+
+    # -- freezing -------------------------------------------------------
+    def freeze(self) -> SESInstance:
+        """The equivalent immutable :class:`SESInstance` (cached snapshot).
+
+        Field-for-field identical to rebuilding the instance from scratch
+        with the same history; costs O(instance), so hot paths must route
+        through deltas instead and only batch re-solves / oracles freeze.
+        """
+        if self._frozen is None:
+            self._freezes += 1
+            self._frozen = SESInstance(
+                users=self._users,
+                intervals=self._intervals,
+                events=tuple(self._events),
+                competing=tuple(self._competing),
+                interest=self._interest.freeze(),
+                activity=self._activity,
+                organizer=self._organizer,
+            )
+        return self._frozen
+
+    def describe(self) -> str:
+        """One-line human summary, mirroring :meth:`SESInstance.describe`."""
+        return (
+            f"LiveInstance(users={self.n_users}, events={self.n_events}, "
+            f"intervals={self.n_intervals}, competing={self.n_competing}, "
+            f"theta={self.theta})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -40,6 +40,7 @@ from repro.stream.trace import (
     DriftInterest,
     RaiseBudget,
     Trace,
+    TraceError,
     entries_from_column,
 )
 
@@ -59,6 +60,7 @@ __all__ = [
     "StreamDriver",
     "StreamResult",
     "Trace",
+    "TraceError",
     "entries_from_column",
     "make_policy",
 ]

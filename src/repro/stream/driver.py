@@ -59,6 +59,10 @@ class StreamResult:
     rebuilds: int
     finish_seconds: float
     total_seconds: float
+    #: O(instance) snapshot materializations the replay paid for
+    #: (:attr:`repro.core.live.LiveInstance.freezes`): 0 on the pure
+    #: incremental fast path, one per batch re-solve / oracle sample.
+    freezes: int = 0
 
     # -- trajectory accessors -------------------------------------------
     @property
@@ -131,6 +135,7 @@ class StreamResult:
             },
             "final_k": self.final_k,
             "rebuilds": self.rebuilds,
+            "freezes": self.freezes,
             "total_seconds": self.total_seconds,
         }
 
@@ -254,6 +259,7 @@ class StreamDriver:
             rebuilds=self._policy.rebuilds,
             finish_seconds=finish_seconds,
             total_seconds=time.perf_counter() - started,
+            freezes=live.live.freezes,
         )
 
     def _validate_shape(self, trace: Trace) -> None:

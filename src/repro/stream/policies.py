@@ -180,6 +180,8 @@ class PeriodicRebuildPolicy(MaintenancePolicy):
         solver = solver_registry.create(
             self._solver, engine=live.engine_spec
         )
+        # a batch re-solve is the one consumer that *should* pay for an
+        # immutable snapshot: live.instance freezes the current state
         result = solver.solve(live.instance, live.k)
         live.adopt(result.schedule)
         self._rebuilds += 1
@@ -248,7 +250,9 @@ class HybridPolicy(MaintenancePolicy):
         """L1 interest mass the op touches (computed pre-application)."""
         if isinstance(op, (ArriveCandidate, AnnounceRival)):
             return sum(value for _, value in op.interest)
-        interest = self.scheduler.instance.interest
+        # read through the live view: snapshotting the instance per op
+        # would reintroduce the O(instance) cost LiveInstance removed
+        interest = self.scheduler.live.interest
         if isinstance(op, CancelEvent):
             _, values = interest.event_column_entries(op.event)
             return float(np.abs(values).sum())

@@ -29,11 +29,13 @@ index space while sampling, so generated traces are always applicable.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, ClassVar
 
 import numpy as np
+
+from repro.core.errors import TraceError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.algorithms.incremental import IncrementalScheduler
@@ -46,6 +48,7 @@ __all__ = [
     "DriftInterest",
     "RaiseBudget",
     "Trace",
+    "TraceError",
     "entries_from_column",
 ]
 
@@ -161,7 +164,7 @@ class ArriveCandidate(ChangeOp):
             location=self.location,
             required_resources=self.required_resources,
             interest_column=_column_from_entries(
-                self.interest, live.instance.n_users
+                self.interest, live.live.n_users
             ),
             name=self.name,
             maintain=maintain,
@@ -210,7 +213,7 @@ class AnnounceRival(ChangeOp):
         live.add_competing_event(
             interval=self.interval,
             interest_column=_column_from_entries(
-                self.interest, live.instance.n_users
+                self.interest, live.live.n_users
             ),
             name=self.name,
             maintain=maintain,
@@ -238,7 +241,7 @@ class DriftInterest(ChangeOp):
     def apply(self, live, *, maintain: bool = True) -> None:
         live.update_event_interest(
             self.event,
-            _column_from_entries(self.interest, live.instance.n_users),
+            _column_from_entries(self.interest, live.live.n_users),
             maintain=maintain,
         )
 
@@ -321,6 +324,90 @@ class Trace:
                     f"{previous}"
                 )
             previous = op.time
+        self._validate_replayability()
+
+    def _validate_replayability(self) -> None:
+        """Simulate the live index space and reject unreplayable ops.
+
+        Event indices in ops refer to the *live* instance at apply time
+        (cancellations renumber), so a trace is only replayable if every
+        referenced index exists at its op's position.  When ``n_events``
+        is known, this walks the stream tracking the live candidate pool
+        — exactly like the incremental scheduler will — and raises
+        :class:`~repro.core.errors.TraceError` naming the offending op
+        index for:
+
+        * a :class:`CancelEvent` / :class:`DriftInterest` of an event id
+          that is not live at that point;
+        * an :class:`ArriveCandidate` duplicating the (nonempty) name of
+          an event that is still live;
+        * an :class:`AnnounceRival` at an out-of-range interval (when
+          ``n_intervals`` is known);
+        * a :class:`RaiseBudget` that would shrink the budget.
+
+        Previously such traces were accepted silently and only exploded
+        (or, worse, cancelled the wrong renumbered event) mid-replay.
+        """
+        if self.n_events is None:
+            return
+        # names of live candidates: the initial pool's names are unknown
+        # to the trace, so they participate as anonymous placeholders;
+        # the parallel set makes the duplicate probe O(1) per arrival
+        live_names: list[str | None] = [None] * self.n_events
+        names_in_use: set[str] = set()
+        k = self.initial_k
+        for index, op in enumerate(self.ops):
+            if isinstance(op, ArriveCandidate):
+                if op.name and op.name in names_in_use:
+                    raise TraceError(
+                        f"op #{index}: duplicate ArriveCandidate "
+                        f"{op.name!r}; an event with that name is already "
+                        f"live"
+                    )
+                live_names.append(op.name or None)
+                if op.name:
+                    names_in_use.add(op.name)
+            elif isinstance(op, (CancelEvent, DriftInterest)):
+                if op.event >= len(live_names):
+                    raise TraceError(
+                        f"op #{index}: {op.label()} references event "
+                        f"{op.event}, but only {len(live_names)} candidate "
+                        f"events are live at that point"
+                    )
+                if isinstance(op, CancelEvent):
+                    cancelled = live_names.pop(op.event)
+                    if cancelled is not None:
+                        names_in_use.discard(cancelled)
+            elif isinstance(op, AnnounceRival):
+                if self.n_intervals is not None and (
+                    op.interval >= self.n_intervals
+                ):
+                    raise TraceError(
+                        f"op #{index}: {op.label()} references interval "
+                        f"{op.interval}, but the trace covers "
+                        f"{self.n_intervals} intervals"
+                    )
+            elif isinstance(op, RaiseBudget):
+                if op.new_k < k:
+                    raise TraceError(
+                        f"op #{index}: {op.label()} would shrink the "
+                        f"budget from {k} (budgets only grow; cancel "
+                        f"events to shrink)"
+                    )
+                k = op.new_k
+
+    def append(self, op: ChangeOp) -> "Trace":
+        """A copy with ``op`` appended, fully re-validated.
+
+        Raises :class:`ValueError` when ``op.time`` precedes the last op
+        and :class:`~repro.core.errors.TraceError` when the op is not
+        replayable at its position (see :meth:`_validate_replayability`).
+
+        Construction re-walks the whole trace (O(len)); this is a
+        convenience for assembling short traces — bulk generation should
+        collect ops in a list and build the :class:`Trace` once.
+        """
+        return replace(self, ops=(*self.ops, op))
 
     def __len__(self) -> int:
         return len(self.ops)

@@ -19,6 +19,14 @@ exactly like the incremental scheduler does, so every sampled index is
 valid at its op's replay position.  Interest payloads are sparse
 ``(user, value)`` entries with an expected density knob, matching the
 Jaccard-mined sparsity regime the sparse backend is built for.
+
+Generated traces carry their starting shape (``n_events`` /
+``n_intervals``), which arms :class:`~repro.stream.trace.Trace`'s
+replayability validation: every emitted trace is checked op by op (live
+index space, budget monotonicity, no duplicate live names) and a
+sampling bug here would surface as a
+:class:`~repro.core.errors.TraceError` at generation time rather than as
+a corrupted replay.
 """
 
 from __future__ import annotations

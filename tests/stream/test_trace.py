@@ -11,6 +11,7 @@ from repro.stream.trace import (
     DriftInterest,
     RaiseBudget,
     Trace,
+    TraceError,
     entries_from_column,
 )
 
@@ -121,3 +122,83 @@ class TestJsonl:
     def test_wrong_format_rejected(self):
         with pytest.raises(ValueError, match="unsupported trace format"):
             Trace.from_jsonl('{"format":"other/9","n_users":1,"initial_k":0}')
+
+
+class TestReplayabilityValidation:
+    """Regression: traces referencing dead/unknown events, duplicate live
+    arrivals or shrinking budgets used to be accepted silently and only
+    corrupted the replay; they now raise TraceError at construction,
+    naming the offending op index."""
+
+    def test_cancel_of_unknown_event_rejected(self):
+        with pytest.raises(TraceError, match=r"op #0.*cancel:7"):
+            make_trace(ops=(CancelEvent(time=0.0, event=7),), n_events=3)
+
+    def test_cancel_index_space_tracks_prior_cancellations(self):
+        # 3 live events; after one cancel only indices 0..1 remain
+        with pytest.raises(TraceError, match=r"op #1.*cancel:2"):
+            make_trace(
+                ops=(
+                    CancelEvent(time=0.0, event=0),
+                    CancelEvent(time=1.0, event=2),
+                ),
+                n_events=3,
+            )
+
+    def test_drift_of_unknown_event_rejected(self):
+        with pytest.raises(TraceError, match=r"op #0.*drift:3"):
+            make_trace(
+                ops=(DriftInterest(time=0.0, event=3, interest=((0, 0.5),)),),
+                n_events=3,
+            )
+
+    def test_duplicate_live_arrival_name_rejected(self):
+        arrival = ArriveCandidate(time=0.0, name="encore", interest=((0, 0.5),))
+        again = ArriveCandidate(time=1.0, name="encore", interest=((1, 0.5),))
+        with pytest.raises(TraceError, match=r"op #1.*duplicate.*encore"):
+            make_trace(ops=(arrival, again), n_events=2)
+
+    def test_rearrival_after_cancellation_is_fine(self):
+        arrival = ArriveCandidate(time=0.0, name="encore", interest=((0, 0.5),))
+        # the named arrival lands at live index 2; cancelling it frees the name
+        cancel = CancelEvent(time=1.0, event=2)
+        again = ArriveCandidate(time=2.0, name="encore", interest=((1, 0.5),))
+        trace = make_trace(ops=(arrival, cancel, again), n_events=2)
+        assert len(trace) == 3
+
+    def test_rival_interval_out_of_range_rejected(self):
+        with pytest.raises(TraceError, match=r"op #0.*rival:t9"):
+            make_trace(
+                ops=(AnnounceRival(time=0.0, interval=9, interest=((0, 0.5),)),),
+                n_events=2,
+                n_intervals=4,
+            )
+
+    def test_budget_shrink_rejected(self):
+        with pytest.raises(TraceError, match=r"op #0.*shrink"):
+            make_trace(ops=(RaiseBudget(time=0.0, new_k=1),), n_events=2)
+
+    def test_validation_needs_known_shape(self):
+        # without n_events the live index space is unknown: accepted as before
+        trace = make_trace(ops=(CancelEvent(time=0.0, event=7),))
+        assert len(trace) == 1
+
+    def test_append_revalidates(self):
+        trace = make_trace(ops=(), n_events=3)
+        grown = trace.append(CancelEvent(time=1.0, event=0))
+        assert len(grown) == 1 and len(trace) == 0
+        with pytest.raises(TraceError, match=r"op #1"):
+            grown.append(CancelEvent(time=2.0, event=2))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            grown.append(CancelEvent(time=0.5, event=0))
+
+    def test_generated_traces_always_validate(self):
+        from repro.workloads.config import ExperimentConfig
+        from repro.workloads.traces import TraceConfig, TraceGenerator
+
+        config = ExperimentConfig(k=3, n_users=20, n_events=5, n_intervals=4)
+        trace = TraceGenerator(
+            config, TraceConfig(n_ops=40), root_seed=5
+        ).generate()
+        # round-tripping re-runs validation on the full shape metadata
+        assert Trace.from_jsonl(trace.to_jsonl()) == trace
