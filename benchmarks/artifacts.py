@@ -1,0 +1,72 @@
+"""Machine-readable benchmark artifacts: one writer, one envelope.
+
+Every benchmark that emits evidence for a PR writes it through
+:func:`write_artifact`, which wraps the payload in a common envelope —
+schema tag, benchmark name, scale/config echo — and serializes it as
+deterministic, diff-friendly JSON (sorted keys, 1-space indent, trailing
+newline).  The committed ``BENCH_*.json`` files at the repository root
+are produced this way, so the perf trajectory of the serving loop is
+tracked *in the history itself*: a regression shows up as a diff against
+the previous PR's numbers, not as a vague memory of a log line.
+
+CI consumes the same files: the stream benchmark's ``--smoke --json``
+run uploads its artifact and the threshold checks read the recorded
+plane accounting (see ``bench_stream_policies.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Any
+
+#: Envelope schema tag; bump when the envelope layout changes.
+ARTIFACT_FORMAT = "ses-bench/1"
+
+
+def artifact_envelope(
+    name: str, scale: dict[str, Any], payload: dict[str, Any]
+) -> dict[str, Any]:
+    """The common envelope around one benchmark's payload.
+
+    ``name`` identifies the producing benchmark, ``scale`` echoes the
+    knobs the run used (users, ops, k, engine, seed, ...) so a reader
+    never has to guess what a number was measured at, and ``payload``
+    is the benchmark-specific body.
+    """
+    return {
+        "format": ARTIFACT_FORMAT,
+        "benchmark": name,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scale": dict(scale),
+        "results": payload,
+    }
+
+
+def write_artifact(
+    path: str | Path,
+    name: str,
+    scale: dict[str, Any],
+    payload: dict[str, Any],
+) -> Path:
+    """Serialize one benchmark artifact; returns the written path."""
+    path = Path(path)
+    envelope = artifact_envelope(name, scale, payload)
+    path.write_text(
+        json.dumps(envelope, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def read_artifact(path: str | Path) -> dict[str, Any]:
+    """Load and validate an artifact written by :func:`write_artifact`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"unsupported artifact format {payload.get('format')!r}; "
+            f"expected {ARTIFACT_FORMAT!r}"
+        )
+    return payload

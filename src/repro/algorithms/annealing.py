@@ -75,6 +75,8 @@ class AnnealingScheduler(Scheduler):
         engine: ScoreEngine,
         checker: FeasibilityChecker,
         stats: SolverStats,
+        *,
+        plane=None,  # SA scores only relative moves; the base matrix is moot
     ) -> None:
         seed_schedule = self._seed_schedule
         if seed_schedule is None:

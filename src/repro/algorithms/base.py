@@ -14,11 +14,14 @@ import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, fields
 
+import numpy as np
+
 from repro.core.engine import EngineSpec, ScoreEngine, resolve_engine_spec
 from repro.core.errors import ScheduleSizeError
 from repro.core.feasibility import FeasibilityChecker, is_schedule_feasible
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
+from repro.core.scoreplane import ScorePlane
 
 __all__ = ["SolverStats", "ScheduleResult", "Scheduler"]
 
@@ -131,6 +134,7 @@ class Scheduler(ABC):
         k: int,
         *,
         engine: ScoreEngine | None = None,
+        plane: ScorePlane | None = None,
     ) -> ScheduleResult:
         """Run the solver and return a validated, timed result.
 
@@ -138,10 +142,26 @@ class Scheduler(ABC):
         many requests (:class:`repro.api.ScheduleSession`) inject a
         pre-built engine; it must belong to ``instance`` and is reset
         before use, so the result is identical to a one-shot solve.
+
+        ``plane`` additionally injects a warm
+        :class:`~repro.core.scoreplane.ScorePlane` of initial (Eq. 4,
+        empty-schedule) scores.  The plane supplies the engine (passing a
+        second, different engine is an error); solvers whose first move
+        is a full score sweep — GRD, the lazy heap, TOP, beam roots,
+        GRASP constructions — read the cached matrix instead of
+        re-filling it, and the selection is bit-identical to a cold
+        solve (the plane's warm-start contract).
         """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
         k = min(k, instance.n_events)
+        if plane is not None:
+            if engine is not None and engine is not plane.engine:
+                raise ValueError(
+                    "pass either engine= or plane= (the plane supplies "
+                    "its own engine), not two different engines"
+                )
+            engine = plane.engine
         if engine is None:
             engine = self._engine_spec.build(instance)
         else:
@@ -154,7 +174,7 @@ class Scheduler(ABC):
         stats = SolverStats()
 
         started = time.perf_counter()
-        self._solve(instance, k, engine, checker, stats)
+        self._solve(instance, k, engine, checker, stats, plane=plane)
         elapsed = time.perf_counter() - started
 
         schedule = engine.schedule
@@ -184,5 +204,42 @@ class Scheduler(ABC):
         engine: ScoreEngine,
         checker: FeasibilityChecker,
         stats: SolverStats,
+        *,
+        plane: ScorePlane | None = None,
     ) -> None:
-        """Populate ``engine.schedule`` with up to ``k`` valid assignments."""
+        """Populate ``engine.schedule`` with up to ``k`` valid assignments.
+
+        ``plane``, when given, caches the empty-schedule score matrix
+        (see :meth:`_base_scores`); solvers that never sweep initial
+        scores simply ignore it.
+        """
+
+    @staticmethod
+    def _base_scores(
+        instance: SESInstance,
+        engine: ScoreEngine,
+        stats: SolverStats,
+        plane: ScorePlane | None,
+    ) -> "np.ndarray":
+        """The ``(n_intervals, n_events)`` empty-schedule Eq. 4 matrix.
+
+        Cold path: one batched row fill per interval (what GRD's
+        Algorithm 1 lines 2–4 always did).  Warm path: the plane's
+        cached matrix, re-scoring only rows dirtied since the last use.
+        Either way the caller gets a private copy it may mutate, and
+        ``stats.initial_scores`` counts the Eq. 4 evaluations actually
+        performed — equal to ``|T| * |E|`` cold, typically ~0 warm.
+        """
+        if plane is not None:
+            spent = plane.cells_filled + plane.cells_refreshed
+            matrix = np.array(plane.ensure(), copy=True)
+            stats.initial_scores += (
+                plane.cells_filled + plane.cells_refreshed - spent
+            )
+            return matrix
+        all_events = list(range(instance.n_events))
+        matrix = np.empty((instance.n_intervals, instance.n_events))
+        for interval in range(instance.n_intervals):
+            matrix[interval] = engine.scores_for_interval(interval, all_events)
+            stats.initial_scores += instance.n_events
+        return matrix

@@ -25,6 +25,7 @@ from repro.core.engine import EngineSpec, ScoreEngine
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment
+from repro.core.scoreplane import ScorePlane
 
 __all__ = ["BeamSearchScheduler"]
 
@@ -68,7 +69,15 @@ class BeamSearchScheduler(Scheduler):
         engine: ScoreEngine,
         checker: FeasibilityChecker,
         stats: SolverStats,
+        *,
+        plane: "ScorePlane | None" = None,
     ) -> None:
+        # The root expansion scores every (event, interval) pair against
+        # the empty schedule — exactly the base matrix, read warm from
+        # the plane when one is injected.  One work engine serves every
+        # deeper expansion (reset + replayed per node).
+        base = self._base_scores(instance, engine, stats, plane)
+        work_engine = self._engine_spec.build(instance)
         # frontier entries: (utility, {event: interval})
         frontier: list[tuple[float, dict[int, int]]] = [(0.0, {})]
         best_complete: tuple[float, dict[int, int]] = (0.0, {})
@@ -77,7 +86,7 @@ class BeamSearchScheduler(Scheduler):
             children: dict[frozenset, tuple[float, dict[int, int]]] = {}
             for utility, mapping in frontier:
                 expansions = self._expand(
-                    instance, mapping, utility, stats
+                    instance, mapping, utility, stats, base, work_engine
                 )
                 for child_utility, child_mapping in expansions:
                     key = frozenset(child_mapping.items())
@@ -108,9 +117,11 @@ class BeamSearchScheduler(Scheduler):
         mapping: dict[int, int],
         utility: float,
         stats: SolverStats,
+        base: np.ndarray,
+        engine: ScoreEngine,
     ) -> list[tuple[float, dict[int, int]]]:
         """Top ``branch_factor`` one-assignment extensions of ``mapping``."""
-        engine = self._engine_spec.build(instance)
+        engine.reset()
         checker = FeasibilityChecker(instance)
         for event, interval in mapping.items():
             checker.apply(Assignment(event, interval))
@@ -126,8 +137,11 @@ class BeamSearchScheduler(Scheduler):
             ]
             if not events:
                 continue
-            scores = engine.scores_for_interval(interval, events)
-            stats.score_updates += len(events)
+            if not mapping:
+                scores = base[interval, events]  # the root: base scores
+            else:
+                scores = engine.scores_for_interval(interval, events)
+                stats.score_updates += len(events)
             for event, score in zip(events, scores):
                 candidates.append((float(score), event, interval))
         candidates.sort(key=lambda row: (-row[0], row[1], row[2]))

@@ -68,16 +68,14 @@ class ExhaustiveScheduler(Scheduler):
         engine: ScoreEngine,
         checker: FeasibilityChecker,
         stats: SolverStats,
+        *,
+        plane=None,
     ) -> None:
         # Optimistic per-event ceiling: the best score over empty intervals.
         # Adding events only shrinks scores (concavity of M/(K+M)), so the
         # empty-schedule score upper-bounds the gain in any schedule.
-        all_events = list(range(instance.n_events))
-        optimistic = np.zeros(instance.n_events)
-        for interval in range(instance.n_intervals):
-            scores = engine.scores_for_interval(interval, all_events)
-            stats.initial_scores += len(all_events)
-            optimistic = np.maximum(optimistic, scores)
+        base = self._base_scores(instance, engine, stats, plane)
+        optimistic = base.max(axis=0, initial=0.0)
 
         # suffix_best[i][j] = sum of the j largest optimistic scores among
         # events i..n-1; used for the bound at depth i.

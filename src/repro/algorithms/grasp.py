@@ -24,6 +24,7 @@ from repro.core.engine import EngineSpec, ScoreEngine
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment
+from repro.core.scoreplane import ScorePlane
 from repro.utils.rng import ensure_rng
 
 __all__ = ["GraspScheduler"]
@@ -73,14 +74,25 @@ class GraspScheduler(Scheduler):
         engine: ScoreEngine,
         checker: FeasibilityChecker,
         stats: SolverStats,
+        *,
+        plane: "ScorePlane | None" = None,
     ) -> None:
+        # Every restart's first RCL round scores the same empty-schedule
+        # state, so the base matrix is computed once (or read warm from
+        # the plane) and shared across restarts; one work engine is
+        # likewise reset and reused for every construction and polish.
+        base = self._base_scores(instance, engine, stats, plane)
+        work_engine = self._engine_spec.build(instance)
         best_utility = -1.0
         best_mapping: dict[int, int] = {}
         for _ in range(self._restarts):
-            mapping, utility = self._one_construction(instance, k, stats)
+            work_engine.reset()
+            mapping, utility = self._one_construction(
+                instance, k, stats, base, work_engine
+            )
             if self._polish and mapping:
                 mapping, utility = self._polish_mapping(
-                    instance, mapping, stats
+                    instance, mapping, stats, work_engine
                 )
             if utility > best_utility:
                 best_utility, best_mapping = utility, mapping
@@ -92,12 +104,17 @@ class GraspScheduler(Scheduler):
 
     # ------------------------------------------------------------------
     def _one_construction(
-        self, instance: SESInstance, k: int, stats: SolverStats
+        self,
+        instance: SESInstance,
+        k: int,
+        stats: SolverStats,
+        base: np.ndarray,
+        engine: ScoreEngine,
     ) -> tuple[dict[int, int], float]:
         """One randomized-greedy pass: RCL sampling until k or stuck."""
-        engine = self._engine_spec.build(instance)
         checker = FeasibilityChecker(instance)
         utility = 0.0
+        first_round = True
         while len(engine.schedule) < k:
             candidates: list[tuple[float, int, int]] = []
             best_score = 0.0
@@ -110,11 +127,15 @@ class GraspScheduler(Scheduler):
                 ]
                 if not events:
                     continue
-                scores = engine.scores_for_interval(interval, events)
-                stats.score_updates += len(events)
+                if first_round:
+                    scores = base[interval, events]
+                else:
+                    scores = engine.scores_for_interval(interval, events)
+                    stats.score_updates += len(events)
                 for event, score in zip(events, scores):
                     candidates.append((float(score), event, interval))
                     best_score = max(best_score, float(score))
+            first_round = False
             if not candidates:
                 break
             threshold = (1.0 - self._alpha) * best_score
@@ -133,6 +154,7 @@ class GraspScheduler(Scheduler):
         instance: SESInstance,
         mapping: dict[int, int],
         stats: SolverStats,
+        engine: ScoreEngine,
     ) -> tuple[dict[int, int], float]:
         from repro.core.schedule import Schedule
 
@@ -145,6 +167,6 @@ class GraspScheduler(Scheduler):
             max_rounds=self._polish_rounds,
             seed=self._rng,
         )
-        refined = refiner.refine(instance, schedule)
+        refined = refiner.refine(instance, schedule, engine=engine)
         stats.moves_accepted += refined.stats.moves_accepted
         return refined.schedule.as_mapping(), refined.utility

@@ -15,7 +15,8 @@ pop, executed by numpy rather than the interpreter.  The selection sequence
 is exactly Algorithm 1's (ties broken by lowest flat index); only the
 constant factor changes.  Matching the paper line by line:
 
-* lines 2–4 (generate assignments)  -> :meth:`_initial_scores`;
+* lines 2–4 (generate assignments)  -> :meth:`Scheduler._base_scores`
+  (or a warm :class:`~repro.core.scoreplane.ScorePlane` read);
 * line 6 (popTopAssgn)              -> ``argmax`` + ``-inf`` write;
 * line 7 (validity check)           -> proactive: invalid cells are already
   ``-inf`` (event column on selection; interval row entries that lose
@@ -37,13 +38,20 @@ from repro.core.engine import ScoreEngine
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment
+from repro.core.scoreplane import ScorePlane
 
 __all__ = ["GreedyScheduler"]
 
 
 @register_solver(summary="the paper's greedy Algorithm 1 (list-based)")
 class GreedyScheduler(Scheduler):
-    """Paper-faithful GRD over a dense assignment-score matrix."""
+    """Paper-faithful GRD over a dense assignment-score matrix.
+
+    With a warm :class:`~repro.core.scoreplane.ScorePlane` injected via
+    ``solve(..., plane=)``, lines 2–4's full sweep collapses to reading
+    the cached matrix (re-scoring only dirty rows) — the selection loop
+    and therefore the schedule are unchanged bit for bit.
+    """
 
     name = "GRD"
 
@@ -54,8 +62,10 @@ class GreedyScheduler(Scheduler):
         engine: ScoreEngine,
         checker: FeasibilityChecker,
         stats: SolverStats,
+        *,
+        plane: ScorePlane | None = None,
     ) -> None:
-        scores = self._initial_scores(instance, engine, stats)
+        scores = self._base_scores(instance, engine, stats, plane)
 
         while len(engine.schedule) < k:
             flat = int(np.argmax(scores))
@@ -78,26 +88,6 @@ class GreedyScheduler(Scheduler):
                 )
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _initial_scores(
-        instance: SESInstance,
-        engine: ScoreEngine,
-        stats: SolverStats,
-    ) -> np.ndarray:
-        """Algorithm 1 lines 2–4: Eq. 4 for every (event, interval) pair.
-
-        Cells whose assignment is infeasible even against the empty
-        schedule (an event alone exceeding ``theta`` is rejected at
-        instance construction, so none today — but the guard stays for
-        robustness) would be set to ``-inf`` here.
-        """
-        all_events = list(range(instance.n_events))
-        matrix = np.empty((instance.n_intervals, instance.n_events))
-        for interval in range(instance.n_intervals):
-            matrix[interval] = engine.scores_for_interval(interval, all_events)
-            stats.initial_scores += instance.n_events
-        return matrix
-
     @staticmethod
     def _refresh_interval(
         scores: np.ndarray,

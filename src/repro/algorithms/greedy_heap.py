@@ -15,19 +15,28 @@ the Eq. 4 score of pending assignments at ``t`` (diminishing returns —
 leaves other intervals' scores untouched.  Stale heap entries therefore
 only ever *overstate* their true score, so the first entry popped with a
 current version is the true maximum — the same selection Algorithm 1's
-linear scan makes (up to ties).
+linear scan makes.
 
-The test suite verifies heap-GRD and list-GRD produce schedules of equal
-utility on randomized instances (exact score ties — which arise
-structurally only at score 0 — may be broken in a different order,
-changing the schedule but not the utility); the Abl-2 benchmark measures
+Ties are broken by the heap key's ``(interval, event)`` suffix — the
+flat-index order GRD's ``argmax`` resolves equal scores to.  A stale
+entry tying the current maximum is popped first (its overstated key
+sorts at the same score but possibly lower index), rescored, and pushed
+back *keyed the same way*, so duplicate marginal gains — structural on
+instances with duplicated interest columns — are consumed in exactly
+GRD's pick order.  The parity suite pins heap-GRD schedules to list-GRD
+schedules bit for bit, duplicates included; the Abl-2 benchmark measures
 the update-count reduction.
+
+One caveat survives: once every positive-gain assignment is consumed and
+the frontier degrades to ~1e-16 subtraction residues, floating point can
+make a "stale" entry *under*state its true score (exact arithmetic only
+ever overstates), and the last near-zero picks may land on different
+intervals than GRD's — utilities agree to machine precision either way.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 
 from repro.algorithms.base import Scheduler, SolverStats
 from repro.algorithms.registry import register_solver
@@ -35,6 +44,7 @@ from repro.core.engine import ScoreEngine
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment
+from repro.core.scoreplane import ScorePlane
 
 __all__ = ["LazyGreedyScheduler"]
 
@@ -52,22 +62,26 @@ class LazyGreedyScheduler(Scheduler):
         engine: ScoreEngine,
         checker: FeasibilityChecker,
         stats: SolverStats,
+        *,
+        plane: ScorePlane | None = None,
     ) -> None:
-        tiebreak = itertools.count()
-        # heap rows: (-score, insertion order, event, interval, version)
-        heap: list[tuple[float, int, int, int, int]] = []
+        # heap rows: (-score, interval, event, version) — the (interval,
+        # event) suffix IS GRD's flat-index tie-break, and at most one
+        # entry per pair is ever live, so keys are totally ordered
+        heap: list[tuple[float, int, int, int]] = []
         interval_version = [0] * instance.n_intervals
 
-        all_events = list(range(instance.n_events))
+        # the initial heap is the base score matrix — warm plane reads
+        # skip the full sweep and seed the exact same entries
+        initial = self._base_scores(instance, engine, stats, plane)
         for interval in range(instance.n_intervals):
-            scores = engine.scores_for_interval(interval, all_events)
-            stats.initial_scores += len(all_events)
-            for event, score in zip(all_events, scores):
-                heap.append((-float(score), next(tiebreak), event, interval, 0))
+            row = initial[interval]
+            for event in range(instance.n_events):
+                heap.append((-float(row[event]), interval, event, 0))
         heapq.heapify(heap)
 
         while len(engine.schedule) < k and heap:
-            negative_score, __, event, interval, version = heapq.heappop(heap)
+            negative_score, interval, event, version = heapq.heappop(heap)
             stats.pops += 1
 
             assignment = Assignment(event=event, interval=interval)
@@ -75,13 +89,18 @@ class LazyGreedyScheduler(Scheduler):
                 continue  # lazily discard entries that can never apply again
 
             if version < interval_version[interval]:
-                # stale: the interval changed since scoring; rescore and retry
-                fresh = engine.score(event, interval)
+                # stale: the interval changed since scoring; rescore and
+                # retry.  The batched row query — not the scalar score()
+                # — is used so the refreshed value is bit-identical to
+                # what GRD's row refresh computes for the same cell, and
+                # ties keep resolving in GRD's exact order.
+                fresh = float(
+                    engine.scores_for_interval(interval, [event])[0]
+                )
                 stats.score_updates += 1
                 heapq.heappush(
                     heap,
-                    (-fresh, next(tiebreak), event, interval,
-                     interval_version[interval]),
+                    (-fresh, interval, event, interval_version[interval]),
                 )
                 continue
 

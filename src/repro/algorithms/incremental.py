@@ -35,7 +35,9 @@ Greedy maintenance interrogates Eq. 4 constantly; recomputing every
 ``(interval, event)`` score per decision — as a naive refill does — costs
 ``O(|T| * |E|)`` engine queries *per change op*.  Instead the scheduler
 keeps the GRD assignment list ``L`` alive **across** operations as a
-``(|T|, |E|)`` score matrix plus a dirty-row set, exploiting the same
+schedule-relative :class:`~repro.core.scoreplane.ScorePlane` (the
+``(|T|, |E|)`` score matrix plus dirty-row set this module originally
+owned privately, now a first-class core primitive), exploiting the same
 structure GRD does: Eq. 1's denominator couples events only *within* an
 interval, so a change op invalidates exactly the rows whose scheduled or
 competing mass it touched.
@@ -74,6 +76,14 @@ consumers (``periodic-rebuild`` re-solves, oracle regret queries,
 :meth:`LiveInstance.freeze`, cached until the next mutation and counted
 (:attr:`LiveInstance.freezes`) so benchmarks can assert the hot path
 never silently falls back to O(instance) rebuilds.
+
+Batch consumers get a warm plane of their own: :meth:`base_plane`
+maintains a second, *empty-schedule* :class:`ScorePlane` (with its own
+engine) over the same live instance, fed by the exact delta stream the
+maintained plane sees.  Periodic batch re-solves and the stream driver's
+oracle regret samples run through it — re-scoring only rows dirtied
+since the previous re-solve instead of paying the full O(|T| * |E|)
+cold fill, and solving directly over the live view (no snapshot freeze).
 """
 
 from __future__ import annotations
@@ -88,8 +98,9 @@ from repro.core.entities import CandidateEvent, CompetingEvent
 from repro.core.errors import UnknownEntityError
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
-from repro.core.live import LiveInstance
+from repro.core.live import LiveDelta, LiveInstance
 from repro.core.schedule import Assignment, Schedule
+from repro.core.scoreplane import ScorePlane
 
 __all__ = ["IncrementalScheduler"]
 
@@ -127,10 +138,12 @@ class IncrementalScheduler:
         # once and observe its mutations for the scheduler's lifetime
         self._engine = self._engine_spec.build(self._live)
         self._checker = FeasibilityChecker(self._live)
-        # the persistent GRD assignment list: Eq. 4 scores per (t, e) cell,
-        # -inf for scheduled events, None until the first greedy decision
-        self._scores: np.ndarray | None = None
-        self._dirty: set[int] = set()
+        # the persistent GRD assignment list: a schedule-relative
+        # ScorePlane (Eq. 4 score per (t, e) cell, -inf for scheduled
+        # events, unfilled until the first greedy decision)
+        self._plane = ScorePlane(self._engine, auto_reset=False)
+        # lazily-created empty-schedule plane for batch consumers
+        self._base_plane: ScorePlane | None = None
         self._fill()
 
     # ------------------------------------------------------------------
@@ -160,6 +173,37 @@ class IncrementalScheduler:
     def engine_spec(self) -> EngineSpec:
         """The spec every (re)built engine is constructed from."""
         return self._engine_spec
+
+    @property
+    def plane(self) -> ScorePlane:
+        """The schedule-relative score plane maintained across ops."""
+        return self._plane
+
+    def base_plane(self) -> ScorePlane:
+        """A warm empty-schedule :class:`ScorePlane` over the live state.
+
+        Built (with its own engine) on first request and kept current by
+        the same delta stream the maintained plane ingests, so batch
+        consumers — the ``periodic-rebuild`` policy's re-solves, the
+        stream driver's oracle regret samples — can
+        ``solver.solve(scheduler.live, scheduler.k, plane=...)`` and pay
+        only for rows dirtied since the previous solve, with no instance
+        freeze at all.
+        """
+        if self._base_plane is None:
+            self._base_plane = ScorePlane(
+                self._engine_spec.build(self._live)
+            )
+        return self._base_plane
+
+    @property
+    def materialized_base_plane(self) -> ScorePlane | None:
+        """The base plane if some batch consumer has requested one.
+
+        Observability accessor (stream results report its stats); unlike
+        :meth:`base_plane` it never builds an engine as a side effect.
+        """
+        return self._base_plane
 
     def utility(self) -> float:
         return self._engine.total_utility()
@@ -192,12 +236,7 @@ class IncrementalScheduler:
             tags=tags,
         )
         delta = self._live.add_event(event, interest_column)
-        self._engine.apply_delta(delta)
-        if self._scores is not None:
-            self._scores = np.column_stack(
-                [self._scores, np.full(self._live.n_intervals, -np.inf)]
-            )
-            self._restore_column(event.index)
+        self._ingest(delta)
         if maintain:
             if len(self.schedule) < self._k:
                 self._fill()
@@ -216,15 +255,14 @@ class IncrementalScheduler:
             self._engine.unassign(event)
             self._checker.unapply(Assignment(event, home))
         delta = self._live.remove_event(event)
-        self._engine.apply_delta(delta)  # renumbers the schedule mirror
+        # the planes delete the column and the engines renumber their
+        # schedule mirrors, exactly like the deletion
+        self._ingest(delta)
         # the checker tracks events by index: replay the renumbered
         # schedule (O(k), with k the schedule size — not O(instance))
         self._checker = FeasibilityChecker(self._live, self.schedule)
-        if self._scores is not None:
-            # renumbering shifts indices left, exactly like the deletion
-            self._scores = np.delete(self._scores, event, axis=1)
-            if home is not None:
-                self._dirty.add(home)
+        if home is not None:
+            self._plane.mark_dirty(home)
         if maintain:
             self._fill()
 
@@ -248,9 +286,7 @@ class IncrementalScheduler:
             name=name or f"rival-arrival-{self._live.n_competing}",
         )
         delta = self._live.add_competing(rival, interest_column)
-        self._engine.apply_delta(delta)
-        if self._scores is not None:
-            self._dirty.add(interval)
+        self._ingest(delta)
         if maintain:
             self._relocate_interval(interval)
         return rival.index
@@ -273,18 +309,15 @@ class IncrementalScheduler:
             raise UnknownEntityError(f"no candidate event {event}")
         home = self.schedule.interval_of(event)
         delta = self._live.replace_event_interest(event, interest_column)
-        self._engine.apply_delta(delta)
-        if self._scores is not None:
-            if home is not None:
-                self._dirty.add(home)
-            else:
-                self._restore_column(event)
+        # the plane dirties the home row when the event is scheduled and
+        # restores the event's column when it is not
+        self._ingest(delta)
         if not maintain:
             return
         if home is not None:
-            self._ensure_scores()
+            self._plane.ensure()
             self._relocate_event(event, home)
-            self._flush_dirty()
+            self._plane.flush()
         elif len(self.schedule) < self._k:
             self._fill()
         else:
@@ -306,10 +339,18 @@ class IncrementalScheduler:
 
         The maintained schedule is greedy *conditioned on history*; after
         many changes a fresh GRD run can find better global structure.
+        When a :meth:`base_plane` has been materialized, the refill
+        warm-starts from its cached empty-schedule matrix (a reset engine
+        *is* at the empty baseline) instead of re-scoring every cell —
+        bit-identical to the cold refill, since both planes are kept
+        current by the same delta stream.
         """
         self._engine.reset()
         self._checker = FeasibilityChecker(self._live)
-        self._invalidate_cache()
+        if self._base_plane is not None:
+            self._plane.seed_from(self._base_plane)
+        else:
+            self._plane.invalidate()
         self._fill()
 
     def adopt(self, schedule: Schedule | Mapping[int, int]) -> None:
@@ -335,70 +376,30 @@ class IncrementalScheduler:
         for event, interval in sorted(mapping.items()):
             self._checker.apply(Assignment(event, interval))
             self._engine.assign(event, interval)
-        self._invalidate_cache()
+        self._plane.invalidate()
 
     # ------------------------------------------------------------------
-    # score-cache bookkeeping
+    # score-plane bookkeeping
     # ------------------------------------------------------------------
-    def _invalidate_cache(self) -> None:
-        self._scores = None
-        self._dirty.clear()
+    def _ingest(self, delta: LiveDelta) -> None:
+        """Feed one structural delta to the maintained (and base) planes.
 
-    def _ensure_scores(self) -> None:
-        """Build (or bring up to date) the persistent score matrix."""
-        if self._scores is None:
-            self._scores = np.empty(
-                (self._live.n_intervals, self._live.n_events)
-            )
-            self._dirty = set(range(self._live.n_intervals))
-        self._flush_dirty()
-
-    def _flush_dirty(self) -> None:
-        for interval in sorted(self._dirty):
-            self._refresh_row(interval)
-        self._dirty.clear()
-
-    def _refresh_row(self, interval: int) -> None:
-        """Rescore one interval against the engine's current mass state."""
-        row = self._scores[interval]
-        row[:] = -np.inf
-        unscheduled = [
-            e
-            for e in range(self._live.n_events)
-            if not self.schedule.contains_event(e)
-        ]
-        if unscheduled:
-            row[unscheduled] = self._engine.scores_for_interval(
-                interval, unscheduled
-            )
-
-    def _restore_column(self, event: int) -> None:
-        """Recompute an unscheduled event's scores at every clean row."""
-        if self._scores is None:
-            return
-        clean = [
-            interval
-            for interval in range(self._live.n_intervals)
-            if interval not in self._dirty
-        ]
-        if clean:
-            self._scores[clean, event] = self._engine.scores_for_event(
-                event, clean
-            )
+        Each plane forwards to its own engine and patches exactly the
+        cells the mutation touched — see :meth:`ScorePlane.apply_delta`.
+        """
+        self._plane.apply_delta(delta)
+        if self._base_plane is not None:
+            self._base_plane.apply_delta(delta)
 
     def _commit(self, event: int, interval: int) -> None:
         self._checker.apply(Assignment(event, interval))
         self._engine.assign(event, interval)
-        if self._scores is not None:
-            self._scores[:, event] = -np.inf
-            self._dirty.add(interval)
+        self._plane.on_assign(event, interval)
 
     def _uncommit(self, event: int, interval: int) -> None:
         self._engine.unassign(event)
         self._checker.unapply(Assignment(event, interval))
-        if self._scores is not None:
-            self._dirty.add(interval)
-            self._restore_column(event)
+        self._plane.on_unassign(event, interval)
 
     # ------------------------------------------------------------------
     # greedy maintenance passes
@@ -413,8 +414,8 @@ class IncrementalScheduler:
         """
         if len(self.schedule) >= self._k or self._live.n_events == 0:
             return
-        self._ensure_scores()
-        work = self._scores.copy()
+        scores = self._plane.ensure()
+        work = scores.copy()
         n_events = self._live.n_events
         while len(self.schedule) < self._k:
             flat = int(np.argmax(work))
@@ -428,11 +429,11 @@ class IncrementalScheduler:
             self._commit(event, interval)
             if len(self.schedule) >= self._k:
                 break
-            self._flush_dirty()
+            self._plane.flush()
             work[:, event] = -np.inf
-            work[interval] = self._scores[interval]
+            work[interval] = scores[interval]
         # rows dirtied by the final commit stay dirty: they are rescored
-        # lazily by the next _ensure_scores() that actually reads them,
+        # lazily by the next plane.ensure() that actually reads them,
         # which merges consecutive refreshes of the same interval across
         # ops (identical values — a refresh is a pure function of the
         # engine state at read time, and any op that perturbs an interval
@@ -450,8 +451,7 @@ class IncrementalScheduler:
         :meth:`~repro.core.engine.ScoreEngine.score_excluding` without
         any mass-state churn.
         """
-        self._ensure_scores()
-        arrival_scores = self._scores[:, arrival].copy()
+        arrival_scores = self._plane.ensure()[:, arrival].copy()
         victims = list(self.schedule.as_mapping().items())
         losses = self._engine.removal_losses([victim for victim, _ in victims])
         by_home: dict[int, list[int]] = {}
@@ -488,23 +488,23 @@ class IncrementalScheduler:
             victim, home, target = best_move
             self._uncommit(victim, home)
             self._commit(arrival, target)
-            self._flush_dirty()
+            self._plane.flush()
 
     def _relocate_interval(self, interval: int) -> None:
         """Give each event at ``interval`` a chance to flee new competition."""
         occupants = list(self.schedule.events_at(interval))
         if not occupants:
             return
-        self._ensure_scores()
+        self._plane.ensure()
         for event in occupants:
             self._relocate_event(event, interval)
-        self._flush_dirty()
+        self._plane.flush()
 
     def _relocate_event(self, event: int, home: int) -> None:
         """Move one scheduled event to its best interval (staying allowed)."""
         self._uncommit(event, home)
-        self._flush_dirty()
-        column = self._scores[:, event]
+        self._plane.flush()
+        column = self._plane.array[:, event]
         best_interval, best_gain = home, column[home]
         for target in range(self._live.n_intervals):
             if target == home:

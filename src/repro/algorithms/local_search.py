@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.algorithms.base import ScheduleResult, SolverStats
 from repro.algorithms.registry import register_solver
-from repro.core.engine import EngineSpec, resolve_engine_spec
+from repro.core.engine import EngineSpec, ScoreEngine, resolve_engine_spec
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment, Schedule
@@ -61,16 +61,31 @@ class LocalSearchRefiner:
 
     # ------------------------------------------------------------------
     def refine(
-        self, instance: SESInstance, schedule: Schedule
+        self,
+        instance: SESInstance,
+        schedule: Schedule,
+        *,
+        engine: "ScoreEngine | None" = None,
     ) -> ScheduleResult:
         """Improve ``schedule`` in place-semantics-free fashion; returns a result.
 
         The input schedule is not mutated; the result carries a copy.
+        ``engine`` injects a pre-built engine for ``instance`` (reset
+        before use) so repeat callers — GRASP's per-restart polish, a
+        session refining many schedules — skip re-paying construction;
+        results are identical either way.
         """
         stats = SolverStats()
         stopwatch = Stopwatch()
         with stopwatch:
-            engine = self._engine_spec.build(instance)
+            if engine is None:
+                engine = self._engine_spec.build(instance)
+            else:
+                if engine.instance is not instance:
+                    raise ValueError(
+                        "injected engine was built for a different instance"
+                    )
+                engine.reset()
             checker = FeasibilityChecker(instance)
             for assignment in schedule:
                 checker.apply(assignment)

@@ -52,6 +52,8 @@ class RandomScheduler(Scheduler):
         engine: ScoreEngine,
         checker: FeasibilityChecker,
         stats: SolverStats,
+        *,
+        plane=None,  # RAND never scores, so a warm plane has nothing to offer
     ) -> None:
         n_pairs = instance.n_events * instance.n_intervals
         if n_pairs == 0:

@@ -21,6 +21,7 @@ from repro.core.engine import ScoreEngine
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment
+from repro.core.scoreplane import ScorePlane
 
 __all__ = ["TopKScheduler"]
 
@@ -38,12 +39,12 @@ class TopKScheduler(Scheduler):
         engine: ScoreEngine,
         checker: FeasibilityChecker,
         stats: SolverStats,
+        *,
+        plane: ScorePlane | None = None,
     ) -> None:
-        all_events = list(range(instance.n_events))
-        matrix = np.empty((instance.n_intervals, instance.n_events))
-        for interval in range(instance.n_intervals):
-            matrix[interval] = engine.scores_for_interval(interval, all_events)
-            stats.initial_scores += len(all_events)
+        # TOP is *entirely* initial scores, so a warm plane turns the
+        # whole scoring phase into a cache read
+        matrix = self._base_scores(instance, engine, stats, plane)
 
         # stable flat argsort descending: ties resolve to the lowest
         # (interval, event) flat index, matching the documented tiebreak

@@ -11,9 +11,13 @@ accumulates competing-mass columns, both of which are query-independent.
 :class:`ScheduleSession` is that serving loop: it holds the instance,
 memoizes one engine per :class:`~repro.core.engine.EngineSpec`, resets it
 between requests (reset is O(state), construction is O(instance)), and
-resolves solvers through the registry.  Results are *bit-identical* to
-one-shot solves — the session-reuse parity suite in
-``tests/api/test_session.py`` enforces it.
+resolves solvers through the registry.  Alongside each engine it keeps a
+:class:`~repro.core.scoreplane.ScorePlane` of empty-schedule Eq. 4
+scores: the instance is immutable, so the matrix every GRD-family solver
+sweeps cold on its first move is computed once per spec and served warm
+to every subsequent request.  Results are *bit-identical* to one-shot
+solves — the session-reuse parity suite in ``tests/api/test_session.py``
+enforces it.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from repro.algorithms.registry import SolverRegistry, solver_registry
 from repro.core.engine import EngineSpec, ScoreEngine
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
+from repro.core.scoreplane import ScorePlane
 
 from repro.api.requests import SolveRequest, SolveResponse
 
@@ -57,8 +62,10 @@ class ScheduleSession:
         self._default_spec = EngineSpec.coerce(default_engine)
         self._registry = registry if registry is not None else solver_registry
         # keyed by spec.kind: the backend field is a workload-generation
-        # hint, so specs differing only there share one engine
+        # hint, so specs differing only there share one engine (and the
+        # warm score plane wrapping it)
         self._engines: dict[str, ScoreEngine] = {}
+        self._planes: dict[str, ScorePlane] = {}
         self._engines_built = 0
         self._requests_served = 0
 
@@ -138,6 +145,22 @@ class ScheduleSession:
             self._engines_built += 1
         return engine
 
+    def plane_for(self, spec: EngineSpec | str | None = None) -> ScorePlane:
+        """The cached warm :class:`ScorePlane` over ``spec``'s engine.
+
+        Filled on the first solve that reads it; the session instance is
+        immutable, so the cached matrix stays valid for the session's
+        lifetime and every later solve warm-starts from it.
+        """
+        resolved = (
+            self._default_spec if spec is None else EngineSpec.coerce(spec)
+        )
+        plane = self._planes.get(resolved.kind)
+        if plane is None:
+            plane = ScorePlane(self.engine_for(resolved))
+            self._planes[resolved.kind] = plane
+        return plane
+
     def solver_for(self, request: SolveRequest) -> Scheduler:
         """Build the request's solver via the registry (fresh per request,
         so stochastic state never leaks between queries)."""
@@ -181,9 +204,9 @@ class ScheduleSession:
             else self._default_spec
         )
         reused = spec.kind in self._engines
-        engine = self.engine_for(spec)
+        plane = self.plane_for(spec)
         solver = self.solver_for(request)
-        result = solver.solve(self._instance, request.k, engine=engine)
+        result = solver.solve(self._instance, request.k, plane=plane)
         self._requests_served += 1
         return SolveResponse(
             request=request, result=result, engine=spec, reused_engine=reused
@@ -204,7 +227,7 @@ class ScheduleSession:
         engine: EngineSpec | str | None = None,
         *,
         oracle_every: int | None = None,
-        oracle_solver: str = "grd",
+        oracle_solver: str = "grd-heap",
         **policy_params: Any,
     ) -> Any:
         """Replay a change trace against this session's instance.

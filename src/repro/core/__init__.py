@@ -5,6 +5,7 @@ import graph is strictly layered::
 
     entities -> interest/activity -> instance -> live -> schedule
              -> feasibility -> attendance -> objective -> scoring -> engine
+             -> scoreplane
 
 :mod:`repro.core.live` adds the mutable counterpart of the immutable
 instance: :class:`LiveInstance` absorbs streaming change ops in O(delta)
@@ -64,6 +65,7 @@ from repro.core.objective import (
     utility_upper_bound,
 )
 from repro.core.schedule import Assignment, Schedule
+from repro.core.scoreplane import ScorePlane
 from repro.core.timegrid import (
     AFTERNOON_AND_EVENING,
     CalendarGrid,
@@ -95,6 +97,7 @@ __all__ = [
     "Schedule",
     "ScheduleSizeError",
     "ScoreEngine",
+    "ScorePlane",
     "SparseEngine",
     "TimeInterval",
     "UnknownEntityError",

@@ -174,6 +174,20 @@ class ScoreEngine(ABC):
                 )
             )
 
+    def score_geometry(self):
+        """Fingerprint of the engine's floating-point query geometry.
+
+        Two queries of the same cell agree bit for bit only while this
+        value is unchanged (e.g. the vectorized engine's user-chunk
+        length, which moves when the live event count crosses a power of
+        two).  Caches of score values — :class:`ScorePlane` — compare it
+        across structural deltas and drop cached cells on a change.
+        ``None`` (the default, and the sparse/reference engines' answer)
+        means queries are geometry-free: per-cell results never depend
+        on batch shape.
+        """
+        return None
+
     # per-engine cache hooks; the default engine caches nothing
     def _on_event_added(self, delta: EventAdded) -> None:
         pass
@@ -349,6 +363,14 @@ class VectorizedEngine(ScoreEngine):
         along the user axis.  The default (4M doubles = 32 MB per
         temporary) keeps the working set cache-friendly even at full
         Meetup scale.
+
+    Chunk boundaries are a function of the *instance's* event count, not
+    of how many events one query happens to batch, so a cell's value is
+    reproducible across batch compositions: scoring one event at one
+    interval, a subset row refresh and a full row fill all walk the same
+    user chunks and therefore accumulate in the same order.  The
+    :class:`~repro.core.scoreplane.ScorePlane` warm-start contract (a
+    cached cell equals what a fresh fill would compute) leans on this.
     """
 
     def __init__(self, instance: SESInstance, chunk_elements: int = 4_000_000):
@@ -504,7 +526,7 @@ class VectorizedEngine(ScoreEngine):
         # is necessarily 0 as well (all masses are non-negative), so the
         # masked divide leaves the correct 0 behind without pre-zeroing.
         scores = np.zeros(event_indices.size)
-        chunk_users = max(1, self._chunk_elements // max(1, event_indices.size))
+        chunk_users = self._chunk_users()
         for start in range(0, n_users, chunk_users):
             stop = min(start + chunk_users, n_users)
             # advanced indexing already yields a fresh array we may mutate
@@ -514,6 +536,66 @@ class VectorizedEngine(ScoreEngine):
             np.divide(work, denominator, out=work, where=denominator > 0.0)
             scores += sigma[start:stop] @ work
         return scores - base
+
+    def _chunk_users(self) -> int:
+        """User-axis chunk length, independent of any query's batch size.
+
+        Sized against the instance's full event count so the worst-case
+        (all-events) row fill stays within ``chunk_elements``; smaller
+        batches reuse the same boundaries, which is what makes cell
+        values batch-composition-independent (see the class docstring).
+        The event count is rounded up to the next power of two so the
+        boundaries stay stable as live arrivals/cancellations drift
+        ``n_events`` — they only move when the count crosses a power of
+        two, which :meth:`score_geometry` exposes so cached score state
+        (a :class:`~repro.core.scoreplane.ScorePlane`) can detect the
+        change and refill instead of serving cells computed under the
+        old accumulation grouping.
+        """
+        bucket = 1 << max(0, self._instance.n_events - 1).bit_length()
+        return max(1, self._chunk_elements // max(1, bucket))
+
+    def score_geometry(self):
+        """See :meth:`ScoreEngine.score_geometry`: the chunk length."""
+        return self._chunk_users()
+
+    def scores_for_event(
+        self, event: int, intervals: Sequence[int]
+    ) -> np.ndarray:
+        """Batched one-column scoring, walking the row-fill user chunks.
+
+        Each cell is computed with exactly the elementwise operations —
+        and the same user-chunk accumulation order — that
+        :meth:`scores_for_interval` applies to that event's column, so a
+        :class:`~repro.core.scoreplane.ScorePlane` column restored here
+        equals the cell a row refresh would have produced.
+        """
+        if self._schedule.contains_event(event):
+            raise DuplicateEventError(
+                f"event {event} is already scheduled; Eq. 4 requires r not in E(S)"
+            )
+        interval_indices = [int(interval) for interval in intervals]
+        scores = np.zeros(len(interval_indices))
+        n_users = self._instance.n_users
+        chunk_users = self._chunk_users()
+        column = self._mu[:, event]
+        for position, interval in enumerate(interval_indices):
+            scheduled = self._mass(interval)
+            old_denominator = (
+                self._instance.competing_mass[interval] + scheduled
+            )
+            sigma = self._sigma[:, interval]
+            base = float(sigma @ masked_ratio(scheduled, old_denominator))
+            score = 0.0
+            for start in range(0, n_users, chunk_users):
+                stop = min(start + chunk_users, n_users)
+                work = column[start:stop].copy()
+                denominator = work + old_denominator[start:stop]
+                np.add(work, scheduled[start:stop], out=work)
+                np.divide(work, denominator, out=work, where=denominator > 0.0)
+                score += float(sigma[start:stop] @ work)
+            scores[position] = score - base
+        return scores
 
     def _mass_without(self, interval: int, excluding: int) -> np.ndarray:
         """``M_t`` with one scheduled column withdrawn (pure function).
@@ -758,10 +840,23 @@ class SparseEngine(ScoreEngine):
             return dense[rows]
         return _gather_sorted(cached[0], cached[1], rows)
 
+    #: Route an ``M_t`` gather through a dense scratch vector once the
+    #: query batch is this fraction of the user base: one O(|U|) scatter
+    #: plus direct fancy indexing beats binary-searching the mass
+    #: support per query row.  Gathered values are bit-identical either
+    #: way (same floats, different lookup), so this is purely a
+    #: constant-factor lever for the batched row refreshes GRD-family
+    #: solvers hammer during a re-solve.
+    GATHER_DENSE_FRACTION = 0.125
+
     def _scheduled_at(self, interval: int, rows: np.ndarray) -> np.ndarray:
         mass = self._scheduled_mass.get(interval)
         if mass is None:
             return np.zeros(rows.size)
+        if rows.size > self.GATHER_DENSE_FRACTION * self._instance.n_users:
+            dense = np.zeros(self._instance.n_users)
+            dense[mass.rows] = mass.values
+            return dense[rows]
         return mass.gather(rows)
 
     # -- live-instance deltas -------------------------------------------
@@ -821,6 +916,23 @@ class SparseEngine(ScoreEngine):
                 )
         if not event_indices:
             return np.zeros(0)
+        if len(event_indices) == 1:
+            # lean single-column path: identical gathers and elementwise
+            # ops as the batched path below restricted to one slice (so
+            # the result is bit-identical), minus the concatenation and
+            # per-slice bookkeeping — this is the query the lazy heap's
+            # stale rescoring fires thousands of times per re-solve
+            rows, column = self._interest.event_column_entries(
+                event_indices[0]
+            )
+            if rows.size == 0:
+                return np.zeros(1)
+            diff = _eq4_diff(
+                self._scheduled_at(interval, rows),
+                self._competing_at(interval, rows),
+                column,
+            )
+            return np.array([float(self._sigma[rows, interval] @ diff)])
         # Batched evaluation: concatenate every queried column's entries,
         # gather K_t and M_t once over the combined rows, do the Eq. 4
         # algebra elementwise, then reduce per column over its slice.

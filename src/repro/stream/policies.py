@@ -13,12 +13,19 @@ and decides, per change op, how much re-optimization to pay for:
   ``rebuild_every=1`` this is the classical "re-solve on every change"
   baseline the benchmark compares against; its end-of-stream schedule is
   *exactly* a one-shot registry solve on the final instance state (the
-  parity property the streaming test suite enforces).
+  parity property the streaming test suite enforces).  Re-solves run
+  warm: the solver is fed the scheduler's
+  :meth:`~repro.algorithms.incremental.IncrementalScheduler.base_plane`
+  — an empty-schedule score plane kept current by the delta stream — and
+  solves directly over the live view, so each rebuild re-scores only the
+  rows dirtied since the previous one and never freezes a snapshot.
 * :class:`HybridPolicy` (``"hybrid"``) — incremental upkeep per op while
   accumulating *drift pressure* (the L1 interest mass each op touched);
   when the accumulated pressure crosses ``drift_threshold`` the schedule
   is rebuilt from scratch, reclaiming the global structure that long
-  greedy histories erode.
+  greedy histories erode.  The policy materializes the scheduler's base
+  plane at bind time, so those rebuilds warm-start from cached
+  empty-schedule scores instead of re-sweeping every cell.
 
 Policies are single-use: :meth:`MaintenancePolicy.bind` attaches one to an
 instance, and :class:`~repro.stream.driver.StreamDriver` drives the
@@ -138,11 +145,23 @@ class PeriodicRebuildPolicy(MaintenancePolicy):
         change — the classical baseline.
     solver:
         Registry name of the batch solver used for re-solves.
+    warm:
+        When True (the default) re-solves run through the scheduler's
+        warm base plane over the live view.  ``warm=False`` keeps the
+        legacy cold path — freeze an immutable snapshot, build a fresh
+        engine, sweep every score — and exists as the measured baseline
+        for the warm path's speedup (``bench_stream_policies.py``) and
+        as an escape hatch; final schedules are identical either way.
     """
 
     name = "periodic-rebuild"
 
-    def __init__(self, rebuild_every: int = 1, solver: str = "grd") -> None:
+    def __init__(
+        self,
+        rebuild_every: int = 1,
+        solver: str = "grd",
+        warm: bool = True,
+    ) -> None:
         super().__init__()
         if rebuild_every <= 0:
             raise ValueError(
@@ -156,6 +175,7 @@ class PeriodicRebuildPolicy(MaintenancePolicy):
             )
         self._rebuild_every = rebuild_every
         self._solver = solver
+        self._warm = warm
         self._ops_since_rebuild = 0
 
     def bind(self, instance, k, engine=None) -> None:
@@ -180,15 +200,21 @@ class PeriodicRebuildPolicy(MaintenancePolicy):
         solver = solver_registry.create(
             self._solver, engine=live.engine_spec
         )
-        # a batch re-solve is the one consumer that *should* pay for an
-        # immutable snapshot: live.instance freezes the current state
-        result = solver.solve(live.instance, live.k)
+        if self._warm:
+            # warm batch re-solve straight over the live view: the base
+            # plane's cached initial scores make it O(dirty rows), and
+            # no O(instance) snapshot is ever frozen
+            result = solver.solve(live.live, live.k, plane=live.base_plane())
+        else:
+            # legacy baseline: freeze a snapshot, cold-fill every score
+            result = solver.solve(live.instance, live.k)
         live.adopt(result.schedule)
         self._rebuilds += 1
         self._ops_since_rebuild = 0
 
     def describe(self) -> str:
-        return f"{self.name}(every={self._rebuild_every}, {self._solver})"
+        mode = "" if self._warm else ", cold"
+        return f"{self.name}(every={self._rebuild_every}, {self._solver}{mode})"
 
 
 class HybridPolicy(MaintenancePolicy):
@@ -220,6 +246,9 @@ class HybridPolicy(MaintenancePolicy):
 
     def bind(self, instance, k, engine=None) -> None:
         super().bind(instance, k, engine)
+        # materializing the base plane now makes every pressure-triggered
+        # rebuild() a warm refill (seeded from cached base scores)
+        self.scheduler.base_plane()
         if self._threshold is None:
             interest = instance.interest
             total_mass = (

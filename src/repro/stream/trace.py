@@ -396,6 +396,100 @@ class Trace:
                     )
                 k = op.new_k
 
+    def compact(self) -> "Trace":
+        """Rewrite this trace into an equivalent, usually shorter one.
+
+        Long-lived streams accumulate dead weight: candidates that
+        arrive only to be cancelled later, bursts of consecutive drifts
+        on the same event, staircases of budget raises.  Compaction
+        applies three rewrites:
+
+        * **cancelled arrivals are dropped** — an :class:`ArriveCandidate`
+          whose event is cancelled later in the trace vanishes along
+          with every op targeting it (drifts) and the cancel itself;
+          live-index references in surviving ops are renumbered to the
+          compacted index space (cancels of *pre-existing* events are
+          kept — they change the final state);
+        * **consecutive drifts coalesce** — immediately adjacent
+          :class:`DriftInterest` ops on the same live event keep only
+          the last column;
+        * **consecutive budget raises coalesce** — immediately adjacent
+          :class:`RaiseBudget` ops keep only the final budget (greedy
+          fill to ``k1`` then ``k2`` is the same pick sequence as
+          filling straight to ``k2``).
+
+        The compacted trace reaches the *same final instance state*
+        (entities, interest columns, rivals, budget) in the same event
+        index order, so an end-of-stream batch re-solve — and hence the
+        ``periodic-rebuild`` policy — lands on the identical final
+        schedule; the replay-equivalence suite additionally pins the
+        incremental and hybrid trajectories on seeded streams.  Requires
+        ``n_events`` (the live-index simulation needs the starting pool
+        size); the result is fully re-validated.
+        """
+        if self.n_events is None:
+            raise TraceError(
+                "compact() needs n_events to simulate live event indices"
+            )
+        # entity ids: original live pool first, then one per arrival
+        alive: list[int] = list(range(self.n_events))
+        next_id = self.n_events
+        cancelled_arrivals: set[int] = set()
+        # pass 1: find arrivals that are cancelled later in the trace
+        pool = list(alive)
+        probe = next_id
+        arrival_ids: set[int] = set()
+        for op in self.ops:
+            if isinstance(op, ArriveCandidate):
+                pool.append(probe)
+                arrival_ids.add(probe)
+                probe += 1
+            elif isinstance(op, CancelEvent):
+                victim = pool.pop(op.event)
+                if victim in arrival_ids:
+                    cancelled_arrivals.add(victim)
+        # pass 2: emit surviving ops against the compacted live pool
+        alive_compact: list[int] = list(range(self.n_events))
+        kept: list[ChangeOp] = []
+        for op in self.ops:
+            if isinstance(op, ArriveCandidate):
+                entity, next_id = next_id, next_id + 1
+                alive.append(entity)
+                if entity in cancelled_arrivals:
+                    continue
+                alive_compact.append(entity)
+                kept.append(op)
+            elif isinstance(op, CancelEvent):
+                entity = alive.pop(op.event)
+                if entity in cancelled_arrivals:
+                    continue
+                index = alive_compact.index(entity)
+                alive_compact.pop(index)
+                kept.append(replace(op, event=index))
+            elif isinstance(op, DriftInterest):
+                entity = alive[op.event]
+                if entity in cancelled_arrivals:
+                    continue
+                index = alive_compact.index(entity)
+                remapped = replace(op, event=index)
+                if (
+                    kept
+                    and isinstance(kept[-1], DriftInterest)
+                    and kept[-1].event == index
+                ):
+                    kept[-1] = remapped  # coalesce: the last column wins
+                else:
+                    kept.append(remapped)
+            elif isinstance(op, RaiseBudget):
+                if kept and isinstance(kept[-1], RaiseBudget):
+                    kept[-1] = op  # coalesce: the final budget wins
+                else:
+                    kept.append(op)
+            else:
+                kept.append(op)
+        compacted = replace(self, ops=tuple(kept))
+        return compacted
+
     def append(self, op: ChangeOp) -> "Trace":
         """A copy with ``op`` appended, fully re-validated.
 

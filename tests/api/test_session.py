@@ -166,6 +166,43 @@ class TestSessionServing:
         )
 
 
+class TestSessionScorePlane:
+    """The session's per-spec warm ScorePlane: filled once, reused, exact."""
+
+    def test_plane_cached_per_spec_kind(self, instance):
+        session = ScheduleSession(instance)
+        plane = session.plane_for()
+        assert session.plane_for() is plane
+        assert session.plane_for(EngineSpec(kind="sparse")) is not plane
+        # the plane wraps the session's cached engine, not a private one
+        assert plane.engine is session.engine_for()
+
+    def test_initial_sweep_paid_once_across_requests(self, instance):
+        """GRD, TOP and heap-GRD all warm-start from the same plane: the
+        full |T| x |E| initial sweep happens exactly once per spec."""
+        session = ScheduleSession(instance)
+        first = session.solve(k=3, solver="grd")
+        cells = instance.n_intervals * instance.n_events
+        assert first.result.stats.initial_scores == cells
+        for solver in ("grd", "top", "grd-heap", "beam"):
+            warm = session.solve(k=3, solver=solver)
+            assert warm.result.stats.initial_scores == 0
+        plane = session.plane_for()
+        assert plane.fills == 1
+        assert plane.cells_filled == cells
+        assert plane.cells_refreshed == 0  # immutable instance: never dirty
+
+    def test_warm_requests_stay_bit_identical(self, instance):
+        """Parity must survive many interleaved warm solves."""
+        session = ScheduleSession(instance)
+        for k in (2, 4, 3, 5, 2):
+            for solver in ("grd", "grd-heap", "top"):
+                served = session.solve(k=k, solver=solver)
+                one_shot = solver_registry.create(solver).solve(instance, k)
+                assert served.schedule == one_shot.schedule
+                assert served.utility == one_shot.utility
+
+
 class TestSessionAnalysis:
     def test_report(self, instance):
         session = ScheduleSession(instance)

@@ -139,7 +139,8 @@ class IncrementalMachine(RuleBasedStateMachine):
     @invariant()
     def score_cache_matches_engine_state(self):
         """Clean cached rows must equal freshly computed Eq. 4 scores."""
-        scores = self.scheduler._scores
+        plane = self.scheduler.plane
+        scores = plane.array
         if scores is None:
             return
         instance = self.scheduler.instance
@@ -150,7 +151,7 @@ class IncrementalMachine(RuleBasedStateMachine):
             if not self.scheduler.schedule.contains_event(e)
         ]
         for interval in range(instance.n_intervals):
-            if interval in self.scheduler._dirty:
+            if interval in plane.dirty_intervals:
                 continue
             if unscheduled:
                 fresh = engine.scores_for_interval(interval, unscheduled)
