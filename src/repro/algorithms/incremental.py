@@ -159,7 +159,7 @@ class IncrementalScheduler:
         Costs O(instance) after a mutation; streaming hot paths should
         read through :attr:`live` instead.
         """
-        return self._live.freeze()
+        return self._live.freeze()  # ses-lint: disable=freeze-ban
 
     @property
     def schedule(self) -> Schedule:

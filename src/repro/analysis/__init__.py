@@ -1,0 +1,60 @@
+"""repro.analysis: AST-level invariant linting for the solver/stream stack.
+
+The streaming and serving PRs made correctness rest on cross-cutting
+rules — every delta consumer dispatches on every :class:`LiveDelta`
+subtype, hot-path stream code never freezes a snapshot, all randomness
+is seeded, every solver registers — that runtime tests enforce only as
+long as their coverage happens to reach each site.  This subsystem turns
+them into machine-checked facts, shipped three ways from one
+implementation:
+
+* ``ses-repro lint [paths] [--json] [--rule NAME]`` — the CLI gate;
+* :func:`run_lint` + :func:`resolve_rules` — the pytest-importable API
+  the ``tests/analysis/`` suite (and the whole-repo-clean test) uses;
+* the CI ``lint`` job — fails a PR on any non-suppressed finding.
+
+Suppress a deliberate exception per line with ``# ses-lint:
+disable=<rule>``; the suppression itself is then visible in review.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    Finding,
+    LintError,
+    LintResult,
+    Project,
+    Rule,
+    SourceModule,
+    run_lint,
+)
+from repro.analysis.report import (
+    JSON_FORMAT,
+    render_json,
+    render_text,
+    result_payload,
+)
+from repro.analysis.rules import (
+    ALL_RULES,
+    RULE_NAMES,
+    default_rules,
+    resolve_rules,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "JSON_FORMAT",
+    "LintError",
+    "LintResult",
+    "Project",
+    "RULE_NAMES",
+    "Rule",
+    "SourceModule",
+    "default_rules",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "result_payload",
+    "run_lint",
+]

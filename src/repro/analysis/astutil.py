@@ -1,0 +1,63 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "base_names",
+    "decorator_names",
+    "dotted",
+    "tail",
+]
+
+
+def dotted(node: ast.AST) -> str | None:
+    """The dotted source text of a Name/Attribute chain, else ``None``.
+
+    ``np.random.default_rng`` -> ``"np.random.default_rng"``;
+    anything that is not a pure attribute chain (calls, subscripts)
+    resolves to ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def tail(node: ast.AST) -> str | None:
+    """The last component of a Name/Attribute chain (``a.b.C`` -> ``"C"``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def decorator_names(classdef: ast.ClassDef | ast.FunctionDef) -> list[str]:
+    """Tail names of every decorator, unwrapping calls.
+
+    ``@register_solver(name="grd")`` and ``@registry.register_solver``
+    both contribute ``"register_solver"``.
+    """
+    names = []
+    for decorator in classdef.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = tail(target)
+        if name is not None:
+            names.append(name)
+    return names
+
+
+def base_names(classdef: ast.ClassDef) -> list[str]:
+    """Tail names of every base class expression."""
+    names = []
+    for base in classdef.bases:
+        name = tail(base)
+        if name is not None:
+            names.append(name)
+    return names

@@ -1,0 +1,248 @@
+"""The lint engine: parse sources once, run rules, honor suppressions.
+
+The streaming/solver stack rests on cross-cutting invariants (delta
+exhaustiveness, hot-path freeze bans, seeded randomness, registry
+completeness) that runtime tests enforce only as long as their coverage
+happens to reach every site.  This module turns those invariants into
+machine-checked facts over the Python ``ast``:
+
+* :class:`SourceModule` — one parsed file (source, tree, suppression
+  comments);
+* :class:`Project` — the set of scanned modules plus cross-module
+  indices rules need (e.g. the concrete ``LiveDelta`` hierarchy);
+* :class:`Rule` — the protocol a check implements (``name``,
+  ``rationale``, ``check(module, project)``);
+* :func:`run_lint` — collect files, run rules, filter suppressed
+  findings, return a :class:`LintResult`.
+
+Suppression is per-line and per-rule: append ``# ses-lint:
+disable=<rule>[,<rule>...]`` to the offending line, or put ``# ses-lint:
+disable-file=<rule>`` on its own line to silence a rule for the whole
+module.  Suppressions are deliberately loud in review diffs — that is
+the point.
+
+Exit-code contract (the CLI and CI both rely on it): 0 clean, 1 at
+least one non-suppressed finding, 2 internal error (unknown rule,
+unreadable path, syntax error in a scanned file).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintResult",
+    "Project",
+    "Rule",
+    "SourceModule",
+    "run_lint",
+]
+
+#: Directories never scanned (caches, VCS internals, virtualenvs).
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".venv", "venv", ".eggs"}
+
+_SUPPRESS_LINE = re.compile(r"#\s*ses-lint:\s*disable=([\w\-,\s]+)")
+_SUPPRESS_FILE = re.compile(r"#\s*ses-lint:\s*disable-file=([\w\-,\s]+)")
+
+
+class LintError(Exception):
+    """An internal lint failure (exit code 2), not a finding."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+class SourceModule:
+    """One parsed Python file plus its suppression comments."""
+
+    def __init__(self, path: Path, relpath: str, source: str):
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:  # broken file: internal error, not finding
+            raise LintError(f"cannot parse {relpath}: {exc}") from exc
+
+    def matches(self, *suffixes: str) -> bool:
+        """Whether this module's path ends with any of ``suffixes``."""
+        return any(self.relpath.endswith(suffix) for suffix in suffixes)
+
+    @cached_property
+    def _suppressions(self) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+        per_line: dict[int, frozenset[str]] = {}
+        whole_file: set[str] = set()
+        for number, text in enumerate(self.source.splitlines(), start=1):
+            match = _SUPPRESS_FILE.search(text)
+            if match:
+                whole_file.update(_split_rules(match.group(1)))
+                continue
+            match = _SUPPRESS_LINE.search(text)
+            if match:
+                per_line[number] = frozenset(_split_rules(match.group(1)))
+        return per_line, frozenset(whole_file)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        per_line, whole_file = self._suppressions
+        if finding.rule in whole_file:
+            return True
+        return finding.rule in per_line.get(finding.line, frozenset())
+
+
+def _split_rules(blob: str) -> list[str]:
+    return [name.strip() for name in blob.split(",") if name.strip()]
+
+
+class Project:
+    """Everything one lint run scanned, plus cross-module lookups."""
+
+    def __init__(self, modules: Sequence[SourceModule]):
+        self.modules = tuple(modules)
+
+    def find_modules(self, *suffixes: str) -> list[SourceModule]:
+        return [module for module in self.modules if module.matches(*suffixes)]
+
+
+class Rule(ABC):
+    """One invariant check over a parsed module.
+
+    ``name`` is the identifier used by ``--rule`` filtering and
+    ``# ses-lint: disable=<name>`` suppressions; ``rationale`` is the
+    one-line justification printed by ``lint --list-rules`` and quoted
+    in the README rule catalogue.
+    """
+
+    name: str = "abstract"
+    rationale: str = ""
+
+    @abstractmethod
+    def check(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        """Yield findings for ``module`` (``project`` gives global context)."""
+
+    def finding(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """The outcome of one :func:`run_lint` call."""
+
+    findings: tuple[Finding, ...]
+    files_checked: int
+    rules_run: tuple[str, ...]
+    suppressed: int
+    root: str = "."
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def findings_by_rule(self) -> dict[str, int]:
+        """``{rule: count}`` over the findings, sorted by rule name."""
+        by_rule: dict[str, int] = {}
+        for finding in self.findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        return dict(sorted(by_rule.items()))
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    found: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise LintError(f"no such path: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                found.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            found.append(candidate)
+    return sorted(set(found))
+
+
+def load_project(paths: Sequence[str | Path]) -> Project:
+    """Parse every file under ``paths`` into a :class:`Project`."""
+    modules = []
+    for path in collect_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        modules.append(SourceModule(path, path.as_posix(), source))
+    return Project(modules)
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule],
+) -> LintResult:
+    """Run ``rules`` over every Python file under ``paths``.
+
+    Findings on lines carrying a matching ``# ses-lint: disable=`` tag
+    (or in files carrying ``disable-file=``) are dropped and counted in
+    :attr:`LintResult.suppressed`.
+    """
+    if not rules:
+        raise LintError("no rules selected")
+    project = load_project(paths)
+    findings: list[Finding] = []
+    suppressed = 0
+    for module in project.modules:
+        for rule in rules:
+            for finding in rule.check(module, project):
+                if module.is_suppressed(finding):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    return LintResult(
+        findings=tuple(sorted(findings, key=Finding.sort_key)),
+        files_checked=len(project.modules),
+        rules_run=tuple(rule.name for rule in rules),
+        suppressed=suppressed,
+    )

@@ -1,0 +1,53 @@
+"""Reporters: render a :class:`~repro.analysis.engine.LintResult`.
+
+Two renderings from one result: a human one for terminals and a JSON one
+(format tag ``ses-lint/1``) for the CI artifact and any tooling that
+wants to diff finding sets across commits.  The JSON schema is covered
+by a stability test — additive evolution only.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+
+__all__ = ["JSON_FORMAT", "render_json", "render_text", "result_payload"]
+
+#: Format tag written into every JSON report.
+JSON_FORMAT = "ses-lint/1"
+
+
+def result_payload(result: LintResult) -> dict[str, object]:
+    """The JSON-ready report object (stable schema, sorted findings)."""
+    return {
+        "format": JSON_FORMAT,
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "findings": [finding.as_dict() for finding in result.findings],
+        "findings_by_rule": result.findings_by_rule(),
+        "suppressed": result.suppressed,
+        "clean": result.clean,
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result_payload(result), indent=2, sort_keys=True) + "\n"
+
+
+def render_text(result: LintResult) -> str:
+    lines = [finding.format() for finding in result.findings]
+    by_rule = result.findings_by_rule()
+    mix = (
+        " (" + ", ".join(f"{rule}: {n}" for rule, n in by_rule.items()) + ")"
+        if by_rule
+        else ""
+    )
+    suppressed = (
+        f", {result.suppressed} suppressed" if result.suppressed else ""
+    )
+    lines.append(
+        f"ses-lint: {len(result.findings)} finding(s){mix} in "
+        f"{result.files_checked} file(s){suppressed}"
+    )
+    return "\n".join(lines) + "\n"

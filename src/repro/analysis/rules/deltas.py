@@ -1,0 +1,159 @@
+"""delta-exhaustiveness: every ``apply_delta`` must handle every delta.
+
+Engines, score planes and any future delta consumer dispatch on the
+concrete :class:`~repro.core.live.LiveDelta` subtypes with ``isinstance``
+chains.  When a sixth structural op lands (the ROADMAP's location
+closures, co-scheduled hierarchies, ...), *every* consumer must grow a
+branch — and a missed one silently falls through to a default or, worse,
+an ``else: raise`` that only fires at runtime on the new op.  This rule
+makes the compiler-style check: the set of delta subtypes is discovered
+from the scanned sources (``repro/core/live.py``, plus any defined in
+``repro/stream/trace.py``), and every class defining ``apply_delta``
+must either isinstance-cover all of them or delegate wholesale to
+another ``apply_delta``.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from collections.abc import Iterable
+
+from repro.analysis.astutil import base_names, tail
+from repro.analysis.engine import Finding, Project, Rule, SourceModule
+
+__all__ = ["DeltaExhaustivenessRule"]
+
+#: The root of the delta hierarchy.
+DELTA_BASE = "LiveDelta"
+
+#: Modules (path suffixes) where delta subtypes are declared.
+DELTA_MODULES = ("core/live.py", "stream/trace.py")
+
+
+def discover_delta_leaves(project: Project) -> dict[str, frozenset[str]]:
+    """Concrete delta subtypes -> the names that cover them in a dispatch.
+
+    A leaf is covered by its own name or any of its ancestors up to (and
+    including) :data:`DELTA_BASE`.  Discovery prefers the scanned
+    project's own ``core/live.py`` / ``stream/trace.py`` (so fixture
+    trees are self-contained); when the scan does not include one, the
+    installed :mod:`repro.core.live` source is parsed instead.
+    """
+    trees = [module.tree for module in project.find_modules(*DELTA_MODULES)]
+    if not trees:
+        tree = _installed_tree("repro.core.live")
+        if tree is None:
+            return {}
+        trees = [tree]
+    parents: dict[str, list[str]] = {}
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                parents[node.name] = base_names(node)
+
+    def ancestors(name: str) -> set[str]:
+        seen: set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(parents.get(current, []))
+        return seen
+
+    in_hierarchy = {
+        name for name in parents if DELTA_BASE in ancestors(name)
+    }
+    subclassed = {
+        base for name in in_hierarchy for base in parents.get(name, [])
+    }
+    leaves = sorted(in_hierarchy - subclassed - {DELTA_BASE})
+    return {leaf: frozenset(ancestors(leaf)) for leaf in leaves}
+
+
+def _installed_tree(module_name: str) -> ast.Module | None:
+    try:
+        spec = importlib.util.find_spec(module_name)
+    except (ImportError, ValueError):  # pragma: no cover - defensive
+        return None
+    if spec is None or spec.origin is None:  # pragma: no cover - defensive
+        return None
+    try:
+        with open(spec.origin, encoding="utf-8") as handle:
+            return ast.parse(handle.read(), filename=spec.origin)
+    except (OSError, SyntaxError):  # pragma: no cover - defensive
+        return None
+
+
+def _isinstance_targets(body: ast.FunctionDef) -> set[str]:
+    """Every type name tested via ``isinstance(x, T)`` in the method."""
+    targets: set[str] = set()
+    for node in ast.walk(body):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            continue
+        spec = node.args[1]
+        candidates = spec.elts if isinstance(spec, ast.Tuple) else [spec]
+        for candidate in candidates:
+            name = tail(candidate)
+            if name is not None:
+                targets.add(name)
+    return targets
+
+
+def _delegates(body: ast.FunctionDef) -> bool:
+    """Whether the method forwards wholesale to another ``apply_delta``."""
+    for node in ast.walk(body):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "apply_delta"
+        ):
+            return True
+    return False
+
+
+class DeltaExhaustivenessRule(Rule):
+    name = "delta-exhaustiveness"
+    rationale = (
+        "every apply_delta must isinstance-cover all concrete LiveDelta "
+        "subtypes, so adding a new structural op fails lint everywhere at once"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        leaves = discover_delta_leaves(project)
+        if not leaves:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for method in node.body:
+                if not (
+                    isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and method.name == "apply_delta"
+                ):
+                    continue
+                tested = _isinstance_targets(method)
+                if not tested and _delegates(method):
+                    continue  # pure forwarding: the delegate is checked
+                missing = sorted(
+                    leaf
+                    for leaf, covering in leaves.items()
+                    if not (tested & covering)
+                )
+                if missing:
+                    yield self.finding(
+                        module,
+                        method,
+                        f"{node.name}.apply_delta does not dispatch on "
+                        f"{', '.join(missing)}; every concrete LiveDelta "
+                        f"subtype needs a branch (or delegate wholesale)",
+                    )

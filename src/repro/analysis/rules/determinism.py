@@ -1,0 +1,278 @@
+"""determinism: all randomness seeded, no set iteration into ordered output.
+
+Bit-identical reproduction is this repo's core property: warm == cold
+solves, replay determinism, golden traces, 1e-9 engine parity.  All of
+it dies quietly if randomness sneaks in through the legacy module-level
+numpy API (one hidden global stream), the stdlib ``random`` module,
+wall-clock-seeded generators, or set iteration feeding ordered output
+(hash-order varies across runs/processes; even a float ``sum`` over a
+set is order-dependent at the ulp level).  Flagged patterns:
+
+* ``np.random.<fn>(...)`` for any legacy module-level function
+  (``seed``, ``rand``, ``shuffle``, ``RandomState``, ...); the sanctioned
+  constructors (``default_rng``, ``Generator``, ``SeedSequence``,
+  bit generators) are allowed — ``default_rng()`` *without* a seed is not;
+* any call into the stdlib ``random`` module (except ``random.Random(seed)``
+  with an explicit seed);
+* ``time.time()`` appearing inside the arguments of an RNG constructor
+  or seeding call;
+* iterating a set into ordered output: ``for x in {...}``, comprehensions
+  over set expressions, ``list()/tuple()/enumerate()/join()`` of one, or
+  of a local name bound exactly once to one (``sorted(...)`` is the fix
+  and is always allowed).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import dotted, tail
+from repro.analysis.engine import Finding, Project, Rule, SourceModule
+
+__all__ = ["DeterminismRule"]
+
+#: np.random attributes that are fine to call (explicitly-seeded API).
+SANCTIONED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Calls whose arguments must not contain time.time() (seed laundering).
+SEEDING_CALLS = frozenset(
+    {"default_rng", "seed", "Random", "SeedSequence", "RandomState"}
+)
+
+#: Callables whose output order (or float accumulation order) follows the
+#: iteration order of their argument.  ``sorted``/``min``/``max``/``any``/
+#: ``all``/``len`` are order-independent and deliberately absent; ``sum``
+#: is present because float addition is not associative.
+_ORDERED_CONSUMERS = frozenset({"list", "tuple", "enumerate", "sum", "join"})
+
+
+class _ImportMap:
+    """Which local names refer to numpy, numpy.random and stdlib random."""
+
+    def __init__(self, tree: ast.Module):
+        self.numpy_aliases: set[str] = set()
+        self.np_random_aliases: set[str] = set()
+        self.stdlib_random_aliases: set[str] = set()
+        self.stdlib_random_functions: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy" or alias.name.startswith("numpy."):
+                        self.numpy_aliases.add(local)
+                    if alias.name == "numpy.random" and alias.asname:
+                        self.np_random_aliases.add(alias.asname)
+                    if alias.name == "random":
+                        self.stdlib_random_aliases.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.np_random_aliases.add(
+                                alias.asname or alias.name
+                            )
+                elif node.module == "random":
+                    for alias in node.names:
+                        self.stdlib_random_functions.add(
+                            alias.asname or alias.name
+                        )
+
+    def is_np_random(self, node: ast.AST) -> bool:
+        """Whether ``node`` denotes the numpy.random module object."""
+        if isinstance(node, ast.Name):
+            return node.id in self.np_random_aliases
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.numpy_aliases
+        )
+
+
+def _contains_wallclock(call: ast.Call) -> bool:
+    for node in ast.walk(call):
+        if node is call:
+            continue
+        if isinstance(node, ast.Call) and dotted(node.func) in (
+            "time.time",
+            "time.time_ns",
+        ):
+            return True
+    return False
+
+
+def _set_like(node: ast.AST, set_locals: set[str]) -> bool:
+    """Whether an expression statically evaluates to a ``set``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _set_like(node.left, set_locals) or _set_like(
+            node.right, set_locals
+        )
+    if isinstance(node, ast.Name):
+        return node.id in set_locals
+    return False
+
+
+def _single_assignment_set_locals(scope: ast.AST) -> set[str]:
+    """Local names bound exactly once in ``scope``, to a set expression."""
+    assigned: dict[str, int] = {}
+    set_bound: set[str] = set()
+    for node in ast.walk(scope):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, (ast.AugAssign, ast.For)):
+            targets = [node.target]
+        for target in targets:
+            for name_node in ast.walk(target):
+                if isinstance(name_node, ast.Name):
+                    assigned[name_node.id] = assigned.get(name_node.id, 0) + 1
+                    if value is not None and _set_like(value, set()):
+                        set_bound.add(name_node.id)
+    return {name for name in set_bound if assigned.get(name) == 1}
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    rationale = (
+        "all randomness flows through explicitly seeded generators and no "
+        "set iteration feeds ordered output — replay determinism and "
+        "bit-identical warm/cold solves depend on it"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        imports = _ImportMap(module.tree)
+        yield from self._check_rng(module, imports)
+        yield from self._check_set_iteration(module)
+
+    # -- seeded-randomness checks ---------------------------------------
+    def _check_rng(
+        self, module: SourceModule, imports: _ImportMap
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            callee = tail(func)
+            if (
+                isinstance(func, ast.Attribute)
+                and imports.is_np_random(func.value)
+            ):
+                if callee not in SANCTIONED_NP_RANDOM:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"np.random.{callee}() uses the legacy global "
+                        f"stream; route randomness through a seeded "
+                        f"np.random.default_rng(seed)",
+                    )
+                elif callee == "default_rng" and not (
+                    node.args or node.keywords
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "np.random.default_rng() without a seed is "
+                        "non-reproducible; thread an explicit seed through",
+                    )
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in imports.stdlib_random_aliases
+            ):
+                if not (callee == "Random" and (node.args or node.keywords)):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"stdlib random.{callee}() is process-global and "
+                        f"unseeded here; use np.random.default_rng(seed)",
+                    )
+            elif (
+                isinstance(func, ast.Name)
+                and func.id in imports.stdlib_random_functions
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{func.id}() (from the stdlib random module) bypasses "
+                    f"the seeded-generator discipline",
+                )
+            if callee in SEEDING_CALLS and _contains_wallclock(node):
+                yield self.finding(
+                    module,
+                    node,
+                    "seeding an RNG from time.time() makes every run "
+                    "unreproducible; take the seed as a parameter",
+                )
+
+    # -- set-iteration checks -------------------------------------------
+    def _check_set_iteration(self, module: SourceModule) -> Iterable[Finding]:
+        scopes: list[ast.AST] = [module.tree]
+        scopes.extend(
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        flagged: set[int] = set()
+        for scope in scopes:
+            set_locals = _single_assignment_set_locals(scope)
+            for node in ast.walk(scope):
+                iterables: list[ast.expr] = []
+                what = ""
+                if isinstance(node, ast.For):
+                    iterables, what = [node.iter], "a for loop"
+                elif isinstance(node, (ast.ListComp, ast.DictComp)):
+                    # a generator expression is judged by its consumer
+                    # (sorted/min/max over a set are order-independent)
+                    iterables = [comp.iter for comp in node.generators]
+                    what = "a comprehension"
+                elif isinstance(node, ast.Call):
+                    callee = tail(node.func)
+                    if callee in _ORDERED_CONSUMERS and node.args:
+                        what = f"{callee}()"
+                        argument = node.args[0]
+                        if isinstance(argument, ast.GeneratorExp):
+                            iterables = [
+                                comp.iter for comp in argument.generators
+                            ]
+                        else:
+                            iterables = [argument]
+                for iterable in iterables:
+                    if id(iterable) in flagged:
+                        continue
+                    if _set_like(iterable, set_locals):
+                        flagged.add(id(iterable))
+                        yield self.finding(
+                            module,
+                            iterable,
+                            f"set iteration feeding ordered output "
+                            f"({what}): hash order is not deterministic "
+                            f"across runs — iterate sorted(...) instead",
+                        )

@@ -1,0 +1,66 @@
+"""freeze-ban: hot-path stream code must never materialize a snapshot.
+
+PR 4's whole point was that the streaming hot path runs in O(delta) over
+:class:`~repro.core.live.LiveInstance`; one careless ``.instance`` read
+or ``.freeze()`` call reintroduces an O(instance) snapshot per op and
+silently erases the 6-88x speedups the benchmarks pin.  Runtime tests
+catch this only when the freeze counter assertion happens to cover the
+offending path; this rule bans the *spelling* in the designated hot-path
+modules.  Deliberate cold baselines (``PeriodicRebuildPolicy(warm=False)``)
+and the cached :attr:`IncrementalScheduler.instance` property itself are
+the allow-listed exceptions, marked with ``# ses-lint: disable=freeze-ban``
+right at the site so every new exception shows up in review.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.engine import Finding, Project, Rule, SourceModule
+
+__all__ = ["FreezeBanRule"]
+
+#: Path suffixes of the modules where snapshots are banned.
+HOT_PATH_MODULES = (
+    "stream/driver.py",
+    "stream/policies.py",
+    "algorithms/incremental.py",
+)
+
+
+class FreezeBanRule(Rule):
+    name = "freeze-ban"
+    rationale = (
+        "hot-path stream modules must stay O(delta): no .instance reads "
+        "or .freeze() calls outside explicitly allow-listed sites"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        if not module.matches(*HOT_PATH_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "freeze"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    ".freeze() materializes an O(instance) snapshot on a "
+                    "hot-path module; read through .live instead",
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "instance"
+                and isinstance(node.ctx, ast.Load)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    ".instance is a cached freeze (O(instance) after any "
+                    "mutation); hot-path code must read through .live",
+                )

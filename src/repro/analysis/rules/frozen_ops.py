@@ -1,0 +1,131 @@
+"""frozen-op-discipline: trace ops and API requests stay immutable values.
+
+Traces are shared between policies, replayed repeatedly and hashed into
+experiment records; requests are built once and replayed against many
+sessions.  Both contracts die the moment a dataclass in those modules is
+declared without ``frozen=True`` or grows a mutably-typed field (a list
+payload aliased between two replays corrupts both).  The runtime suite
+only notices when an aliasing bug actually fires; this rule pins the
+declaration itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import tail
+from repro.analysis.engine import Finding, Project, Rule, SourceModule
+
+__all__ = ["FrozenOpsRule"]
+
+#: Path suffixes of modules whose dataclasses must be frozen values.
+VALUE_MODULES = (
+    "stream/trace.py",
+    "api/requests.py",
+)
+
+#: Type names that make a field mutable (shared-state hazards).
+MUTABLE_TYPE_NAMES = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "List",
+        "Dict",
+        "Set",
+        "MutableMapping",
+        "MutableSequence",
+        "MutableSet",
+        "ndarray",
+    }
+)
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if tail(target) == "dataclass":
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False  # bare @dataclass
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    return False
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    target = (
+        annotation.value
+        if isinstance(annotation, ast.Subscript)
+        else annotation
+    )
+    return tail(target) == "ClassVar"
+
+
+class FrozenOpsRule(Rule):
+    name = "frozen-op-discipline"
+    rationale = (
+        "trace ops and SolveRequest/SolveResponse dataclasses must be "
+        "frozen=True with immutable field types — they are shared, "
+        "replayed and hashed"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        if not module.matches(*VALUE_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                continue
+            if not _is_frozen(decorator):
+                yield self.finding(
+                    module,
+                    node,
+                    f"dataclass {node.name} must be @dataclass(frozen=True) "
+                    f"in this module (shared/replayed value objects)",
+                )
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                if _is_classvar(statement.annotation):
+                    continue
+                mutable = sorted(
+                    {
+                        part.id
+                        for part in ast.walk(statement.annotation)
+                        if isinstance(part, ast.Name)
+                        and part.id in MUTABLE_TYPE_NAMES
+                    }
+                    | {
+                        part.attr
+                        for part in ast.walk(statement.annotation)
+                        if isinstance(part, ast.Attribute)
+                        and part.attr in MUTABLE_TYPE_NAMES
+                    }
+                )
+                if mutable:
+                    target = statement.target
+                    field_name = (
+                        target.id if isinstance(target, ast.Name) else "?"
+                    )
+                    yield self.finding(
+                        module,
+                        statement,
+                        f"{node.name}.{field_name} is annotated with mutable "
+                        f"type(s) {', '.join(mutable)}; use an immutable "
+                        f"counterpart (tuple / Mapping / frozenset)",
+                    )

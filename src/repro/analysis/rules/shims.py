@@ -1,0 +1,66 @@
+"""no-internal-shims: production code keeps off the PR-2 deprecation shims.
+
+``make_engine(instance, "kind")`` (string kind) and the ``engine_kind=``
+keyword were kept as warning shims when :class:`EngineSpec` landed, for
+external callers only.  Internal code reaching through them keeps the
+shims load-bearing forever and emits DeprecationWarnings into our own
+test output; this rule keeps the internal caller count at zero so the
+shims can eventually be deleted in one PR.
+
+Allowed spellings (the shim *plumbing* itself): forwarding a parameter
+verbatim (``engine_kind=engine_kind``) and passing ``engine_kind=None``
+(the neutral default).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import tail
+from repro.analysis.engine import Finding, Project, Rule, SourceModule
+
+__all__ = ["NoInternalShimsRule"]
+
+
+class NoInternalShimsRule(Rule):
+    name = "no-internal-shims"
+    rationale = (
+        "internal callers of make_engine(instance, \"kind\") / engine_kind= "
+        "keep the PR-2 deprecation shims load-bearing and spam warnings"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = tail(node.func)
+            if (
+                callee == "make_engine"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f'make_engine(instance, "{node.args[1].value}") uses the '
+                    f"deprecated string-kind shim; pass "
+                    f'EngineSpec(kind="{node.args[1].value}")',
+                )
+            for keyword in node.keywords:
+                if keyword.arg != "engine_kind":
+                    continue
+                value = keyword.value
+                if isinstance(value, ast.Name) and value.id == "engine_kind":
+                    continue  # shim plumbing: verbatim parameter forwarding
+                if isinstance(value, ast.Constant) and value.value is None:
+                    continue  # neutral default
+                yield self.finding(
+                    module,
+                    node,
+                    "engine_kind= is the deprecated stringly spelling; "
+                    "pass engine=EngineSpec(kind=...)",
+                )

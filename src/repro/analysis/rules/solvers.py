@@ -1,0 +1,83 @@
+"""registry-completeness: every Scheduler subclass registers itself.
+
+The CLI's ``--solver`` choices, ``paper_methods``, the session facade
+and the stream policies all derive their solver lists from the
+:data:`~repro.algorithms.registry.solver_registry`; a ``Scheduler``
+subclass that forgets ``@register_solver`` exists but is unreachable
+from every entry point — the exact divergence the registry was built to
+end.  The runtime completeness test only covers modules it imports; this
+rule checks the declaration in every ``algorithms/`` module statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import base_names, decorator_names
+from repro.analysis.engine import Finding, Project, Rule, SourceModule
+
+__all__ = ["RegistryCompletenessRule"]
+
+#: The solver base class whose concrete subclasses must register.
+SCHEDULER_BASE = "Scheduler"
+
+#: algorithms/ files that declare no solvers (scaffolding / the registry).
+EXEMPT_BASENAMES = ("__init__.py", "base.py", "registry.py")
+
+
+def _is_abstract(node: ast.ClassDef) -> bool:
+    if "ABC" in base_names(node):
+        return True
+    for statement in node.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if "abstractmethod" in decorator_names(statement):
+                return True
+    return False
+
+
+class RegistryCompletenessRule(Rule):
+    name = "registry-completeness"
+    rationale = (
+        "a Scheduler subclass without @register_solver is invisible to the "
+        "CLI, the session facade and the stream policies"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        parts = module.relpath.split("/")
+        if "algorithms" not in parts[:-1] or parts[-1] in EXEMPT_BASENAMES:
+            return
+        classes = {
+            node.name: node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+
+        def scheduler_like(name: str, seen: frozenset[str]) -> bool:
+            if name == SCHEDULER_BASE:
+                return True
+            node = classes.get(name)
+            if node is None or name in seen:
+                return False
+            return any(
+                scheduler_like(base, seen | {name})
+                for base in base_names(node)
+            )
+
+        for node in classes.values():
+            if node.name.startswith("_") or _is_abstract(node):
+                continue
+            if not any(
+                scheduler_like(base, frozenset()) for base in base_names(node)
+            ):
+                continue
+            if "register_solver" not in decorator_names(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{node.name} subclasses {SCHEDULER_BASE} but is not "
+                    f"decorated with @register_solver; it will be invisible "
+                    f"to every registry-driven entry point",
+                )

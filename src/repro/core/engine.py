@@ -174,7 +174,7 @@ class ScoreEngine(ABC):
                 )
             )
 
-    def score_geometry(self):
+    def score_geometry(self) -> object:
         """Fingerprint of the engine's floating-point query geometry.
 
         Two queries of the same cell agree bit for bit only while this
@@ -373,7 +373,9 @@ class VectorizedEngine(ScoreEngine):
     cached cell equals what a fresh fill would compute) leans on this.
     """
 
-    def __init__(self, instance: SESInstance, chunk_elements: int = 4_000_000):
+    def __init__(
+        self, instance: SESInstance, chunk_elements: int = 4_000_000
+    ) -> None:
         if chunk_elements <= 0:
             raise ValueError(f"chunk_elements must be positive, got {chunk_elements}")
         self._chunk_elements = int(chunk_elements)
@@ -424,7 +426,7 @@ class VectorizedEngine(ScoreEngine):
         return mass
 
     # -- live-instance deltas -------------------------------------------
-    def _delta_column(self, rows, values) -> np.ndarray:
+    def _delta_column(self, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
         column = np.zeros(self._instance.n_users)
         column[rows] = values
         return column
@@ -446,7 +448,7 @@ class VectorizedEngine(ScoreEngine):
     def _mu_is_live_view(self) -> bool:
         return getattr(self._instance.interest, "backend", "dense") == "dense"
 
-    def _on_event_added(self, delta) -> None:
+    def _on_event_added(self, delta: EventAdded) -> None:
         if self._mu_is_live_view():
             self._mu = self._instance.interest.candidate
         else:
@@ -454,7 +456,7 @@ class VectorizedEngine(ScoreEngine):
             store.append(self._delta_column(delta.rows, delta.values))
             self._mu = store.view()
 
-    def _on_event_removed(self, delta) -> None:
+    def _on_event_removed(self, delta: EventRemoved) -> None:
         if self._mu_is_live_view():
             self._mu = self._instance.interest.candidate
         else:
@@ -462,7 +464,7 @@ class VectorizedEngine(ScoreEngine):
             store.remove(delta.event)
             self._mu = store.view()
 
-    def _on_event_interest_replaced(self, delta) -> None:
+    def _on_event_interest_replaced(self, delta: EventInterestReplaced) -> None:
         if self._mu_is_live_view():
             self._mu = self._instance.interest.candidate
         else:
@@ -485,7 +487,7 @@ class VectorizedEngine(ScoreEngine):
         dead = touched[contributors[touched] == 0]
         mass[dead] = 0.0
 
-    def _on_competing_added(self, delta) -> None:
+    def _on_competing_added(self, delta: CompetingAdded) -> None:
         pass  # K_t is read through the live instance at query time
 
     # ------------------------------------------------------------------
@@ -555,7 +557,7 @@ class VectorizedEngine(ScoreEngine):
         bucket = 1 << max(0, self._instance.n_events - 1).bit_length()
         return max(1, self._chunk_elements // max(1, bucket))
 
-    def score_geometry(self):
+    def score_geometry(self) -> object:
         """See :meth:`ScoreEngine.score_geometry`: the chunk length."""
         return self._chunk_users()
 
@@ -862,7 +864,7 @@ class SparseEngine(ScoreEngine):
     # -- live-instance deltas -------------------------------------------
     # column gathers go through the (live) interest store at query time,
     # so arrivals and removals need no cache surgery at all
-    def _on_event_interest_replaced(self, delta) -> None:
+    def _on_event_interest_replaced(self, delta: EventInterestReplaced) -> None:
         interval = self._schedule.interval_of(delta.event)
         if interval is None:
             return
@@ -870,7 +872,7 @@ class SparseEngine(ScoreEngine):
         mass.update(delta.old_rows, delta.old_values, sign=-1)
         mass.update(delta.rows, delta.values, sign=+1)
 
-    def _on_competing_added(self, delta) -> None:
+    def _on_competing_added(self, delta: CompetingAdded) -> None:
         dense = self._competing_dense.get(delta.interval)
         if dense is not None:
             # densified intervals keep only the dense expansion current

@@ -35,7 +35,9 @@ class FeasibilityChecker:
     :meth:`is_feasible`/:meth:`is_valid` never mutates state.
     """
 
-    def __init__(self, instance: SESInstance, schedule: Schedule | None = None):
+    def __init__(
+        self, instance: SESInstance, schedule: Schedule | None = None
+    ) -> None:
         self._instance = instance
         self._locations_used: dict[int, set[int]] = {}
         self._resources_used: dict[int, float] = {}

@@ -44,6 +44,7 @@ with ``interest_backend="sparse"`` the pipeline never materializes a dense
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -108,7 +109,7 @@ def merge_entries(
     return unique[keep].astype(np.intp, copy=False), summed[keep]
 
 
-def _validate_sparse_matrix(matrix, name: str):
+def _validate_sparse_matrix(matrix: Any, name: str) -> Any:
     """Canonicalize a scipy matrix to CSC and range-check its entries."""
     _require_scipy()
     csc = _sp.csc_matrix(matrix, copy=True)
@@ -146,7 +147,9 @@ class InterestMatrix:
 
     __slots__ = ("_backend", "_candidate", "_competing")
 
-    def __init__(self, candidate, competing, backend: str | None = None) -> None:
+    def __init__(
+        self, candidate: Any, competing: Any, backend: str | None = None
+    ) -> None:
         if backend is None:
             backend = (
                 "sparse"
@@ -224,7 +227,7 @@ class InterestMatrix:
         return dense
 
     @property
-    def candidate_sparse(self):
+    def candidate_sparse(self) -> Any:
         """Candidate interest as a canonical scipy CSC matrix."""
         if self._backend == "sparse":
             return self._candidate
@@ -232,7 +235,7 @@ class InterestMatrix:
         return _sp.csc_matrix(self._candidate)
 
     @property
-    def competing_sparse(self):
+    def competing_sparse(self) -> Any:
         """Competing interest as a canonical scipy CSC matrix."""
         if self._backend == "sparse":
             return self._competing
@@ -270,7 +273,7 @@ class InterestMatrix:
         """All users' interest in competing event ``competing``."""
         return self._dense_column(self._competing, competing)
 
-    def _dense_column(self, matrix, column: int) -> np.ndarray:
+    def _dense_column(self, matrix: Any, column: int) -> np.ndarray:
         if self._backend == "dense":
             return matrix[:, column]
         out = np.zeros(matrix.shape[0])
@@ -291,7 +294,9 @@ class InterestMatrix:
         """Nonzero ``(rows, values)`` of one competing column (sorted rows)."""
         return self._column_entries(self._competing, competing)
 
-    def _column_entries(self, matrix, column: int) -> tuple[np.ndarray, np.ndarray]:
+    def _column_entries(
+        self, matrix: Any, column: int
+    ) -> tuple[np.ndarray, np.ndarray]:
         if self._backend == "sparse":
             start, stop = matrix.indptr[column], matrix.indptr[column + 1]
             return (
@@ -336,7 +341,7 @@ class InterestMatrix:
         return self._coo(self.competing_sparse)
 
     @staticmethod
-    def _coo(csc) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _coo(csc: Any) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         coo = csc.tocoo()
         return (
             coo.row.astype(np.intp, copy=False),
@@ -370,8 +375,8 @@ class InterestMatrix:
     @classmethod
     def from_scipy(
         cls,
-        candidate,
-        competing=None,
+        candidate: Any,
+        competing: Any = None,
     ) -> "InterestMatrix":
         """Build a sparse-backed matrix from scipy sparse inputs."""
         _require_scipy()
@@ -432,7 +437,9 @@ class InterestMatrix:
         return cls(candidate=candidate, competing=competing, backend=backend)
 
     @staticmethod
-    def _coo_from_entries(entries: Mapping[tuple[int, int], float], shape):
+    def _coo_from_entries(
+        entries: Mapping[tuple[int, int], float], shape: tuple[int, int]
+    ) -> Any:
         if not entries:
             return _sp.csc_matrix(shape)
         rows = np.fromiter((pair[0] for pair in entries), dtype=np.intp)
@@ -443,7 +450,7 @@ class InterestMatrix:
     # ------------------------------------------------------------------
     # column edits (streaming change ops) — backend preserving
     # ------------------------------------------------------------------
-    def _as_column(self, column) -> "np.ndarray":
+    def _as_column(self, column: Any) -> "np.ndarray":
         column = np.asarray(column, dtype=float)
         if column.shape != (self.n_users,):
             raise ValueError(
@@ -452,14 +459,14 @@ class InterestMatrix:
             )
         return column
 
-    def _stack(self, matrix, column: np.ndarray):
+    def _stack(self, matrix: Any, column: np.ndarray) -> Any:
         if self._backend == "sparse":
             return _sp.hstack(
                 [matrix, _sp.csc_matrix(column.reshape(-1, 1))], format="csc"
             )
         return np.column_stack([matrix, column])
 
-    def with_event_column(self, column) -> "InterestMatrix":
+    def with_event_column(self, column: Any) -> "InterestMatrix":
         """A copy with ``column`` appended as a new candidate event.
 
         The storage backend is preserved: a sparse matrix stays CSC (the
@@ -487,7 +494,9 @@ class InterestMatrix:
             backend=self._backend,
         )
 
-    def with_replaced_event_column(self, event: int, column) -> "InterestMatrix":
+    def with_replaced_event_column(
+        self, event: int, column: Any
+    ) -> "InterestMatrix":
         """A copy with candidate ``event``'s column replaced (backend kept)."""
         if not 0 <= event < self.n_events:
             raise ValueError(
@@ -509,7 +518,7 @@ class InterestMatrix:
             candidate=candidate, competing=self._competing, backend=self._backend
         )
 
-    def with_competing_column(self, column) -> "InterestMatrix":
+    def with_competing_column(self, column: Any) -> "InterestMatrix":
         """A copy with ``column`` appended as a new competing event."""
         column = self._as_column(column)
         return InterestMatrix(

@@ -40,12 +40,20 @@ live storage.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
+from typing import Any
 
 import numpy as np
 
 from repro.core.activity import ActivityModel
-from repro.core.entities import CandidateEvent, CompetingEvent
+from repro.core.entities import (
+    CandidateEvent,
+    CompetingEvent,
+    Organizer,
+    TimeInterval,
+    User,
+)
 from repro.core.errors import InstanceValidationError, UnknownEntityError
 from repro.core.instance import SESInstance
 from repro.core.interest import InterestMatrix, merge_entries
@@ -226,7 +234,7 @@ class LiveInterest:
         return len(self._competing_entries)
 
     # -- validation -----------------------------------------------------
-    def _as_column(self, column) -> np.ndarray:
+    def _as_column(self, column: Any) -> np.ndarray:
         column = np.asarray(column, dtype=float)
         if column.shape != (self._n_users,):
             raise ValueError(
@@ -309,7 +317,9 @@ class LiveInterest:
             return _entries_of(self._competing.view()[:, competing])
         return self._competing_entries[competing]
 
-    def competing_mass_entries(self, rivals) -> tuple[np.ndarray, np.ndarray]:
+    def competing_mass_entries(
+        self, rivals: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
         """``K_t`` as a sparse vector (see :class:`InterestMatrix`)."""
         if not len(rivals):
             return _EMPTY_ROWS, _EMPTY_VALUES
@@ -325,7 +335,7 @@ class LiveInterest:
         return int(sum(rows.size for rows, _ in self._event_entries))
 
     # -- mutators (O(delta)) --------------------------------------------
-    def append_event(self, column) -> tuple[np.ndarray, np.ndarray]:
+    def append_event(self, column: Any) -> tuple[np.ndarray, np.ndarray]:
         column = self._as_column(column)
         entries = _entries_of(column)
         if self._backend == "dense":
@@ -341,7 +351,7 @@ class LiveInterest:
             del self._event_entries[event]
 
     def replace_event(
-        self, event: int, column
+        self, event: int, column: Any
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Swap one candidate column; returns old and new entries."""
         column = self._as_column(column)
@@ -353,7 +363,7 @@ class LiveInterest:
             self._event_entries[event] = (rows, values)
         return old_rows, old_values, rows, values
 
-    def append_competing(self, column) -> tuple[np.ndarray, np.ndarray]:
+    def append_competing(self, column: Any) -> tuple[np.ndarray, np.ndarray]:
         column = self._as_column(column)
         entries = _entries_of(column)
         if self._backend == "dense":
@@ -376,7 +386,9 @@ class LiveInterest:
             self._to_csc(self._competing_entries, self.n_competing),
         )
 
-    def _to_csc(self, columns, n_columns: int):
+    def _to_csc(
+        self, columns: list[tuple[np.ndarray, np.ndarray]], n_columns: int
+    ) -> Any:
         indptr = np.zeros(n_columns + 1, dtype=np.intp)
         for index, (rows, _) in enumerate(columns):
             indptr[index + 1] = indptr[index] + rows.size
@@ -433,20 +445,20 @@ class LiveInstance:
 
     # -- entity access (SESInstance read surface) -----------------------
     @property
-    def users(self):
+    def users(self) -> tuple[User, ...]:
         return self._users
 
     @property
-    def intervals(self):
+    def intervals(self) -> tuple[TimeInterval, ...]:
         return self._intervals
 
     @property
-    def events(self):
+    def events(self) -> list[CandidateEvent]:
         """Live candidate-event list (indexable; do not mutate)."""
         return self._events
 
     @property
-    def competing(self):
+    def competing(self) -> list[CompetingEvent]:
         """Live competing-event list (indexable; do not mutate)."""
         return self._competing
 
@@ -459,7 +471,7 @@ class LiveInstance:
         return self._activity
 
     @property
-    def organizer(self):
+    def organizer(self) -> Organizer:
         return self._organizer
 
     @property
@@ -483,7 +495,7 @@ class LiveInstance:
         return len(self._competing)
 
     @property
-    def competing_by_interval(self):
+    def competing_by_interval(self) -> list[list[int]]:
         """``C_t`` as live index lists (do not mutate)."""
         return self._competing_by_interval
 
@@ -520,7 +532,9 @@ class LiveInstance:
         self._mutations += 1
 
     # -- structural mutators --------------------------------------------
-    def add_event(self, event: CandidateEvent, interest_column) -> EventAdded:
+    def add_event(
+        self, event: CandidateEvent, interest_column: Any
+    ) -> EventAdded:
         """Append a candidate event with its interest column."""
         if event.index != self.n_events:
             raise InstanceValidationError(
@@ -550,7 +564,7 @@ class LiveInstance:
         return EventRemoved(event=event)
 
     def replace_event_interest(
-        self, event: int, interest_column
+        self, event: int, interest_column: Any
     ) -> EventInterestReplaced:
         """Swap one candidate event's interest column (taste drift)."""
         if not 0 <= event < self.n_events:
@@ -568,7 +582,7 @@ class LiveInstance:
         )
 
     def add_competing(
-        self, rival: CompetingEvent, interest_column
+        self, rival: CompetingEvent, interest_column: Any
     ) -> CompetingAdded:
         """Append a competing event pinned to its interval."""
         if rival.index != self.n_competing:

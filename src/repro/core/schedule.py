@@ -49,7 +49,9 @@ class Schedule:
     as the selection order — handy in tests and reports.
     """
 
-    def __init__(self, instance: SESInstance, assignments: Iterable[Assignment] = ()):
+    def __init__(
+        self, instance: SESInstance, assignments: Iterable[Assignment] = ()
+    ) -> None:
         self._instance = instance
         self._interval_of: dict[int, int] = {}
         self._events_at: dict[int, list[int]] = {}

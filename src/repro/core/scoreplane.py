@@ -101,7 +101,7 @@ class ScorePlane:
         whose engine legitimately carries a maintained schedule.
     """
 
-    def __init__(self, engine: ScoreEngine, *, auto_reset: bool = True):
+    def __init__(self, engine: ScoreEngine, *, auto_reset: bool = True) -> None:
         self._engine = engine
         self._auto_reset = auto_reset
         self._scores: np.ndarray | None = None

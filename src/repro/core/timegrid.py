@@ -70,7 +70,7 @@ class CalendarGrid:
         n_days: int,
         parts: tuple[DayPart, ...] = AFTERNOON_AND_EVENING,
         first_weekday: int = 0,
-    ):
+    ) -> None:
         if n_days <= 0:
             raise ValueError(f"n_days must be positive, got {n_days}")
         if not parts:

@@ -33,6 +33,12 @@ Subcommands
     replay it against one or more maintenance policies, printing per-op
     latency and final-utility lines per policy (see :mod:`repro.stream`).
 
+``lint``
+    Run the :mod:`repro.analysis` invariant linter over source trees
+    (delta exhaustiveness, hot-path freeze bans, frozen-op discipline,
+    registry completeness, determinism, shim bans, dtype discipline).
+    Exit code 0 clean / 1 findings / 2 internal error.
+
 ``demo``
     End-to-end smoke run on a small instance: all methods side by side.
 """
@@ -191,6 +197,41 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: sparse when --engine sparse, else dense)",
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help="run the repo-invariant linter (repro.analysis) over sources",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this rule (repeatable; default: the full battery)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable ses-lint/1 report on stdout",
+    )
+    lint.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report here (CI artifact)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue with rationales and exit",
+    )
+
     demo = commands.add_parser("demo", help="small end-to-end comparison run")
     _add_engine_argument(demo)
     return parser
@@ -204,6 +245,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "solve": _run_solve,
         "solvers": _run_solvers,
         "stream": _run_stream,
+        "lint": _run_lint,
         "demo": _run_demo,
     }[args.command]
     return handler(args)
@@ -367,6 +409,37 @@ def _run_stream(args: argparse.Namespace) -> int:
         )
         print(f"  {driver.run(trace).summary()}")
     return 0
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        ALL_RULES,
+        LintError,
+        render_json,
+        render_text,
+        resolve_rules,
+        run_lint,
+    )
+
+    if args.list_rules:
+        width = max(len(rule.name) for rule in ALL_RULES)
+        for rule in ALL_RULES:
+            print(f"{rule.name:<{width}}  {rule.rationale}")
+        return 0
+    try:
+        result = run_lint(args.paths, resolve_rules(args.rule))
+    except LintError as exc:
+        print(f"ses-lint: internal error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        Path(args.output).write_text(render_json(result), encoding="utf-8")
+    if args.json:
+        print(render_json(result), end="")
+    else:
+        print(render_text(result), end="")
+    return result.exit_code
 
 
 #: demo line-up: registry name -> extra request params

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
 
 from repro.algorithms.registry import solver_registry
 from repro.core.engine import EngineSpec
@@ -75,7 +76,7 @@ class StreamResult:
     #: counts every warm re-score across all rebuilds/oracle samples —
     #: the benchmark's proof that a warm re-solve does strictly less
     #: scoring work than a cold fill.
-    base_plane_stats: dict | None = None
+    base_plane_stats: dict[str, int] | None = None
 
     # -- trajectory accessors -------------------------------------------
     @property
@@ -131,7 +132,7 @@ class StreamResult:
             f"rebuilds={self.rebuilds}{regret}"
         )
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """JSON-ready record (benchmark output, experiment logs)."""
         return {
             "policy": self.policy,
@@ -190,8 +191,8 @@ class StreamDriver:
         *,
         oracle_every: int | None = None,
         oracle_solver: str = "grd-heap",
-        **policy_params,
-    ):
+        **policy_params: Any,
+    ) -> None:
         if isinstance(policy, str):
             self._policy_name: str | None = policy
             self._policy_params = dict(policy_params)
@@ -240,12 +241,12 @@ class StreamDriver:
         started = time.perf_counter()
         self._policy.bind(self._instance, k, engine=self._engine)
 
-        records = []
+        records: list[OpRecord] = []
         for index, op in enumerate(trace):
             op_started = time.perf_counter()
             self._policy.apply(op)
             latency = time.perf_counter() - op_started
-            regret = None
+            regret: float | None = None
             if (
                 self._oracle_every is not None
                 and (index + 1) % self._oracle_every == 0

@@ -37,6 +37,7 @@ registry, so the whole subsystem stays sparse-friendly end to end.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any
 
 import numpy as np
 
@@ -178,7 +179,12 @@ class PeriodicRebuildPolicy(MaintenancePolicy):
         self._warm = warm
         self._ops_since_rebuild = 0
 
-    def bind(self, instance, k, engine=None) -> None:
+    def bind(
+        self,
+        instance: SESInstance,
+        k: int,
+        engine: EngineSpec | str | None = None,
+    ) -> None:
         super().bind(instance, k, engine)
         if self._solver != "grd":
             # the scheduler's initial fill IS a GRD run; only a non-GRD
@@ -207,7 +213,7 @@ class PeriodicRebuildPolicy(MaintenancePolicy):
             result = solver.solve(live.live, live.k, plane=live.base_plane())
         else:
             # legacy baseline: freeze a snapshot, cold-fill every score
-            result = solver.solve(live.instance, live.k)
+            result = solver.solve(live.instance, live.k)  # ses-lint: disable=freeze-ban
         live.adopt(result.schedule)
         self._rebuilds += 1
         self._ops_since_rebuild = 0
@@ -244,7 +250,12 @@ class HybridPolicy(MaintenancePolicy):
         self._threshold = drift_threshold
         self._pressure = 0.0
 
-    def bind(self, instance, k, engine=None) -> None:
+    def bind(
+        self,
+        instance: SESInstance,
+        k: int,
+        engine: EngineSpec | str | None = None,
+    ) -> None:
         super().bind(instance, k, engine)
         # materializing the base plane now makes every pressure-triggered
         # rebuild() a warm refill (seeded from cached base scores)
@@ -290,7 +301,9 @@ class HybridPolicy(MaintenancePolicy):
                 zip(*(arr.tolist() for arr in interest.event_column_entries(op.event)))
             )
             new = dict(op.interest)
-            users = set(old) | set(new)
+            # sorted: float accumulation order must not depend on set
+            # hash order, or the pressure threshold comparison drifts
+            users = sorted(set(old) | set(new))
             return float(
                 sum(abs(new.get(u, 0.0) - old.get(u, 0.0)) for u in users)
             )
@@ -314,7 +327,7 @@ _POLICIES: dict[str, type[MaintenancePolicy]] = {
 }
 
 
-def make_policy(name: str, **params) -> MaintenancePolicy:
+def make_policy(name: str, **params: Any) -> MaintenancePolicy:
     """Construct a maintenance policy by registry name."""
     cls = _POLICIES.get(name)
     if cls is None:

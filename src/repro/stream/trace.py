@@ -29,6 +29,7 @@ index space while sampling, so generated traces are always applicable.
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, ClassVar
@@ -66,7 +67,7 @@ def entries_from_column(column: np.ndarray) -> Entries:
     return tuple((int(u), float(column[u])) for u in rows)
 
 
-def _normalize_entries(entries) -> Entries:
+def _normalize_entries(entries: Iterable[tuple[int, float]]) -> Entries:
     """Sort by user, reject duplicates and out-of-range values."""
     pairs = tuple(sorted((int(u), float(v)) for u, v in entries))
     seen: set[int] = set()
@@ -159,7 +160,9 @@ class ArriveCandidate(ChangeOp):
         super().__post_init__()
         object.__setattr__(self, "interest", _normalize_entries(self.interest))
 
-    def apply(self, live, *, maintain: bool = True) -> None:
+    def apply(
+        self, live: "IncrementalScheduler", *, maintain: bool = True
+    ) -> None:
         live.add_candidate_event(
             location=self.location,
             required_resources=self.required_resources,
@@ -184,7 +187,9 @@ class CancelEvent(ChangeOp):
         if self.event < 0:
             raise ValueError(f"event index must be non-negative, got {self.event}")
 
-    def apply(self, live, *, maintain: bool = True) -> None:
+    def apply(
+        self, live: "IncrementalScheduler", *, maintain: bool = True
+    ) -> None:
         live.cancel_event(self.event, maintain=maintain)
 
     def label(self) -> str:
@@ -209,7 +214,9 @@ class AnnounceRival(ChangeOp):
             )
         object.__setattr__(self, "interest", _normalize_entries(self.interest))
 
-    def apply(self, live, *, maintain: bool = True) -> None:
+    def apply(
+        self, live: "IncrementalScheduler", *, maintain: bool = True
+    ) -> None:
         live.add_competing_event(
             interval=self.interval,
             interest_column=_column_from_entries(
@@ -238,7 +245,9 @@ class DriftInterest(ChangeOp):
             raise ValueError(f"event index must be non-negative, got {self.event}")
         object.__setattr__(self, "interest", _normalize_entries(self.interest))
 
-    def apply(self, live, *, maintain: bool = True) -> None:
+    def apply(
+        self, live: "IncrementalScheduler", *, maintain: bool = True
+    ) -> None:
         live.update_event_interest(
             self.event,
             _column_from_entries(self.interest, live.live.n_users),
@@ -262,7 +271,9 @@ class RaiseBudget(ChangeOp):
         if self.new_k <= 0:
             raise ValueError(f"new_k must be positive, got {self.new_k}")
 
-    def apply(self, live, *, maintain: bool = True) -> None:
+    def apply(
+        self, live: "IncrementalScheduler", *, maintain: bool = True
+    ) -> None:
         live.raise_budget(self.new_k, maintain=maintain)
 
     def label(self) -> str:
@@ -506,7 +517,7 @@ class Trace:
     def __len__(self) -> int:
         return len(self.ops)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ChangeOp]:
         return iter(self.ops)
 
     def op_counts(self) -> dict[str, int]:

@@ -1,0 +1,29 @@
+"""Shared helpers for the static-analysis suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import resolve_rules, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+@pytest.fixture
+def lint_fixture():
+    """Lint one fixture package (optionally with a rule subset)."""
+
+    def _lint(package: str, *rule_names: str):
+        rules = resolve_rules(list(rule_names) or None)
+        return run_lint([FIXTURES / package], rules)
+
+    return _lint
+
+
+def rules_of(result):
+    """The multiset of rule names that fired, for compact assertions."""
+    return [finding.rule for finding in result.findings]

@@ -1,0 +1,13 @@
+# Seeded violation: apply_delta misses the CompetingAdded branch.
+from core.live import EventAdded, EventInterestReplaced, EventRemoved
+
+
+class LeakyEngine:
+    def apply_delta(self, delta):
+        if isinstance(delta, EventAdded):
+            return "added"
+        elif isinstance(delta, EventRemoved):
+            return "removed"
+        elif isinstance(delta, EventInterestReplaced):
+            return "drift"
+        raise TypeError(delta)

@@ -1,0 +1,34 @@
+# Clean fixture: one exhaustive dispatcher (via an ancestor branch), one
+# ancestor-level dispatcher, and one wholesale delegator — none may fire.
+from core.live import ColumnDelta, CompetingAdded, EventAdded, EventRemoved
+from core.live import EventInterestReplaced
+
+
+class ExhaustiveEngine:
+    def apply_delta(self, delta):
+        if isinstance(delta, EventAdded):
+            return "added"
+        elif isinstance(delta, EventRemoved):
+            return "removed"
+        elif isinstance(delta, EventInterestReplaced):
+            return "drift"
+        elif isinstance(delta, CompetingAdded):
+            return "rival"
+        raise TypeError(delta)
+
+
+class AncestorEngine:
+    def apply_delta(self, delta):
+        if isinstance(delta, ColumnDelta):
+            return "column"  # covers EventAdded and EventInterestReplaced
+        elif isinstance(delta, (EventRemoved, CompetingAdded)):
+            return "row"
+        raise TypeError(delta)
+
+
+class DelegatingPlane:
+    def __init__(self, engine):
+        self._engine = engine
+
+    def apply_delta(self, delta):
+        self._engine.apply_delta(delta)

@@ -1,0 +1,31 @@
+# Seeded violations: every unseeded-randomness pattern the rule bans.
+import random
+import time
+
+import numpy as np
+
+
+def sample():
+    np.random.seed(0)
+    draws = np.random.rand(5)
+    rng = np.random.default_rng()
+    clocked = np.random.default_rng(int(time.time()))
+    legacy = np.random.RandomState(3)
+    pick = random.choice([1, 2, 3])
+    return draws, rng, clocked, legacy, pick
+
+
+def orderings():
+    tags = {"a", "b", "c"}
+    listed = list(tags)
+    joined = ",".join({"x", "y"})
+    summed = sum(weight for weight in set([0.1, 0.2]))
+    return listed, joined, summed
+
+
+def sanctioned(seed):
+    rng = np.random.default_rng(seed)
+    streams = np.random.SeedSequence(seed).spawn(2)
+    ordered = sorted({3, 1, 2})
+    biggest = max({1.0, 2.0})
+    return rng, streams, ordered, biggest

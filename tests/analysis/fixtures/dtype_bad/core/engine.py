@@ -1,0 +1,16 @@
+# Seeded violations: low-precision arrays on a score-path module.
+import numpy as np
+
+
+def build_scores(n_intervals, n_events):
+    plane = np.zeros((n_intervals, n_events), dtype=np.float32)
+    masses = np.full(n_intervals, 0.0, "float32")
+    halves = np.asarray([0.5], dtype="f2")
+    return plane, masses, halves
+
+
+def fine(n):
+    scores = np.zeros(n)
+    counts = np.zeros(n, dtype=np.int64)
+    exact = np.asarray([1.0], dtype=float)
+    return scores, counts, exact

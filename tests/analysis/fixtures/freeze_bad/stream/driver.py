@@ -1,0 +1,10 @@
+# Seeded violations: a hot-path module freezing snapshots both ways.
+
+
+def rebuild(scheduler):
+    snapshot = scheduler.live.freeze()
+    return snapshot
+
+
+def utility_of(scheduler):
+    return scheduler.instance.n_events

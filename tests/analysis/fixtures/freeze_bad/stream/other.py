@@ -1,0 +1,6 @@
+# Clean by scope: same spellings OUTSIDE the designated hot-path modules
+# are allowed (batch consumers legitimately freeze snapshots).
+
+
+def snapshot(scheduler):
+    return scheduler.instance, scheduler.live.freeze()

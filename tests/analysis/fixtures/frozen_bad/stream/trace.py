@@ -1,0 +1,23 @@
+# Seeded violations: an unfrozen op dataclass and mutable field types.
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+
+@dataclass
+class MutableOp:
+    time: float = 0.0
+
+
+@dataclass(frozen=True)
+class ListPayloadOp:
+    time: float = 0.0
+    interest: list[tuple[int, float]] = field(default_factory=list)
+    options: dict[str, Any] = field(default_factory=dict)
+    # ClassVar annotations are exempt even when mutably typed:
+    registry: ClassVar[dict[str, int]] = {}
+
+
+@dataclass(frozen=True)
+class CleanOp:
+    time: float = 0.0
+    interest: tuple[tuple[int, float], ...] = ()

@@ -1,0 +1,37 @@
+# Seeded violation: a concrete Scheduler subclass without @register_solver.
+from abc import ABC, abstractmethod
+
+from repro.algorithms.base import Scheduler
+from repro.algorithms.registry import register_solver
+
+
+class GhostScheduler(Scheduler):
+    name = "GHOST"
+
+    def _solve(self, engine, checker, k):
+        return None
+
+
+class GhostlierScheduler(GhostScheduler):
+    # transitive subclass: equally invisible, equally flagged
+    name = "GHOST2"
+
+
+@register_solver(summary="registered, so clean")
+class VisibleScheduler(Scheduler):
+    name = "VIS"
+
+    def _solve(self, engine, checker, k):
+        return None
+
+
+class _PrivateHelper(Scheduler):
+    # private scaffolding is exempt
+    name = "_helper"
+
+
+class AbstractFamily(Scheduler, ABC):
+    # abstract intermediates are exempt
+    @abstractmethod
+    def variant(self):
+        ...

@@ -1,0 +1,18 @@
+# Seeded violations: internal callers reaching through the PR-2 shims.
+from repro.core.engine import make_engine
+
+
+def build(instance):
+    return make_engine(instance, "vectorized")
+
+
+def solve(instance, scheduler_cls):
+    return scheduler_cls(engine_kind="sparse")
+
+
+def plumbing(instance, scheduler_cls, engine_kind=None):
+    # verbatim forwarding and the neutral default are shim plumbing: clean
+    engine = make_engine(instance)
+    return scheduler_cls(engine_kind=engine_kind), engine, scheduler_cls(
+        engine_kind=None
+    )

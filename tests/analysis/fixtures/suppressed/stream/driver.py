@@ -1,0 +1,9 @@
+# Violations carrying suppression comments: lint must count, not report.
+
+
+def cold_baseline(scheduler):
+    return scheduler.instance  # ses-lint: disable=freeze-ban
+
+
+def doubly_excused(scheduler):
+    return scheduler.live.freeze()  # ses-lint: disable=freeze-ban,determinism

@@ -1,0 +1,92 @@
+"""The ``ses-repro lint`` subcommand: exit codes, JSON schema, outputs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import RULE_NAMES
+from repro.analysis.report import JSON_FORMAT
+from repro.harness.cli import main
+from tests.analysis.conftest import FIXTURES, SRC
+
+
+def run_cli(capsys, *argv: str):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_clean_tree_exits_zero(capsys):
+    code, out, _ = run_cli(
+        capsys, "lint", str(FIXTURES / "delta_good"), "--rule",
+        "delta-exhaustiveness",
+    )
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_findings_exit_one_with_human_report(capsys):
+    code, out, _ = run_cli(
+        capsys, "lint", str(FIXTURES / "freeze_bad"), "--rule", "freeze-ban"
+    )
+    assert code == 1
+    assert "freeze-ban" in out
+    assert "2 finding(s)" in out
+
+
+def test_unknown_rule_exits_two(capsys):
+    code, _, err = run_cli(capsys, "lint", str(SRC), "--rule", "nope")
+    assert code == 2
+    assert "internal error" in err
+
+
+def test_json_schema_is_stable(capsys):
+    code, out, _ = run_cli(
+        capsys, "lint", str(FIXTURES / "freeze_bad"), "--rule", "freeze-ban",
+        "--json",
+    )
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["format"] == JSON_FORMAT
+    assert set(payload) == {
+        "format",
+        "files_checked",
+        "rules_run",
+        "findings",
+        "findings_by_rule",
+        "suppressed",
+        "clean",
+    }
+    assert payload["clean"] is False
+    assert payload["findings_by_rule"] == {"freeze-ban": 2}
+    for finding in payload["findings"]:
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+
+
+def test_output_file_written_alongside_text(capsys, tmp_path):
+    report = tmp_path / "findings.json"
+    code, out, _ = run_cli(
+        capsys, "lint", str(FIXTURES / "freeze_bad"), "--rule", "freeze-ban",
+        "--output", str(report),
+    )
+    assert code == 1
+    assert "freeze-ban" in out  # human report still printed
+    payload = json.loads(report.read_text(encoding="utf-8"))
+    assert payload["format"] == JSON_FORMAT
+    assert len(payload["findings"]) == 2
+
+
+def test_list_rules_prints_catalogue(capsys):
+    code, out, _ = run_cli(capsys, "lint", "--list-rules")
+    assert code == 0
+    for name in RULE_NAMES:
+        assert name in out
+
+
+def test_default_paths_cover_src(capsys, monkeypatch):
+    monkeypatch.chdir(SRC.parent)
+    code, out, _ = run_cli(capsys, "lint")
+    assert code == 0
+    assert "0 finding(s)" in out

@@ -1,0 +1,103 @@
+"""Acceptance: the real tree lints clean, and mutations are caught.
+
+The mutation tests copy real ``src`` modules into a throwaway tree and
+break an invariant *in the copy* — deleting a ``LiveDelta`` dispatch
+branch, stripping a ``@register_solver`` decorator — then assert the
+matching rule fires.  ``src/`` itself is never touched.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import default_rules, resolve_rules, run_lint
+from tests.analysis.conftest import SRC, rules_of
+
+
+def test_whole_src_tree_is_clean():
+    result = run_lint([SRC], default_rules())
+    assert result.clean, "\n".join(f.format() for f in result.findings)
+    assert result.files_checked > 50
+    # the deliberately allow-listed freeze sites are counted, not hidden
+    assert result.suppressed >= 2
+
+
+class TestMutationCopies:
+    """Each mutation must flip the lint verdict on an otherwise-clean copy."""
+
+    @pytest.fixture
+    def engine_copy(self, tmp_path):
+        target = tmp_path / "core"
+        target.mkdir()
+        return Path(
+            shutil.copy(SRC / "repro/core/engine.py", target / "engine.py")
+        )
+
+    @pytest.fixture
+    def greedy_copy(self, tmp_path):
+        target = tmp_path / "algorithms"
+        target.mkdir()
+        return Path(
+            shutil.copy(
+                SRC / "repro/algorithms/greedy.py", target / "greedy.py"
+            )
+        )
+
+    def test_unmutated_engine_copy_is_clean(self, engine_copy):
+        result = run_lint([engine_copy], resolve_rules(["delta-exhaustiveness"]))
+        assert result.clean, rules_of(result)
+
+    def test_deleting_delta_branch_fails_lint(self, engine_copy):
+        source = engine_copy.read_text(encoding="utf-8")
+        branch = (
+            "        elif isinstance(delta, CompetingAdded):\n"
+            "            self._on_competing_added(delta)\n"
+        )
+        assert branch in source, "mutation anchor moved; update this test"
+        engine_copy.write_text(source.replace(branch, ""), encoding="utf-8")
+        result = run_lint([engine_copy], resolve_rules(["delta-exhaustiveness"]))
+        assert not result.clean
+        assert any(
+            f.rule == "delta-exhaustiveness" and "CompetingAdded" in f.message
+            for f in result.findings
+        )
+
+    def test_unmutated_greedy_copy_is_clean(self, greedy_copy):
+        result = run_lint(
+            [greedy_copy], resolve_rules(["registry-completeness"])
+        )
+        assert result.clean, rules_of(result)
+
+    def test_unregistering_solver_fails_lint(self, greedy_copy):
+        source = greedy_copy.read_text(encoding="utf-8")
+        decorator = (
+            '@register_solver(summary="the paper\'s greedy '
+            'Algorithm 1 (list-based)")\n'
+        )
+        assert decorator in source, "mutation anchor moved; update this test"
+        greedy_copy.write_text(source.replace(decorator, ""), encoding="utf-8")
+        result = run_lint(
+            [greedy_copy], resolve_rules(["registry-completeness"])
+        )
+        assert not result.clean
+        assert any(
+            f.rule == "registry-completeness" and "GreedyScheduler" in f.message
+            for f in result.findings
+        )
+
+
+def test_determinism_audit_of_benchmarks_and_conftests():
+    """Satellite audit: harness code outside src stays deterministic.
+
+    Fixture packages under tests/analysis/fixtures carry *seeded*
+    violations, so the audit deliberately covers benchmarks/ and the
+    conftest layer rather than the whole tests tree.
+    """
+    repo = SRC.parent
+    targets = [repo / "benchmarks"]
+    targets += sorted((repo / "tests").glob("**/conftest.py"))
+    result = run_lint(targets, resolve_rules(["determinism"]))
+    assert result.clean, "\n".join(f.format() for f in result.findings)

@@ -1,0 +1,41 @@
+"""The mypy strict gate over repro.core + repro.stream.
+
+mypy is an optional dependency (the ``typecheck`` extra) and is not part
+of the runtime image, so this test self-skips when it is absent — the CI
+``lint`` job installs it and runs the gate unconditionally.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+
+import pytest
+
+from tests.analysis.conftest import REPO_ROOT
+
+requires_mypy = pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed (pip install ses-repro[typecheck])",
+)
+
+
+@requires_mypy
+def test_mypy_gate_passes():
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+
+
+def test_strict_ring_is_configured():
+    """Pin the pyproject gate shape so it cannot silently erode."""
+    config = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    assert "[tool.mypy]" in config
+    assert '"repro.core.*"' in config and '"repro.stream.*"' in config
+    assert "disallow_untyped_defs = true" in config
