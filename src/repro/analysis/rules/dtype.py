@@ -31,6 +31,8 @@ SCORE_PATH_MODULES = (
     "core/objective.py",
     "core/scoring.py",
     "algorithms/incremental.py",
+    "serve/pool.py",
+    "serve/session.py",
 )
 
 #: numpy constructors and the position of their ``dtype`` parameter.

@@ -21,11 +21,17 @@ from repro.analysis.engine import Finding, Project, Rule, SourceModule
 
 __all__ = ["FreezeBanRule"]
 
-#: Path suffixes of the modules where snapshots are banned.
+#: Path suffixes of the modules where snapshots are banned.  The serve
+#: hot path is held to the same standard: replica forks are O(cells)
+#: copies and writer commits O(delta) patches, so the only legitimate
+#: freeze is PlanePool.version_instance's per-generation cached one —
+#: allow-listed at the site.
 HOT_PATH_MODULES = (
     "stream/driver.py",
     "stream/policies.py",
     "algorithms/incremental.py",
+    "serve/pool.py",
+    "serve/session.py",
 )
 
 

@@ -61,11 +61,12 @@ class ScheduleSession:
         self._instance = instance
         self._default_spec = EngineSpec.coerce(default_engine)
         self._registry = registry if registry is not None else solver_registry
-        # keyed by spec.kind: the backend field is a workload-generation
-        # hint, so specs differing only there share one engine (and the
-        # warm score plane wrapping it)
-        self._engines: dict[str, ScoreEngine] = {}
-        self._planes: dict[str, ScorePlane] = {}
+        # keyed by the full (frozen, hashable) EngineSpec: the backend
+        # field does not change how an engine is *built* today, but two
+        # specs must never share an engine — a divergence in any future
+        # spec field would silently leak plane state across them
+        self._engines: dict[EngineSpec, ScoreEngine] = {}
+        self._planes: dict[EngineSpec, ScorePlane] = {}
         self._engines_built = 0
         self._requests_served = 0
 
@@ -117,6 +118,11 @@ class ScheduleSession:
         return self._default_spec
 
     @property
+    def registry(self) -> SolverRegistry:
+        """The solver catalog requests are resolved against."""
+        return self._registry
+
+    @property
     def engines_built(self) -> int:
         """Engine constructions so far (== distinct specs served)."""
         return self._engines_built
@@ -138,10 +144,10 @@ class ScheduleSession:
         resolved = (
             self._default_spec if spec is None else EngineSpec.coerce(spec)
         )
-        engine = self._engines.get(resolved.kind)
+        engine = self._engines.get(resolved)
         if engine is None:
             engine = resolved.build(self._instance)
-            self._engines[resolved.kind] = engine
+            self._engines[resolved] = engine
             self._engines_built += 1
         return engine
 
@@ -155,10 +161,10 @@ class ScheduleSession:
         resolved = (
             self._default_spec if spec is None else EngineSpec.coerce(spec)
         )
-        plane = self._planes.get(resolved.kind)
+        plane = self._planes.get(resolved)
         if plane is None:
             plane = ScorePlane(self.engine_for(resolved))
-            self._planes[resolved.kind] = plane
+            self._planes[resolved] = plane
         return plane
 
     def solver_for(self, request: SolveRequest) -> Scheduler:
@@ -203,7 +209,7 @@ class ScheduleSession:
             if request.engine is not None
             else self._default_spec
         )
-        reused = spec.kind in self._engines
+        reused = spec in self._engines
         plane = self.plane_for(spec)
         solver = self.solver_for(request)
         result = solver.solve(self._instance, request.k, plane=plane)

@@ -130,6 +130,39 @@ class ScoreEngine(ABC):
         self._apply(removed.event, removed.interval, sign=-1)
 
     # ------------------------------------------------------------------
+    # cloning (the serving layer's replica fork)
+    # ------------------------------------------------------------------
+    def clone(self) -> "ScoreEngine":
+        """An independent engine over the same instance with equal state.
+
+        The clone answers every query bit-identically to the original at
+        the moment of cloning, and the two diverge freely afterwards:
+        mutable accumulator state (per-interval mass vectors, contributor
+        counts, the schedule mirror) is copied, while immutable inputs —
+        the instance, interest storage, activity matrix — are shared by
+        reference.  Cost is O(state), never O(instance): no interest
+        matrix is re-copied and no mass is re-accumulated.
+
+        Cloning an engine built over a
+        :class:`~repro.core.live.LiveInstance` shares the *live* storage;
+        that is only safe while structural mutations are excluded for the
+        clone's lifetime (the serving pool clones template engines built
+        over frozen snapshots instead).
+        """
+        other = self._clone_shell()
+        other._schedule = self._schedule.copy()
+        return other
+
+    def _clone_shell(self) -> "ScoreEngine":
+        """Engine-specific clone of everything except the schedule mirror.
+
+        The default covers engines whose only state is the schedule
+        (reference); stateful engines override to copy accumulators and
+        share immutable inputs instead of re-running construction.
+        """
+        return type(self)(self._instance)
+
+    # ------------------------------------------------------------------
     # live-instance deltas
     # ------------------------------------------------------------------
     def apply_delta(self, delta: LiveDelta) -> None:
@@ -425,6 +458,32 @@ class VectorizedEngine(ScoreEngine):
             return np.zeros(self._instance.n_users)
         return mass
 
+    def _clone_shell(self) -> "VectorizedEngine":
+        # bypass __init__: re-reading interest.candidate would materialize
+        # a fresh dense matrix over sparse-backed storage (O(|U| * |E|));
+        # the clone shares the original's mu view / sigma and copies only
+        # the per-interval accumulators (and the engine-owned dense
+        # buffer, when one was densified by live deltas)
+        other = object.__new__(VectorizedEngine)
+        other._chunk_elements = self._chunk_elements
+        if self._mu_store is not None:
+            other._mu_store = self._mu_store.copy()
+            other._mu = other._mu_store.view()
+        else:
+            other._mu_store = None
+            other._mu = self._mu
+        other._sigma = self._sigma
+        other._scheduled_mass = {
+            interval: mass.copy()
+            for interval, mass in self._scheduled_mass.items()
+        }
+        other._contributors = {
+            interval: counts.copy()
+            for interval, counts in self._contributors.items()
+        }
+        ScoreEngine.__init__(other, self._instance)
+        return other
+
     # -- live-instance deltas -------------------------------------------
     def _delta_column(self, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
         column = np.zeros(self._instance.n_users)
@@ -715,6 +774,14 @@ class _SparseMass:
         out[hits] = self.counts[positions]
         return out
 
+    def copy(self) -> "_SparseMass":
+        """Independent mass vector holding the same floats."""
+        clone = _SparseMass()
+        clone.rows = self.rows.copy()
+        clone.values = self.values.copy()
+        clone.counts = self.counts.copy()
+        return clone
+
 
 def _sorted_hits(
     vec_rows: np.ndarray, rows: np.ndarray
@@ -810,6 +877,28 @@ class SparseEngine(ScoreEngine):
     # ------------------------------------------------------------------
     def _reset_state(self) -> None:
         self._scheduled_mass.clear()
+
+    def _clone_shell(self) -> "SparseEngine":
+        # bypass __init__: the Fortran-ordered sigma copy is O(|U| * |T|)
+        # and immutable, so the clone shares it (and the interest store)
+        # while copying the per-interval mass and competing caches
+        other = object.__new__(SparseEngine)
+        other._interest = self._interest
+        other._sigma = self._sigma
+        other._scheduled_mass = {
+            interval: mass.copy()
+            for interval, mass in self._scheduled_mass.items()
+        }
+        other._competing_entries = {
+            interval: (rows.copy(), values.copy())
+            for interval, (rows, values) in self._competing_entries.items()
+        }
+        other._competing_dense = {
+            interval: dense.copy()
+            for interval, dense in self._competing_dense.items()
+        }
+        ScoreEngine.__init__(other, self._instance)
+        return other
 
     def _apply(self, event: int, interval: int, sign: int) -> None:
         if sign < 0 and not self._schedule.events_at(interval):

@@ -176,6 +176,13 @@ class _DenseColumns:
     def put(self, index: int, column: np.ndarray) -> None:
         self._buffer[:, index] = column
 
+    def copy(self) -> "_DenseColumns":
+        """Independent buffer with the same active columns (same floats)."""
+        clone = _DenseColumns.__new__(_DenseColumns)
+        clone._n = self._n
+        clone._buffer = self._buffer.copy(order="F")
+        return clone
+
 
 def _entries_of(column: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Nonzero ``(rows, values)`` of a dense column (sorted rows)."""

@@ -69,6 +69,8 @@ batch size) so the two paths walk the same accumulation order.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.engine import ScoreEngine
@@ -80,7 +82,27 @@ from repro.core.live import (
     LiveDelta,
 )
 
-__all__ = ["ScorePlane"]
+__all__ = ["PlaneSnapshot", "ScorePlane"]
+
+
+@dataclass(frozen=True)
+class PlaneSnapshot:
+    """Copy-on-write capture of a plane's cached cells (no engine state).
+
+    ``scores`` is a private copy of the matrix (``None`` when the source
+    plane was never filled), ``dirty`` the interval rows that were stale
+    at capture time, and ``geometry`` the engine's floating-point query
+    geometry the cells were computed under.  Adoption
+    (:meth:`ScorePlane.adopt_snapshot`) copies again, so one snapshot can
+    warm any number of planes; a snapshot whose geometry does not match
+    the adopting engine is rejected (the plane starts cold instead) —
+    cells computed under different accumulation grouping would violate
+    the warm-start contract.
+    """
+
+    scores: np.ndarray | None
+    dirty: frozenset[int]
+    geometry: object
 
 
 class ScorePlane:
@@ -215,6 +237,77 @@ class ScorePlane:
         self._scores = np.array(other.ensure(), copy=True)
         self._dirty.clear()
         self._geometry = self._engine.score_geometry()
+
+    # -- copy-on-write cloning (the serving layer's replica fork) --------
+    def snapshot(self) -> PlaneSnapshot:
+        """Capture the cached cells in O(cells) — zero engine evaluations.
+
+        Dirty rows are carried as-is (the adopter refreshes them through
+        its own engine on first read), so a snapshot never triggers the
+        re-sweep it exists to avoid.
+        """
+        self._maybe_reset()
+        return PlaneSnapshot(
+            scores=None if self._scores is None else self._scores.copy(),
+            dirty=frozenset(self._dirty),
+            geometry=self._geometry,
+        )
+
+    def adopt_snapshot(self, snapshot: PlaneSnapshot) -> None:
+        """Replace this plane's cached cells with a snapshot's.
+
+        A geometry mismatch (or an empty snapshot) leaves the plane cold:
+        the next :meth:`ensure` refills through this plane's engine.
+        """
+        if (
+            snapshot.scores is None
+            or snapshot.geometry != self._engine.score_geometry()
+            or snapshot.scores.shape != (self.n_intervals, self.n_events)
+        ):
+            self.invalidate()
+            return
+        self._scores = snapshot.scores.copy()
+        self._dirty = set(snapshot.dirty)
+        self._geometry = snapshot.geometry
+
+    def fork(self, engine: ScoreEngine | None = None) -> ScorePlane:
+        """An independent plane adopting this plane's cells in O(cells).
+
+        ``engine`` defaults to :meth:`ScoreEngine.clone` of this plane's
+        engine; the serving pool instead injects a clone of a template
+        engine built over a frozen snapshot, isolating the fork from live
+        mutations.  Either way the injected engine must mirror the same
+        schedule as the parent's (enforced below), since the cached cells
+        — including the ``-inf`` columns of scheduled events — describe
+        exactly that schedule.
+
+        The fork's accounting starts at zero, so ``fork().cells_filled``
+        staying 0 across warm solves is the CI-checkable proof that
+        replicas are O(cells) copies, never re-sweeps.  Solves through
+        the fork are bit-identical to solves through the parent
+        (differential-tested in ``tests/serve/test_fork.py``): the cells
+        are the same floats and both engines refresh rows with identical
+        accumulation geometry.
+        """
+        self._maybe_reset()
+        if engine is None:
+            engine = self._engine.clone()
+        if self._auto_reset and len(engine.schedule):
+            engine.reset()
+        elif engine.schedule.as_mapping() != self._engine.schedule.as_mapping():
+            raise ValueError(
+                "fork engine mirrors a different schedule than the plane's "
+                "own engine; the cached cells would not describe its state"
+            )
+        clone = ScorePlane(engine, auto_reset=self._auto_reset)
+        if (
+            self._scores is not None
+            and clone._geometry == self._geometry
+            and self._scores.shape == (clone.n_intervals, clone.n_events)
+        ):
+            clone._scores = self._scores.copy()
+            clone._dirty = set(self._dirty)
+        return clone
 
     # -- invalidation hooks ---------------------------------------------
     def mark_dirty(self, interval: int) -> None:

@@ -39,6 +39,11 @@ Subcommands
     registry completeness, determinism, shim bans, dtype discipline).
     Exit code 0 clean / 1 findings / 2 internal error.
 
+``serve-bench``
+    Passthrough to ``benchmarks/bench_serving.py``: the concurrent
+    serving benchmark (warm :class:`~repro.serve.PlanePool` vs cold
+    per-request construction, N client threads, mixed workloads).
+
 ``demo``
     End-to-end smoke run on a small instance: all methods side by side.
 """
@@ -232,13 +237,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue with rationales and exit",
     )
 
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="run the concurrent-serving benchmark (benchmarks/bench_serving.py)",
+        description=(
+            "Passthrough to benchmarks/bench_serving.py: N client threads "
+            "against a warm ServingSession plane pool vs cold per-request "
+            "construction.  All arguments after the subcommand are forwarded "
+            "(e.g. `ses-repro serve-bench --smoke --json out.json`)."
+        ),
+    )
+    serve_bench.add_argument(
+        "bench_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to bench_serving.py (try `-- --help`)",
+    )
+
     demo = commands.add_parser("demo", help="small end-to-end comparison run")
     _add_engine_argument(demo)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    resolved = list(sys.argv[1:] if argv is None else argv)
+    if resolved and resolved[0] == "serve-bench":
+        # route before argparse: REMAINDER refuses to capture leading
+        # option-shaped tokens, and the forwarded benchmark owns all of
+        # its own flags (`serve-bench --smoke` should just work)
+        forwarded = resolved[1:]
+        return _run_serve_bench(
+            argparse.Namespace(command="serve-bench", bench_args=forwarded)
+        )
+    args = build_parser().parse_args(resolved)
     handler = {
         "figure": _run_figure,
         "dataset": _run_dataset,
@@ -246,6 +276,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "solvers": _run_solvers,
         "stream": _run_stream,
         "lint": _run_lint,
+        "serve-bench": _run_serve_bench,
         "demo": _run_demo,
     }[args.command]
     return handler(args)
@@ -440,6 +471,31 @@ def _run_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(result), end="")
     return result.exit_code
+
+
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    import importlib
+    from pathlib import Path
+
+    try:
+        module = importlib.import_module("benchmarks.bench_serving")
+    except ModuleNotFoundError:
+        # src-layout checkout: benchmarks/ sits next to src/, two levels
+        # above the installed repro package
+        repo_root = Path(__file__).resolve().parents[3]
+        if not (repo_root / "benchmarks" / "bench_serving.py").exists():
+            print(
+                "ses-repro serve-bench: benchmarks/bench_serving.py not "
+                "found; run from a full repository checkout",
+                file=sys.stderr,
+            )
+            return 2
+        sys.path.insert(0, str(repo_root))
+        module = importlib.import_module("benchmarks.bench_serving")
+    forwarded = list(args.bench_args)
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return int(module.main(forwarded))
 
 
 #: demo line-up: registry name -> extra request params

@@ -1,0 +1,45 @@
+"""``repro.serve`` — the concurrent serving subsystem.
+
+PRs 2–5 made single-client serving fast (memoized engines, warm
+:class:`~repro.core.scoreplane.ScorePlane` matrices, O(delta) live
+mutations); this package makes it *concurrent*, following the
+single-writer / versioned-reader architecture of production schedule
+servers (pretalx is the reference in PAPERS.md):
+
+* :mod:`repro.serve.pool` — :class:`PlanePool`: one warm single-writer
+  primary plane per :class:`~repro.core.engine.EngineSpec`, copy-on-write
+  forked read replicas with generation invalidation, bounded LRU reuse;
+* :mod:`repro.serve.session` — :class:`ServingSession`: the thread-safe
+  front-end routing mutations through the writer lock while solves,
+  what-ifs and stream simulations run in parallel on replicas;
+* :mod:`repro.serve.workload` — deterministic mixed request workloads
+  whose outcomes are interleaving-independent (the differential suite's
+  and ``benchmarks/bench_serving.py``'s foundation).
+
+The load-bearing guarantees, all differential-tested: a forked replica's
+solves are bit-identical to the parent plane's; K concurrent clients
+produce bit-identical responses to a serial replay; and a replica is
+never silently stale — it either matches the current generation or is
+discarded.
+"""
+
+from repro.serve.pool import PlanePool, PoolStats, Replica
+from repro.serve.session import ServedResponse, ServingSession
+from repro.serve.workload import (
+    WorkItem,
+    make_workload,
+    run_item,
+    run_item_cold,
+)
+
+__all__ = [
+    "PlanePool",
+    "PoolStats",
+    "Replica",
+    "ServedResponse",
+    "ServingSession",
+    "WorkItem",
+    "make_workload",
+    "run_item",
+    "run_item_cold",
+]

@@ -1,0 +1,315 @@
+"""PlanePool: single-writer warm primaries, copy-on-write read replicas.
+
+The serving problem: :class:`~repro.api.session.ScheduleSession` keeps
+exactly one engine + one warm :class:`~repro.core.scoreplane.ScorePlane`
+per :class:`~repro.core.engine.EngineSpec`, so a second concurrent client
+either races on shared dirty-row state or rebuilds from cold.  The pool
+resolves it with the single-writer / many-reader split the pretalx
+serving stack uses for versioned schedules:
+
+* **one primary per spec** — a base plane whose engine is built over the
+  pool's shared :class:`~repro.core.live.LiveInstance`.  All mutation
+  flows through :meth:`write`, which applies the mutator under the pool
+  lock, feeds the returned :class:`~repro.core.live.LiveDelta` to every
+  primary (O(delta) — cells stay warm across versions), and bumps the
+  generation counter;
+* **forked replicas for readers** — :meth:`acquire` hands out an
+  independent :meth:`ScorePlane.fork` whose engine is a
+  :meth:`~repro.core.engine.ScoreEngine.clone` of a per-(spec, version)
+  template built over the *frozen snapshot* of the current version.
+  Replicas are therefore completely isolated from later writer
+  mutations: an in-flight solve finishes safely against its immutable
+  version instance, and its response is stamped with the generation it
+  saw;
+* **generation invalidation, never silent staleness** — every replica
+  records the generation it was forked at; :meth:`acquire` and
+  :meth:`release` discard replicas whose generation no longer matches
+  (counted in :attr:`PoolStats.invalidations`), so a reader can observe
+  at most the version it leased, never a torn mix;
+* **bounded reuse** — released replicas park on a per-spec free list
+  (most recently used last); the list is capped at ``max_replicas`` and
+  trimmed LRU-first (:attr:`PoolStats.evictions`).
+
+Forking is O(cells): the primary is brought current once (its own
+accounting absorbs the fill/refresh), then the matrix is copied and the
+template engine cloned — zero engine score evaluations on the replica.
+``PoolStats.replica_cold_cells`` aggregates every replica's
+``cells_filled``; the serving benchmark's CI check asserts it stays 0.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.engine import EngineSpec, ScoreEngine
+from repro.core.instance import SESInstance
+from repro.core.live import LiveDelta, LiveInstance
+from repro.core.scoreplane import ScorePlane
+
+__all__ = ["PlanePool", "PoolStats", "Replica"]
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Counter snapshot of the pool's fork/reuse economics (JSON-ready)."""
+
+    forks: int
+    hits: int
+    invalidations: int
+    evictions: int
+    rebuilds: int
+    generation: int
+    freezes: int
+    replica_cold_cells: int
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "forks": self.forks,
+            "hits": self.hits,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "rebuilds": self.rebuilds,
+            "generation": self.generation,
+            "freezes": self.freezes,
+            "replica_cold_cells": self.replica_cold_cells,
+        }
+
+
+class Replica:
+    """One leased read replica: a forked plane pinned to a version.
+
+    ``plane`` wraps a private engine clone built over ``frozen`` — the
+    immutable snapshot of the generation the replica was forked at — so
+    solves through it are race-free by construction.  ``pool_hit`` tells
+    whether this lease was served from the free list (True) or forked
+    fresh (False).
+    """
+
+    __slots__ = ("spec", "plane", "frozen", "generation", "pool_hit",
+                 "_cold_cells_counted")
+
+    def __init__(
+        self,
+        spec: EngineSpec,
+        plane: ScorePlane,
+        frozen: SESInstance,
+        generation: int,
+    ) -> None:
+        self.spec = spec
+        self.plane = plane
+        self.frozen = frozen
+        self.generation = generation
+        self.pool_hit = False
+        self._cold_cells_counted = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Replica({self.spec.kind}, generation={self.generation}, "
+            f"pool_hit={self.pool_hit})"
+        )
+
+
+class PlanePool:
+    """Warm plane/engine pool over one shared live instance.
+
+    Parameters
+    ----------
+    live:
+        The single-writer live state all primaries observe.  Every
+        mutation must flow through :meth:`write`; mutating ``live``
+        behind the pool's back leaves primaries silently stale.
+    max_replicas:
+        Cap on *retained* free replicas per spec.  Leases beyond the cap
+        still succeed (a fresh fork is handed out, never blocking); the
+        cap only bounds how many parked replicas the pool keeps warm.
+    """
+
+    def __init__(self, live: LiveInstance, *, max_replicas: int = 8) -> None:
+        if max_replicas < 1:
+            raise ValueError(
+                f"max_replicas must be positive, got {max_replicas}"
+            )
+        self._live = live
+        self._max_replicas = max_replicas
+        self._lock = threading.RLock()
+        self._generation = 0
+        self._primaries: dict[EngineSpec, ScorePlane] = {}
+        # per-(spec) template engines over the current version's frozen
+        # snapshot; cleared on every write and rebuilt lazily (counted)
+        self._templates: dict[EngineSpec, ScoreEngine] = {}
+        self._free: dict[EngineSpec, list[Replica]] = {}
+        self._forks = 0
+        self._hits = 0
+        self._invalidations = 0
+        self._evictions = 0
+        self._rebuilds = 0
+        self._replica_cold_cells = 0
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Version counter: bumped once per :meth:`write`."""
+        with self._lock:
+            return self._generation
+
+    @property
+    def max_replicas(self) -> int:
+        return self._max_replicas
+
+    def stats(self) -> PoolStats:
+        with self._lock:
+            return PoolStats(
+                forks=self._forks,
+                hits=self._hits,
+                invalidations=self._invalidations,
+                evictions=self._evictions,
+                rebuilds=self._rebuilds,
+                generation=self._generation,
+                freezes=self._live.freezes,
+                replica_cold_cells=self._aggregate_cold_cells(),
+            )
+
+    def _aggregate_cold_cells(self) -> int:
+        total = self._replica_cold_cells
+        for replicas in self._free.values():
+            for replica in replicas:
+                total += (
+                    replica.plane.cells_filled - replica._cold_cells_counted
+                )
+        return total
+
+    # -- the write path (single writer) ----------------------------------
+    def write(self, mutate: Callable[[LiveInstance], LiveDelta]) -> LiveDelta:
+        """Apply one structural mutation and re-warm the pool around it.
+
+        ``mutate`` receives the live instance and must return the
+        :class:`LiveDelta` its mutator produced.  Under the pool lock the
+        delta is fed to every primary (O(delta) cell surgery, no
+        re-sweep), version templates are dropped, the generation is
+        bumped, and parked replicas — now stale — are discarded.
+        """
+        with self._lock:
+            delta = mutate(self._live)
+            for primary in self._primaries.values():
+                primary.apply_delta(delta)
+            self._templates.clear()
+            self._generation += 1
+            for replicas in self._free.values():
+                for replica in replicas:
+                    self._retire(replica)
+                    self._invalidations += 1
+                replicas.clear()
+            return delta
+
+    def version_instance(self) -> SESInstance:
+        """The immutable snapshot of the current generation.
+
+        Frozen lazily, at most once per generation, under the pool lock —
+        the single sanctioned O(instance) step on the read path (what-if
+        and report queries run against it; solves additionally warm-start
+        from forked replicas).
+        """
+        with self._lock:
+            return self._live.freeze()  # ses-lint: disable=freeze-ban
+
+    # -- the read path (leases) ------------------------------------------
+    def acquire(self, spec: EngineSpec | str | None = None) -> Replica:
+        """Lease a replica of the current generation (never stale).
+
+        Served from the free list when a same-generation replica is
+        parked there (a *pool hit*); otherwise forked fresh from the
+        spec's primary in O(cells).  Pair with :meth:`release`, or use
+        :meth:`lease`.
+        """
+        resolved = EngineSpec.coerce(spec)
+        with self._lock:
+            free = self._free.get(resolved)
+            while free:
+                replica = free.pop()  # most recently used first
+                if replica.generation == self._generation:
+                    self._hits += 1
+                    replica.pool_hit = True
+                    return replica
+                self._retire(replica)
+                self._invalidations += 1
+            self._forks += 1
+            return self._fork(resolved)
+
+    def release(self, replica: Replica) -> None:
+        """Return a lease; parked for reuse unless stale or over the cap."""
+        with self._lock:
+            if replica.generation != self._generation:
+                self._retire(replica)
+                self._invalidations += 1
+                return
+            free = self._free.setdefault(replica.spec, [])
+            free.append(replica)
+            if len(free) > self._max_replicas:
+                self._retire(free.pop(0))  # least recently used
+                self._evictions += 1
+
+    class _Lease:
+        __slots__ = ("_pool", "_spec", "replica")
+
+        def __init__(self, pool: PlanePool, spec: EngineSpec | str | None):
+            self._pool = pool
+            self._spec = spec
+
+        def __enter__(self) -> Replica:
+            self.replica = self._pool.acquire(self._spec)
+            return self.replica
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._pool.release(self.replica)
+
+    def lease(self, spec: EngineSpec | str | None = None) -> "PlanePool._Lease":
+        """Context manager: ``with pool.lease(spec) as replica: ...``."""
+        return PlanePool._Lease(self, spec)
+
+    # -- internals (lock held) -------------------------------------------
+    def _primary_for(self, spec: EngineSpec) -> ScorePlane:
+        primary = self._primaries.get(spec)
+        if primary is None:
+            # built over the live view, so later writes keep it current
+            # through apply_delta instead of rebuilding
+            primary = ScorePlane(spec.build(self._live))  # type: ignore[arg-type]
+            self._primaries[spec] = primary
+        return primary
+
+    def _template_for(self, spec: EngineSpec) -> ScoreEngine:
+        template = self._templates.get(spec)
+        if template is None:
+            template = spec.build(self.version_instance())
+            self._templates[spec] = template
+            self._rebuilds += 1
+        return template
+
+    def _fork(self, spec: EngineSpec) -> Replica:
+        primary = self._primary_for(spec)
+        # bring the primary current once — its own engine pays any cold
+        # fill / dirty-row refresh; every replica then copies warm cells
+        primary.ensure()
+        plane = primary.fork(self._template_for(spec).clone())
+        return Replica(
+            spec=spec,
+            plane=plane,
+            frozen=self.version_instance(),
+            generation=self._generation,
+        )
+
+    def _retire(self, replica: Replica) -> None:
+        """Fold a discarded replica's accounting into the pool totals."""
+        self._replica_cold_cells += (
+            replica.plane.cells_filled - replica._cold_cells_counted
+        )
+        replica._cold_cells_counted = replica.plane.cells_filled
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            parked = sum(len(r) for r in self._free.values())
+            return (
+                f"PlanePool(generation={self._generation}, "
+                f"primaries={len(self._primaries)}, parked={parked})"
+            )

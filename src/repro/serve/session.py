@@ -1,0 +1,333 @@
+"""ServingSession: thread-safe, multi-client front-end over one instance.
+
+:class:`~repro.api.session.ScheduleSession` is the single-threaded
+serving loop; this wrapper makes it safe to hammer from many client
+threads at once while the instance itself evolves:
+
+* **reads run in parallel** — every :meth:`solve` leases a
+  :class:`~repro.serve.pool.Replica` from the shared
+  :class:`~repro.serve.pool.PlanePool` and runs the solver against the
+  replica's private plane/engine over the immutable snapshot of the
+  version it leased.  No read ever touches shared mutable state, so K
+  threads produce responses bit-identical to the same requests replayed
+  serially (differential-tested in
+  ``tests/serve/test_serving_session.py``);
+* **mutations are single-writer** — :meth:`add_event`,
+  :meth:`cancel_event`, :meth:`update_event_interest` and
+  :meth:`add_competing` route through :meth:`PlanePool.write`, which
+  applies the change under the pool's writer lock, patches every warm
+  primary in O(delta), and bumps the generation so outstanding replicas
+  are invalidated on return — never silently reused;
+* **what-if / report / stream reads** run against the current version's
+  frozen snapshot (:meth:`PlanePool.version_instance`); they build their
+  private solvers/drivers per call, so they are reentrant by
+  construction.
+
+Every response is stamped with the generation it was computed at
+(:attr:`ServedResponse.version`), mirroring pretalx's versioned-schedule
+reads: a client can tell exactly which version of the instance answered.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.algorithms.registry import SolverRegistry
+from repro.api.requests import SolveRequest, SolveResponse
+from repro.api.session import ScheduleSession
+from repro.core.engine import EngineSpec
+from repro.core.entities import CandidateEvent, CompetingEvent
+from repro.core.instance import SESInstance
+from repro.core.live import LiveDelta, LiveInstance
+from repro.core.schedule import Schedule
+from repro.serve.pool import PlanePool, PoolStats
+
+__all__ = ["ServedResponse", "ServingSession"]
+
+
+@dataclass(frozen=True)
+class ServedResponse:
+    """A :class:`SolveResponse` plus its serving provenance.
+
+    ``version`` is the pool generation the solve ran at; ``pool_hit``
+    whether the lease was served from a parked replica (True) or a fresh
+    fork (False).  The underlying response's conveniences are re-exposed
+    so callers can stay agnostic of which session type served them.
+    """
+
+    response: SolveResponse
+    version: int
+    pool_hit: bool
+
+    @property
+    def result(self) -> Any:
+        return self.response.result
+
+    @property
+    def request(self) -> SolveRequest:
+        return self.response.request
+
+    @property
+    def schedule(self) -> Schedule:
+        return self.response.result.schedule
+
+    @property
+    def utility(self) -> float:
+        return self.response.result.utility
+
+    def summary(self) -> str:
+        return f"{self.response.summary()} @v{self.version}"
+
+
+class ServingSession:
+    """Serve concurrent solve / what-if / stream queries over one instance.
+
+    Parameters
+    ----------
+    instance:
+        The initial problem instance (generation 0).
+    default_engine:
+        :class:`EngineSpec` (or kind string) used when a request names
+        none; defaults to the vectorized engine.
+    registry:
+        Solver catalog; the process-wide registry unless a test injects
+        its own.
+    max_replicas:
+        Per-spec cap on parked read replicas (see :class:`PlanePool`).
+    """
+
+    def __init__(
+        self,
+        instance: SESInstance,
+        default_engine: EngineSpec | str | None = None,
+        registry: SolverRegistry | None = None,
+        *,
+        max_replicas: int = 8,
+    ) -> None:
+        # the inner session is used for request validation and solver
+        # construction only (both version-independent); its per-spec
+        # engine cache is never touched by the concurrent paths
+        self._session = ScheduleSession(instance, default_engine, registry)
+        self._live = LiveInstance(instance)
+        self._pool = PlanePool(self._live, max_replicas=max_replicas)
+        self._served_lock = threading.Lock()
+        self._requests_served = 0
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def default_engine(self) -> EngineSpec:
+        return self._session.default_engine
+
+    @property
+    def version(self) -> int:
+        """Current generation (0 until the first mutation commits)."""
+        return self._pool.generation
+
+    @property
+    def requests_served(self) -> int:
+        with self._served_lock:
+            return self._requests_served
+
+    @property
+    def pool(self) -> PlanePool:
+        return self._pool
+
+    def pool_stats(self) -> PoolStats:
+        """Fork/hit/invalidation/rebuild counters (see :class:`PoolStats`)."""
+        return self._pool.stats()
+
+    def version_instance(self) -> SESInstance:
+        """The immutable snapshot of the current version."""
+        return self._pool.version_instance()
+
+    def describe(self) -> str:
+        stats = self._pool.stats()
+        return (
+            f"{self._live.describe()} | v{stats.generation} | "
+            f"{self.requests_served} request(s) served | "
+            f"{stats.forks} fork(s), {stats.hits} hit(s), "
+            f"{stats.invalidations} invalidation(s)"
+        )
+
+    def _count_served(self) -> None:
+        with self._served_lock:
+            self._requests_served += 1
+
+    # -- the concurrent read path ----------------------------------------
+    def solve(
+        self, request: SolveRequest | None = None, /, **query: Any
+    ) -> ServedResponse:
+        """Serve one solve on a leased replica (runs in parallel).
+
+        Accepts a :class:`SolveRequest` or its keyword fields, exactly
+        like :meth:`ScheduleSession.solve`.  The solver is constructed
+        fresh per request (stochastic state never leaks between
+        clients); the initial score sweep is read warm from the forked
+        replica plane.
+        """
+        if request is None:
+            request = SolveRequest(**query)
+        elif query:
+            raise TypeError(
+                "pass either a SolveRequest or keyword fields, not both"
+            )
+        spec = (
+            EngineSpec.coerce(request.engine)
+            if request.engine is not None
+            else self._session.default_engine
+        )
+        solver = self._session.solver_for(request)
+        with self._pool.lease(spec) as replica:
+            result = solver.solve(
+                replica.frozen, request.k, plane=replica.plane
+            )
+            version = replica.generation
+            pool_hit = replica.pool_hit
+        self._count_served()
+        return ServedResponse(
+            response=SolveResponse(
+                request=request,
+                result=result,
+                engine=spec,
+                reused_engine=pool_hit,
+            ),
+            version=version,
+            pool_hit=pool_hit,
+        )
+
+    def what_if_theta(
+        self, k: int, thetas: Sequence[float], solver: str = "grd",
+        **params: Any,
+    ) -> Any:
+        """Utility curve as the staffing budget varies (current version)."""
+        from repro.harness import whatif
+
+        curve = whatif.sweep_theta(
+            self.version_instance(), k, thetas,
+            solver=self._whatif_solver(solver, params),
+        )
+        self._count_served()
+        return curve
+
+    def competition_cost(
+        self, k: int, competing_index: int, solver: str = "grd",
+        **params: Any,
+    ) -> float:
+        """Attendance recovered if one rival vanished (current version)."""
+        from repro.harness import whatif
+
+        cost = whatif.competition_cost(
+            self.version_instance(), k, competing_index,
+            solver=self._whatif_solver(solver, params),
+        )
+        self._count_served()
+        return cost
+
+    def report(self, schedule: Schedule) -> Any:
+        """Full :class:`~repro.harness.inspect.ScheduleReport` at the
+        current version."""
+        from repro.harness.inspect import ScheduleReport
+
+        self._count_served()
+        return ScheduleReport(self.version_instance(), schedule)
+
+    def stream(
+        self,
+        trace: Any,
+        policy: Any = "incremental",
+        k: int | None = None,
+        engine: EngineSpec | str | None = None,
+        *,
+        oracle_every: int | None = None,
+        oracle_solver: str = "grd-heap",
+        **policy_params: Any,
+    ) -> Any:
+        """Replay a change trace against the current version's snapshot.
+
+        The driver materializes its own private
+        :class:`~repro.core.live.LiveInstance` over the frozen snapshot,
+        so the replay is a *simulation*: it never mutates the serving
+        state (use the mutators below to commit real changes).
+        """
+        from repro.stream import StreamDriver
+
+        driver = StreamDriver(
+            self.version_instance(),
+            k=k,
+            policy=policy,
+            engine=engine if engine is not None else self.default_engine,
+            oracle_every=oracle_every,
+            oracle_solver=oracle_solver,
+            **policy_params,
+        )
+        result = driver.run(trace)
+        self._count_served()
+        return result
+
+    # -- the single-writer mutation path ---------------------------------
+    def add_event(
+        self,
+        location: int,
+        required_resources: float,
+        interest_column: Any,
+        name: str = "",
+        tags: frozenset[str] = frozenset(),
+    ) -> int:
+        """Commit a candidate-event arrival; returns its index.
+
+        Applied under the writer lock: primaries absorb the delta in
+        O(delta), the generation bumps, outstanding replicas invalidate.
+        """
+        def mutate(live: LiveInstance) -> LiveDelta:
+            event = CandidateEvent(
+                index=live.n_events,
+                location=location,
+                required_resources=required_resources,
+                name=name,
+                tags=tags,
+            )
+            return live.add_event(event, interest_column)
+
+        delta = self._pool.write(mutate)
+        return delta.event  # type: ignore[attr-defined]
+
+    def cancel_event(self, event: int) -> int:
+        """Commit a candidate-event cancellation (later events renumber)."""
+        def mutate(live: LiveInstance) -> LiveDelta:
+            return live.remove_event(event)
+
+        delta = self._pool.write(mutate)
+        return delta.event  # type: ignore[attr-defined]
+
+    def update_event_interest(self, event: int, interest_column: Any) -> int:
+        """Commit an interest-drift update for one candidate event."""
+        def mutate(live: LiveInstance) -> LiveDelta:
+            return live.replace_event_interest(event, interest_column)
+
+        delta = self._pool.write(mutate)
+        return delta.event  # type: ignore[attr-defined]
+
+    def add_competing(
+        self, interval: int, interest_column: Any, name: str = ""
+    ) -> int:
+        """Commit a rival-event announcement; returns its index."""
+        def mutate(live: LiveInstance) -> LiveDelta:
+            rival = CompetingEvent(
+                index=live.n_competing, interval=interval, name=name
+            )
+            return live.add_competing(rival, interest_column)
+
+        delta = self._pool.write(mutate)
+        return delta.competing  # type: ignore[attr-defined]
+
+    # -- internals -------------------------------------------------------
+    def _whatif_solver(self, solver: str, params: dict[str, Any]) -> Any:
+        return self._session.registry.create(
+            solver, engine=self.default_engine, **params
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -89,6 +89,66 @@ class TestMutationCopies:
         )
 
 
+class TestServeHotPathCoverage:
+    """The serve/ hot path is inside the freeze-ban + determinism nets."""
+
+    @pytest.fixture
+    def pool_copy(self, tmp_path):
+        target = tmp_path / "serve"
+        target.mkdir()
+        return Path(
+            shutil.copy(SRC / "repro/serve/pool.py", target / "pool.py")
+        )
+
+    def test_unmutated_pool_copy_is_clean_with_one_allowlisted_freeze(
+        self, pool_copy
+    ):
+        result = run_lint([pool_copy], resolve_rules(["freeze-ban"]))
+        assert result.clean, rules_of(result)
+        # the version_instance() freeze is counted as suppressed, not hidden
+        assert result.suppressed == 1
+
+    def test_stripping_the_freeze_allowlist_fails_lint(self, pool_copy):
+        source = pool_copy.read_text(encoding="utf-8")
+        marker = "  # ses-lint: disable=freeze-ban"
+        assert marker in source, "allowlist anchor moved; update this test"
+        pool_copy.write_text(source.replace(marker, ""), encoding="utf-8")
+        result = run_lint([pool_copy], resolve_rules(["freeze-ban"]))
+        assert not result.clean
+        assert any(
+            f.rule == "freeze-ban" and "freeze()" in f.message
+            for f in result.findings
+        )
+
+    def test_serving_session_is_in_freeze_ban_scope(self, tmp_path):
+        # a .freeze() call in a module whose path ends serve/session.py
+        # must fire — proving the scope tuple actually covers the file
+        target = tmp_path / "serve"
+        target.mkdir()
+        bad = target / "session.py"
+        bad.write_text("def peek(live):\n    return live.freeze()\n")
+        result = run_lint([bad], resolve_rules(["freeze-ban"]))
+        assert rules_of(result) == ["freeze-ban"]
+
+    def test_serve_tree_is_determinism_clean(self):
+        result = run_lint(
+            [SRC / "repro/serve"], resolve_rules(["determinism"])
+        )
+        assert result.clean, "\n".join(f.format() for f in result.findings)
+        assert result.files_checked == 4
+
+    def test_unseeded_rng_in_serve_fails_determinism(self, tmp_path):
+        target = tmp_path / "serve"
+        target.mkdir()
+        bad = target / "workload.py"
+        bad.write_text(
+            "import numpy as np\n\n"
+            "def sample():\n    return np.random.default_rng().random()\n"
+        )
+        result = run_lint([bad], resolve_rules(["determinism"]))
+        assert rules_of(result) == ["determinism"]
+
+
 def test_determinism_audit_of_benchmarks_and_conftests():
     """Satellite audit: harness code outside src stays deterministic.
 

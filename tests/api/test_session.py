@@ -139,16 +139,25 @@ class TestSessionServing:
         with pytest.raises(ValueError, match="online"):
             session.solve(k=2, solver="incremental")
 
-    def test_backend_only_spec_variants_share_one_engine(self, instance):
-        """EngineSpec.backend is a workload hint, not engine state — it
-        must not defeat the construction cache."""
+    def test_backend_only_spec_variants_are_isolated(self, instance):
+        """Two specs differing only in backend must not share an engine
+        (or the warm plane wrapping it): the cache key is the full spec,
+        so no spec can ever observe another spec's plane state."""
         session = ScheduleSession(instance, default_engine=EngineSpec("sparse"))
-        session.solve(k=2)
-        second = session.solve(
-            k=2, engine=EngineSpec(kind="sparse", backend="sparse")
-        )
-        assert session.engines_built == 1
-        assert second.reused_engine
+        first = session.solve(k=2)
+        variant_spec = EngineSpec(kind="sparse", backend="sparse")
+        second = session.solve(k=2, engine=variant_spec)
+        assert session.engines_built == 2
+        assert not second.reused_engine
+        assert session.engine_for() is not session.engine_for(variant_spec)
+        assert session.plane_for() is not session.plane_for(variant_spec)
+        # isolation never costs parity: both serve identical results
+        assert first.utility == second.utility
+        assert first.schedule == second.schedule
+        # and same-spec requests still hit the cache
+        third = session.solve(k=2, engine=variant_spec)
+        assert session.engines_built == 2
+        assert third.reused_engine
 
     def test_response_carries_request_and_spec(self, instance):
         request = SolveRequest(k=2, label="baseline")

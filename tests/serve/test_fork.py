@@ -1,0 +1,180 @@
+"""ScorePlane.fork()/snapshot(): copy-on-write cloning of warm planes.
+
+The load-bearing contract: a fork is an O(cells) *copy* — the forked
+plane answers solves bit-identically to its parent while performing zero
+engine score evaluations of its own, on every engine kind, including
+after the parent absorbed live deltas.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import EngineSpec, solver_registry
+from repro.core.entities import CompetingEvent
+from repro.core.live import LiveInstance
+from repro.core.scoreplane import PlaneSnapshot, ScorePlane
+
+from tests.conftest import make_random_instance
+
+KINDS = ("vectorized", "sparse", "reference")
+
+
+def grd_solve(instance, k, plane):
+    scheduler = solver_registry.create("grd")
+    result = scheduler.solve(instance, k, plane=plane)
+    return result.utility, tuple(sorted(result.schedule.as_mapping().items()))
+
+
+@pytest.fixture
+def instance():
+    return make_random_instance(
+        n_users=30, n_events=8, n_intervals=5, n_competing=6, seed=1711
+    )
+
+
+class TestFork:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_fork_is_bit_identical_and_zero_evaluation(self, instance, kind):
+        plane = ScorePlane(EngineSpec(kind).build(instance))
+        plane.ensure()  # warm the parent
+        filled = plane.cells_filled
+        fork = plane.fork()
+
+        assert fork is not plane
+        assert fork.engine is not plane.engine
+        assert grd_solve(instance, 4, fork) == grd_solve(instance, 4, plane)
+        # the fork never evaluated a single cell: all warm copies
+        assert fork.cells_filled == 0
+        assert fork.cells_refreshed == 0
+        # and forking didn't charge the parent either
+        assert plane.cells_filled == filled
+
+    @pytest.mark.parametrize("kind", ("vectorized", "sparse"))
+    def test_fork_of_cold_plane_matches_too(self, instance, kind):
+        plane = ScorePlane(EngineSpec(kind).build(instance))
+        fork = plane.fork()  # nothing warm to copy: fork fills itself
+        assert grd_solve(instance, 4, fork) == grd_solve(instance, 4, plane)
+        assert fork.cells_filled > 0
+
+    def test_forks_are_independent(self, instance):
+        plane = ScorePlane(EngineSpec("vectorized").build(instance))
+        plane.ensure()
+        fork = plane.fork()
+        fork.mark_dirty(0)
+        fork.flush()
+        # dirtying + refreshing the fork never touches the parent
+        assert plane.cells_refreshed == 0
+        assert grd_solve(instance, 3, fork) == grd_solve(instance, 3, plane)
+
+    @pytest.mark.parametrize("kind", ("vectorized", "sparse"))
+    def test_fork_after_delta_stream(self, kind):
+        """Parent absorbs live deltas in O(delta); forks taken afterwards
+        still answer bit-identically to a cold solve over the new state."""
+        rng = np.random.default_rng(77)
+        base = make_random_instance(
+            n_users=24, n_events=6, n_intervals=4, n_competing=4, seed=903
+        )
+        live = LiveInstance(base)
+        plane = ScorePlane(EngineSpec(kind).build(live))
+        plane.ensure()
+        for step in range(3):
+            rival = CompetingEvent(
+                index=live.n_competing, interval=step % live.n_intervals
+            )
+            delta = live.add_competing(rival, rng.random(live.n_users))
+            plane.apply_delta(delta)
+        frozen = live.freeze()
+        template = EngineSpec(kind).build(frozen)
+        fork = plane.fork(template.clone())
+        cold = ScorePlane(EngineSpec(kind).build(frozen))
+        assert grd_solve(frozen, 4, fork) == grd_solve(frozen, 4, cold)
+        assert fork.cells_filled == 0
+
+    def test_fork_rejects_mismatched_engine_schedule(self, instance):
+        engine = EngineSpec("vectorized").build(instance)
+        plane = ScorePlane(engine, auto_reset=False)
+        plane.ensure()
+        other = EngineSpec("vectorized").build(instance)
+        other.assign(0, 0)
+        with pytest.raises(ValueError, match="different schedule"):
+            plane.fork(other)
+
+
+class TestSnapshot:
+    def test_snapshot_roundtrip_warms_a_fresh_plane(self, instance):
+        plane = ScorePlane(EngineSpec("vectorized").build(instance))
+        plane.ensure()
+        snap = plane.snapshot()
+        assert isinstance(snap, PlaneSnapshot)
+
+        adopter = ScorePlane(EngineSpec("vectorized").build(instance))
+        adopter.adopt_snapshot(snap)
+        assert grd_solve(instance, 4, adopter) == grd_solve(instance, 4, plane)
+        assert adopter.cells_filled == 0
+
+    def test_snapshot_is_isolated_from_the_source(self, instance):
+        plane = ScorePlane(EngineSpec("vectorized").build(instance))
+        plane.ensure()
+        snap = plane.snapshot()
+        assert snap.scores is not None
+        before = snap.scores.copy()
+        plane.mark_dirty(1)
+        plane.flush()
+        np.testing.assert_array_equal(snap.scores, before)
+
+    def test_adopting_geometry_mismatch_invalidates(self, instance):
+        plane = ScorePlane(EngineSpec("vectorized").build(instance))
+        plane.ensure()
+        snap = plane.snapshot()
+        other_instance = make_random_instance(
+            n_users=30, n_events=7, n_intervals=5, seed=4
+        )
+        adopter = ScorePlane(EngineSpec("vectorized").build(other_instance))
+        adopter.adopt_snapshot(snap)
+        # mismatch is a safe invalidate, not silent corruption
+        fp = grd_solve(other_instance, 3, adopter)
+        cold = ScorePlane(EngineSpec("vectorized").build(other_instance))
+        assert fp == grd_solve(other_instance, 3, cold)
+
+    def test_empty_snapshot_adoption_is_a_noop_invalidate(self, instance):
+        plane = ScorePlane(EngineSpec("vectorized").build(instance))
+        snap = plane.snapshot()  # never filled
+        adopter = ScorePlane(EngineSpec("vectorized").build(instance))
+        adopter.adopt_snapshot(snap)
+        assert grd_solve(instance, 3, adopter)[0] > 0
+
+
+class TestEngineClone:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_clone_scores_match_after_assignments(self, instance, kind):
+        engine = EngineSpec(kind).build(instance)
+        engine.assign(0, 1)
+        engine.assign(2, 0)
+        clone = engine.clone()
+        assert clone is not engine
+        assert clone.schedule.as_mapping() == engine.schedule.as_mapping()
+        scheduled = set(engine.schedule.as_mapping())
+        for event in range(instance.n_events):
+            if event in scheduled:
+                continue  # Eq. 4 scores only unscheduled candidates
+            for interval in range(instance.n_intervals):
+                assert clone.score(event, interval) == engine.score(
+                    event, interval
+                )
+
+    @pytest.mark.parametrize("kind", ("vectorized", "sparse"))
+    def test_clone_is_deep_for_mutable_state(self, instance, kind):
+        engine = EngineSpec(kind).build(instance)
+        engine.assign(0, 1)
+        clone = engine.clone()
+        clone.assign(3, 2)
+        clone.unassign(0)
+        # the original never observes the clone's moves
+        assert engine.schedule.as_mapping() == {0: 1}
+        fresh = EngineSpec(kind).build(instance)
+        fresh.assign(0, 1)
+        for event in range(1, instance.n_events):
+            for interval in range(instance.n_intervals):
+                assert engine.score(event, interval) == fresh.score(
+                    event, interval
+                )
