@@ -1,0 +1,300 @@
+"""Shard scaling benchmark: user-count x shard-count panel with parity gates.
+
+For each user count the instance is synthesized block-by-block
+(:func:`repro.workloads.generator.synthesize_sharded_instance` — the
+dense ``n_users x n_events`` matrix never materializes), then filled and
+solved through :class:`repro.shard.engine.ShardedEngine` at every shard
+count in the panel.  The largest tier stores interest as float32 memmap
+blocks, exercising the million-user path end to end: synthesize ->
+memmap blocks on disk -> parallel plane fill -> GRD solve.
+
+Always-on gates (a regression fails the run, smoke included):
+
+* **parity** — the filled score plane is *bit-identical* across shard
+  counts (same ``block_users`` => same merge order), and every solve
+  returns the same schedule and utility as the P=1 baseline;
+* **fast path** — one cold fill is exactly one fan-out with every block
+  partial merged exactly once (``merged_partials == blocks``), and the
+  live-delta refresh phase completes with 0 snapshot freezes.
+
+Wall-clock speedups are reported honestly for whatever hardware runs the
+benchmark; single-core machines will see ~1x and that is recorded as-is
+(``--min-speedup`` defaults to 0, so CI gates correctness, not cores).
+
+Usage::
+
+    python benchmarks/bench_shard_scaling.py             # full panel, 10^6 top tier
+    python benchmarks/bench_shard_scaling.py --smoke     # CI-sized
+    python benchmarks/bench_shard_scaling.py --json BENCH_shard.json
+    ses-repro shard-bench --smoke                        # CLI passthrough
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # allow `python benchmarks/bench_...py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.artifacts import write_artifact
+
+from repro.api import solver_registry
+from repro.core.engine import EngineSpec
+from repro.core.entities import CompetingEvent
+from repro.core.live import LiveInstance
+from repro.core.scoreplane import ScorePlane
+from repro.workloads.generator import synthesize_sharded_instance
+
+LARGE = {
+    "user_grid": (50_000, 250_000, 1_000_000),
+    "shard_grid": (1, 2, 4, 8),
+    "n_events": 64,
+    "n_intervals": 12,
+    "density": 0.001,
+    "k": 12,
+    "block_users": None,  # DEFAULT_BLOCK_USERS (16384)
+    "memmap_from": 1_000_000,
+    "replay_deltas": 6,
+}
+SMOKE = {
+    "user_grid": (5_000, 20_000),
+    "shard_grid": (1, 2, 4),
+    "n_events": 16,
+    "n_intervals": 6,
+    "density": 0.01,
+    "k": 6,
+    "block_users": 2_048,
+    "memmap_from": 20_000,
+    "replay_deltas": 4,
+}
+
+_SEED = 2018
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument(
+        "--users", type=int, nargs="+", default=None, metavar="N",
+        help="override the user-count grid",
+    )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=None, metavar="P",
+        help="override the shard-count grid",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="W",
+        help="executor threads per fill (default: one per shard)",
+    )
+    parser.add_argument("--block-users", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=_SEED)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless the best fill speedup over P=1 >= this",
+    )
+    parser.add_argument("--json", type=Path, default=None, metavar="PATH")
+    return parser
+
+
+def fill_and_solve(
+    instance, spec: EngineSpec, k: int
+) -> tuple[float, float, np.ndarray, object, dict[str, int]]:
+    """One cold plane fill + one warm GRD solve; returns timings, the
+    filled matrix, the schedule result and the engine's fan-out stats."""
+    engine = spec.build(instance)
+    plane = ScorePlane(engine)
+    started = time.perf_counter()
+    matrix = plane.ensure().copy()
+    fill_seconds = time.perf_counter() - started
+    # capture the fan-out accounting before the solver issues its own
+    # incremental queries — the gate is about the cold fill only
+    stats = engine.stats() if hasattr(engine, "stats") else {}
+    solver = solver_registry.create("grd")
+    started = time.perf_counter()
+    result = solver.solve(instance, k, plane=plane)
+    solve_seconds = time.perf_counter() - started
+    return fill_seconds, solve_seconds, matrix, result, stats
+
+
+def replay_freezes(instance, spec: EngineSpec, n_deltas: int, seed: int) -> int:
+    """Apply a short live-delta stream through a sharded plane; the
+    fast-path contract is 0 snapshot freezes on the refresh path."""
+    live = LiveInstance(instance)
+    plane = ScorePlane(spec.build(live))
+    plane.ensure()
+    rng = np.random.default_rng(seed)
+    for step in range(n_deltas):
+        if step % 2 == 0:
+            column = rng.uniform(0, 1, live.n_users) * (
+                rng.random(live.n_users) < 0.05
+            )
+            delta = live.add_competing(
+                CompetingEvent(
+                    index=live.n_competing, interval=step % live.n_intervals
+                ),
+                column,
+            )
+        else:
+            drift = rng.uniform(0, 1, live.n_users) * (
+                rng.random(live.n_users) < 0.05
+            )
+            delta = live.replace_event_interest(step % live.n_events, drift)
+        plane.apply_delta(delta)
+        plane.ensure()
+    return live.freezes
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = dict(SMOKE if args.smoke else LARGE)
+    if args.users is not None:
+        scale["user_grid"] = tuple(args.users)
+    if args.shards is not None:
+        scale["shard_grid"] = tuple(args.shards)
+    if args.block_users is not None:
+        scale["block_users"] = args.block_users
+    shard_grid = scale["shard_grid"]
+
+    rows: list[dict] = []
+    checks: dict[str, bool] = {}
+    best_speedup = 0.0
+    with tempfile.TemporaryDirectory(prefix="ses-shard-bench-") as tmp:
+        for n_users in scale["user_grid"]:
+            storage = "memmap32" if n_users >= scale["memmap_from"] else "csc"
+            directory = (
+                Path(tmp) / f"blocks-{n_users}" if storage == "memmap32" else None
+            )
+            started = time.perf_counter()
+            instance = synthesize_sharded_instance(
+                n_users,
+                n_events=scale["n_events"],
+                n_intervals=scale["n_intervals"],
+                density=scale["density"],
+                block_users=scale["block_users"],
+                storage=storage,
+                directory=directory,
+                seed=args.seed,
+            )
+            build_seconds = time.perf_counter() - started
+            plan = instance.interest.plan
+            print(
+                f"users={n_users:>9,}  storage={storage:<8} "
+                f"blocks={plan.n_blocks:<3} [built in {build_seconds:.1f}s]"
+            )
+
+            baseline = None
+            for shards in shard_grid:
+                workers = args.workers if args.workers is not None else shards
+                spec = EngineSpec(
+                    kind="sparse",
+                    shards=shards,
+                    workers=workers,
+                    block_users=plan.block_users,
+                )
+                fill_s, solve_s, matrix, result, stats = fill_and_solve(
+                    instance, spec, scale["k"]
+                )
+                tag = f"{n_users}/{shards}"
+                checks[f"one_fanout[{tag}]"] = stats.get("fanouts") == 1
+                checks[f"partials_merged_once[{tag}]"] = (
+                    stats.get("merged_partials") == stats.get("blocks")
+                )
+                if baseline is None:
+                    baseline = (matrix, result, fill_s)
+                else:
+                    checks[f"fill_bitwise[{tag}]"] = np.array_equal(
+                        baseline[0], matrix
+                    )
+                    checks[f"solve_parity[{tag}]"] = (
+                        result.utility == baseline[1].utility
+                        and list(result.schedule) == list(baseline[1].schedule)
+                    )
+                speedup = baseline[2] / fill_s if fill_s else float("inf")
+                best_speedup = max(best_speedup, speedup)
+                rows.append(
+                    {
+                        "users": n_users,
+                        "shards": shards,
+                        "workers": workers,
+                        "storage": storage,
+                        "blocks": plan.n_blocks,
+                        "build_seconds": build_seconds,
+                        "fill_seconds": fill_s,
+                        "solve_seconds": solve_s,
+                        "fill_speedup": speedup,
+                        "utility": result.utility,
+                    }
+                )
+                print(
+                    f"  P={shards:<2} W={workers:<2} fill {fill_s * 1e3:8.1f}ms "
+                    f"({speedup:4.2f}x)  solve {solve_s * 1e3:8.1f}ms  "
+                    f"utility {result.utility:.4f}"
+                )
+
+        # -- live-delta refresh phase: 0 freezes on the hot path ---------
+        smallest = scale["user_grid"][0]
+        replay_instance = synthesize_sharded_instance(
+            smallest,
+            n_events=scale["n_events"],
+            n_intervals=scale["n_intervals"],
+            density=scale["density"],
+            block_users=scale["block_users"],
+            seed=args.seed + 1,
+        )
+        freezes = replay_freezes(
+            replay_instance,
+            EngineSpec(
+                kind="sparse",
+                shards=shard_grid[-1],
+                block_users=replay_instance.interest.plan.block_users,
+            ),
+            scale["replay_deltas"],
+            args.seed + 2,
+        )
+        checks["zero_hot_path_freezes"] = freezes == 0
+        print(
+            f"delta replay: {scale['replay_deltas']} deltas, "
+            f"{freezes} snapshot freezes"
+        )
+
+    if args.min_speedup:
+        checks["min_speedup"] = best_speedup >= args.min_speedup
+    passed = all(checks.values())
+    failed = [name for name, ok in checks.items() if not ok]
+    print(
+        "checks: "
+        + (f"{len(checks)} ok" if passed else "FAIL " + ", ".join(failed))
+    )
+
+    if args.json is not None:
+        path = write_artifact(
+            args.json,
+            "bench_shard_scaling",
+            dict(
+                scale,
+                seed=args.seed,
+                smoke=args.smoke,
+                workers=args.workers,
+            ),
+            {
+                "panel": rows,
+                "best_fill_speedup": best_speedup,
+                "replay_freezes": freezes,
+                "checks": checks,
+            },
+        )
+        print(f"wrote {path}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

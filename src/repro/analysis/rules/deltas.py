@@ -1,4 +1,4 @@
-"""delta-exhaustiveness: every ``apply_delta`` must handle every delta.
+"""delta-exhaustiveness: every delta dispatcher must handle every delta.
 
 Engines, score planes and any future delta consumer dispatch on the
 concrete :class:`~repro.core.live.LiveDelta` subtypes with ``isinstance``
@@ -8,9 +8,15 @@ branch — and a missed one silently falls through to a default or, worse,
 an ``else: raise`` that only fires at runtime on the new op.  This rule
 makes the compiler-style check: the set of delta subtypes is discovered
 from the scanned sources (``repro/core/live.py``, plus any defined in
-``repro/stream/trace.py``), and every class defining ``apply_delta``
-must either isinstance-cover all of them or delegate wholesale to
-another ``apply_delta``.
+``repro/stream/trace.py``), and every dispatcher must either
+isinstance-cover all of them or delegate wholesale to another dispatcher.
+
+Two dispatcher shapes are recognized (:data:`DISPATCHER_NAMES`): classes
+defining ``apply_delta`` (engines, planes), and ``localize_delta``
+functions — the shard router
+(:func:`repro.shard.engine.localize_delta`) that restricts a delta to one
+user-block; a subtype it misses would silently never reach the shards it
+touches.
 """
 
 from __future__ import annotations
@@ -29,6 +35,9 @@ DELTA_BASE = "LiveDelta"
 
 #: Modules (path suffixes) where delta subtypes are declared.
 DELTA_MODULES = ("core/live.py", "stream/trace.py")
+
+#: Function names that dispatch on the concrete delta subtypes.
+DISPATCHER_NAMES = ("apply_delta", "localize_delta")
 
 
 def discover_delta_leaves(project: Project) -> dict[str, frozenset[str]]:
@@ -108,22 +117,54 @@ def _isinstance_targets(body: ast.FunctionDef) -> set[str]:
 
 
 def _delegates(body: ast.FunctionDef) -> bool:
-    """Whether the method forwards wholesale to another ``apply_delta``."""
+    """Whether the function forwards wholesale to another dispatcher."""
     for node in ast.walk(body):
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "apply_delta"
-        ):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if isinstance(callee, ast.Attribute):
+            name = callee.attr
+        elif isinstance(callee, ast.Name):
+            name = callee.id
+        else:
+            continue
+        if name in DISPATCHER_NAMES:
             return True
     return False
+
+
+def _dispatchers(
+    tree: ast.Module,
+) -> Iterable[tuple[str | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every dispatcher definition with its owning class name (or None).
+
+    ``apply_delta`` only dispatches as a method; ``localize_delta`` may be
+    a module-level router (the shard layer's is) or a method.
+    """
+    method_ids: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for member in node.body:
+            if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_ids.add(id(member))
+                if member.name in DISPATCHER_NAMES:
+                    yield node.name, member
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in DISPATCHER_NAMES
+            and id(node) not in method_ids
+        ):
+            yield None, node
 
 
 class DeltaExhaustivenessRule(Rule):
     name = "delta-exhaustiveness"
     rationale = (
-        "every apply_delta must isinstance-cover all concrete LiveDelta "
-        "subtypes, so adding a new structural op fails lint everywhere at once"
+        "every delta dispatcher (apply_delta, localize_delta) must "
+        "isinstance-cover all concrete LiveDelta subtypes, so adding a new "
+        "structural op fails lint everywhere at once"
     )
 
     def check(
@@ -132,28 +173,23 @@ class DeltaExhaustivenessRule(Rule):
         leaves = discover_delta_leaves(project)
         if not leaves:
             return
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.ClassDef):
-                continue
-            for method in node.body:
-                if not (
-                    isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
-                    and method.name == "apply_delta"
-                ):
-                    continue
-                tested = _isinstance_targets(method)
-                if not tested and _delegates(method):
-                    continue  # pure forwarding: the delegate is checked
-                missing = sorted(
-                    leaf
-                    for leaf, covering in leaves.items()
-                    if not (tested & covering)
+        for owner, method in _dispatchers(module.tree):
+            tested = _isinstance_targets(method)
+            if not tested and _delegates(method):
+                continue  # pure forwarding: the delegate is checked
+            missing = sorted(
+                leaf
+                for leaf, covering in leaves.items()
+                if not (tested & covering)
+            )
+            if missing:
+                label = (
+                    f"{owner}.{method.name}" if owner else method.name
                 )
-                if missing:
-                    yield self.finding(
-                        module,
-                        method,
-                        f"{node.name}.apply_delta does not dispatch on "
-                        f"{', '.join(missing)}; every concrete LiveDelta "
-                        f"subtype needs a branch (or delegate wholesale)",
-                    )
+                yield self.finding(
+                    module,
+                    method,
+                    f"{label} does not dispatch on "
+                    f"{', '.join(missing)}; every concrete LiveDelta "
+                    f"subtype needs a branch (or delegate wholesale)",
+                )

@@ -8,8 +8,14 @@ ROADMAP's million-user memory targets) passes every smoke test and then
 fails parity suites intermittently at scale.  Low-precision storage is a
 deliberate, sharded-aggregate design decision, not a local optimization:
 this rule bans low-precision float dtypes in array construction inside
-the designated score/mass modules until that design lands with its own
-contracts.
+the designated score/mass modules.
+
+The sharded design (:mod:`repro.shard`) draws the sanctioned line:
+``shard/interest.py`` is the *storage* layer — float32 blocks are its
+contract, every accessor upcasts to float64 at the gather boundary — so
+it is deliberately **excluded** here, while the shard *compute* modules
+(plan, executor, engine) are covered: a partial-score or mass array born
+float32 there would poison the float64 merge.
 """
 
 from __future__ import annotations
@@ -33,6 +39,11 @@ SCORE_PATH_MODULES = (
     "algorithms/incremental.py",
     "serve/pool.py",
     "serve/session.py",
+    # shard compute layer: partials/merges are float64; shard/interest.py
+    # (the float32 storage layer) is the one sanctioned exemption
+    "shard/plan.py",
+    "shard/executor.py",
+    "shard/engine.py",
 )
 
 #: numpy constructors and the position of their ``dtype`` parameter.

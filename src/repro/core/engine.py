@@ -247,6 +247,24 @@ class ScoreEngine(ABC):
     ) -> np.ndarray:
         """Vector of Eq. 4 scores for many candidate events at one interval."""
 
+    def scores_for_rows(
+        self, intervals: Sequence[int], events: Sequence[int]
+    ) -> np.ndarray:
+        """Matrix of Eq. 4 scores: ``(len(intervals), len(events))``.
+
+        The batched form of :meth:`scores_for_interval` that a
+        :class:`~repro.core.scoreplane.ScorePlane` flush asks for: all
+        dirty rows in one call.  The default evaluates row by row in the
+        given order — bit-identical to the per-row path — while engines
+        with cross-row parallelism (the sharded engine) override it to
+        fan the whole batch out once.
+        """
+        event_indices = list(events)
+        out = np.empty((len(intervals), len(event_indices)))
+        for position, interval in enumerate(intervals):
+            out[position] = self.scores_for_interval(interval, event_indices)
+        return out
+
     def removal_loss(self, event: int) -> float:
         """The Eq. 4 score ``event`` would get back if it were withdrawn.
 
@@ -1270,10 +1288,27 @@ class EngineSpec:
         Optional ``mu`` storage hint for *generated* workloads (``"dense"``
         or ``"sparse"``); ``None`` lets :attr:`interest_backend` pick the
         natural pairing (sparse storage for the sparse engine).
+    shards:
+        ``None`` (default) builds the flat engine.  An integer ``P >= 1``
+        builds a :class:`repro.shard.engine.ShardedEngine` that partitions
+        the user axis into P dispatch shards of fixed-size accumulation
+        blocks, running ``kind`` sub-engines per block.  Not valid with
+        ``kind="reference"`` (the oracle stays whole-instance).
+    workers:
+        Parallelism for sharded plane fills (defaults to ``shards``);
+        only valid together with ``shards``.
+    block_users:
+        Accumulation-block row count override (defaults to
+        :data:`repro.shard.plan.DEFAULT_BLOCK_USERS`); only valid
+        together with ``shards``.  Merged results depend on this value
+        but never on ``shards``/``workers``.
     """
 
     kind: str = "vectorized"
     backend: str | None = None
+    shards: int | None = None
+    workers: int | None = None
+    block_users: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in _ENGINES:
@@ -1284,6 +1319,26 @@ class EngineSpec:
             raise ValueError(
                 f"unknown interest backend {self.backend!r}; "
                 f"choose from {INTEREST_BACKENDS}"
+            )
+        if self.shards is None:
+            if self.workers is not None or self.block_users is not None:
+                raise ValueError(
+                    "workers/block_users are sharding parameters; "
+                    "set shards as well"
+                )
+            return
+        if self.kind == "reference":
+            raise ValueError(
+                "the reference engine is the whole-instance oracle; "
+                "it does not shard"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.block_users is not None and self.block_users < 1:
+            raise ValueError(
+                f"block_users must be positive, got {self.block_users}"
             )
 
     @classmethod
@@ -1308,6 +1363,17 @@ class EngineSpec:
 
     def build(self, instance: SESInstance) -> ScoreEngine:
         """Construct the described engine for ``instance``."""
+        if self.shards is not None:
+            # deferred import: repro.shard layers on top of repro.core
+            from repro.shard.engine import ShardedEngine
+
+            return ShardedEngine(
+                instance,
+                kind=self.kind,
+                shards=self.shards,
+                workers=self.workers,
+                block_users=self.block_users,
+            )
         return _ENGINES[self.kind](instance)
 
 

@@ -56,7 +56,13 @@ try:  # scipy is an optional dependency (the "sparse" extra)
 except ImportError:  # pragma: no cover - exercised only without scipy
     _sp = None
 
-__all__ = ["InterestMatrix", "INTEREST_BACKENDS", "masked_ratio", "merge_entries"]
+__all__ = [
+    "InterestMatrix",
+    "INTEREST_BACKENDS",
+    "masked_ratio",
+    "merge_entries",
+    "slice_entries",
+]
 
 #: Supported storage backends.
 INTEREST_BACKENDS = ("dense", "sparse")
@@ -107,6 +113,24 @@ def merge_entries(
     if keep.all():
         return unique.astype(np.intp, copy=False), summed
     return unique[keep].astype(np.intp, copy=False), summed[keep]
+
+
+def slice_entries(
+    rows: np.ndarray, values: np.ndarray, lo: int, hi: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Restrict a sorted sparse-vector entry list to the row window ``[lo, hi)``.
+
+    Rows come back *local* to the window (shifted by ``-lo``) — the gather
+    primitive behind user-axis sharding: a global column's entries localize
+    to each shard's block with two binary searches and no copy of ``values``
+    beyond the window itself.
+    """
+    start, stop = np.searchsorted(rows, (lo, hi), side="left")
+    if start == stop:
+        return _EMPTY_ROWS, _EMPTY_VALUES
+    local = rows[start:stop].astype(np.intp, copy=True)
+    local -= lo
+    return local, values[start:stop]
 
 
 def _validate_sparse_matrix(matrix: Any, name: str) -> Any:

@@ -56,7 +56,7 @@ from repro.core.entities import (
 )
 from repro.core.errors import InstanceValidationError, UnknownEntityError
 from repro.core.instance import SESInstance
-from repro.core.interest import InterestMatrix, merge_entries
+from repro.core.interest import InterestMatrix, merge_entries, slice_entries
 
 try:  # scipy is an optional dependency (the "sparse" extra)
     from scipy import sparse as _sp
@@ -82,7 +82,21 @@ _EMPTY_VALUES = np.zeros(0)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, eq=False)
 class LiveDelta:
-    """Base of the structural-change records produced by mutators."""
+    """Base of the structural-change records produced by mutators.
+
+    Every leaf carrying sparse ``(user, value)`` payloads localizes to a
+    user-row window via :meth:`restricted` — the primitive the shard
+    router (:func:`repro.shard.engine.localize_delta`) uses to route each
+    delta to exactly the user blocks it touches.
+    """
+
+    def restricted(self, lo: int, hi: int) -> "LiveDelta":
+        """This delta with user payloads restricted to rows ``[lo, hi)``.
+
+        Returned rows are local to the window (shifted by ``-lo``).
+        Leaves without user payloads return ``self``.
+        """
+        raise NotImplementedError  # pragma: no cover - leaves override
 
 
 @dataclass(frozen=True, eq=False)
@@ -92,6 +106,10 @@ class EventAdded(LiveDelta):
     event: int
     rows: np.ndarray
     values: np.ndarray
+
+    def restricted(self, lo: int, hi: int) -> "EventAdded":
+        rows, values = slice_entries(self.rows, self.values, lo, hi)
+        return EventAdded(event=self.event, rows=rows, values=values)
 
 
 @dataclass(frozen=True, eq=False)
@@ -105,6 +123,9 @@ class EventRemoved(LiveDelta):
 
     event: int
 
+    def restricted(self, lo: int, hi: int) -> "EventRemoved":
+        return self  # no user payload: every block sees the same removal
+
 
 @dataclass(frozen=True, eq=False)
 class EventInterestReplaced(LiveDelta):
@@ -116,6 +137,19 @@ class EventInterestReplaced(LiveDelta):
     rows: np.ndarray
     values: np.ndarray
 
+    def restricted(self, lo: int, hi: int) -> "EventInterestReplaced":
+        old_rows, old_values = slice_entries(
+            self.old_rows, self.old_values, lo, hi
+        )
+        rows, values = slice_entries(self.rows, self.values, lo, hi)
+        return EventInterestReplaced(
+            event=self.event,
+            old_rows=old_rows,
+            old_values=old_values,
+            rows=rows,
+            values=values,
+        )
+
 
 @dataclass(frozen=True, eq=False)
 class CompetingAdded(LiveDelta):
@@ -125,6 +159,15 @@ class CompetingAdded(LiveDelta):
     interval: int
     rows: np.ndarray
     values: np.ndarray
+
+    def restricted(self, lo: int, hi: int) -> "CompetingAdded":
+        rows, values = slice_entries(self.rows, self.values, lo, hi)
+        return CompetingAdded(
+            competing=self.competing,
+            interval=self.interval,
+            rows=rows,
+            values=values,
+        )
 
 
 # ----------------------------------------------------------------------

@@ -17,10 +17,12 @@ had actually changed since the last fill.
   (batch consumers with an empty mirrored schedule simply never see
   ``-inf``);
 * **cold start** — :meth:`ensure` fills missing state through the
-  engine's *batched* row queries
-  (:meth:`~repro.core.engine.ScoreEngine.scores_for_interval`), which
-  the vectorized engine evaluates as blocked broadcasts and the sparse
-  engine as one gather pass per row — never a per-cell Python loop;
+  engine's *batched* multi-row query
+  (:meth:`~repro.core.engine.ScoreEngine.scores_for_rows`): one engine
+  call per flush, which the vectorized engine evaluates as blocked
+  broadcasts per row, the sparse engine as one gather pass per row, and
+  a sharded engine as a single parallel fan-out over its user blocks —
+  never a per-cell Python loop;
 * **invalidation** — change ops dirty exactly the rows/columns whose
   inputs they touched (Eq. 1's denominator couples events only *within*
   an interval): :meth:`apply_delta` ingests the same
@@ -216,9 +218,35 @@ class ScorePlane:
         return self._scores
 
     def flush(self, _cold: bool = False) -> None:
-        """Re-score every dirty interval row (cheap when none are)."""
-        for interval in sorted(self._dirty):
-            self._refresh_row(interval, _cold)
+        """Re-score every dirty interval row in one batched engine call.
+
+        All dirty rows go through
+        :meth:`~repro.core.engine.ScoreEngine.scores_for_rows` at once
+        (in ascending interval order, so values are bit-identical to the
+        old per-row loop — the default implementation *is* that loop).
+        A sharded engine overrides the batched query to fan the whole
+        dirty set out across its worker pool exactly once per flush.
+        """
+        if not self._dirty:
+            return
+        assert self._scores is not None
+        dirty = sorted(self._dirty)
+        schedule = self._engine.schedule
+        unscheduled = [
+            event
+            for event in range(self.n_events)
+            if not schedule.contains_event(event)
+        ]
+        self._scores[dirty] = -np.inf
+        if unscheduled:
+            self._scores[np.ix_(dirty, unscheduled)] = (
+                self._engine.scores_for_rows(dirty, unscheduled)
+            )
+            cells = len(dirty) * len(unscheduled)
+            if _cold:
+                self._cells_filled += cells
+            else:
+                self._cells_refreshed += cells
         self._dirty.clear()
 
     def invalidate(self) -> None:
@@ -390,25 +418,6 @@ class ScorePlane:
     def _maybe_reset(self) -> None:
         if self._auto_reset and len(self._engine.schedule):
             self._engine.reset()
-
-    def _refresh_row(self, interval: int, cold: bool = False) -> None:
-        """Rescore one interval against the engine's current mass state."""
-        row = self._scores[interval]
-        row[:] = -np.inf
-        schedule = self._engine.schedule
-        unscheduled = [
-            event
-            for event in range(self.n_events)
-            if not schedule.contains_event(event)
-        ]
-        if unscheduled:
-            row[unscheduled] = self._engine.scores_for_interval(
-                interval, unscheduled
-            )
-            if cold:
-                self._cells_filled += len(unscheduled)
-            else:
-                self._cells_refreshed += len(unscheduled)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "empty" if self._scores is None else (

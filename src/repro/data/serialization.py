@@ -45,6 +45,8 @@ __all__ = [
     "load_instance",
     "save_instance_npz",
     "load_instance_npz",
+    "save_sharded_instance",
+    "load_sharded_instance",
     "schedule_to_dict",
     "schedule_from_dict",
 ]
@@ -103,6 +105,9 @@ def _interest_to_dict(interest: InterestMatrix) -> dict:
             "candidate": interest.candidate.tolist(),
             "competing": interest.competing.tolist(),
         }
+    # "sparse" and "sharded" both expose canonical COO; a sharded matrix
+    # flattens to the sparse payload here (the block structure survives only
+    # in the directory format — save_sharded_instance).
     return {
         "backend": "sparse",
         "n_users": interest.n_users,
@@ -122,7 +127,7 @@ def _coo_to_dict(rows: np.ndarray, cols: np.ndarray, values: np.ndarray) -> dict
 
 
 def _interest_from_dict(payload: dict | InterestMatrix) -> InterestMatrix:
-    if isinstance(payload, InterestMatrix):  # pre-built by the npz loader
+    if not isinstance(payload, dict):  # pre-built by the npz/sharded loaders
         return payload
     if payload.get("backend", "dense") != "sparse":
         return InterestMatrix.from_arrays(
@@ -238,7 +243,7 @@ def save_instance_npz(instance: SESInstance, path: str | Path) -> None:
         "activity": instance.activity.matrix,
     }
     interest = instance.interest
-    if interest.backend == "sparse":
+    if interest.backend in ("sparse", "sharded"):
         metadata["interest_backend"] = "sparse"
         for name, csc in (
             ("candidate", interest.candidate_sparse),
@@ -287,6 +292,135 @@ def load_instance_npz(path: str | Path) -> SESInstance:
         metadata["activity"] = archive["activity"]
         # reuse the dict loader; arrays pass through np.asarray unchanged
         return instance_from_dict(metadata)
+
+
+def save_sharded_instance(instance: SESInstance, directory: str | Path) -> None:
+    """Write a sharded-interest instance as a directory of block files.
+
+    Layout::
+
+        manifest.json              # entities, plan, storage kind
+        activity.npy
+        candidate_block00000.npz   # CSC components (csc / csc32 storage)
+        candidate_block00000.npy   # float32 dense   (dense32 / memmap32)
+        competing_block00000.*     # ... one pair per accumulation block
+
+    Unlike the flat ``.npz`` format this never concatenates blocks, so a
+    10^6-user memmap-backed instance saves without pulling its interest
+    matrix into memory; :func:`load_sharded_instance` maps the block files
+    straight back (``mmap_mode="r"`` for ``memmap32``).  Users with default
+    names/tags are stored as a bare count — a million-user roster is one
+    JSON integer, not a million dicts.
+    """
+    interest = instance.interest
+    if getattr(interest, "backend", None) != "sharded":
+        raise ValueError(
+            "save_sharded_instance requires a ShardedInterest-backed "
+            f"instance; got backend {getattr(interest, 'backend', None)!r}"
+        )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    metadata = instance_to_dict(instance)
+    del metadata["interest"]
+    del metadata["activity"]
+    if all(u["name"] == "" and not u["tags"] for u in metadata["users"]):
+        metadata["users"] = {"count": len(metadata["users"])}
+    plan = interest.plan
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "storage": interest.storage,
+        "plan": {
+            "n_users": plan.n_users,
+            "n_shards": plan.n_shards,
+            "block_users": plan.block_users,
+            "seed": plan.seed,
+        },
+        "metadata": metadata,
+    }
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest), encoding="utf-8"
+    )
+    np.save(directory / "activity.npy", instance.activity.matrix)
+    sparse_storage = interest.storage in ("csc", "csc32")
+    for name, block_of in (
+        ("candidate", interest.candidate_block),
+        ("competing", interest.competing_block),
+    ):
+        for index in range(plan.n_blocks):
+            block = block_of(index)
+            stem = directory / f"{name}_block{index:05d}"
+            if sparse_storage:
+                np.savez(
+                    stem.with_suffix(".npz"),
+                    data=block.data,
+                    indices=block.indices,
+                    indptr=block.indptr,
+                    shape=np.asarray(block.shape),
+                )
+            else:
+                np.save(stem.with_suffix(".npy"), np.asarray(block))
+
+
+def load_sharded_instance(directory: str | Path) -> SESInstance:
+    """Read a directory written by :func:`save_sharded_instance`.
+
+    ``memmap32`` block files are re-mapped read-only rather than loaded, so
+    opening a million-user instance costs file handles, not RAM.
+    """
+    from repro.shard.interest import ShardedInterest
+    from repro.shard.plan import ShardPlan
+
+    directory = Path(directory)
+    manifest = json.loads(
+        (directory / "manifest.json").read_text(encoding="utf-8")
+    )
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sharded instance format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    storage = manifest["storage"]
+    plan = ShardPlan(**manifest["plan"])
+
+    def blocks(name: str) -> list:
+        out = []
+        for index in range(plan.n_blocks):
+            stem = directory / f"{name}_block{index:05d}"
+            if storage in ("csc", "csc32"):
+                from scipy import sparse as sp
+
+                with np.load(stem.with_suffix(".npz")) as parts:
+                    out.append(
+                        sp.csc_matrix(
+                            (
+                                parts["data"],
+                                parts["indices"],
+                                parts["indptr"],
+                            ),
+                            shape=tuple(parts["shape"]),
+                        )
+                    )
+            elif storage == "memmap32":
+                out.append(np.load(stem.with_suffix(".npy"), mmap_mode="r"))
+            else:
+                dense = np.asfortranarray(np.load(stem.with_suffix(".npy")))
+                dense.setflags(write=False)
+                out.append(dense)
+        return out
+
+    interest = ShardedInterest(
+        plan, blocks("candidate"), blocks("competing"), storage, validate=False
+    )
+    metadata = manifest["metadata"]
+    if isinstance(metadata["users"], dict):
+        metadata["users"] = [
+            {"index": index, "name": "", "tags": []}
+            for index in range(metadata["users"]["count"])
+        ]
+    metadata["interest"] = interest
+    metadata["activity"] = np.load(directory / "activity.npy")
+    return instance_from_dict(metadata)
 
 
 def schedule_to_dict(schedule: Schedule) -> dict:

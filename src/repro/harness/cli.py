@@ -44,6 +44,13 @@ Subcommands
     serving benchmark (warm :class:`~repro.serve.PlanePool` vs cold
     per-request construction, N client threads, mixed workloads).
 
+``shard-bench``
+    Passthrough to ``benchmarks/bench_shard_scaling.py``: sharded
+    ScorePlane fills and solves across a user-count x shard-count panel
+    with parity checks against the unsharded engine (see
+    :mod:`repro.shard`).  ``solve`` and ``stream`` accept ``--shards`` /
+    ``--workers`` to run their engines sharded.
+
 ``demo``
     End-to-end smoke run on a small instance: all methods side by side.
 """
@@ -83,8 +90,26 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="P",
+        help="partition the user axis into P shards and merge per-shard "
+        "score partials (repro.shard; results match the unsharded engine)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="W",
+        help="thread-pool width for sharded fan-outs (default: one per "
+        "shard; requires --shards)",
+    )
+
+
 def _engine_spec(args: argparse.Namespace) -> EngineSpec:
-    return EngineSpec(kind=args.engine, backend=getattr(args, "backend", None))
+    return EngineSpec(
+        kind=args.engine,
+        backend=getattr(args, "backend", None),
+        shards=getattr(args, "shards", None),
+        workers=getattr(args, "workers", None),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
         "staffing utilization, cannibalization)",
     )
     _add_engine_argument(solve)
+    _add_shard_arguments(solve)
 
     solvers = commands.add_parser(
         "solvers", help="list every registered solver and its capabilities"
@@ -194,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(each sample costs a full solve)",
     )
     _add_engine_argument(stream)
+    _add_shard_arguments(stream)
     stream.add_argument(
         "--backend",
         choices=("dense", "sparse"),
@@ -253,6 +280,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to bench_serving.py (try `-- --help`)",
     )
 
+    shard_bench = commands.add_parser(
+        "shard-bench",
+        help="run the shard-scaling benchmark (benchmarks/bench_shard_scaling.py)",
+        description=(
+            "Passthrough to benchmarks/bench_shard_scaling.py: ScorePlane "
+            "fills and solves across a user-count x shard-count panel, with "
+            "sharded-vs-unsharded parity checks.  All arguments after the "
+            "subcommand are forwarded "
+            "(e.g. `ses-repro shard-bench --smoke --json out.json`)."
+        ),
+    )
+    shard_bench.add_argument(
+        "bench_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to bench_shard_scaling.py (try `-- --help`)",
+    )
+
     demo = commands.add_parser("demo", help="small end-to-end comparison run")
     _add_engine_argument(demo)
     return parser
@@ -260,13 +304,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     resolved = list(sys.argv[1:] if argv is None else argv)
-    if resolved and resolved[0] == "serve-bench":
+    if resolved and resolved[0] in ("serve-bench", "shard-bench"):
         # route before argparse: REMAINDER refuses to capture leading
         # option-shaped tokens, and the forwarded benchmark owns all of
         # its own flags (`serve-bench --smoke` should just work)
         forwarded = resolved[1:]
-        return _run_serve_bench(
-            argparse.Namespace(command="serve-bench", bench_args=forwarded)
+        return _run_bench_passthrough(
+            argparse.Namespace(command=resolved[0], bench_args=forwarded)
         )
     args = build_parser().parse_args(resolved)
     handler = {
@@ -276,7 +320,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "solvers": _run_solvers,
         "stream": _run_stream,
         "lint": _run_lint,
-        "serve-bench": _run_serve_bench,
+        "serve-bench": _run_bench_passthrough,
+        "shard-bench": _run_bench_passthrough,
         "demo": _run_demo,
     }[args.command]
     return handler(args)
@@ -473,25 +518,33 @@ def _run_lint(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
-def _run_serve_bench(args: argparse.Namespace) -> int:
+#: passthrough subcommand -> benchmark module under benchmarks/
+_BENCH_MODULES = {
+    "serve-bench": "bench_serving",
+    "shard-bench": "bench_shard_scaling",
+}
+
+
+def _run_bench_passthrough(args: argparse.Namespace) -> int:
     import importlib
     from pathlib import Path
 
+    stem = _BENCH_MODULES[args.command]
     try:
-        module = importlib.import_module("benchmarks.bench_serving")
+        module = importlib.import_module(f"benchmarks.{stem}")
     except ModuleNotFoundError:
         # src-layout checkout: benchmarks/ sits next to src/, two levels
         # above the installed repro package
         repo_root = Path(__file__).resolve().parents[3]
-        if not (repo_root / "benchmarks" / "bench_serving.py").exists():
+        if not (repo_root / "benchmarks" / f"{stem}.py").exists():
             print(
-                "ses-repro serve-bench: benchmarks/bench_serving.py not "
+                f"ses-repro {args.command}: benchmarks/{stem}.py not "
                 "found; run from a full repository checkout",
                 file=sys.stderr,
             )
             return 2
         sys.path.insert(0, str(repo_root))
-        module = importlib.import_module("benchmarks.bench_serving")
+        module = importlib.import_module(f"benchmarks.{stem}")
     forwarded = list(args.bench_args)
     if forwarded and forwarded[0] == "--":
         forwarded = forwarded[1:]

@@ -35,6 +35,12 @@ accounting absorbs the fill/refresh), then the matrix is copied and the
 template engine cloned — zero engine score evaluations on the replica.
 ``PoolStats.replica_cold_cells`` aggregates every replica's
 ``cells_filled``; the serving benchmark's CI check asserts it stays 0.
+
+Specs with ``shards`` set build :class:`~repro.shard.engine.ShardedEngine`
+primaries transparently: writes still route one delta through the pool
+lock (the sharded engine localizes it to the blocks it touches), and
+:meth:`PlanePool.primary_stats` exposes the shard fan-out counters so
+serving tests can assert fills crossed the shard boundary exactly once.
 """
 
 from __future__ import annotations
@@ -170,6 +176,31 @@ class PlanePool:
                 freezes=self._live.freezes,
                 replica_cold_cells=self._aggregate_cold_cells(),
             )
+
+    def primary_stats(self) -> dict[str, dict[str, int]]:
+        """Per-spec primary plane accounting, taken under the pool lock.
+
+        Keys are ``spec.kind`` (``"sparse@4"`` for a spec with ``shards=4``).
+        Sharded primaries fold in the engine's shard counters
+        (``fanouts`` / ``merged_partials`` / ``blocks`` / ``shards``) — the
+        serving-layer evidence that each plane fill crossed the shard
+        boundary exactly once per flush, even with the primary mutating
+        under the single-writer lock.
+        """
+        with self._lock:
+            out: dict[str, dict[str, int]] = {}
+            for spec, primary in self._primaries.items():
+                stats = dict(primary.stats())
+                engine_stats = getattr(primary.engine, "stats", None)
+                if callable(engine_stats):
+                    stats.update(engine_stats())
+                key = (
+                    spec.kind
+                    if spec.shards is None
+                    else f"{spec.kind}@{spec.shards}"
+                )
+                out[key] = stats
+            return out
 
     def _aggregate_cold_cells(self) -> int:
         total = self._replica_cold_cells

@@ -1,0 +1,117 @@
+"""Dispatch per-shard work across a ``concurrent.futures`` pool.
+
+Three kinds:
+
+- ``"serial"`` -- run thunks inline (also the automatic choice for
+  ``workers <= 1``).  The reference against which the parallel kinds are
+  differential-tested.
+- ``"thread"`` -- a shared ``ThreadPoolExecutor``; numpy kernels release
+  the GIL so per-block fills overlap on real cores.  Pools are shared
+  process-wide per worker count, so engines rebuilt on every pool
+  generation (PR 7's ``PlanePool`` templates) do not leak threads.
+- ``"process"`` -- a fork-based ``multiprocessing`` pool for memmap-backed
+  blocks: children inherit the task list and the mapped pages
+  copy-on-write, so nothing but the result arrays is pickled.  Falls back
+  to threads where fork is unavailable.
+
+Merging never happens here: executors preserve submission order and hand
+the per-block partials back to the caller, which folds them in global
+block order (the P-independence contract lives in the caller).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+Thunk = Callable[[], Any]
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+_POOL_LOCK = threading.Lock()
+_THREAD_POOLS: dict[int, ThreadPoolExecutor] = {}
+
+# Fork-based dispatch publishes the thunks through a module global so the
+# children inherit them via fork instead of pickling closures.  Guarded by
+# _FORK_LOCK: one forked batch at a time per process.
+_FORK_TASKS: Sequence[Thunk] | None = None
+_FORK_LOCK = threading.Lock()
+
+
+def _shared_thread_pool(workers: int) -> ThreadPoolExecutor:
+    with _POOL_LOCK:
+        pool = _THREAD_POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="ses-shard"
+            )
+            _THREAD_POOLS[workers] = pool
+        return pool
+
+
+def _call(thunk: Thunk) -> Any:
+    return thunk()
+
+
+def _call_fork_task(index: int) -> Any:
+    tasks = _FORK_TASKS
+    assert tasks is not None, "fork task list not published"
+    return tasks[index]()
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ShardExecutor:
+    """Order-preserving map over shard thunks."""
+
+    __slots__ = ("_kind", "_workers")
+
+    def __init__(self, workers: int | None = None, kind: str = "thread"):
+        if kind not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"
+            )
+        workers = 1 if workers is None else int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if kind == "process" and not fork_available():  # pragma: no cover
+            kind = "thread"
+        if workers == 1:
+            kind = "serial"
+        self._kind = kind
+        self._workers = workers
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def map(self, thunks: Sequence[Thunk]) -> list[Any]:
+        """Run ``thunks`` and return their results in submission order."""
+        if self._kind == "serial" or len(thunks) <= 1:
+            return [thunk() for thunk in thunks]
+        if self._kind == "thread":
+            pool = _shared_thread_pool(self._workers)
+            return list(pool.map(_call, thunks))
+        return self._map_forked(thunks)
+
+    def _map_forked(self, thunks: Sequence[Thunk]) -> list[Any]:
+        global _FORK_TASKS
+        ctx = multiprocessing.get_context("fork")
+        with _FORK_LOCK:
+            _FORK_TASKS = thunks
+            try:
+                with ctx.Pool(processes=min(self._workers, len(thunks))) as pool:
+                    return pool.map(_call_fork_task, range(len(thunks)))
+            finally:
+                _FORK_TASKS = None
+
+    def __repr__(self) -> str:
+        return f"ShardExecutor(kind={self._kind!r}, workers={self._workers})"

@@ -1,0 +1,507 @@
+"""``ShardedInterest`` — per-block storage of ``mu`` behind the interest protocol.
+
+Rows (users) are partitioned by a :class:`~repro.shard.plan.ShardPlan` into
+fixed-size blocks; each block owns its own candidate/competing storage:
+
+- ``"csc"``    — scipy CSC, float64 data (bit-identical to unsharded)
+- ``"csc32"``  — scipy CSC, float32 data (half the value memory)
+- ``"dense32"``  — float32 column-major ndarray per block
+- ``"memmap32"`` — float32 column-major ``.npy`` memmap per block; the only
+  storage that lets a 10^6-user instance live mostly on disk and lets
+  fork-based workers read blocks copy-on-write.
+
+float32 is a *storage* concession only: every accessor upcasts values to
+float64 at the gather boundary, so score/mass accumulation downstream stays
+double precision (the dtype-discipline rule enforces this for the rest of
+the shard subsystem — this module is its one sanctioned exemption).
+
+The global accessor protocol (``event_column_entries`` & co.) matches
+:class:`repro.core.interest.InterestMatrix`, so instances, engines, live
+views and serializers consume a sharded matrix unchanged; the additional
+``block_*`` accessors are what :class:`repro.shard.engine.ShardedEngine`'s
+per-block sub-engines gather from without ever touching global state.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.errors import InstanceValidationError
+from repro.core.interest import InterestMatrix, merge_entries, slice_entries
+from repro.shard.plan import ShardPlan
+
+try:  # scipy is an optional dependency (the "sparse" extra)
+    from scipy import sparse as _sp
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _sp = None
+
+__all__ = ["SHARD_STORAGES", "ShardedInterest"]
+
+#: Supported per-block storage kinds.
+SHARD_STORAGES = ("csc", "csc32", "dense32", "memmap32")
+
+_EMPTY_ROWS = np.zeros(0, dtype=np.intp)
+_EMPTY_VALUES = np.zeros(0)
+
+
+def _require_scipy() -> None:
+    if _sp is None:  # pragma: no cover - exercised only without scipy
+        raise ImportError(
+            "sharded interest requires scipy for CSC block storage; install "
+            "the 'sparse' extra (pip install ses-repro[sparse])"
+        )
+
+
+def _is_sparse(block: Any) -> bool:
+    return _sp is not None and _sp.issparse(block)
+
+
+def _check_block(block: Any, name: str) -> None:
+    data = block.data if _is_sparse(block) else block
+    data = np.asarray(data)
+    if data.size == 0:
+        return
+    if np.isnan(data).any():
+        raise InstanceValidationError(f"{name} contains NaN entries")
+    lo, hi = float(data.min()), float(data.max())
+    if lo < 0.0 or hi > 1.0:
+        raise InstanceValidationError(
+            f"{name} entries must lie in [0, 1]; observed range [{lo}, {hi}]"
+        )
+
+
+class ShardedInterest:
+    """Immutable, block-partitioned storage of ``mu``.
+
+    Build with :meth:`from_interest` (reshard an existing matrix) or
+    :meth:`from_blocks` (per-block construction that never materializes a
+    global matrix — the 10^6-user synthesis path).
+    """
+
+    __slots__ = (
+        "_plan",
+        "_storage",
+        "_candidate_blocks",
+        "_competing_blocks",
+        "_n_events",
+        "_n_competing",
+    )
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        candidate_blocks: Sequence[Any],
+        competing_blocks: Sequence[Any],
+        storage: str,
+        *,
+        validate: bool = True,
+    ) -> None:
+        if storage not in SHARD_STORAGES:
+            raise ValueError(
+                f"unknown shard storage {storage!r}; choose from {SHARD_STORAGES}"
+            )
+        if len(candidate_blocks) != plan.n_blocks:
+            raise InstanceValidationError(
+                f"expected {plan.n_blocks} candidate blocks, "
+                f"got {len(candidate_blocks)}"
+            )
+        if len(competing_blocks) != plan.n_blocks:
+            raise InstanceValidationError(
+                f"expected {plan.n_blocks} competing blocks, "
+                f"got {len(competing_blocks)}"
+            )
+        n_events = int(candidate_blocks[0].shape[1])
+        n_competing = int(competing_blocks[0].shape[1])
+        for block_index in range(plan.n_blocks):
+            lo, hi = plan.block_bounds(block_index)
+            for name, blocks, width in (
+                ("candidate", candidate_blocks, n_events),
+                ("competing", competing_blocks, n_competing),
+            ):
+                block = blocks[block_index]
+                if block.shape != (hi - lo, width):
+                    raise InstanceValidationError(
+                        f"{name} block {block_index} has shape {block.shape}; "
+                        f"expected {(hi - lo, width)}"
+                    )
+                if validate:
+                    _check_block(block, f"{name} block {block_index}")
+        self._plan = plan
+        self._storage = storage
+        self._candidate_blocks = tuple(candidate_blocks)
+        self._competing_blocks = tuple(competing_blocks)
+        self._n_events = n_events
+        self._n_competing = n_competing
+
+    # ------------------------------------------------------------------
+    # shape / identity
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Always ``"sharded"`` — distinct from the flat backends."""
+        return "sharded"
+
+    @property
+    def storage(self) -> str:
+        """Per-block storage kind (one of :data:`SHARD_STORAGES`)."""
+        return self._storage
+
+    @property
+    def plan(self) -> ShardPlan:
+        return self._plan
+
+    @property
+    def n_users(self) -> int:
+        return self._plan.n_users
+
+    @property
+    def n_events(self) -> int:
+        return self._n_events
+
+    @property
+    def n_competing(self) -> int:
+        return self._n_competing
+
+    # ------------------------------------------------------------------
+    # per-block accessors (the sharded-engine gather surface)
+    # ------------------------------------------------------------------
+    def block_candidate_entries(
+        self, block: int, event: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Nonzero ``(local_rows, float64 values)`` of one candidate column."""
+        return self._block_entries(self._candidate_blocks[block], event)
+
+    def block_competing_entries(
+        self, block: int, competing: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Nonzero ``(local_rows, float64 values)`` of one competing column."""
+        return self._block_entries(self._competing_blocks[block], competing)
+
+    def candidate_block(self, block: int) -> Any:
+        """Raw candidate storage of one block (CSC matrix or float32 array)."""
+        return self._candidate_blocks[block]
+
+    def competing_block(self, block: int) -> Any:
+        """Raw competing storage of one block (CSC matrix or float32 array)."""
+        return self._competing_blocks[block]
+
+    def block_candidate_dense(self, block: int) -> np.ndarray:
+        """One block's candidate matrix as dense float64 (vectorized kernels)."""
+        blk = self._candidate_blocks[block]
+        if _is_sparse(blk):
+            return np.asarray(blk.toarray(), dtype=float)
+        return np.asarray(blk, dtype=float)
+
+    @staticmethod
+    def _block_entries(block: Any, column: int) -> tuple[np.ndarray, np.ndarray]:
+        if _is_sparse(block):
+            start, stop = block.indptr[column], block.indptr[column + 1]
+            rows = block.indices[start:stop].astype(np.intp, copy=False)
+            values = block.data[start:stop]
+        else:
+            col = block[:, column]
+            rows = np.flatnonzero(col).astype(np.intp, copy=False)
+            values = col[rows]
+        return rows, np.asarray(values, dtype=float)
+
+    # ------------------------------------------------------------------
+    # global accessor protocol (InterestMatrix-compatible)
+    # ------------------------------------------------------------------
+    def event_column_entries(self, event: int) -> tuple[np.ndarray, np.ndarray]:
+        return self._global_entries(self._candidate_blocks, event)
+
+    def competing_column_entries(
+        self, competing: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self._global_entries(self._competing_blocks, competing)
+
+    def _global_entries(
+        self, blocks: tuple[Any, ...], column: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        row_parts: list[np.ndarray] = []
+        value_parts: list[np.ndarray] = []
+        for block_index, block in enumerate(blocks):
+            rows, values = self._block_entries(block, column)
+            if rows.size:
+                lo, _ = self._plan.block_bounds(block_index)
+                row_parts.append(rows + lo)
+                value_parts.append(values)
+        if not row_parts:
+            return _EMPTY_ROWS, _EMPTY_VALUES
+        return np.concatenate(row_parts), np.concatenate(value_parts)
+
+    def competing_mass_entries(
+        self, rivals: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``K_t`` as a sparse vector (see ``InterestMatrix``); rivals order."""
+        if not len(rivals):
+            return _EMPTY_ROWS, _EMPTY_VALUES
+        parts = [self.competing_column_entries(rival) for rival in rivals]
+        rows = np.concatenate([rows for rows, _ in parts])
+        values = np.concatenate([values for _, values in parts])
+        return merge_entries(rows, values)
+
+    def event_column(self, event: int) -> np.ndarray:
+        return self._dense_column(self._candidate_blocks, event)
+
+    def competing_column(self, competing: int) -> np.ndarray:
+        return self._dense_column(self._competing_blocks, competing)
+
+    def _dense_column(self, blocks: tuple[Any, ...], column: int) -> np.ndarray:
+        out = np.zeros(self.n_users)
+        for block_index, block in enumerate(blocks):
+            lo, hi = self._plan.block_bounds(block_index)
+            if _is_sparse(block):
+                rows, values = self._block_entries(block, column)
+                out[rows + lo] = values
+            else:
+                out[lo:hi] = block[:, column]
+        return out
+
+    def mu_event(self, user: int, event: int) -> float:
+        block = self._plan.block_of_user(user)
+        lo, _ = self._plan.block_bounds(block)
+        return float(self._candidate_blocks[block][user - lo, event])
+
+    def mu_competing(self, user: int, competing: int) -> float:
+        block = self._plan.block_of_user(user)
+        lo, _ = self._plan.block_bounds(block)
+        return float(self._competing_blocks[block][user - lo, competing])
+
+    # ------------------------------------------------------------------
+    # dense / sparse escape hatches (serialization, parity tests)
+    # ------------------------------------------------------------------
+    @property
+    def candidate(self) -> np.ndarray:
+        """Dense float64 candidate matrix — materializes; not a hot path."""
+        return self._dense_matrix(self._candidate_blocks, self._n_events)
+
+    @property
+    def competing(self) -> np.ndarray:
+        return self._dense_matrix(self._competing_blocks, self._n_competing)
+
+    def _dense_matrix(self, blocks: tuple[Any, ...], width: int) -> np.ndarray:
+        out = np.empty((self.n_users, width))
+        for block_index, block in enumerate(blocks):
+            lo, hi = self._plan.block_bounds(block_index)
+            out[lo:hi] = block.toarray() if _is_sparse(block) else block
+        return out
+
+    @property
+    def candidate_sparse(self) -> Any:
+        return self._sparse_matrix(self._candidate_blocks, self._n_events)
+
+    @property
+    def competing_sparse(self) -> Any:
+        return self._sparse_matrix(self._competing_blocks, self._n_competing)
+
+    def _sparse_matrix(self, blocks: tuple[Any, ...], width: int) -> Any:
+        _require_scipy()
+        stacked = _sp.vstack(
+            [
+                blk if _is_sparse(blk) else _sp.csc_matrix(np.asarray(blk, dtype=float))
+                for blk in blocks
+            ],
+            format="csc",
+        ).astype(float)
+        stacked.sort_indices()
+        return stacked
+
+    def candidate_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical ``(rows, cols, values)`` — column-major, zeros dropped."""
+        return InterestMatrix._coo(self.candidate_sparse)
+
+    def competing_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return InterestMatrix._coo(self.competing_sparse)
+
+    # ------------------------------------------------------------------
+    # derived statistics
+    # ------------------------------------------------------------------
+    def nnz_candidate(self) -> int:
+        total = 0
+        for block in self._candidate_blocks:
+            total += int(block.nnz) if _is_sparse(block) else int(
+                np.count_nonzero(block)
+            )
+        return total
+
+    def sparsity(self) -> float:
+        size = self.n_users * self.n_events
+        if size == 0:
+            return 1.0
+        return float((size - self.nnz_candidate()) / size)
+
+    def mean_positive_interest(self) -> float:
+        total, count = 0.0, 0
+        for block in self._candidate_blocks:
+            data = np.asarray(block.data if _is_sparse(block) else block)
+            positive = data[data > 0]
+            total += float(positive.sum(dtype=np.float64))
+            count += int(positive.size)
+        return total / count if count else 0.0
+
+    # ------------------------------------------------------------------
+    # constructors / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_interest(
+        cls,
+        interest: Any,
+        plan: ShardPlan,
+        storage: str = "csc",
+        directory: str | Path | None = None,
+    ) -> "ShardedInterest":
+        """Reshard an existing interest matrix (or any accessor-protocol duck).
+
+        ``memmap32`` requires ``directory`` — block files are written there
+        as ``.npy`` and mapped back read-only.
+        """
+        if interest.n_users != plan.n_users:
+            raise InstanceValidationError(
+                f"plan covers {plan.n_users} users but interest has "
+                f"{interest.n_users}"
+            )
+        candidate_blocks = cls._slice_blocks(
+            interest, plan, interest.n_events, competing=False
+        )
+        competing_blocks = cls._slice_blocks(
+            interest, plan, interest.n_competing, competing=True
+        )
+        return cls.from_blocks(
+            plan, candidate_blocks, competing_blocks, storage, directory=directory
+        )
+
+    @staticmethod
+    def _slice_blocks(
+        interest: Any, plan: ShardPlan, width: int, *, competing: bool
+    ) -> list[Any]:
+        _require_scipy()
+        source = getattr(
+            interest, "competing_sparse" if competing else "candidate_sparse", None
+        )
+        if source is not None:
+            blocks = []
+            for block_index in range(plan.n_blocks):
+                lo, hi = plan.block_bounds(block_index)
+                blk = _sp.csc_matrix(source[lo:hi])
+                blk.sort_indices()
+                blocks.append(blk)
+            return blocks
+        # Generic duck path: gather every column's entries once, localize.
+        entries_of = (
+            interest.competing_column_entries
+            if competing
+            else interest.event_column_entries
+        )
+        columns = [entries_of(column) for column in range(width)]
+        blocks = []
+        for block_index in range(plan.n_blocks):
+            lo, hi = plan.block_bounds(block_index)
+            rows_parts, value_parts, indptr = [], [], [0]
+            for rows, values in columns:
+                local, vals = slice_entries(rows, values, lo, hi)
+                rows_parts.append(local)
+                value_parts.append(vals)
+                indptr.append(indptr[-1] + local.size)
+            blocks.append(
+                _sp.csc_matrix(
+                    (
+                        np.concatenate(value_parts) if value_parts else _EMPTY_VALUES,
+                        np.concatenate(rows_parts) if rows_parts else _EMPTY_ROWS,
+                        np.asarray(indptr),
+                    ),
+                    shape=(hi - lo, width),
+                )
+            )
+        return blocks
+
+    @classmethod
+    def from_blocks(
+        cls,
+        plan: ShardPlan,
+        candidate_blocks: Sequence[Any],
+        competing_blocks: Sequence[Any],
+        storage: str = "csc",
+        directory: str | Path | None = None,
+    ) -> "ShardedInterest":
+        """Build from per-block matrices (scipy sparse or dense arrays)."""
+        if storage not in SHARD_STORAGES:
+            raise ValueError(
+                f"unknown shard storage {storage!r}; choose from {SHARD_STORAGES}"
+            )
+        candidate = [
+            cls._coerce_block(blk, storage, directory, "candidate", i)
+            for i, blk in enumerate(candidate_blocks)
+        ]
+        competing = [
+            cls._coerce_block(blk, storage, directory, "competing", i)
+            for i, blk in enumerate(competing_blocks)
+        ]
+        return cls(plan, candidate, competing, storage)
+
+    @staticmethod
+    def _coerce_block(
+        block: Any,
+        storage: str,
+        directory: str | Path | None,
+        name: str,
+        index: int,
+    ) -> Any:
+        if storage in ("csc", "csc32"):
+            _require_scipy()
+            dtype = np.float64 if storage == "csc" else np.float32
+            csc = _sp.csc_matrix(block, dtype=dtype, copy=True)
+            csc.sum_duplicates()
+            csc.eliminate_zeros()
+            csc.sort_indices()
+            return csc
+        dense = (
+            block.toarray() if _is_sparse(block) else np.asarray(block)
+        ).astype(np.float32)
+        dense = np.asfortranarray(dense)
+        if storage == "dense32":
+            dense.setflags(write=False)
+            return dense
+        # memmap32: persist as .npy and map back read-only
+        if directory is None:
+            raise ValueError("storage='memmap32' requires a directory")
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        file = path / f"{name}_block{index:05d}.npy"
+        np.save(file, dense)
+        return np.load(file, mmap_mode="r")
+
+    def with_storage(
+        self, storage: str, directory: str | Path | None = None
+    ) -> "ShardedInterest":
+        """This matrix re-encoded with a different block storage."""
+        if storage == self._storage:
+            return self
+        return ShardedInterest.from_blocks(
+            self._plan,
+            self._candidate_blocks,
+            self._competing_blocks,
+            storage,
+            directory=directory,
+        )
+
+    def to_interest(self, backend: str = "sparse") -> InterestMatrix:
+        """Collapse to a flat :class:`InterestMatrix` (parity tests)."""
+        if backend == "sparse":
+            return InterestMatrix.from_scipy(
+                self.candidate_sparse, self.competing_sparse
+            )
+        return InterestMatrix.from_arrays(
+            self.candidate, self.competing, backend="dense"
+        )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedInterest(users={self.n_users}, events={self.n_events}, "
+            f"competing={self.n_competing}, blocks={self._plan.n_blocks}, "
+            f"storage={self._storage!r})"
+        )

@@ -1,0 +1,115 @@
+"""Deterministic user -> block -> shard layout.
+
+The plan separates two concerns that are easy to conflate:
+
+- **Blocks** are the unit of *accumulation*.  Block size is fixed by
+  ``block_users`` and never depends on the shard count, and partial results
+  are always merged in ascending block order, so the floating-point
+  association of every merged sum is identical for P=1 and P=64.
+- **Shards** are the unit of *dispatch*: contiguous runs of blocks handed
+  to one worker.  Changing ``n_shards`` only regroups blocks; it cannot
+  change any merged value.
+
+Per-block RNG streams spawn from a single ``SeedSequenceFactory`` root in
+block order, so synthesized data is independent of both the shard count and
+worker scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import SeedSequenceFactory
+
+DEFAULT_BLOCK_USERS = 16384
+"""Rows per accumulation block.  Fixed so merged sums are P-independent."""
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPlan:
+    """Seeded, deterministic partition of ``n_users`` rows.
+
+    Users are assigned to contiguous blocks of ``block_users`` rows; blocks
+    are grouped into ``n_shards`` contiguous shards with near-equal block
+    counts (``numpy.array_split`` semantics).
+    """
+
+    n_users: int
+    n_shards: int = 1
+    block_users: int = DEFAULT_BLOCK_USERS
+    seed: int | None = field(default=None, compare=True)
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError(f"n_users must be positive, got {self.n_users}")
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be positive, got {self.n_shards}")
+        if self.block_users < 1:
+            raise ValueError(
+                f"block_users must be positive, got {self.block_users}"
+            )
+
+    @property
+    def n_blocks(self) -> int:
+        return -(-self.n_users // self.block_users)
+
+    def block_bounds(self, block: int) -> tuple[int, int]:
+        """Half-open global row range ``[lo, hi)`` covered by ``block``."""
+        if not 0 <= block < self.n_blocks:
+            raise IndexError(f"block {block} out of range [0, {self.n_blocks})")
+        lo = block * self.block_users
+        return lo, min(lo + self.block_users, self.n_users)
+
+    def block_of_user(self, user: int) -> int:
+        if not 0 <= user < self.n_users:
+            raise IndexError(f"user {user} out of range [0, {self.n_users})")
+        return user // self.block_users
+
+    def shard_blocks(self, shard: int) -> range:
+        """Contiguous block indices dispatched to ``shard``."""
+        if not 0 <= shard < self.n_shards:
+            raise IndexError(f"shard {shard} out of range [0, {self.n_shards})")
+        n, p = self.n_blocks, self.n_shards
+        size, extra = divmod(n, p)
+        lo = shard * size + min(shard, extra)
+        return range(lo, lo + size + (1 if shard < extra else 0))
+
+    def shard_of_user(self, user: int) -> int:
+        block = self.block_of_user(user)
+        for shard in range(self.n_shards):
+            if block in self.shard_blocks(shard):
+                return shard
+        raise AssertionError("unreachable: every block belongs to a shard")
+
+    def block_streams(self) -> list[np.random.Generator]:
+        """One RNG stream per block, spawned from the root in block order.
+
+        Spawn order is the block order, so the streams -- and anything
+        synthesized from them -- are independent of the shard count and of
+        worker scheduling.
+        """
+        factory = SeedSequenceFactory(self.seed)
+        return factory.spawn_many(self.n_blocks)
+
+    def block_slices(
+        self, rows: np.ndarray
+    ) -> list[tuple[int, int, int]]:
+        """Partition sorted global ``rows`` into per-block index windows.
+
+        Returns ``(block, start, stop)`` triples such that
+        ``rows[start:stop]`` are exactly the rows falling in ``block``;
+        blocks with no rows are omitted.
+        """
+        if rows.size == 0:
+            return []
+        edges = np.arange(1, self.n_blocks + 1) * self.block_users
+        cuts = np.searchsorted(rows, edges, side="left")
+        out: list[tuple[int, int, int]] = []
+        start = 0
+        for block, stop in enumerate(cuts):
+            if stop > start:
+                out.append((block, int(start), int(stop)))
+            start = int(stop)
+        return out

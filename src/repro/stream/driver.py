@@ -137,6 +137,8 @@ class StreamResult:
         return {
             "policy": self.policy,
             "engine": self.engine.kind,
+            "shards": self.engine.shards,
+            "workers": self.engine.workers,
             "ops": len(self.records),
             "op_log": list(self.op_log),
             "utilities": list(self.utilities),

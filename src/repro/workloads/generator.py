@@ -14,6 +14,8 @@ so grid point ``i`` is reproducible regardless of what ran before it.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.core.instance import SESInstance
@@ -22,7 +24,7 @@ from repro.ebsn.generator import EBSNConfig, GeneratedEBSN, MeetupStyleGenerator
 from repro.utils.rng import SeedSequenceFactory
 from repro.workloads.config import ExperimentConfig
 
-__all__ = ["WorkloadGenerator"]
+__all__ = ["WorkloadGenerator", "synthesize_sharded_instance"]
 
 
 class WorkloadGenerator:
@@ -94,6 +96,123 @@ class WorkloadGenerator:
         if config.n_users < instance.n_users:
             instance = _restrict_users(instance, config.n_users)
         return instance
+
+
+def synthesize_sharded_instance(
+    n_users: int,
+    n_events: int = 64,
+    n_intervals: int = 12,
+    *,
+    competing_per_interval: int = 2,
+    density: float = 0.001,
+    theta: float = 10.0,
+    xi_range: tuple[float, float] = (1.0, 4.0),
+    n_locations: int = 8,
+    shards: int = 1,
+    block_users: int | None = None,
+    storage: str = "csc",
+    directory: str | Path | None = None,
+    seed: int = 0,
+) -> SESInstance:
+    """Synthesize a million-user-scale instance directly into shard blocks.
+
+    Interest is sampled **per accumulation block** from RNG streams
+    spawned in block order off one root seed
+    (:meth:`~repro.shard.plan.ShardPlan.block_streams`), so the generated
+    numbers are identical for any ``shards`` value and any worker
+    scheduling — and no dense ``(n_users, n_events)`` array is ever
+    materialized: each block's columns go straight into CSC (or float32
+    dense/memmap) block storage.
+
+    ``density`` is the expected fraction of nonzero ``mu`` entries per
+    column (Binomial row counts per block).  ``storage``/``directory``
+    follow :class:`~repro.shard.interest.ShardedInterest`.
+    """
+    from repro.core.activity import ActivityModel
+    from repro.core.entities import (
+        CandidateEvent,
+        CompetingEvent,
+        Organizer,
+        TimeInterval,
+        User,
+    )
+    from repro.shard.interest import ShardedInterest
+    from repro.shard.plan import DEFAULT_BLOCK_USERS, ShardPlan
+
+    try:
+        from scipy import sparse as sp
+    except ImportError as error:  # pragma: no cover - scipy is baked in
+        raise ImportError("synthesize_sharded_instance requires scipy") from error
+
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must lie in (0, 1], got {density}")
+    plan = ShardPlan(
+        n_users=n_users,
+        n_shards=shards,
+        block_users=block_users or DEFAULT_BLOCK_USERS,
+        seed=seed,
+    )
+    n_competing = competing_per_interval * n_intervals
+
+    def _sample_csc(
+        rng: np.random.Generator, rows_in_block: int, n_columns: int
+    ):
+        indices_parts: list[np.ndarray] = []
+        data_parts: list[np.ndarray] = []
+        indptr = np.zeros(n_columns + 1, dtype=np.intp)
+        for column in range(n_columns):
+            nnz = int(rng.binomial(rows_in_block, density))
+            rows = np.sort(
+                rng.choice(rows_in_block, size=nnz, replace=False)
+            ).astype(np.intp)
+            indices_parts.append(rows)
+            data_parts.append(rng.uniform(0.05, 1.0, size=nnz))
+            indptr[column + 1] = indptr[column] + nnz
+        indices = (
+            np.concatenate(indices_parts) if indices_parts else
+            np.zeros(0, dtype=np.intp)
+        )
+        data = np.concatenate(data_parts) if data_parts else np.zeros(0)
+        return sp.csc_matrix(
+            (data, indices, indptr), shape=(rows_in_block, n_columns)
+        )
+
+    candidate_blocks = []
+    competing_blocks = []
+    sigma = np.empty((n_users, n_intervals))
+    for block, stream in enumerate(plan.block_streams()):
+        lo, hi = plan.block_bounds(block)
+        candidate_blocks.append(_sample_csc(stream, hi - lo, n_events))
+        competing_blocks.append(_sample_csc(stream, hi - lo, n_competing))
+        sigma[lo:hi] = stream.uniform(0.0, 1.0, size=(hi - lo, n_intervals))
+    interest = ShardedInterest.from_blocks(
+        plan, candidate_blocks, competing_blocks, storage, directory=directory
+    )
+
+    entity_rng = np.random.default_rng(
+        np.random.SeedSequence([seed, n_users, n_events]).generate_state(4)
+    )
+    xi = entity_rng.uniform(xi_range[0], xi_range[1], size=n_events)
+    locations = entity_rng.integers(0, n_locations, size=n_events)
+    return SESInstance(
+        users=tuple(User(index=u) for u in range(n_users)),
+        intervals=tuple(TimeInterval(index=t) for t in range(n_intervals)),
+        events=tuple(
+            CandidateEvent(
+                index=e,
+                location=int(locations[e]),
+                required_resources=float(min(xi[e], theta)),
+            )
+            for e in range(n_events)
+        ),
+        competing=tuple(
+            CompetingEvent(index=c, interval=c % n_intervals)
+            for c in range(n_competing)
+        ),
+        interest=interest,  # type: ignore[arg-type]
+        activity=ActivityModel(sigma),
+        organizer=Organizer(resources=theta),
+    )
 
 
 def _restrict_users(instance: SESInstance, n_users: int) -> SESInstance:

@@ -1,0 +1,27 @@
+# Seeded violation fixture: a mini LiveDelta hierarchy (discovery input).
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LiveDelta:
+    pass
+
+
+@dataclass(frozen=True)
+class EventAdded(LiveDelta):
+    event: int = 0
+
+
+@dataclass(frozen=True)
+class EventRemoved(LiveDelta):
+    event: int = 0
+
+
+@dataclass(frozen=True)
+class EventInterestReplaced(LiveDelta):
+    event: int = 0
+
+
+@dataclass(frozen=True)
+class CompetingAdded(LiveDelta):
+    interval: int = 0

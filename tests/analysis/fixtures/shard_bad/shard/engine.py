@@ -1,0 +1,23 @@
+# Seeded violations for the shard layer:
+#  * localize_delta (the shard delta router) misses the CompetingAdded
+#    branch — a rival arrival would silently never reach its shards;
+#  * a merged score partial is born float32 on a shard *compute* module
+#    (only shard/interest.py, the storage layer, may go low precision).
+import numpy as np
+
+from core.live import EventAdded, EventInterestReplaced, EventRemoved
+
+
+def localize_delta(delta, lo, hi):
+    if isinstance(delta, (EventAdded, EventRemoved)):
+        return delta
+    elif isinstance(delta, EventInterestReplaced):
+        return delta
+    raise TypeError(delta)
+
+
+def merge_partials(partials):
+    total = np.zeros(8, dtype=np.float32)
+    for partial in partials:
+        total += partial
+    return total

@@ -1,0 +1,33 @@
+# Clean twin of delta_bad: same mini hierarchy, plus an intermediate base
+# (covering an ancestor must count as covering its leaves).
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LiveDelta:
+    pass
+
+
+@dataclass(frozen=True)
+class ColumnDelta(LiveDelta):
+    pass
+
+
+@dataclass(frozen=True)
+class EventAdded(ColumnDelta):
+    event: int = 0
+
+
+@dataclass(frozen=True)
+class EventRemoved(LiveDelta):
+    event: int = 0
+
+
+@dataclass(frozen=True)
+class EventInterestReplaced(ColumnDelta):
+    event: int = 0
+
+
+@dataclass(frozen=True)
+class CompetingAdded(LiveDelta):
+    interval: int = 0

@@ -1,0 +1,12 @@
+# The sanctioned exemption: shard/interest.py is the float32 *storage*
+# layer — low-precision block construction here must stay clean.
+import numpy as np
+
+
+def coerce_block(block):
+    dense = np.asarray(block, dtype=np.float32)
+    return np.asfortranarray(dense, dtype="float32")
+
+
+def empty_block(rows, columns):
+    return np.zeros((rows, columns), dtype="f4")

@@ -19,6 +19,22 @@ class TestDeltaExhaustiveness:
         result = lint_fixture("delta_good", "delta-exhaustiveness")
         assert result.clean, rules_of(result)
 
+    def test_shard_router_missing_branch_fires(self, lint_fixture):
+        result = lint_fixture("shard_bad", "delta-exhaustiveness")
+        routed = [
+            f for f in result.findings if "localize_delta" in f.message
+        ]
+        assert len(routed) == 1
+        finding = routed[0]
+        assert finding.path.endswith("shard_bad/shard/engine.py")
+        assert "CompetingAdded" in finding.message
+        # a module-level router has no owning class in the label
+        assert finding.message.startswith("localize_delta ")
+
+    def test_covering_and_delegating_routers_are_clean(self, lint_fixture):
+        result = lint_fixture("shard_good", "delta-exhaustiveness")
+        assert result.clean, rules_of(result)
+
 
 class TestFreezeBan:
     def test_hot_path_freeze_and_instance_fire(self, lint_fixture):
@@ -109,8 +125,25 @@ class TestDtypeDiscipline:
         )
         assert culprits == ["f2", "float32", "float32"]
 
+    def test_float32_partial_on_shard_compute_path_fires(self, lint_fixture):
+        result = lint_fixture("shard_bad", "dtype-discipline")
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.path.endswith("shard_bad/shard/engine.py")
+        assert "float32" in finding.message
+
+    def test_shard_storage_layer_is_exempt(self, lint_fixture):
+        """shard/interest.py may construct float32 blocks (storage layer)."""
+        result = lint_fixture("shard_good", "dtype-discipline")
+        assert result.clean, rules_of(result)
+
 
 def test_full_battery_on_clean_twin(lint_fixture):
     """The whole battery, not just the targeted rule, passes delta_good."""
     result = lint_fixture("delta_good")
+    assert result.clean, rules_of(result)
+
+
+def test_full_battery_on_shard_clean_twin(lint_fixture):
+    result = lint_fixture("shard_good")
     assert result.clean, rules_of(result)

@@ -1,0 +1,220 @@
+"""ShardedInterest: block storage behind the flat accessor protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InstanceValidationError
+from repro.core.interest import InterestMatrix, slice_entries
+from repro.shard.interest import SHARD_STORAGES, ShardedInterest
+from repro.shard.plan import ShardPlan
+
+pytest.importorskip("scipy")
+
+N_USERS, N_EVENTS, N_COMPETING = 97, 7, 5
+
+
+@pytest.fixture(scope="module")
+def flat() -> InterestMatrix:
+    rng = np.random.default_rng(21)
+    candidate = rng.uniform(0, 1, (N_USERS, N_EVENTS))
+    candidate *= rng.random(candidate.shape) < 0.3
+    competing = rng.uniform(0, 1, (N_USERS, N_COMPETING))
+    competing *= rng.random(competing.shape) < 0.3
+    return InterestMatrix.from_arrays(candidate, competing, backend="sparse")
+
+
+@pytest.fixture(scope="module")
+def plan() -> ShardPlan:
+    return ShardPlan(n_users=N_USERS, n_shards=3, block_users=16)
+
+
+def tolerance(storage: str) -> float:
+    return 0.0 if storage == "csc" else 1e-6
+
+
+def build(flat, plan, storage, tmp_path=None):
+    directory = tmp_path if storage == "memmap32" else None
+    return ShardedInterest.from_interest(
+        flat, plan, storage, directory=directory
+    )
+
+
+class TestSliceEntries:
+    def test_window_is_localized(self):
+        rows = np.array([2, 5, 9, 14, 30], dtype=np.intp)
+        values = np.array([0.2, 0.5, 0.9, 0.4, 0.3])
+        local, vals = slice_entries(rows, values, 5, 15)
+        np.testing.assert_array_equal(local, [0, 4, 9])
+        np.testing.assert_array_equal(vals, [0.5, 0.9, 0.4])
+
+    def test_empty_window(self):
+        rows = np.array([2, 5], dtype=np.intp)
+        local, vals = slice_entries(rows, np.array([0.2, 0.5]), 10, 20)
+        assert local.size == 0 and vals.size == 0
+
+
+@pytest.mark.parametrize("storage", SHARD_STORAGES)
+class TestAccessorProtocolParity:
+    def test_shape_and_backend(self, flat, plan, storage, tmp_path):
+        sharded = build(flat, plan, storage, tmp_path)
+        assert sharded.backend == "sharded"
+        assert sharded.storage == storage
+        assert (sharded.n_users, sharded.n_events, sharded.n_competing) == (
+            N_USERS,
+            N_EVENTS,
+            N_COMPETING,
+        )
+
+    def test_dense_matrices_match(self, flat, plan, storage, tmp_path):
+        sharded = build(flat, plan, storage, tmp_path)
+        atol = tolerance(storage)
+        np.testing.assert_allclose(sharded.candidate, flat.candidate, atol=atol)
+        np.testing.assert_allclose(sharded.competing, flat.competing, atol=atol)
+
+    def test_column_entries_match(self, flat, plan, storage, tmp_path):
+        sharded = build(flat, plan, storage, tmp_path)
+        atol = tolerance(storage)
+        for event in range(N_EVENTS):
+            rows, values = sharded.event_column_entries(event)
+            frows, fvalues = flat.event_column_entries(event)
+            np.testing.assert_array_equal(rows, frows)
+            np.testing.assert_allclose(values, fvalues, atol=atol)
+            assert values.dtype == np.float64  # float64 at the gather boundary
+            np.testing.assert_allclose(
+                sharded.event_column(event), flat.event_column(event), atol=atol
+            )
+
+    def test_competing_mass_entries_match(self, flat, plan, storage, tmp_path):
+        sharded = build(flat, plan, storage, tmp_path)
+        rivals = [0, 2, 4]
+        rows, values = sharded.competing_mass_entries(rivals)
+        frows, fvalues = flat.competing_mass_entries(rivals)
+        np.testing.assert_array_equal(rows, frows)
+        np.testing.assert_allclose(values, fvalues, atol=tolerance(storage))
+        assert sharded.competing_mass_entries([])[0].size == 0
+
+    def test_pointwise_mu(self, flat, plan, storage, tmp_path):
+        sharded = build(flat, plan, storage, tmp_path)
+        atol = tolerance(storage)
+        for user in (0, 15, 16, 96):
+            for event in range(N_EVENTS):
+                assert sharded.mu_event(user, event) == pytest.approx(
+                    flat.mu_event(user, event), abs=atol
+                )
+            assert sharded.mu_competing(user, 1) == pytest.approx(
+                flat.mu_competing(user, 1), abs=atol
+            )
+
+    def test_sparse_and_coo_views(self, flat, plan, storage, tmp_path):
+        sharded = build(flat, plan, storage, tmp_path)
+        atol = tolerance(storage)
+        np.testing.assert_allclose(
+            sharded.candidate_sparse.toarray(), flat.candidate, atol=atol
+        )
+        rows, cols, values = sharded.candidate_coo()
+        dense = np.zeros((N_USERS, N_EVENTS))
+        dense[rows, cols] = values
+        np.testing.assert_allclose(dense, flat.candidate, atol=atol)
+
+    def test_statistics(self, flat, plan, storage, tmp_path):
+        sharded = build(flat, plan, storage, tmp_path)
+        assert sharded.nnz_candidate() == flat.nnz_candidate()
+        assert sharded.sparsity() == pytest.approx(flat.sparsity())
+        assert sharded.mean_positive_interest() == pytest.approx(
+            flat.mean_positive_interest(), abs=1e-6
+        )
+
+
+class TestConstruction:
+    def test_unknown_storage_rejected(self, flat, plan):
+        with pytest.raises(ValueError, match="unknown shard storage"):
+            ShardedInterest.from_interest(flat, plan, "csr")
+
+    def test_memmap_requires_directory(self, flat, plan):
+        with pytest.raises(ValueError, match="requires a directory"):
+            ShardedInterest.from_interest(flat, plan, "memmap32")
+
+    def test_plan_user_mismatch_rejected(self, flat):
+        with pytest.raises(InstanceValidationError, match="plan covers"):
+            ShardedInterest.from_interest(
+                flat, ShardPlan(n_users=N_USERS + 1, block_users=16), "csc"
+            )
+
+    def test_wrong_block_count_rejected(self, flat, plan):
+        sharded = build(flat, plan, "csc")
+        blocks = [sharded.candidate_block(i) for i in range(plan.n_blocks)]
+        with pytest.raises(InstanceValidationError, match="candidate blocks"):
+            ShardedInterest(plan, blocks[:-1], blocks, "csc")
+
+    def test_wrong_block_shape_rejected(self, flat, plan):
+        sharded = build(flat, plan, "csc")
+        candidate = [sharded.candidate_block(i) for i in range(plan.n_blocks)]
+        competing = [sharded.competing_block(i) for i in range(plan.n_blocks)]
+        candidate[0] = candidate[0][:5]
+        with pytest.raises(InstanceValidationError, match="has shape"):
+            ShardedInterest(plan, candidate, competing, "csc")
+
+    def test_out_of_range_values_rejected(self, plan):
+        bad = np.full((16, 2), 1.5)
+        blocks = [
+            np.zeros((hi - lo, 2))
+            for b in range(plan.n_blocks)
+            for lo, hi in [plan.block_bounds(b)]
+        ]
+        candidate = list(blocks)
+        candidate[0] = bad
+        with pytest.raises(InstanceValidationError, match=r"\[0, 1\]"):
+            ShardedInterest(plan, candidate, blocks, "dense32")
+
+    def test_nan_rejected(self, plan):
+        blocks = [
+            np.zeros((hi - lo, 2))
+            for b in range(plan.n_blocks)
+            for lo, hi in [plan.block_bounds(b)]
+        ]
+        candidate = list(blocks)
+        candidate[0] = np.full((16, 2), np.nan)
+        with pytest.raises(InstanceValidationError, match="NaN"):
+            ShardedInterest(plan, candidate, blocks, "dense32")
+
+    def test_generic_duck_source_matches_sparse_source(self, flat, plan):
+        """A dense-backed matrix reshards through the entries fallback."""
+        dense_flat = flat.to_backend("dense")
+        from_entries = ShardedInterest.from_interest(dense_flat, plan, "csc")
+        from_sparse = ShardedInterest.from_interest(flat, plan, "csc")
+        np.testing.assert_array_equal(
+            from_entries.candidate, from_sparse.candidate
+        )
+        np.testing.assert_array_equal(
+            from_entries.competing, from_sparse.competing
+        )
+
+
+class TestConversion:
+    def test_with_storage_round_trip(self, flat, plan, tmp_path):
+        csc = build(flat, plan, "csc")
+        assert csc.with_storage("csc") is csc
+        chain = csc.with_storage("dense32").with_storage(
+            "memmap32", directory=tmp_path
+        )
+        assert chain.storage == "memmap32"
+        assert type(chain.candidate_block(0)).__name__ == "memmap"
+        np.testing.assert_allclose(chain.candidate, flat.candidate, atol=1e-6)
+
+    def test_to_interest_backends(self, flat, plan):
+        sharded = build(flat, plan, "csc")
+        back_sparse = sharded.to_interest("sparse")
+        assert back_sparse.backend == "sparse"
+        np.testing.assert_array_equal(back_sparse.candidate, flat.candidate)
+        back_dense = sharded.to_interest("dense")
+        assert back_dense.backend == "dense"
+        np.testing.assert_array_equal(back_dense.candidate, flat.candidate)
+
+    def test_dense32_blocks_are_readonly_fortran(self, flat, plan):
+        sharded = build(flat, plan, "dense32")
+        block = sharded.candidate_block(0)
+        assert block.dtype == np.float32
+        assert block.flags.f_contiguous
+        assert not block.flags.writeable

@@ -1,0 +1,134 @@
+"""ShardPlan: the deterministic user -> block -> shard layout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.shard.plan import DEFAULT_BLOCK_USERS, ShardPlan
+
+
+class TestBlocks:
+    def test_blocks_tile_the_user_axis(self):
+        plan = ShardPlan(n_users=1000, block_users=128)
+        assert plan.n_blocks == 8
+        cursor = 0
+        for block in range(plan.n_blocks):
+            lo, hi = plan.block_bounds(block)
+            assert lo == cursor and hi > lo
+            cursor = hi
+        assert cursor == 1000
+
+    def test_last_block_is_the_remainder(self):
+        plan = ShardPlan(n_users=1000, block_users=128)
+        assert plan.block_bounds(plan.n_blocks - 1) == (896, 1000)
+
+    def test_block_of_user_matches_bounds(self):
+        plan = ShardPlan(n_users=300, block_users=64)
+        for user in (0, 63, 64, 299):
+            block = plan.block_of_user(user)
+            lo, hi = plan.block_bounds(block)
+            assert lo <= user < hi
+
+    def test_default_block_size(self):
+        assert ShardPlan(n_users=10).block_users == DEFAULT_BLOCK_USERS
+
+    def test_out_of_range_indices_raise(self):
+        plan = ShardPlan(n_users=100, block_users=32)
+        with pytest.raises(IndexError):
+            plan.block_bounds(plan.n_blocks)
+        with pytest.raises(IndexError):
+            plan.block_of_user(100)
+        with pytest.raises(IndexError):
+            plan.shard_blocks(plan.n_shards)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_users=0),
+            dict(n_users=10, n_shards=0),
+            dict(n_users=10, block_users=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ShardPlan(**kwargs)
+
+
+class TestShards:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 7, 20])
+    def test_shards_partition_the_blocks(self, n_shards):
+        plan = ShardPlan(n_users=1000, n_shards=n_shards, block_users=100)
+        covered = [
+            block
+            for shard in range(n_shards)
+            for block in plan.shard_blocks(shard)
+        ]
+        assert covered == list(range(plan.n_blocks))
+
+    def test_shards_are_contiguous_and_balanced(self):
+        plan = ShardPlan(n_users=1000, n_shards=3, block_users=100)
+        sizes = [len(plan.shard_blocks(s)) for s in range(3)]
+        assert sum(sizes) == plan.n_blocks == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_blocks_leaves_empty_shards(self):
+        plan = ShardPlan(n_users=50, n_shards=5, block_users=32)
+        assert plan.n_blocks == 2
+        sizes = [len(plan.shard_blocks(s)) for s in range(5)]
+        assert sorted(sizes, reverse=True) == [1, 1, 0, 0, 0]
+
+    def test_shard_of_user_consistent_with_shard_blocks(self):
+        plan = ShardPlan(n_users=500, n_shards=4, block_users=64)
+        for user in (0, 63, 64, 255, 499):
+            shard = plan.shard_of_user(user)
+            assert plan.block_of_user(user) in plan.shard_blocks(shard)
+
+    def test_shard_count_never_changes_block_layout(self):
+        narrow = ShardPlan(n_users=777, n_shards=1, block_users=50)
+        wide = ShardPlan(n_users=777, n_shards=13, block_users=50)
+        assert narrow.n_blocks == wide.n_blocks
+        for block in range(narrow.n_blocks):
+            assert narrow.block_bounds(block) == wide.block_bounds(block)
+
+
+class TestBlockStreams:
+    def test_one_stream_per_block_deterministic(self):
+        plan = ShardPlan(n_users=300, block_users=64, seed=9)
+        first = [s.uniform(size=3) for s in plan.block_streams()]
+        second = [s.uniform(size=3) for s in plan.block_streams()]
+        assert len(first) == plan.n_blocks
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_streams_independent_of_shard_count(self):
+        draw = lambda plan: [s.uniform(size=4) for s in plan.block_streams()]
+        p1 = draw(ShardPlan(n_users=300, n_shards=1, block_users=64, seed=5))
+        p7 = draw(ShardPlan(n_users=300, n_shards=7, block_users=64, seed=5))
+        for a, b in zip(p1, p7):
+            np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_streams(self):
+        a = ShardPlan(n_users=100, block_users=64, seed=1).block_streams()
+        b = ShardPlan(n_users=100, block_users=64, seed=2).block_streams()
+        assert not np.array_equal(a[0].uniform(size=4), b[0].uniform(size=4))
+
+
+class TestBlockSlices:
+    def test_rows_partition_into_block_windows(self):
+        plan = ShardPlan(n_users=200, block_users=50)
+        rows = np.array([0, 3, 49, 50, 120, 121, 199])
+        slices = plan.block_slices(rows)
+        assert slices == [(0, 0, 3), (1, 3, 4), (2, 4, 6), (3, 6, 7)]
+        for block, start, stop in slices:
+            lo, hi = plan.block_bounds(block)
+            assert np.all((rows[start:stop] >= lo) & (rows[start:stop] < hi))
+
+    def test_empty_rows(self):
+        assert ShardPlan(n_users=10, block_users=4).block_slices(
+            np.zeros(0, dtype=np.intp)
+        ) == []
+
+    def test_blocks_without_rows_are_omitted(self):
+        plan = ShardPlan(n_users=200, block_users=50)
+        assert plan.block_slices(np.array([175])) == [(3, 0, 1)]

@@ -1,0 +1,148 @@
+"""Sharded-instance serialization: directory format + flat fallbacks."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.serialization import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance_npz,
+    load_sharded_instance,
+    save_instance_npz,
+    save_sharded_instance,
+)
+from repro.workloads.generator import synthesize_sharded_instance
+
+from tests.conftest import make_random_instance
+
+pytest.importorskip("scipy")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return synthesize_sharded_instance(
+        900, n_events=8, n_intervals=3, density=0.05, shards=2,
+        block_users=256, seed=13,
+    )
+
+
+class TestFlatFallbacks:
+    def test_json_dict_flattens_to_sparse(self, instance):
+        back = instance_from_dict(instance_to_dict(instance))
+        assert back.interest.backend == "sparse"
+        np.testing.assert_array_equal(
+            back.interest.candidate, instance.interest.candidate
+        )
+
+    def test_npz_round_trip_flattens_to_sparse(self, instance, tmp_path):
+        path = tmp_path / "inst.npz"
+        save_instance_npz(instance, path)
+        back = load_instance_npz(path)
+        assert back.interest.backend == "sparse"
+        np.testing.assert_array_equal(
+            back.interest.candidate, instance.interest.candidate
+        )
+        np.testing.assert_array_equal(
+            back.activity.matrix, instance.activity.matrix
+        )
+
+
+class TestDirectoryFormat:
+    def test_csc_round_trip_is_exact(self, instance, tmp_path):
+        save_sharded_instance(instance, tmp_path / "d")
+        back = load_sharded_instance(tmp_path / "d")
+        assert back.interest.backend == "sharded"
+        assert back.interest.storage == "csc"
+        assert back.interest.plan == instance.interest.plan
+        np.testing.assert_array_equal(
+            back.interest.candidate, instance.interest.candidate
+        )
+        np.testing.assert_array_equal(
+            back.interest.competing, instance.interest.competing
+        )
+        np.testing.assert_array_equal(
+            back.activity.matrix, instance.activity.matrix
+        )
+        assert back.n_users == instance.n_users
+        assert back.events == instance.events
+
+    @pytest.mark.parametrize("storage", ["dense32", "memmap32"])
+    def test_float32_storages_round_trip(self, instance, tmp_path, storage):
+        directory = tmp_path / "src" if storage == "memmap32" else None
+        converted = instance.interest.with_storage(storage, directory=directory)
+        from repro.core.instance import SESInstance
+
+        inst32 = SESInstance(
+            users=instance.users,
+            intervals=instance.intervals,
+            events=instance.events,
+            competing=instance.competing,
+            interest=converted,
+            activity=instance.activity,
+            organizer=instance.organizer,
+        )
+        save_sharded_instance(inst32, tmp_path / "d32")
+        back = load_sharded_instance(tmp_path / "d32")
+        assert back.interest.storage == storage
+        if storage == "memmap32":
+            assert type(back.interest.candidate_block(0)).__name__ == "memmap"
+        else:
+            block = back.interest.candidate_block(0)
+            assert block.dtype == np.float32 and not block.flags.writeable
+        np.testing.assert_allclose(
+            back.interest.candidate, instance.interest.candidate, atol=1e-6
+        )
+
+    def test_default_users_stored_as_count(self, instance, tmp_path):
+        save_sharded_instance(instance, tmp_path / "d")
+        manifest = json.loads((tmp_path / "d" / "manifest.json").read_text())
+        assert manifest["metadata"]["users"] == {"count": 900}
+        assert manifest["plan"]["block_users"] == 256
+
+    def test_named_users_stored_in_full(self, tmp_path):
+        from repro.core.instance import SESInstance
+        from repro.core.entities import User
+        from repro.shard.interest import ShardedInterest
+        from repro.shard.plan import ShardPlan
+
+        base = make_random_instance(n_users=20, seed=2)
+        users = tuple(
+            User(index=u.index, name=f"user-{u.index}") for u in base.users
+        )
+        interest = ShardedInterest.from_interest(
+            base.interest, ShardPlan(n_users=20, block_users=8), "csc"
+        )
+        named = SESInstance(
+            users=users,
+            intervals=base.intervals,
+            events=base.events,
+            competing=base.competing,
+            interest=interest,
+            activity=base.activity,
+            organizer=base.organizer,
+        )
+        save_sharded_instance(named, tmp_path / "named")
+        manifest = json.loads(
+            (tmp_path / "named" / "manifest.json").read_text()
+        )
+        assert isinstance(manifest["metadata"]["users"], list)
+        back = load_sharded_instance(tmp_path / "named")
+        assert back.users[3].name == "user-3"
+
+    def test_requires_sharded_interest(self, tmp_path):
+        flat = make_random_instance(seed=1)
+        with pytest.raises(ValueError, match="ShardedInterest"):
+            save_sharded_instance(flat, tmp_path / "flat")
+
+    def test_version_mismatch_rejected(self, instance, tmp_path):
+        save_sharded_instance(instance, tmp_path / "d")
+        manifest_path = tmp_path / "d" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format version"):
+            load_sharded_instance(tmp_path / "d")
