@@ -24,6 +24,7 @@ from repro.core.engine import EngineSpec, ScoreEngine
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment, Schedule
+from repro.interactive.locks import LockSet
 from repro.utils.rng import ensure_rng
 
 __all__ = ["AnnealingScheduler"]
@@ -77,11 +78,16 @@ class AnnealingScheduler(Scheduler):
         stats: SolverStats,
         *,
         plane=None,  # SA scores only relative moves; the base matrix is moot
+        locks: LockSet | None = None,
     ) -> None:
         seed_schedule = self._seed_schedule
         if seed_schedule is None:
             seeder = RandomScheduler(self._engine_spec, seed=self._rng)
-            seed_schedule = seeder.solve(instance, k).schedule
+            seed_schedule = seeder.solve(instance, k, locks=locks).schedule
+        elif locks is not None:
+            # a caller-supplied seed must already honor the locks —
+            # the walk preserves them but cannot repair a bad seed
+            locks.check_schedule(seed_schedule)
         for assignment in seed_schedule:
             checker.apply(assignment)
             engine.assign(assignment.event, assignment.interval)
@@ -93,7 +99,7 @@ class AnnealingScheduler(Scheduler):
 
         for _ in range(self._steps):
             delta = self._propose_and_maybe_apply(
-                instance, engine, checker, temperature, stats
+                instance, engine, checker, temperature, stats, locks
             )
             current_utility += delta
             if current_utility > best_utility + 1e-12:
@@ -116,9 +122,15 @@ class AnnealingScheduler(Scheduler):
         checker: FeasibilityChecker,
         temperature: float,
         stats: SolverStats,
+        locks: LockSet | None = None,
     ) -> float:
         """One Metropolis step; returns the applied utility delta (0 if rejected)."""
         scheduled = list(engine.schedule.scheduled_events())
+        if locks is not None:
+            # pinned events never move (filtered after the list build so
+            # the unlocked path is byte-identical when locks is None)
+            pinned = locks.pinned_events
+            scheduled = [e for e in scheduled if e not in pinned]
         if not scheduled:
             return 0.0
         event = int(self._rng.choice(scheduled))
@@ -140,8 +152,11 @@ class AnnealingScheduler(Scheduler):
 
         proposal = Assignment(event=new_event, interval=new_interval)
         stats.moves_evaluated += 1
-        if not checker.is_valid(proposal):
-            # revert
+        if (
+            locks is not None and locks.is_forbidden(new_interval, new_event)
+        ) or not checker.is_valid(proposal):
+            # revert (forbidden cells are rejected exactly like invalid ones;
+            # a pinned new_event is already scheduled, so validity rejects it)
             checker.apply(old_assignment)
             engine.assign(event, source)
             return 0.0

@@ -17,11 +17,16 @@ from dataclasses import dataclass, field, fields
 import numpy as np
 
 from repro.core.engine import EngineSpec, ScoreEngine, resolve_engine_spec
-from repro.core.errors import ScheduleSizeError
+from repro.core.errors import (
+    InfeasibleAssignmentError,
+    LockError,
+    ScheduleSizeError,
+)
 from repro.core.feasibility import FeasibilityChecker, is_schedule_feasible
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
 from repro.core.scoreplane import ScorePlane
+from repro.interactive.locks import LockSet
 
 __all__ = ["SolverStats", "ScheduleResult", "Scheduler"]
 
@@ -135,6 +140,7 @@ class Scheduler(ABC):
         *,
         engine: ScoreEngine | None = None,
         plane: ScorePlane | None = None,
+        locks: "LockSet | None" = None,
     ) -> ScheduleResult:
         """Run the solver and return a validated, timed result.
 
@@ -151,10 +157,27 @@ class Scheduler(ABC):
         GRASP constructions — read the cached matrix instead of
         re-filling it, and the selection is bit-identical to a cold
         solve (the plane's warm-start contract).
+
+        ``locks`` injects organizer pin/forbid constraints
+        (:class:`~repro.interactive.locks.LockSet`).  Pins are committed
+        into the result (and count toward ``k``); forbidden cells are
+        never selected.  ``None`` or an empty lock set takes the exact
+        unlocked code path, so the result is bit-identical to an
+        unlocked solve; the base class re-checks the final schedule
+        against the locks, so no solver can silently drop a pin or leak
+        a forbidden pair.
         """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
         k = min(k, instance.n_events)
+        locks = LockSet.coerce(locks)
+        if locks is not None:
+            locks.validate_for(instance)
+            if len(locks.pins) > k:
+                raise LockError(
+                    f"{len(locks.pins)} events are pinned but the budget "
+                    f"allows only k={k} assignments"
+                )
         if plane is not None:
             if engine is not None and engine is not plane.engine:
                 raise ValueError(
@@ -174,7 +197,7 @@ class Scheduler(ABC):
         stats = SolverStats()
 
         started = time.perf_counter()
-        self._solve(instance, k, engine, checker, stats, plane=plane)
+        self._solve(instance, k, engine, checker, stats, plane=plane, locks=locks)
         elapsed = time.perf_counter() - started
 
         schedule = engine.schedule
@@ -183,6 +206,14 @@ class Scheduler(ABC):
                 f"solver {self.name} produced an infeasible schedule — "
                 f"this is a bug in the solver"
             )
+        if locks is not None:
+            try:
+                locks.check_schedule(schedule)
+            except LockError as exc:
+                raise AssertionError(
+                    f"solver {self.name} violated its locks — this is a "
+                    f"bug in the solver: {exc}"
+                ) from exc
         if self._strict and len(schedule) < k:
             raise ScheduleSizeError(
                 f"{self.name} placed only {len(schedule)} of {k} assignments"
@@ -206,12 +237,16 @@ class Scheduler(ABC):
         stats: SolverStats,
         *,
         plane: ScorePlane | None = None,
+        locks: LockSet | None = None,
     ) -> None:
         """Populate ``engine.schedule`` with up to ``k`` valid assignments.
 
         ``plane``, when given, caches the empty-schedule score matrix
         (see :meth:`_base_scores`); solvers that never sweep initial
-        scores simply ignore it.
+        scores simply ignore it.  ``locks``, when given, is a validated,
+        non-empty :class:`LockSet` whose pin count fits in ``k`` — the
+        solver must commit every pin and never select a forbidden cell
+        (the base class re-checks both).
         """
 
     @staticmethod
@@ -220,6 +255,7 @@ class Scheduler(ABC):
         engine: ScoreEngine,
         stats: SolverStats,
         plane: ScorePlane | None,
+        locks: LockSet | None = None,
     ) -> "np.ndarray":
         """The ``(n_intervals, n_events)`` empty-schedule Eq. 4 matrix.
 
@@ -229,10 +265,19 @@ class Scheduler(ABC):
         Either way the caller gets a private copy it may mutate, and
         ``stats.initial_scores`` counts the Eq. 4 evaluations actually
         performed — equal to ``|T| * |E|`` cold, typically ~0 warm.
+
+        With ``locks``, forbidden cells and pinned events' columns come
+        back as ``-inf`` (pinned events are committed separately via
+        :meth:`_apply_pins`, so no sweep may pick them again).
         """
         if plane is not None:
             spent = plane.cells_filled + plane.cells_refreshed
-            matrix = np.array(plane.ensure(), copy=True)
+            if locks is None:
+                matrix = np.array(plane.ensure(), copy=True)
+            else:
+                matrix = plane.masked_copy(
+                    sorted(locks.forbids), sorted(locks.pinned_events)
+                )
             stats.initial_scores += (
                 plane.cells_filled + plane.cells_refreshed - spent
             )
@@ -242,4 +287,36 @@ class Scheduler(ABC):
         for interval in range(instance.n_intervals):
             matrix[interval] = engine.scores_for_interval(interval, all_events)
             stats.initial_scores += instance.n_events
+        if locks is not None:
+            for event in locks.pinned_events:
+                matrix[:, event] = -np.inf
+            for interval, event in locks.forbids:
+                matrix[interval, event] = -np.inf
         return matrix
+
+    @staticmethod
+    def _apply_pins(
+        locks: LockSet,
+        engine: ScoreEngine,
+        checker: FeasibilityChecker,
+        stats: SolverStats | None = None,
+    ) -> None:
+        """Commit every pinned assignment, in canonical pin order.
+
+        Raises :class:`LockError` (naming the offending pin) when the
+        pins are not jointly feasible — two pinned events sharing a
+        location in one interval, or pins overrunning theta.  ``stats``
+        counts each pin as an accepted assignment; pass ``None`` from
+        solvers whose ``iterations`` counter means something else
+        (GRASP's restart count).
+        """
+        for assignment in locks.pinned_assignments():
+            try:
+                checker.apply(assignment)
+            except InfeasibleAssignmentError as exc:
+                raise LockError(
+                    f"pinned assignment {assignment} cannot be honored: {exc}"
+                ) from exc
+            engine.assign(assignment.event, assignment.interval)
+            if stats is not None:
+                stats.iterations += 1

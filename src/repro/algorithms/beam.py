@@ -26,6 +26,7 @@ from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment
 from repro.core.scoreplane import ScorePlane
+from repro.interactive.locks import LockSet
 
 __all__ = ["BeamSearchScheduler"]
 
@@ -71,22 +72,41 @@ class BeamSearchScheduler(Scheduler):
         stats: SolverStats,
         *,
         plane: "ScorePlane | None" = None,
+        locks: LockSet | None = None,
     ) -> None:
         # The root expansion scores every (event, interval) pair against
         # the empty schedule — exactly the base matrix, read warm from
         # the plane when one is injected.  One work engine serves every
         # deeper expansion (reset + replayed per node).
-        base = self._base_scores(instance, engine, stats, plane)
+        base = self._base_scores(instance, engine, stats, plane, locks)
         work_engine = self._engine_spec.build(instance)
-        # frontier entries: (utility, {event: interval})
-        frontier: list[tuple[float, dict[int, int]]] = [(0.0, {})]
-        best_complete: tuple[float, dict[int, int]] = (0.0, {})
+        forbidden = locks.forbids if locks is not None else frozenset()
 
-        for __ in range(k):
+        # Pins seed the frontier: every beam node descends from the pinned
+        # partial schedule, so the winner contains the pins by construction.
+        root_mapping: dict[int, int] = {}
+        root_utility = 0.0
+        if locks is not None and locks.pins:
+            seed_checker = FeasibilityChecker(instance)
+            self._apply_pins(locks, work_engine, seed_checker, stats)
+            root_mapping = work_engine.schedule.as_mapping()
+            root_utility = work_engine.total_utility()
+
+        # frontier entries: (utility, {event: interval})
+        frontier: list[tuple[float, dict[int, int]]] = [
+            (root_utility, dict(root_mapping))
+        ]
+        best_complete: tuple[float, dict[int, int]] = (
+            root_utility,
+            dict(root_mapping),
+        )
+
+        for __ in range(k - len(root_mapping)):
             children: dict[frozenset, tuple[float, dict[int, int]]] = {}
             for utility, mapping in frontier:
                 expansions = self._expand(
-                    instance, mapping, utility, stats, base, work_engine
+                    instance, mapping, utility, stats, base, work_engine,
+                    forbidden=forbidden,
                 )
                 for child_utility, child_mapping in expansions:
                     key = frozenset(child_mapping.items())
@@ -119,6 +139,8 @@ class BeamSearchScheduler(Scheduler):
         stats: SolverStats,
         base: np.ndarray,
         engine: ScoreEngine,
+        *,
+        forbidden: frozenset[tuple[int, int]] = frozenset(),
     ) -> list[tuple[float, dict[int, int]]]:
         """Top ``branch_factor`` one-assignment extensions of ``mapping``."""
         engine.reset()
@@ -133,6 +155,7 @@ class BeamSearchScheduler(Scheduler):
                 e
                 for e in range(instance.n_events)
                 if e not in mapping
+                and (interval, e) not in forbidden
                 and checker.is_valid(Assignment(e, interval))
             ]
             if not events:

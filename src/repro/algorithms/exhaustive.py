@@ -70,19 +70,37 @@ class ExhaustiveScheduler(Scheduler):
         stats: SolverStats,
         *,
         plane=None,
+        locks=None,
     ) -> None:
         # Optimistic per-event ceiling: the best score over empty intervals.
         # Adding events only shrinks scores (concavity of M/(K+M)), so the
         # empty-schedule score upper-bounds the gain in any schedule.
-        base = self._base_scores(instance, engine, stats, plane)
+        # With locks, forbidden cells are -inf in `base` (they can never
+        # contribute) and pinned columns drop out of the search entirely:
+        # pins are committed up front as fixed branch constraints and the
+        # DFS explores only the free events.
+        base = self._base_scores(instance, engine, stats, plane, locks)
         optimistic = base.max(axis=0, initial=0.0)
 
-        # suffix_best[i][j] = sum of the j largest optimistic scores among
-        # events i..n-1; used for the bound at depth i.
         n = instance.n_events
-        suffix_best: list[np.ndarray] = [np.zeros(k + 1) for _ in range(n + 1)]
-        for i in range(n - 1, -1, -1):
-            tail = np.sort(optimistic[i:])[::-1]
+        if locks is not None:
+            self._apply_pins(locks, engine, checker, stats)
+            pinned = locks.pinned_events
+            free = [event for event in range(n) if event not in pinned]
+        else:
+            free = list(range(n))
+        n_free = len(free)
+        placed_at_root = len(engine.schedule)
+        utility_at_root = engine.total_utility() if locks is not None else 0.0
+        optimistic_free = optimistic[free]
+
+        # suffix_best[i][j] = sum of the j largest optimistic scores among
+        # free events i..n_free-1; used for the bound at depth i.
+        suffix_best: list[np.ndarray] = [
+            np.zeros(k + 1) for _ in range(n_free + 1)
+        ]
+        for i in range(n_free - 1, -1, -1):
+            tail = np.sort(optimistic_free[i:])[::-1]
             sums = np.concatenate(([0.0], np.cumsum(tail[:k])))
             padded = np.full(k + 1, sums[-1])
             padded[: len(sums)] = sums
@@ -90,7 +108,7 @@ class ExhaustiveScheduler(Scheduler):
 
         best = _Incumbent()
 
-        def recurse(event: int, placed: int, utility: float) -> None:
+        def recurse(position: int, placed: int, utility: float) -> None:
             stats.nodes_explored += 1
             if stats.nodes_explored > self._max_nodes:
                 raise SearchBudgetExceeded(
@@ -109,24 +127,28 @@ class ExhaustiveScheduler(Scheduler):
                 best.size = placed
                 best.utility = utility
                 best.mapping = engine.schedule.as_mapping()
-            if placed == k or event >= n:
+            if placed == k or position >= n_free:
                 return
 
             # size-aware pruning: a branch can still place at most
-            # (n - event) more events, capped by the budget.
-            reachable_size = min(k, placed + (n - event))
+            # (n_free - position) more events, capped by the budget.
+            reachable_size = min(k, placed + (n_free - position))
             if reachable_size < best.size:
                 return
-            head_count = min(k - placed, n - event)
-            optimistic = utility + suffix_best[event][head_count]
+            head_count = min(k - placed, n_free - position)
+            optimistic = utility + suffix_best[position][head_count]
             if reachable_size == best.size and optimistic <= best.utility:
                 return
 
+            event = free[position]
+
             # branch 1: skip this event
-            recurse(event + 1, placed, utility)
+            recurse(position + 1, placed, utility)
 
             # branch 2: place it at each feasible interval
             for interval in range(instance.n_intervals):
+                if locks is not None and locks.is_forbidden(interval, event):
+                    continue  # locked out: never a branch
                 assignment = Assignment(event=event, interval=interval)
                 if not checker.is_valid(assignment):
                     continue
@@ -134,11 +156,11 @@ class ExhaustiveScheduler(Scheduler):
                 stats.score_updates += 1
                 checker.apply(assignment)
                 engine.assign(event, interval)
-                recurse(event + 1, placed + 1, utility + gain)
+                recurse(position + 1, placed + 1, utility + gain)
                 engine.unassign(event)
                 checker.unapply(assignment)
 
-        recurse(0, 0, 0.0)
+        recurse(0, placed_at_root, utility_at_root)
 
         # Materialize the incumbent into the engine-backed schedule.
         engine.reset()

@@ -25,6 +25,7 @@ from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment
 from repro.core.scoreplane import ScorePlane
+from repro.interactive.locks import LockSet
 from repro.utils.rng import ensure_rng
 
 __all__ = ["GraspScheduler"]
@@ -76,23 +77,24 @@ class GraspScheduler(Scheduler):
         stats: SolverStats,
         *,
         plane: "ScorePlane | None" = None,
+        locks: LockSet | None = None,
     ) -> None:
         # Every restart's first RCL round scores the same empty-schedule
         # state, so the base matrix is computed once (or read warm from
         # the plane) and shared across restarts; one work engine is
         # likewise reset and reused for every construction and polish.
-        base = self._base_scores(instance, engine, stats, plane)
+        base = self._base_scores(instance, engine, stats, plane, locks)
         work_engine = self._engine_spec.build(instance)
         best_utility = -1.0
         best_mapping: dict[int, int] = {}
         for _ in range(self._restarts):
             work_engine.reset()
             mapping, utility = self._one_construction(
-                instance, k, stats, base, work_engine
+                instance, k, stats, base, work_engine, locks
             )
             if self._polish and mapping:
                 mapping, utility = self._polish_mapping(
-                    instance, mapping, stats, work_engine
+                    instance, mapping, stats, work_engine, locks
                 )
             if utility > best_utility:
                 best_utility, best_mapping = utility, mapping
@@ -110,11 +112,17 @@ class GraspScheduler(Scheduler):
         stats: SolverStats,
         base: np.ndarray,
         engine: ScoreEngine,
+        locks: LockSet | None = None,
     ) -> tuple[dict[int, int], float]:
         """One randomized-greedy pass: RCL sampling until k or stuck."""
         checker = FeasibilityChecker(instance)
         utility = 0.0
-        first_round = True
+        # Pins open every construction; the base fast-path only holds
+        # while the work schedule is empty, so pinned restarts score
+        # their first RCL round through the engine instead.
+        first_round = locks is None or not locks.pins
+        if locks is not None:
+            self._apply_pins(locks, engine, checker)
         while len(engine.schedule) < k:
             candidates: list[tuple[float, int, int]] = []
             best_score = 0.0
@@ -123,6 +131,9 @@ class GraspScheduler(Scheduler):
                     e
                     for e in range(instance.n_events)
                     if not engine.schedule.contains_event(e)
+                    and not (
+                        locks is not None and locks.is_forbidden(interval, e)
+                    )
                     and checker.is_valid(Assignment(e, interval))
                 ]
                 if not events:
@@ -155,6 +166,7 @@ class GraspScheduler(Scheduler):
         mapping: dict[int, int],
         stats: SolverStats,
         engine: ScoreEngine,
+        locks: LockSet | None = None,
     ) -> tuple[dict[int, int], float]:
         from repro.core.schedule import Schedule
 
@@ -167,6 +179,6 @@ class GraspScheduler(Scheduler):
             max_rounds=self._polish_rounds,
             seed=self._rng,
         )
-        refined = refiner.refine(instance, schedule, engine=engine)
+        refined = refiner.refine(instance, schedule, engine=engine, locks=locks)
         stats.moves_accepted += refined.stats.moves_accepted
         return refined.schedule.as_mapping(), refined.utility

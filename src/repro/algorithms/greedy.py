@@ -39,6 +39,7 @@ from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment
 from repro.core.scoreplane import ScorePlane
+from repro.interactive.locks import LockSet
 
 __all__ = ["GreedyScheduler"]
 
@@ -64,8 +65,20 @@ class GreedyScheduler(Scheduler):
         stats: SolverStats,
         *,
         plane: ScorePlane | None = None,
+        locks: LockSet | None = None,
     ) -> None:
-        scores = self._base_scores(instance, engine, stats, plane)
+        scores = self._base_scores(instance, engine, stats, plane, locks)
+        if locks is not None:
+            # commit the pins first (they count toward k), then refresh
+            # each pinned interval's row — its denominators changed, and
+            # newly-infeasible cells must leave L before the first pop.
+            # Forbidden cells are already -inf in `scores`, so a refresh
+            # can never resurrect them (survivors start from finite cells).
+            self._apply_pins(locks, engine, checker, stats)
+            for interval in sorted({t for t, _ in locks.pins}):
+                self._refresh_interval(
+                    scores, interval, instance, engine, checker, stats
+                )
 
         while len(engine.schedule) < k:
             flat = int(np.argmax(scores))

@@ -37,6 +37,7 @@ intervals than GRD's — utilities agree to machine precision either way.
 from __future__ import annotations
 
 import heapq
+import math
 
 from repro.algorithms.base import Scheduler, SolverStats
 from repro.algorithms.registry import register_solver
@@ -45,6 +46,7 @@ from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment
 from repro.core.scoreplane import ScorePlane
+from repro.interactive.locks import LockSet
 
 __all__ = ["LazyGreedyScheduler"]
 
@@ -64,6 +66,7 @@ class LazyGreedyScheduler(Scheduler):
         stats: SolverStats,
         *,
         plane: ScorePlane | None = None,
+        locks: LockSet | None = None,
     ) -> None:
         # heap rows: (-score, interval, event, version) — the (interval,
         # event) suffix IS GRD's flat-index tie-break, and at most one
@@ -72,12 +75,22 @@ class LazyGreedyScheduler(Scheduler):
         interval_version = [0] * instance.n_intervals
 
         # the initial heap is the base score matrix — warm plane reads
-        # skip the full sweep and seed the exact same entries
-        initial = self._base_scores(instance, engine, stats, plane)
+        # skip the full sweep and seed the exact same entries.  Locked
+        # cells come back -inf from _base_scores and are kept out of the
+        # heap entirely; pinned intervals start at version 1, so entries
+        # scored before the pins were committed rescore before acceptance.
+        initial = self._base_scores(instance, engine, stats, plane, locks)
+        if locks is not None:
+            self._apply_pins(locks, engine, checker, stats)
+            for pinned_interval, _ in locks.pins:
+                interval_version[pinned_interval] += 1
         for interval in range(instance.n_intervals):
             row = initial[interval]
             for event in range(instance.n_events):
-                heap.append((-float(row[event]), interval, event, 0))
+                entry = -float(row[event])
+                if math.isinf(entry):
+                    continue  # a lock masked this cell out of L
+                heap.append((entry, interval, event, 0))
         heapq.heapify(heap)
 
         while len(engine.schedule) < k and heap:

@@ -95,12 +95,17 @@ import numpy as np
 from repro.algorithms.registry import register_solver
 from repro.core.engine import EngineSpec, resolve_engine_spec
 from repro.core.entities import CandidateEvent, CompetingEvent
-from repro.core.errors import UnknownEntityError
+from repro.core.errors import (
+    InfeasibleAssignmentError,
+    LockError,
+    UnknownEntityError,
+)
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.live import LiveDelta, LiveInstance
 from repro.core.schedule import Assignment, Schedule
 from repro.core.scoreplane import ScorePlane
+from repro.interactive.locks import LockSet
 
 __all__ = ["IncrementalScheduler"]
 
@@ -126,6 +131,7 @@ class IncrementalScheduler:
         engine: EngineSpec | str | None = None,
         *,
         engine_kind: str | None = None,
+        locks: LockSet | None = None,
     ):
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
@@ -133,6 +139,14 @@ class IncrementalScheduler:
             engine, engine_kind, owner=type(self).__name__
         )
         self._k = k
+        self._locks = LockSet.coerce(locks)
+        if self._locks is not None:
+            self._locks.validate_for(instance)
+            if len(self._locks.pins) > k:
+                raise LockError(
+                    f"{len(self._locks.pins)} events are pinned but the "
+                    f"budget allows only k={k} assignments"
+                )
         self._live = LiveInstance(instance)
         # engines, schedules and checkers are built over the live view
         # once and observe its mutations for the scheduler's lifetime
@@ -144,6 +158,8 @@ class IncrementalScheduler:
         self._plane = ScorePlane(self._engine, auto_reset=False)
         # lazily-created empty-schedule plane for batch consumers
         self._base_plane: ScorePlane | None = None
+        if self._locks is not None:
+            self._commit_pins()
         self._fill()
 
     # ------------------------------------------------------------------
@@ -178,6 +194,16 @@ class IncrementalScheduler:
     def plane(self) -> ScorePlane:
         """The schedule-relative score plane maintained across ops."""
         return self._plane
+
+    @property
+    def locks(self) -> LockSet | None:
+        """The organizer locks currently in force (renumbered on cancels).
+
+        ``None`` when no lock binds anything; pins stay committed across
+        every maintenance pass and no repair ever lands on a forbidden
+        cell.
+        """
+        return self._locks
 
     def base_plane(self) -> ScorePlane:
         """A warm empty-schedule :class:`ScorePlane` over the live state.
@@ -258,6 +284,12 @@ class IncrementalScheduler:
         # the planes delete the column and the engines renumber their
         # schedule mirrors, exactly like the deletion
         self._ingest(delta)
+        if self._locks is not None:
+            # locks follow the renumbering: constraints on the removed
+            # event vanish, higher-indexed events shift down by one
+            self._locks = LockSet.coerce(
+                self._locks.shifted_for_removal(event)
+            )
         # the checker tracks events by index: replay the renumbered
         # schedule (O(k), with k the schedule size — not O(instance))
         self._checker = FeasibilityChecker(self._live, self.schedule)
@@ -351,6 +383,8 @@ class IncrementalScheduler:
             self._plane.seed_from(self._base_plane)
         else:
             self._plane.invalidate()
+        if self._locks is not None:
+            self._commit_pins()
         self._fill()
 
     def adopt(self, schedule: Schedule | Mapping[int, int]) -> None:
@@ -368,6 +402,8 @@ class IncrementalScheduler:
         )
         # validate the whole mapping before touching live state, so a
         # rejected adoption leaves the current schedule intact (atomic)
+        if self._locks is not None:
+            self._locks.check_schedule(mapping)
         rehearsal = FeasibilityChecker(self._live)
         for event, interval in sorted(mapping.items()):
             rehearsal.apply(Assignment(event, interval))
@@ -401,6 +437,22 @@ class IncrementalScheduler:
         self._checker.unapply(Assignment(event, interval))
         self._plane.on_unassign(event, interval)
 
+    def _commit_pins(self) -> None:
+        """Commit every pinned assignment into the fresh schedule."""
+        assert self._locks is not None
+        for assignment in self._locks.pinned_assignments():
+            try:
+                self._commit(assignment.event, assignment.interval)
+            except InfeasibleAssignmentError as exc:
+                raise LockError(
+                    f"pinned assignment {assignment} cannot be honored: {exc}"
+                ) from exc
+
+    def _pinned_events(self) -> frozenset[int]:
+        return (
+            self._locks.pinned_events if self._locks is not None else frozenset()
+        )
+
     # ------------------------------------------------------------------
     # greedy maintenance passes
     # ------------------------------------------------------------------
@@ -417,6 +469,16 @@ class IncrementalScheduler:
         scores = self._plane.ensure()
         work = scores.copy()
         n_events = self._live.n_events
+        # forbidden cells leave the working copy before the first pop;
+        # restored rows re-mask below, so a refill can never pick one
+        forbid_rows: dict[int, list[int]] = {}
+        if self._locks is not None:
+            for forbidden_interval, forbidden_event in self._locks.forbids:
+                forbid_rows.setdefault(forbidden_interval, []).append(
+                    forbidden_event
+                )
+            for forbidden_interval, events in forbid_rows.items():
+                work[forbidden_interval, events] = -np.inf
         while len(self.schedule) < self._k:
             flat = int(np.argmax(work))
             interval, event = divmod(flat, n_events)
@@ -432,6 +494,8 @@ class IncrementalScheduler:
             self._plane.flush()
             work[:, event] = -np.inf
             work[interval] = scores[interval]
+            if interval in forbid_rows:
+                work[interval, forbid_rows[interval]] = -np.inf
         # rows dirtied by the final commit stay dirty: they are rescored
         # lazily by the next plane.ensure() that actually reads them,
         # which merges consecutive refreshes of the same interval across
@@ -452,7 +516,12 @@ class IncrementalScheduler:
         any mass-state churn.
         """
         arrival_scores = self._plane.ensure()[:, arrival].copy()
-        victims = list(self.schedule.as_mapping().items())
+        pinned = self._pinned_events()
+        victims = [
+            (victim, home)
+            for victim, home in self.schedule.as_mapping().items()
+            if victim not in pinned  # pins are never displacement victims
+        ]
         losses = self._engine.removal_losses([victim for victim, _ in victims])
         by_home: dict[int, list[int]] = {}
         for victim, home in victims:
@@ -472,6 +541,10 @@ class IncrementalScheduler:
             removed = Assignment(victim, home)
             self._checker.unapply(removed)
             for target in range(self._live.n_intervals):
+                if self._locks is not None and self._locks.is_forbidden(
+                    target, arrival
+                ):
+                    continue
                 candidate = Assignment(arrival, target)
                 if not self._checker.is_valid(candidate):
                     continue
@@ -502,12 +575,18 @@ class IncrementalScheduler:
 
     def _relocate_event(self, event: int, home: int) -> None:
         """Move one scheduled event to its best interval (staying allowed)."""
+        if event in self._pinned_events():
+            return  # pinned in place: relocation never touches it
         self._uncommit(event, home)
         self._plane.flush()
         column = self._plane.array[:, event]
         best_interval, best_gain = home, column[home]
         for target in range(self._live.n_intervals):
             if target == home:
+                continue
+            if self._locks is not None and self._locks.is_forbidden(
+                target, event
+            ):
                 continue
             if not self._checker.is_valid(Assignment(event, target)):
                 continue

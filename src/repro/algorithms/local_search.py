@@ -25,6 +25,7 @@ from repro.core.engine import EngineSpec, ScoreEngine, resolve_engine_spec
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment, Schedule
+from repro.interactive.locks import LockSet
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Stopwatch
 
@@ -66,6 +67,7 @@ class LocalSearchRefiner:
         schedule: Schedule,
         *,
         engine: "ScoreEngine | None" = None,
+        locks: LockSet | None = None,
     ) -> ScheduleResult:
         """Improve ``schedule`` in place-semantics-free fashion; returns a result.
 
@@ -74,7 +76,17 @@ class LocalSearchRefiner:
         before use) so repeat callers — GRASP's per-restart polish, a
         session refining many schedules — skip re-paying construction;
         results are identical either way.
+
+        ``locks`` freezes cells during the climb: pinned events are never
+        relocated, replaced or exchanged, and no move lands on a
+        forbidden (interval, event) cell.  The input schedule must
+        already honor the locks (:class:`~repro.core.errors.LockError`
+        otherwise).
         """
+        locks = LockSet.coerce(locks)
+        if locks is not None:
+            locks.validate_for(instance)
+            locks.check_schedule(schedule)
         stats = SolverStats()
         stopwatch = Stopwatch()
         with stopwatch:
@@ -92,7 +104,9 @@ class LocalSearchRefiner:
                 engine.assign(assignment.event, assignment.interval)
 
             for _ in range(self._max_rounds):
-                improved = self._one_round(instance, engine, checker, stats)
+                improved = self._one_round(
+                    instance, engine, checker, stats, locks=locks
+                )
                 if not improved:
                     break
 
@@ -121,18 +135,23 @@ class LocalSearchRefiner:
         )
 
     # ------------------------------------------------------------------
-    def _one_round(self, instance, engine, checker, stats) -> bool:
+    def _one_round(self, instance, engine, checker, stats, *, locks=None) -> bool:
         """Try every move once in random order; True if any was applied."""
         improved = False
-        improved |= self._relocate_pass(instance, engine, checker, stats)
-        improved |= self._replace_pass(instance, engine, checker, stats)
-        improved |= self._exchange_pass(instance, engine, checker, stats)
+        improved |= self._relocate_pass(instance, engine, checker, stats, locks)
+        improved |= self._replace_pass(instance, engine, checker, stats, locks)
+        improved |= self._exchange_pass(instance, engine, checker, stats, locks)
         return improved
 
-    def _relocate_pass(self, instance, engine, checker, stats) -> bool:
+    def _relocate_pass(self, instance, engine, checker, stats, locks=None) -> bool:
         improved = False
         events = list(engine.schedule.scheduled_events())
         self._rng.shuffle(events)
+        if locks is not None:
+            # filtered after the shuffle so the RNG stream (and therefore
+            # the unlocked trajectory) is untouched when locks bind nothing
+            pinned = locks.pinned_events
+            events = [event for event in events if event not in pinned]
         for event in events:
             source = engine.schedule.interval_of(event)
             # gain of removing = -(utility drop); compute via re-add score
@@ -146,6 +165,8 @@ class LocalSearchRefiner:
             for interval in intervals:
                 interval = int(interval)
                 if interval == source:
+                    continue
+                if locks is not None and locks.is_forbidden(interval, event):
                     continue
                 candidate = Assignment(event=event, interval=interval)
                 if not checker.is_valid(candidate):
@@ -163,7 +184,7 @@ class LocalSearchRefiner:
                 improved = True
         return improved
 
-    def _replace_pass(self, instance, engine, checker, stats) -> bool:
+    def _replace_pass(self, instance, engine, checker, stats, locks=None) -> bool:
         improved = False
         scheduled = list(engine.schedule.scheduled_events())
         unscheduled = [
@@ -174,6 +195,9 @@ class LocalSearchRefiner:
         if not unscheduled:
             return False
         self._rng.shuffle(scheduled)
+        if locks is not None:
+            pinned = locks.pinned_events
+            scheduled = [event for event in scheduled if event not in pinned]
         for event in scheduled:
             interval = engine.schedule.interval_of(event)
             old_assignment = Assignment(event=event, interval=interval)
@@ -183,6 +207,10 @@ class LocalSearchRefiner:
 
             best_event, best_gain = event, own_gain
             for candidate_event in unscheduled:
+                if locks is not None and locks.is_forbidden(
+                    interval, candidate_event
+                ):
+                    continue
                 candidate = Assignment(event=candidate_event, interval=interval)
                 if not checker.is_valid(candidate):
                     continue
@@ -201,10 +229,13 @@ class LocalSearchRefiner:
                 improved = True
         return improved
 
-    def _exchange_pass(self, instance, engine, checker, stats) -> bool:
+    def _exchange_pass(self, instance, engine, checker, stats, locks=None) -> bool:
         improved = False
         events = list(engine.schedule.scheduled_events())
         self._rng.shuffle(events)
+        if locks is not None:
+            pinned = locks.pinned_events
+            events = [event for event in events if event not in pinned]
         for position, first in enumerate(events):
             for second in events[position + 1 :]:
                 if not engine.schedule.contains_event(
@@ -214,6 +245,11 @@ class LocalSearchRefiner:
                 interval_a = engine.schedule.interval_of(first)
                 interval_b = engine.schedule.interval_of(second)
                 if interval_a == interval_b:
+                    continue
+                if locks is not None and (
+                    locks.is_forbidden(interval_b, first)
+                    or locks.is_forbidden(interval_a, second)
+                ):
                     continue
                 before = engine.interval_utility(interval_a) + engine.interval_utility(
                     interval_b

@@ -54,7 +54,10 @@ class RandomScheduler(Scheduler):
         stats: SolverStats,
         *,
         plane=None,  # RAND never scores, so a warm plane has nothing to offer
+        locks=None,
     ) -> None:
+        if locks is not None:
+            self._apply_pins(locks, engine, checker, stats)
         n_pairs = instance.n_events * instance.n_intervals
         if n_pairs == 0:
             return
@@ -65,6 +68,8 @@ class RandomScheduler(Scheduler):
             event, interval = divmod(int(flat_index), instance.n_intervals)
             stats.pops += 1
             assignment = Assignment(event=event, interval=interval)
+            if locks is not None and locks.is_forbidden(interval, event):
+                continue  # organizer lock: this cell is never drawable
             if not checker.is_valid(assignment):
                 continue
             checker.apply(assignment)

@@ -22,6 +22,7 @@ from repro.core.feasibility import FeasibilityChecker
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment
 from repro.core.scoreplane import ScorePlane
+from repro.interactive.locks import LockSet
 
 __all__ = ["TopKScheduler"]
 
@@ -41,10 +42,13 @@ class TopKScheduler(Scheduler):
         stats: SolverStats,
         *,
         plane: ScorePlane | None = None,
+        locks: LockSet | None = None,
     ) -> None:
         # TOP is *entirely* initial scores, so a warm plane turns the
         # whole scoring phase into a cache read
-        matrix = self._base_scores(instance, engine, stats, plane)
+        matrix = self._base_scores(instance, engine, stats, plane, locks)
+        if locks is not None:
+            self._apply_pins(locks, engine, checker, stats)
 
         # stable flat argsort descending: ties resolve to the lowest
         # (interval, event) flat index, matching the documented tiebreak
@@ -53,6 +57,8 @@ class TopKScheduler(Scheduler):
             if len(engine.schedule) >= k:
                 break
             interval, event = divmod(int(flat), instance.n_events)
+            if not np.isfinite(matrix[interval, event]):
+                break  # only masked lock cells remain in the ranking
             stats.pops += 1
             assignment = Assignment(event=event, interval=interval)
             if not checker.is_valid(assignment):

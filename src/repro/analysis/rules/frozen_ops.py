@@ -2,11 +2,13 @@
 
 Traces are shared between policies, replayed repeatedly and hashed into
 experiment records; requests are built once and replayed against many
-sessions.  Both contracts die the moment a dataclass in those modules is
-declared without ``frozen=True`` or grows a mutably-typed field (a list
-payload aliased between two replays corrupts both).  The runtime suite
-only notices when an aliasing bug actually fires; this rule pins the
-declaration itself.
+sessions; organizer locks, gap reports and schedule versions
+(:mod:`repro.interactive`) are handed to solvers and saved across solves
+on exactly the same contract.  All of it dies the moment a dataclass in
+those modules is declared without ``frozen=True`` or grows a
+mutably-typed field (a list payload aliased between two replays corrupts
+both).  The runtime suite only notices when an aliasing bug actually
+fires; this rule pins the declaration itself.
 """
 
 from __future__ import annotations
@@ -23,6 +25,9 @@ __all__ = ["FrozenOpsRule"]
 VALUE_MODULES = (
     "stream/trace.py",
     "api/requests.py",
+    "interactive/locks.py",
+    "interactive/gaps.py",
+    "interactive/versions.py",
 )
 
 #: Type names that make a field mutable (shared-state hazards).
@@ -75,9 +80,9 @@ def _is_classvar(annotation: ast.expr) -> bool:
 class FrozenOpsRule(Rule):
     name = "frozen-op-discipline"
     rationale = (
-        "trace ops and SolveRequest/SolveResponse dataclasses must be "
-        "frozen=True with immutable field types — they are shared, "
-        "replayed and hashed"
+        "trace ops, SolveRequest/SolveResponse and the interactive "
+        "LockSet/gap/version dataclasses must be frozen=True with "
+        "immutable field types — they are shared, replayed and hashed"
     )
 
     def check(

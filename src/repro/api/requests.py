@@ -18,6 +18,7 @@ from typing import Any
 from repro.algorithms.base import ScheduleResult
 from repro.core.engine import EngineSpec
 from repro.core.schedule import Schedule
+from repro.interactive.locks import LockSet
 
 __all__ = ["SolveRequest", "SolveResponse"]
 
@@ -48,6 +49,11 @@ class SolveRequest:
     label:
         Optional caller tag echoed on the response (useful when fanning
         out ``solve_many`` batches).
+    locks:
+        Organizer pin/forbid constraints
+        (:class:`~repro.interactive.locks.LockSet`, or its ``to_dict``
+        mapping form); ``None`` or an empty lock set solves unlocked,
+        bit-identically to a lock-free request.
     """
 
     k: int
@@ -57,6 +63,7 @@ class SolveRequest:
     strict: bool = False
     params: Mapping[str, Any] = field(default_factory=dict)
     label: str | None = None
+    locks: LockSet | Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.k < 0:
@@ -66,6 +73,8 @@ class SolveRequest:
         # freeze a private copy so a caller mutating their dict afterwards
         # cannot retroactively change an already-issued request
         object.__setattr__(self, "params", dict(self.params))
+        # canonicalize to a frozen LockSet (or None when nothing binds)
+        object.__setattr__(self, "locks", LockSet.coerce(self.locks))
 
     def replace(self, **changes: Any) -> SolveRequest:
         """A copy with ``changes`` applied (dataclasses.replace shorthand)."""

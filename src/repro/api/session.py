@@ -31,6 +31,9 @@ from repro.core.engine import EngineSpec, ScoreEngine
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
 from repro.core.scoreplane import ScorePlane
+from repro.interactive.gaps import GapReport, build_gap_report
+from repro.interactive.locks import LockSet
+from repro.interactive.versions import ScheduleVersion, VersionDiff, VersionStore
 
 from repro.api.requests import SolveRequest, SolveResponse
 
@@ -69,6 +72,7 @@ class ScheduleSession:
         self._planes: dict[EngineSpec, ScorePlane] = {}
         self._engines_built = 0
         self._requests_served = 0
+        self._versions = VersionStore()
 
     # -- constructors ---------------------------------------------------
     @classmethod
@@ -212,7 +216,9 @@ class ScheduleSession:
         reused = spec in self._engines
         plane = self.plane_for(spec)
         solver = self.solver_for(request)
-        result = solver.solve(self._instance, request.k, plane=plane)
+        result = solver.solve(
+            self._instance, request.k, plane=plane, locks=request.locks
+        )
         self._requests_served += 1
         return SolveResponse(
             request=request, result=result, engine=spec, reused_engine=reused
@@ -224,6 +230,70 @@ class ScheduleSession:
         """Serve a batch of requests in order, sharing cached engines."""
         return [self.solve(request) for request in requests]
 
+    # -- organizer-in-the-loop ------------------------------------------
+    def gap_report(
+        self,
+        schedule: Schedule | SolveResponse,
+        k: int | None = None,
+        *,
+        engine: EngineSpec | str | None = None,
+        locks: LockSet | None = None,
+        limit: int | None = None,
+    ) -> GapReport:
+        """Explain what a draft schedule leaves on the table.
+
+        Reads marginal gains straight off the session's warm
+        :class:`ScorePlane` for ``engine``'s spec — after any solve on
+        that spec, a report costs zero extra Eq. 4 evaluations.  Pass
+        the :class:`SolveResponse` of a previous solve (its request's
+        ``k`` and locks are reused) or a bare schedule plus ``k``.
+        """
+        if isinstance(schedule, SolveResponse):
+            response = schedule
+            schedule = response.schedule
+            if k is None:
+                k = response.result.requested_k
+            if locks is None:
+                locks = response.request.locks
+            if engine is None:
+                engine = response.engine
+        elif k is None:
+            raise TypeError("k is required when passing a bare schedule")
+        plane = self.plane_for(engine)
+        self._requests_served += 1
+        return build_gap_report(
+            self._instance, schedule, k, plane, locks=locks, limit=limit
+        )
+
+    def save_version(
+        self,
+        name: str,
+        response: SolveResponse,
+        *,
+        overwrite: bool = False,
+    ) -> ScheduleVersion:
+        """Snapshot a solve under ``name`` for later diffing."""
+        return self._versions.save(
+            name,
+            response.schedule,
+            response.utility,
+            k=response.result.requested_k,
+            solver=response.solver,
+            overwrite=overwrite,
+        )
+
+    def version(self, name: str) -> ScheduleVersion:
+        """A saved snapshot by name (:class:`KeyError` when unknown)."""
+        return self._versions.get(name)
+
+    def versions(self) -> tuple[str, ...]:
+        """Saved version names in save order."""
+        return self._versions.names()
+
+    def diff_versions(self, base: str, target: str | None = None) -> VersionDiff:
+        """What changed from ``base`` to ``target`` (default: latest save)."""
+        return self._versions.diff(base, target)
+
     # -- streaming ------------------------------------------------------
     def stream(
         self,
@@ -234,6 +304,7 @@ class ScheduleSession:
         *,
         oracle_every: int | None = None,
         oracle_solver: str = "grd-heap",
+        locks: LockSet | None = None,
         **policy_params: Any,
     ) -> Any:
         """Replay a change trace against this session's instance.
@@ -263,6 +334,7 @@ class ScheduleSession:
             engine=engine if engine is not None else self._default_spec,
             oracle_every=oracle_every,
             oracle_solver=oracle_solver,
+            locks=locks,
             **policy_params,
         )
         result = driver.run(trace)

@@ -14,6 +14,7 @@ __all__ = [
     "InstanceValidationError",
     "ScheduleSizeError",
     "TraceError",
+    "LockError",
 ]
 
 
@@ -47,6 +48,17 @@ class UnknownEntityError(SESError):
 
 class ScheduleSizeError(SESError):
     """A solver could not produce a feasible schedule of the requested size."""
+
+
+class LockError(SESError):
+    """An organizer lock set is malformed or cannot be honored.
+
+    Raised by :class:`~repro.interactive.locks.LockSet` validation (an
+    index out of range, an event pinned to two intervals, a pin that is
+    also forbidden) and by solvers when the pinned assignments are not
+    jointly feasible, when ``k`` is smaller than the number of pins, or
+    when a caller-supplied schedule violates the locks it claims to honor.
+    """
 
 
 class TraceError(SESError):

@@ -71,6 +71,7 @@ batch size) so the two paths walk the same accumulation order.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -216,6 +217,30 @@ class ScorePlane:
             self._warm_reads += 1
             self.flush()
         return self._scores
+
+    def masked_copy(
+        self,
+        forbids: Iterable[tuple[int, int]] = (),
+        consumed_events: Iterable[int] = (),
+    ) -> np.ndarray:
+        """A private copy of :meth:`ensure` with lock cells masked out.
+
+        ``forbids`` are ``(interval, event)`` cells an organizer lock
+        rules out; ``consumed_events`` are whole columns (events already
+        committed by pins) no solver may pick again.  Both become
+        ``-inf`` in the returned copy, so a flat argmax over the masked
+        matrix can never select a locked cell — the warm-path analogue of
+        the cold masking in :meth:`Scheduler._base_scores`.  The cached
+        matrix itself is untouched; accounting is identical to a plain
+        :meth:`ensure` plus copy.
+        """
+        matrix = np.array(self.ensure(), copy=True)
+        consumed = list(consumed_events)
+        if consumed:
+            matrix[:, consumed] = -np.inf
+        for interval, event in forbids:
+            matrix[interval, event] = -np.inf
+        return matrix
 
     def flush(self, _cold: bool = False) -> None:
         """Re-score every dirty interval row in one batched engine call.

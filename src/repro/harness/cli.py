@@ -22,7 +22,17 @@ Subcommands
 
 ``solve``
     Load an instance JSON (see :mod:`repro.data.serialization`), run a
-    solver, print the schedule and utility.
+    solver, print the schedule and utility.  ``--pin T:E`` /
+    ``--forbid T:E`` (repeatable) thread organizer locks through the
+    solve: pinned events are guaranteed their interval, forbidden cells
+    are never selected.
+
+``gaps``
+    Solve a draft like ``solve``, then print the organizer gap report:
+    every unscheduled event with the intervals that could still host it,
+    estimated marginal gains, and why the rest are off the table
+    (blocked / forbidden / dominated).  Accepts the same ``--pin`` /
+    ``--forbid`` locks.
 
 ``solvers``
     List every registered solver with its capabilities, as aligned
@@ -112,6 +122,42 @@ def _engine_spec(args: argparse.Namespace) -> EngineSpec:
     )
 
 
+def _add_lock_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--pin", action="append", default=[], metavar="T:E",
+        help="pin event E to interval T (repeatable); pins count toward -k "
+        "and are guaranteed in the result",
+    )
+    parser.add_argument(
+        "--forbid", action="append", default=[], metavar="T:E",
+        help="never place event E at interval T (repeatable)",
+    )
+
+
+def _parse_cell(text: str, flag: str) -> tuple[int, int]:
+    interval, sep, event = text.partition(":")
+    if not sep or not interval.strip() or not event.strip():
+        raise SystemExit(
+            f"ses-repro: {flag} expects INTERVAL:EVENT (e.g. 2:5), got {text!r}"
+        )
+    try:
+        return int(interval), int(event)
+    except ValueError:
+        raise SystemExit(
+            f"ses-repro: {flag} expects integer INTERVAL:EVENT, got {text!r}"
+        ) from None
+
+
+def _locks_from_args(args: argparse.Namespace) -> "LockSet | None":
+    from repro.interactive import LockSet
+
+    locks = LockSet(
+        pins=tuple(_parse_cell(text, "--pin") for text in args.pin),
+        forbids=frozenset(_parse_cell(text, "--forbid") for text in args.forbid),
+    )
+    return LockSet.coerce(locks)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ses-repro",
@@ -165,8 +211,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full schedule report (per-event attendance, "
         "staffing utilization, cannibalization)",
     )
+    _add_lock_arguments(solve)
     _add_engine_argument(solve)
     _add_shard_arguments(solve)
+
+    gaps = commands.add_parser(
+        "gaps", help="solve a draft, then print the organizer gap report"
+    )
+    gaps.add_argument("path", help="instance file from repro.data.save_instance")
+    gaps.add_argument("-k", type=int, required=True, help="events to schedule")
+    gaps.add_argument(
+        "--solver",
+        choices=solver_registry.one_shot_names(),
+        default="grd",
+    )
+    gaps.add_argument("--seed", type=int, default=0)
+    gaps.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="report only the N best gap events (default: all)",
+    )
+    _add_lock_arguments(gaps)
+    _add_engine_argument(gaps)
+    _add_shard_arguments(gaps)
 
     solvers = commands.add_parser(
         "solvers", help="list every registered solver and its capabilities"
@@ -317,6 +383,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figure": _run_figure,
         "dataset": _run_dataset,
         "solve": _run_solve,
+        "gaps": _run_gaps,
         "solvers": _run_solvers,
         "stream": _run_stream,
         "lint": _run_lint,
@@ -362,19 +429,25 @@ def _run_dataset(args: argparse.Namespace) -> int:
 
 
 def _run_solve(args: argparse.Namespace) -> int:
+    from repro.core.errors import LockError
     from repro.data.serialization import schedule_to_dict
 
     session = ScheduleSession.from_file(
         args.path, default_engine=_engine_spec(args)
     )
     info = solver_registry.get(args.solver)
-    response = session.solve(
-        SolveRequest(
-            k=args.k,
-            solver=args.solver,
-            seed=args.seed if info.seeded else None,
+    try:
+        response = session.solve(
+            SolveRequest(
+                k=args.k,
+                solver=args.solver,
+                seed=args.seed if info.seeded else None,
+                locks=_locks_from_args(args),
+            )
         )
-    )
+    except LockError as exc:
+        print(f"ses-repro: lock error: {exc}", file=sys.stderr)
+        return 1
     result = response.result
     instance = session.instance
     if args.json:
@@ -392,6 +465,35 @@ def _run_solve(args: argparse.Namespace) -> int:
                 f"  {event.display_name} -> {interval.display_name} "
                 f"(location {event.location}, xi={event.required_resources:.2f})"
             )
+    return 0
+
+
+def _run_gaps(args: argparse.Namespace) -> int:
+    from repro.core.errors import LockError
+
+    session = ScheduleSession.from_file(
+        args.path, default_engine=_engine_spec(args)
+    )
+    info = solver_registry.get(args.solver)
+    locks = _locks_from_args(args)
+    try:
+        response = session.solve(
+            SolveRequest(
+                k=args.k,
+                solver=args.solver,
+                seed=args.seed if info.seeded else None,
+                locks=locks,
+            )
+        )
+        report = session.gap_report(response, limit=args.limit)
+    except LockError as exc:
+        print(f"ses-repro: lock error: {exc}", file=sys.stderr)
+        return 1
+    print(response.result.summary())
+    if locks is not None:
+        print(f"locks: {locks.describe()}")
+    print()
+    print(report.describe())
     return 0
 
 

@@ -1,0 +1,39 @@
+"""Organizer-in-the-loop scheduling: locks, gap reports, schedule versions.
+
+The paper's SES problem is solved *for* a human organizer; this package
+gives that organizer a seat at the table:
+
+* :class:`~repro.interactive.locks.LockSet` — frozen pin/forbid
+  constraints threaded through every registry solver and the incremental
+  scheduler (``Scheduler.solve(..., locks=)``);
+* :class:`~repro.interactive.gaps.GapReport` — for a draft schedule, the
+  unscheduled high-value events and the intervals that could still host
+  them, with marginal gains read straight off the warm
+  :class:`~repro.core.scoreplane.ScorePlane`;
+* :class:`~repro.interactive.versions.VersionStore` — named schedule
+  snapshots with assignment/utility diffs ("what changed since v3?").
+
+Everything here depends only on :mod:`repro.core`, so solver and API
+modules import freely without cycles.
+"""
+
+from repro.interactive.gaps import EventGaps, GapCell, GapReport, build_gap_report
+from repro.interactive.locks import LockSet
+from repro.interactive.versions import (
+    ScheduleVersion,
+    VersionDiff,
+    VersionStore,
+    diff_versions,
+)
+
+__all__ = [
+    "LockSet",
+    "GapCell",
+    "EventGaps",
+    "GapReport",
+    "build_gap_report",
+    "ScheduleVersion",
+    "VersionDiff",
+    "VersionStore",
+    "diff_versions",
+]

@@ -1,0 +1,249 @@
+"""Organizer locks: pin/forbid constraints over (interval, event) cells.
+
+Real schedulers negotiate: the organizer looks at a draft, pins the
+assignments that are already agreed ("the keynote stays in slot 2") and
+forbids the cells that are politically or physically impossible ("no
+concert in the morning slot"), then asks for a re-solve around those
+decisions.  :class:`LockSet` is that contract — a frozen, hashable value
+threaded through ``Scheduler.solve(..., locks=)`` for every registry
+solver and through :class:`~repro.algorithms.incremental.IncrementalScheduler`
+for the streaming tier.
+
+Semantics
+---------
+* ``pin(interval, event)`` — the final schedule **must** contain exactly
+  this assignment.  Pins count toward the budget ``k``.
+* ``forbid(interval, event)`` — the final schedule **must not** place
+  ``event`` at ``interval``.  A forbidden cell only removes one option;
+  the event may still land anywhere else.
+
+An empty lock set (or ``locks=None``) binds nothing, and the solvers
+guarantee the result is bit-identical to an unlocked solve — the lock
+differential suite in ``tests/interactive`` enforces it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import LockError
+from repro.core.instance import SESInstance
+from repro.core.schedule import Assignment, Schedule
+
+__all__ = ["LockSet"]
+
+
+def _as_cell(value: Any, what: str) -> tuple[int, int]:
+    """Coerce one ``(interval, event)`` pair, rejecting junk early."""
+    try:
+        interval, event = value
+    except (TypeError, ValueError) as exc:
+        raise LockError(f"{what} must be an (interval, event) pair, got {value!r}") from exc
+    if not isinstance(interval, int) or not isinstance(event, int):
+        raise LockError(
+            f"{what} indices must be integers, got ({interval!r}, {event!r})"
+        )
+    if interval < 0 or event < 0:
+        raise LockError(
+            f"{what} indices must be non-negative, got ({interval}, {event})"
+        )
+    return (interval, event)
+
+
+@dataclass(frozen=True)
+class LockSet:
+    """A frozen set of organizer pin/forbid constraints.
+
+    Both fields hold ``(interval, event)`` cells — the same axis order as
+    the :class:`~repro.core.scoreplane.ScorePlane` matrix.  Construction
+    canonicalizes: pins are sorted and deduplicated, an event pinned to
+    two different intervals or a pin that is also forbidden raises
+    :class:`~repro.core.errors.LockError` immediately, so any reachable
+    ``LockSet`` is internally consistent.
+
+    Build incrementally with the chainable :meth:`pin` / :meth:`forbid`::
+
+        locks = LockSet().pin(2, 7).forbid(0, 3).forbid(1, 3)
+    """
+
+    #: Sorted, deduplicated ``(interval, event)`` cells that must appear.
+    pins: tuple[tuple[int, int], ...] = ()
+    #: ``(interval, event)`` cells that must never appear.
+    forbids: frozenset[tuple[int, int]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        pins = tuple(sorted({_as_cell(pin, "pin") for pin in self.pins}))
+        forbids = frozenset(_as_cell(cell, "forbid") for cell in self.forbids)
+        by_event: dict[int, int] = {}
+        for interval, event in pins:
+            if event in by_event and by_event[event] != interval:
+                raise LockError(
+                    f"event {event} is pinned to both interval "
+                    f"{by_event[event]} and interval {interval}"
+                )
+            by_event[event] = interval
+        conflicts = sorted(set(pins) & forbids)
+        if conflicts:
+            raise LockError(
+                f"cells are both pinned and forbidden: {conflicts}"
+            )
+        object.__setattr__(self, "pins", pins)
+        object.__setattr__(self, "forbids", forbids)
+
+    # ------------------------------------------------------------------
+    # chainable builders
+    # ------------------------------------------------------------------
+    def pin(self, interval: int, event: int) -> "LockSet":
+        """A new lock set that additionally pins ``event`` at ``interval``."""
+        return LockSet(pins=self.pins + ((interval, event),), forbids=self.forbids)
+
+    def forbid(self, interval: int, event: int) -> "LockSet":
+        """A new lock set that additionally forbids the cell."""
+        return LockSet(
+            pins=self.pins, forbids=self.forbids | {(interval, event)}
+        )
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self.pins and not self.forbids
+
+    @property
+    def pinned_events(self) -> frozenset[int]:
+        return frozenset(event for _, event in self.pins)
+
+    def pin_mapping(self) -> dict[int, int]:
+        """``{event: interval}`` view of the pins (insertion = pin order)."""
+        return {event: interval for interval, event in self.pins}
+
+    def pinned_interval(self, event: int) -> int | None:
+        """The interval ``event`` is pinned to, or ``None``."""
+        for interval, pinned_event in self.pins:
+            if pinned_event == event:
+                return interval
+        return None
+
+    def is_forbidden(self, interval: int, event: int) -> bool:
+        return (interval, event) in self.forbids
+
+    def pinned_assignments(self) -> tuple[Assignment, ...]:
+        """The pins as :class:`Assignment` values, in canonical pin order."""
+        return tuple(
+            Assignment(event=event, interval=interval)
+            for interval, event in self.pins
+        )
+
+    # ------------------------------------------------------------------
+    # validation against a concrete problem
+    # ------------------------------------------------------------------
+    def validate_for(self, instance: SESInstance) -> None:
+        """Reject locks whose indices fall outside ``instance``.
+
+        Joint feasibility of the pins (shared locations, theta) is *not*
+        checked here — solvers surface that through the feasibility
+        checker with the offending pin named, since it depends on the
+        commit order and on what else the caller pinned.
+        """
+        for what, cells in (("pin", self.pins), ("forbid", sorted(self.forbids))):
+            for interval, event in cells:
+                if event >= instance.n_events:
+                    raise LockError(
+                        f"{what} ({interval}, {event}) references event "
+                        f"{event}, but the instance has only "
+                        f"{instance.n_events} events"
+                    )
+                if interval >= instance.n_intervals:
+                    raise LockError(
+                        f"{what} ({interval}, {event}) references interval "
+                        f"{interval}, but the instance has only "
+                        f"{instance.n_intervals} intervals"
+                    )
+
+    def check_schedule(self, schedule: Schedule | Mapping[int, int]) -> None:
+        """Raise :class:`LockError` unless ``schedule`` honors every lock."""
+        mapping: Mapping[int, int]
+        if isinstance(schedule, Schedule):
+            mapping = schedule.as_mapping()
+        else:
+            mapping = schedule
+        for interval, event in self.pins:
+            actual = mapping.get(event)
+            if actual != interval:
+                where = "unscheduled" if actual is None else f"at interval {actual}"
+                raise LockError(
+                    f"event {event} is pinned to interval {interval} "
+                    f"but the schedule has it {where}"
+                )
+        for event, interval in mapping.items():
+            if (interval, event) in self.forbids:
+                raise LockError(
+                    f"schedule places event {event} at interval {interval}, "
+                    f"which is forbidden"
+                )
+
+    # ------------------------------------------------------------------
+    # streaming support
+    # ------------------------------------------------------------------
+    def shifted_for_removal(self, event: int) -> "LockSet":
+        """The lock set after ``event`` is cancelled and indices renumber.
+
+        Locks referencing the removed event are dropped; every lock on a
+        higher-numbered event shifts down by one — mirroring the event
+        renumbering :meth:`IncrementalScheduler.cancel_event` performs.
+        """
+
+        def shift(cell: tuple[int, int]) -> tuple[int, int] | None:
+            interval, cell_event = cell
+            if cell_event == event:
+                return None
+            if cell_event > event:
+                return (interval, cell_event - 1)
+            return cell
+
+        pins = tuple(c for c in map(shift, self.pins) if c is not None)
+        forbids = frozenset(
+            c for c in map(shift, sorted(self.forbids)) if c is not None
+        )
+        return LockSet(pins=pins, forbids=forbids)
+
+    # ------------------------------------------------------------------
+    # serialization (CLI, request logs)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, list[list[int]]]:
+        return {
+            "pins": [list(cell) for cell in self.pins],
+            "forbids": [list(cell) for cell in sorted(self.forbids)],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LockSet":
+        def cells(key: str) -> Iterable[tuple[int, int]]:
+            return tuple(_as_cell(cell, key.rstrip("s")) for cell in payload.get(key, ()))
+
+        return cls(pins=tuple(cells("pins")), forbids=frozenset(cells("forbids")))
+
+    @classmethod
+    def coerce(cls, value: "LockSet | Mapping[str, Any] | None") -> "LockSet | None":
+        """``None`` stays ``None``; dicts parse; empty lock sets collapse to ``None``.
+
+        Collapsing empties is what makes ``locks=LockSet()`` take the exact
+        unlocked code path, byte for byte.
+        """
+        if value is None:
+            return None
+        if isinstance(value, Mapping):
+            value = cls.from_dict(value)
+        if not isinstance(value, LockSet):
+            raise LockError(
+                f"locks must be a LockSet, a dict, or None, got {type(value).__name__}"
+            )
+        return None if value.is_empty else value
+
+    def describe(self) -> str:
+        pins = ", ".join(f"e{e}@t{t}" for t, e in self.pins) or "-"
+        forbids = ", ".join(f"e{e}@t{t}" for t, e in sorted(self.forbids)) or "-"
+        return f"pins[{pins}] forbids[{forbids}]"

@@ -1,0 +1,207 @@
+"""Named schedule versions and the diffs between them.
+
+pretalx versions every released schedule; the organizer's question is
+never "what is the schedule" but "what changed since v3?".
+:class:`VersionStore` is the in-session answer: save a solve under a
+name, diff any two names, read the utility delta and the exact
+added/removed/moved assignments.
+
+Versions are frozen value objects (the frozen-op lint rule covers this
+module), so a saved snapshot can never drift after the session keeps
+solving.  The store itself is a thin mutable registry; the serving tier
+wraps it behind its session lock and stamps each version with the
+:class:`~repro.serve.session.ServedResponse` generation it was built
+from.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+
+__all__ = ["ScheduleVersion", "VersionDiff", "VersionStore", "diff_versions"]
+
+
+@dataclass(frozen=True)
+class ScheduleVersion:
+    """One named, immutable snapshot of a solved schedule."""
+
+    name: str
+    #: Sorted ``(event, interval)`` pairs.
+    assignments: tuple[tuple[int, int], ...]
+    utility: float
+    k: int
+    solver: str
+    #: Save order within the store (0, 1, 2, ...).
+    sequence: int
+    #: Serving-layer instance version the schedule was solved against
+    #: (0 for plain sessions, which have a single immutable instance).
+    stamp: int = 0
+
+    def mapping(self) -> dict[int, int]:
+        """``{event: interval}`` view of the snapshot."""
+        return dict(self.assignments)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {len(self.assignments)} assignments, "
+            f"utility={self.utility:.4f}, solver={self.solver}, "
+            f"k={self.k}, stamp={self.stamp}"
+        )
+
+
+@dataclass(frozen=True)
+class VersionDiff:
+    """What changed between two saved versions."""
+
+    base: str
+    target: str
+    #: Events scheduled in ``target`` but not ``base``: ``(event, interval)``.
+    added: tuple[tuple[int, int], ...]
+    #: Events scheduled in ``base`` but not ``target``: ``(event, interval)``.
+    removed: tuple[tuple[int, int], ...]
+    #: Events present in both but relocated: ``(event, from, to)``.
+    moved: tuple[tuple[int, int, int], ...]
+    #: Assignments identical in both versions.
+    unchanged: int
+    utility_delta: float
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.moved)
+
+    def describe(self) -> str:
+        if self.is_empty:
+            body = "no assignment changes"
+        else:
+            parts = []
+            parts.extend(f"+e{e}@t{t}" for e, t in self.added)
+            parts.extend(f"-e{e}@t{t}" for e, t in self.removed)
+            parts.extend(f"e{e}: t{a}->t{b}" for e, a, b in self.moved)
+            body = ", ".join(parts)
+        return (
+            f"{self.base} -> {self.target}: {body} "
+            f"(utility {self.utility_delta:+.4f}, {self.unchanged} unchanged)"
+        )
+
+
+def diff_versions(base: ScheduleVersion, target: ScheduleVersion) -> VersionDiff:
+    """The assignment/utility delta from ``base`` to ``target``."""
+    before = base.mapping()
+    after = target.mapping()
+    added = tuple(
+        sorted((e, t) for e, t in after.items() if e not in before)
+    )
+    removed = tuple(
+        sorted((e, t) for e, t in before.items() if e not in after)
+    )
+    moved = tuple(
+        sorted(
+            (e, before[e], after[e])
+            for e in before
+            if e in after and before[e] != after[e]
+        )
+    )
+    unchanged = sum(
+        1 for e in before if e in after and before[e] == after[e]
+    )
+    return VersionDiff(
+        base=base.name,
+        target=target.name,
+        added=added,
+        removed=removed,
+        moved=moved,
+        unchanged=unchanged,
+        utility_delta=target.utility - base.utility,
+    )
+
+
+class VersionStore:
+    """An ordered registry of named :class:`ScheduleVersion` snapshots."""
+
+    def __init__(self) -> None:
+        self._versions: dict[str, ScheduleVersion] = {}
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        name: str,
+        schedule: Schedule | Mapping[int, int],
+        utility: float,
+        *,
+        k: int,
+        solver: str,
+        stamp: int = 0,
+        overwrite: bool = False,
+    ) -> ScheduleVersion:
+        """Snapshot ``schedule`` under ``name``; duplicate names need
+        ``overwrite=True`` (an overwrite keeps the original sequence slot)."""
+        if not name:
+            raise ValueError("version name must be non-empty")
+        if name in self._versions and not overwrite:
+            raise ValueError(
+                f"version {name!r} already exists; pass overwrite=True to replace"
+            )
+        mapping = (
+            schedule.as_mapping()
+            if isinstance(schedule, Schedule)
+            else dict(schedule)
+        )
+        sequence = (
+            self._versions[name].sequence
+            if name in self._versions
+            else len(self._versions)
+        )
+        version = ScheduleVersion(
+            name=name,
+            assignments=tuple(sorted(mapping.items())),
+            utility=float(utility),
+            k=k,
+            solver=solver,
+            sequence=sequence,
+            stamp=stamp,
+        )
+        self._versions[name] = version
+        return version
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> ScheduleVersion:
+        try:
+            return self._versions[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "none saved"
+            raise KeyError(f"unknown version {name!r} (known: {known})") from None
+
+    def names(self) -> tuple[str, ...]:
+        """Saved names in save order."""
+        ordered = sorted(self._versions.values(), key=lambda v: v.sequence)
+        return tuple(version.name for version in ordered)
+
+    def latest(self) -> ScheduleVersion | None:
+        """The most recently first-saved version, or ``None`` when empty."""
+        names = self.names()
+        return self._versions[names[-1]] if names else None
+
+    def diff(self, base: str, target: str | None = None) -> VersionDiff:
+        """Diff ``base`` against ``target`` (default: the latest version)."""
+        base_version = self.get(base)
+        if target is None:
+            latest = self.latest()
+            assert latest is not None  # get(base) above proved non-empty
+            target_version = latest
+        else:
+            target_version = self.get(target)
+        return diff_versions(base_version, target_version)
+
+    def changes_since(self, name: str) -> VersionDiff:
+        """"What changed since ``name``?" — diff against the latest save."""
+        return self.diff(name, None)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._versions

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.algorithms.registry import SolverRegistry
@@ -43,6 +43,9 @@ from repro.core.entities import CandidateEvent, CompetingEvent
 from repro.core.instance import SESInstance
 from repro.core.live import LiveDelta, LiveInstance
 from repro.core.schedule import Schedule
+from repro.interactive.gaps import GapReport, build_gap_report
+from repro.interactive.locks import LockSet
+from repro.interactive.versions import ScheduleVersion, VersionDiff, VersionStore
 from repro.serve.pool import PlanePool, PoolStats
 
 __all__ = ["ServedResponse", "ServingSession"]
@@ -115,6 +118,10 @@ class ServingSession:
         self._pool = PlanePool(self._live, max_replicas=max_replicas)
         self._served_lock = threading.Lock()
         self._requests_served = 0
+        # named schedule snapshots; guarded by their own lock so version
+        # saves/diffs never contend with the solve hot path
+        self._versions = VersionStore()
+        self._versions_lock = threading.Lock()
 
     # -- introspection ---------------------------------------------------
     @property
@@ -182,7 +189,8 @@ class ServingSession:
         solver = self._session.solver_for(request)
         with self._pool.lease(spec) as replica:
             result = solver.solve(
-                replica.frozen, request.k, plane=replica.plane
+                replica.frozen, request.k, plane=replica.plane,
+                locks=request.locks,
             )
             version = replica.generation
             pool_hit = replica.pool_hit
@@ -197,6 +205,87 @@ class ServingSession:
             version=version,
             pool_hit=pool_hit,
         )
+
+    def gap_report(
+        self,
+        schedule: Schedule | ServedResponse,
+        k: int | None = None,
+        *,
+        engine: EngineSpec | str | None = None,
+        locks: LockSet | None = None,
+        limit: int | None = None,
+    ) -> GapReport:
+        """Explain a draft's gaps against the current version, concurrently.
+
+        Leases a warm replica exactly like :meth:`solve`, so the report
+        reads its gains off cached plane scores (zero extra Eq. 4
+        evaluations after any solve at the same version) and comes back
+        stamped with the generation it was computed at.  Pass a
+        :class:`ServedResponse` to reuse its request's ``k`` and locks.
+        """
+        if isinstance(schedule, ServedResponse):
+            served = schedule
+            schedule = served.schedule
+            if k is None:
+                k = served.result.requested_k
+            if locks is None:
+                locks = served.request.locks
+            if engine is None:
+                engine = served.response.engine
+        elif k is None:
+            raise TypeError("k is required when passing a bare schedule")
+        spec = (
+            EngineSpec.coerce(engine)
+            if engine is not None
+            else self._session.default_engine
+        )
+        with self._pool.lease(spec) as replica:
+            report = build_gap_report(
+                replica.frozen, schedule, k, replica.plane,
+                locks=locks, limit=limit,
+            )
+            report = replace(report, version=replica.generation)
+        self._count_served()
+        return report
+
+    def save_version(
+        self,
+        name: str,
+        response: ServedResponse,
+        *,
+        overwrite: bool = False,
+    ) -> ScheduleVersion:
+        """Snapshot a served solve under ``name`` (thread-safe).
+
+        The snapshot is stamped with the response's generation, so a
+        later diff can tell whether two versions even saw the same
+        instance state.
+        """
+        with self._versions_lock:
+            return self._versions.save(
+                name,
+                response.schedule,
+                response.utility,
+                k=response.result.requested_k,
+                solver=response.result.solver,
+                stamp=response.version,
+                overwrite=overwrite,
+            )
+
+    def schedule_version(self, name: str) -> ScheduleVersion:
+        """A saved snapshot by name (:class:`KeyError` when unknown)."""
+        with self._versions_lock:
+            return self._versions.get(name)
+
+    def versions(self) -> tuple[str, ...]:
+        """Saved version names in save order."""
+        with self._versions_lock:
+            return self._versions.names()
+
+    def diff_versions(self, base: str, target: str | None = None) -> VersionDiff:
+        """What changed from ``base`` to ``target`` (default: latest save)."""
+        with self._versions_lock:
+            return self._versions.diff(base, target)
 
     def what_if_theta(
         self, k: int, thetas: Sequence[float], solver: str = "grd",

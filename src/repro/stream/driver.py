@@ -31,6 +31,7 @@ from typing import Any
 from repro.algorithms.registry import solver_registry
 from repro.core.engine import EngineSpec
 from repro.core.instance import SESInstance
+from repro.interactive.locks import LockSet
 
 from repro.stream.policies import MaintenancePolicy, make_policy
 from repro.stream.trace import Trace
@@ -182,6 +183,10 @@ class StreamDriver:
         *utility* (the schedule is discarded), heap-GRD's utility is
         exactly list-GRD's, and its lazy revalidation makes each warm
         sample several times cheaper than a full GRD sweep.
+    locks:
+        Organizer pin/forbid constraints threaded into the policy's
+        maintained scheduler at bind time; every repair, rebuild and
+        oracle sample honors them across the whole replay.
     """
 
     def __init__(
@@ -193,6 +198,7 @@ class StreamDriver:
         *,
         oracle_every: int | None = None,
         oracle_solver: str = "grd-heap",
+        locks: LockSet | None = None,
         **policy_params: Any,
     ) -> None:
         if isinstance(policy, str):
@@ -218,6 +224,7 @@ class StreamDriver:
         self._engine = EngineSpec.coerce(engine)
         self._oracle_every = oracle_every
         self._oracle_solver = oracle_solver
+        self._locks = LockSet.coerce(locks)
 
     @property
     def policy(self) -> MaintenancePolicy:
@@ -241,7 +248,7 @@ class StreamDriver:
             self._policy = make_policy(self._policy_name, **self._policy_params)
         k = self._k if self._k is not None else trace.initial_k
         started = time.perf_counter()
-        self._policy.bind(self._instance, k, engine=self._engine)
+        self._policy.bind(self._instance, k, engine=self._engine, locks=self._locks)
 
         records: list[OpRecord] = []
         for index, op in enumerate(trace):
@@ -307,5 +314,5 @@ class StreamDriver:
         live = self._policy.scheduler
         oracle = solver_registry.create(
             self._oracle_solver, engine=live.engine_spec
-        ).solve(live.live, live.k, plane=live.base_plane())
+        ).solve(live.live, live.k, plane=live.base_plane(), locks=live.locks)
         return oracle.utility - self._policy.utility()

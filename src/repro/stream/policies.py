@@ -46,6 +46,7 @@ from repro.algorithms.registry import solver_registry
 from repro.core.engine import EngineSpec
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
+from repro.interactive.locks import LockSet
 
 from repro.stream.trace import (
     AnnounceRival,
@@ -81,15 +82,21 @@ class MaintenancePolicy(ABC):
         instance: SESInstance,
         k: int,
         engine: EngineSpec | str | None = None,
+        locks: LockSet | None = None,
     ) -> None:
-        """Attach to an instance: build the maintained scheduler."""
+        """Attach to an instance: build the maintained scheduler.
+
+        ``locks`` threads organizer pin/forbid constraints into the
+        maintained scheduler; every repair and rebuild honors them, and
+        pins survive event-cancel renumbering for the stream's lifetime.
+        """
         if self._live is not None:
             raise RuntimeError(
                 f"policy {self.name!r} is already bound; policies are "
                 f"single-use — construct a fresh one per replay"
             )
         self._live = IncrementalScheduler(
-            instance, k, engine=EngineSpec.coerce(engine)
+            instance, k, engine=EngineSpec.coerce(engine), locks=locks
         )
 
     @abstractmethod
@@ -184,8 +191,9 @@ class PeriodicRebuildPolicy(MaintenancePolicy):
         instance: SESInstance,
         k: int,
         engine: EngineSpec | str | None = None,
+        locks: LockSet | None = None,
     ) -> None:
-        super().bind(instance, k, engine)
+        super().bind(instance, k, engine, locks)
         if self._solver != "grd":
             # the scheduler's initial fill IS a GRD run; only a non-GRD
             # solver needs a bind-time re-solve to align the start
@@ -210,10 +218,12 @@ class PeriodicRebuildPolicy(MaintenancePolicy):
             # warm batch re-solve straight over the live view: the base
             # plane's cached initial scores make it O(dirty rows), and
             # no O(instance) snapshot is ever frozen
-            result = solver.solve(live.live, live.k, plane=live.base_plane())
+            result = solver.solve(
+                live.live, live.k, plane=live.base_plane(), locks=live.locks
+            )
         else:
             # legacy baseline: freeze a snapshot, cold-fill every score
-            result = solver.solve(live.instance, live.k)  # ses-lint: disable=freeze-ban
+            result = solver.solve(live.instance, live.k, locks=live.locks)  # ses-lint: disable=freeze-ban
         live.adopt(result.schedule)
         self._rebuilds += 1
         self._ops_since_rebuild = 0
@@ -255,8 +265,9 @@ class HybridPolicy(MaintenancePolicy):
         instance: SESInstance,
         k: int,
         engine: EngineSpec | str | None = None,
+        locks: LockSet | None = None,
     ) -> None:
-        super().bind(instance, k, engine)
+        super().bind(instance, k, engine, locks)
         # materializing the base plane now makes every pressure-triggered
         # rebuild() a warm refill (seeded from cached base scores)
         self.scheduler.base_plane()
@@ -282,9 +293,14 @@ class HybridPolicy(MaintenancePolicy):
         self._pressure += self._op_pressure(op)
         op.apply(self.scheduler, maintain=True)
         if self._pressure >= self._threshold:
+            # subtract exactly what this rebuild flushes rather than
+            # zeroing: pressure added concurrently with the rebuild
+            # (reentrant apply via instrumentation/subclass hooks) must
+            # survive to count toward the next threshold crossing
+            flushed = self._pressure
             self.scheduler.rebuild()
             self._rebuilds += 1
-            self._pressure = 0.0
+            self._pressure -= flushed
 
     def _op_pressure(self, op: ChangeOp) -> float:
         """L1 interest mass the op touches (computed pre-application)."""

@@ -292,6 +292,63 @@ _OP_KINDS: dict[str, type[ChangeOp]] = {
 }
 
 
+class _LiveIndexMap:
+    """Order-statistics map over a growing pool of live entity slots.
+
+    :meth:`Trace.compact`'s live-index simulation needs three queries —
+    bring a slot alive, retire one, and translate between a slot and its
+    current *live index* (its rank among alive slots) — each formerly a
+    ``list.index()``/``list.pop()`` walk, O(n) per cancel and quadratic
+    over churn-heavy traces.  A Fenwick tree over slot-alive flags
+    answers all three in O(log n); slots are handed out in creation
+    order, so rank-by-slot equals position in the old list simulation.
+    """
+
+    __slots__ = ("_tree", "_capacity")
+
+    def __init__(self, alive: int, capacity: int) -> None:
+        self._capacity = capacity
+        self._tree = [0] * (capacity + 1)
+        for slot in range(alive):
+            self.add(slot)
+
+    def add(self, slot: int) -> None:
+        """Mark ``slot`` alive."""
+        index = slot + 1
+        while index <= self._capacity:
+            self._tree[index] += 1
+            index += index & -index
+
+    def remove(self, slot: int) -> None:
+        """Retire an alive ``slot``."""
+        index = slot + 1
+        while index <= self._capacity:
+            self._tree[index] -= 1
+            index += index & -index
+
+    def rank(self, slot: int) -> int:
+        """Live index of an alive ``slot``: alive slots strictly before it."""
+        total = 0
+        index = slot  # prefix sum over tree positions 1..slot = slots < slot
+        while index > 0:
+            total += self._tree[index]
+            index -= index & -index
+        return total
+
+    def select(self, live_index: int) -> int:
+        """The slot currently at ``live_index`` (inverse of :meth:`rank`)."""
+        position = 0
+        remaining = live_index + 1
+        step = 1 << self._capacity.bit_length()
+        while step:
+            probe = position + step
+            if probe <= self._capacity and self._tree[probe] < remaining:
+                position = probe
+                remaining -= self._tree[probe]
+            step >>= 1
+        return position  # tree position -> 0-indexed slot
+
+
 @dataclass(frozen=True)
 class Trace:
     """An ordered, replayable stream of change ops plus shape metadata.
@@ -442,46 +499,63 @@ class Trace:
             raise TraceError(
                 "compact() needs n_events to simulate live event indices"
             )
-        # entity ids: original live pool first, then one per arrival
-        alive: list[int] = list(range(self.n_events))
-        next_id = self.n_events
+        # entity ids double as slots: original live pool gets 0..n-1,
+        # then one sequential id per arrival — creation order, so the
+        # order-statistics maps below rank entities exactly like the
+        # list simulation this replaced (O(n) index/pop scans per
+        # cancel made compaction quadratic on churn-heavy traces)
+        total_arrivals = sum(
+            1 for op in self.ops if isinstance(op, ArriveCandidate)
+        )
         cancelled_arrivals: set[int] = set()
         # pass 1: find arrivals that are cancelled later in the trace
-        pool = list(alive)
-        probe = next_id
-        arrival_ids: set[int] = set()
+        pool = _LiveIndexMap(self.n_events, self.n_events + total_arrivals)
+        probe = self.n_events
         for op in self.ops:
             if isinstance(op, ArriveCandidate):
-                pool.append(probe)
-                arrival_ids.add(probe)
+                pool.add(probe)
                 probe += 1
             elif isinstance(op, CancelEvent):
-                victim = pool.pop(op.event)
-                if victim in arrival_ids:
+                victim = pool.select(op.event)
+                pool.remove(victim)
+                if victim >= self.n_events:
                     cancelled_arrivals.add(victim)
         # pass 2: emit surviving ops against the compacted live pool
-        alive_compact: list[int] = list(range(self.n_events))
+        alive = _LiveIndexMap(self.n_events, self.n_events + total_arrivals)
+        compact_pool = _LiveIndexMap(
+            self.n_events,
+            self.n_events + total_arrivals - len(cancelled_arrivals),
+        )
+        # surviving arrivals get fresh compact slots; original-pool
+        # entities keep their own id as slot in both index spaces
+        compact_slot: dict[int, int] = {}
+        next_id = self.n_events
+        next_compact_slot = self.n_events
         kept: list[ChangeOp] = []
         for op in self.ops:
             if isinstance(op, ArriveCandidate):
                 entity, next_id = next_id, next_id + 1
-                alive.append(entity)
+                alive.add(entity)
                 if entity in cancelled_arrivals:
                     continue
-                alive_compact.append(entity)
+                compact_slot[entity] = next_compact_slot
+                compact_pool.add(next_compact_slot)
+                next_compact_slot += 1
                 kept.append(op)
             elif isinstance(op, CancelEvent):
-                entity = alive.pop(op.event)
+                entity = alive.select(op.event)
+                alive.remove(entity)
                 if entity in cancelled_arrivals:
                     continue
-                index = alive_compact.index(entity)
-                alive_compact.pop(index)
+                slot = compact_slot.get(entity, entity)
+                index = compact_pool.rank(slot)
+                compact_pool.remove(slot)
                 kept.append(replace(op, event=index))
             elif isinstance(op, DriftInterest):
-                entity = alive[op.event]
+                entity = alive.select(op.event)
                 if entity in cancelled_arrivals:
                     continue
-                index = alive_compact.index(entity)
+                index = compact_pool.rank(compact_slot.get(entity, entity))
                 remapped = replace(op, event=index)
                 if (
                     kept

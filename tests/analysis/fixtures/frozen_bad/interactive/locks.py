@@ -1,0 +1,19 @@
+# Seeded violations: the interactive value modules are covered too.
+from dataclasses import dataclass, field
+
+
+@dataclass
+class UnfrozenLockSet:
+    pins: tuple[tuple[int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class LeakyVersion:
+    name: str = ""
+    assignments: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CleanLockSet:
+    pins: tuple[tuple[int, int], ...] = ()
+    forbids: frozenset[tuple[int, int]] = frozenset()

@@ -56,13 +56,19 @@ class TestFreezeBan:
 class TestFrozenOpDiscipline:
     def test_unfrozen_and_mutable_fields_fire(self, lint_fixture):
         result = lint_fixture("frozen_bad", "frozen-op-discipline")
-        assert len(result.findings) == 3
+        assert len(result.findings) == 5
         messages = [f.message for f in result.findings]
         assert any("MutableOp" in m and "frozen=True" in m for m in messages)
         assert any("interest" in m and "list" in m for m in messages)
         assert any("options" in m and "dict" in m for m in messages)
         # CleanOp and the ClassVar field must not fire
         assert not any("CleanOp" in m or "registry" in m for m in messages)
+        # the rule covers repro.interactive's value modules too
+        assert any(
+            "UnfrozenLockSet" in m and "frozen=True" in m for m in messages
+        )
+        assert any("LeakyVersion.assignments" in m and "dict" in m for m in messages)
+        assert not any("CleanLockSet" in m for m in messages)
 
 
 class TestRegistryCompleteness:

@@ -1,0 +1,122 @@
+"""LockSet: canonicalization, validation, renumbering, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import LockError
+from repro.core.schedule import Assignment, Schedule
+from repro.interactive import LockSet
+
+from tests.conftest import make_random_instance
+
+
+class TestConstruction:
+    def test_pins_sorted_and_deduplicated(self):
+        locks = LockSet(pins=((2, 5), (0, 1), (2, 5)))
+        assert locks.pins == ((0, 1), (2, 5))
+
+    def test_same_pin_twice_is_fine_but_conflicting_pins_raise(self):
+        assert LockSet(pins=((1, 3), (1, 3))).pins == ((1, 3),)
+        with pytest.raises(LockError, match="pinned to both"):
+            LockSet(pins=((0, 3), (1, 3)))
+
+    def test_pin_and_forbid_on_same_cell_raise(self):
+        with pytest.raises(LockError, match="both pinned and forbidden"):
+            LockSet(pins=((1, 2),), forbids=frozenset({(1, 2)}))
+
+    @pytest.mark.parametrize(
+        "junk", [((1,),), ((1, 2, 3),), (("a", 2),), ((1.5, 2),), ((-1, 2),), ((1, -2),)]
+    )
+    def test_junk_cells_rejected(self, junk):
+        with pytest.raises(LockError):
+            LockSet(pins=junk)
+
+    def test_chainable_builders_return_new_frozen_values(self):
+        base = LockSet()
+        locked = base.pin(2, 7).forbid(0, 3).forbid(1, 3)
+        assert base.is_empty
+        assert locked.pins == ((2, 7),)
+        assert locked.forbids == frozenset({(0, 3), (1, 3)})
+        # frozen + hashable: usable as dict keys / cached
+        assert hash(locked) == hash(LockSet(pins=((2, 7),), forbids={(0, 3), (1, 3)}))
+
+    def test_probes(self):
+        locks = LockSet(pins=((2, 7), (0, 1))).forbid(3, 4)
+        assert locks.pinned_events == frozenset({1, 7})
+        assert locks.pin_mapping() == {1: 0, 7: 2}
+        assert locks.pinned_interval(7) == 2
+        assert locks.pinned_interval(99) is None
+        assert locks.is_forbidden(3, 4)
+        assert not locks.is_forbidden(4, 3)
+        assert locks.pinned_assignments() == (
+            Assignment(event=1, interval=0),
+            Assignment(event=7, interval=2),
+        )
+
+
+class TestValidateFor:
+    def test_in_range_locks_pass(self):
+        instance = make_random_instance(seed=5)
+        LockSet().pin(0, 0).forbid(
+            instance.n_intervals - 1, instance.n_events - 1
+        ).validate_for(instance)
+
+    def test_out_of_range_event_and_interval_rejected(self):
+        instance = make_random_instance(seed=5)
+        with pytest.raises(LockError, match="events"):
+            LockSet().pin(0, instance.n_events).validate_for(instance)
+        with pytest.raises(LockError, match="intervals"):
+            LockSet().forbid(instance.n_intervals, 0).validate_for(instance)
+
+
+class TestCheckSchedule:
+    def test_honoring_schedule_passes(self):
+        locks = LockSet().pin(1, 0).forbid(0, 1)
+        locks.check_schedule({0: 1, 1: 2})
+        instance = make_random_instance(seed=5)
+        schedule = Schedule(instance, (Assignment(event=0, interval=1),))
+        locks.check_schedule(schedule)
+
+    def test_unscheduled_pin_rejected(self):
+        with pytest.raises(LockError, match="unscheduled"):
+            LockSet().pin(1, 0).check_schedule({2: 1})
+
+    def test_moved_pin_rejected(self):
+        with pytest.raises(LockError, match="at interval 3"):
+            LockSet().pin(1, 0).check_schedule({0: 3})
+
+    def test_forbidden_cell_rejected(self):
+        with pytest.raises(LockError, match="forbidden"):
+            LockSet().forbid(2, 4).check_schedule({4: 2})
+
+
+class TestShiftedForRemoval:
+    def test_locks_on_removed_event_drop_and_higher_shift(self):
+        locks = LockSet(pins=((0, 1), (2, 5)), forbids={(1, 3), (1, 7)})
+        shifted = locks.shifted_for_removal(3)
+        assert shifted.pins == ((0, 1), (2, 4))
+        assert shifted.forbids == frozenset({(1, 6)})
+
+    def test_lower_events_untouched(self):
+        locks = LockSet(pins=((2, 0),), forbids={(0, 1)})
+        assert locks.shifted_for_removal(5) == locks
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        locks = LockSet(pins=((2, 7), (0, 1)), forbids={(3, 4)})
+        assert LockSet.from_dict(locks.to_dict()) == locks
+
+    def test_coerce(self):
+        assert LockSet.coerce(None) is None
+        # the bit-identity mechanism: an empty lock set IS the unlocked path
+        assert LockSet.coerce(LockSet()) is None
+        assert LockSet.coerce({"pins": [[1, 2]]}) == LockSet(pins=((1, 2),))
+        with pytest.raises(LockError, match="must be a LockSet"):
+            LockSet.coerce([("not", "locks")])
+
+    def test_describe(self):
+        assert LockSet().describe() == "pins[-] forbids[-]"
+        locks = LockSet(pins=((1, 2),), forbids={(0, 4)})
+        assert locks.describe() == "pins[e2@t1] forbids[e4@t0]"

@@ -170,6 +170,38 @@ class TestHybrid:
         assert policy.rebuilds == 0
         assert policy.pressure == pytest.approx(0.5)
 
+    def test_flush_subtracts_rather_than_zeroing(self, monkeypatch):
+        """Pressure contributed while a rebuild runs survives the flush.
+
+        The reset used to be ``_pressure = 0.0``, silently discarding
+        mass added between the threshold check and the reset (reentrant
+        apply via instrumentation/subclass hooks); the fix subtracts
+        exactly the flushed amount.  On the plain non-reentrant path the
+        two are identical — the golden-trace suite pins that.
+        """
+        instance = make_random_instance(seed=508, n_events=6, n_intervals=4)
+        policy = HybridPolicy(drift_threshold=0.6)
+        policy.bind(instance, 3)
+        plain_rebuild = policy.scheduler.rebuild
+
+        def rebuild_with_concurrent_drift() -> None:
+            plain_rebuild()
+            policy._pressure += 0.25  # mass landing mid-flush
+
+        monkeypatch.setattr(
+            policy.scheduler, "rebuild", rebuild_with_concurrent_drift
+        )
+        policy.apply(
+            ArriveCandidate(
+                time=0.0,
+                location=77,
+                required_resources=1.0,
+                interest=((0, 0.5), (1, 0.4)),
+            )
+        )
+        assert policy.rebuilds == 1
+        assert policy.pressure == pytest.approx(0.25)
+
 
 class TestTrajectories:
     @pytest.mark.parametrize("name", POLICY_NAMES)
