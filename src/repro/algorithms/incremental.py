@@ -89,6 +89,7 @@ cold fill, and solving directly over the live view (no snapshot freeze).
 from __future__ import annotations
 
 from collections.abc import Mapping
+from typing import Any
 
 import numpy as np
 
@@ -412,6 +413,31 @@ class IncrementalScheduler:
         for event, interval in sorted(mapping.items()):
             self._checker.apply(Assignment(event, interval))
             self._engine.assign(event, interval)
+        self._plane.invalidate()
+
+    def export_float_state(self) -> dict[str, Any]:
+        """Bitwise snapshot of accumulated float state (for checkpoints).
+
+        :meth:`adopt` rebuilds engine mass and capacity sums by replaying
+        assignments in sorted order, which lands within an ulp of — but
+        not bit-identical to — state accumulated along the live mutation
+        history.  Restoring this snapshot on top of an adopted schedule
+        makes the scheduler bit-identical to the one it was exported
+        from in every semantic observable.
+        """
+        return {
+            "engine": self._engine.export_mass_state(),
+            "checker": self._checker.export_state(),
+        }
+
+    def restore_float_state(self, state: dict[str, Any]) -> None:
+        """Adopt a :meth:`export_float_state` snapshot (after :meth:`adopt`)."""
+        engine_state = state.get("engine")
+        if engine_state is not None:
+            self._engine.restore_mass_state(engine_state)
+        self._checker.restore_state(state["checker"])
+        # score-plane caches are pure functions of engine state; drop
+        # them so the next ensure() recomputes from the restored bits
         self._plane.invalidate()
 
     # ------------------------------------------------------------------

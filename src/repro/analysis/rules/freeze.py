@@ -32,6 +32,12 @@ HOT_PATH_MODULES = (
     "algorithms/incremental.py",
     "serve/pool.py",
     "serve/session.py",
+    # durability sits on the same per-op path: journal appends must be
+    # O(delta); the only legitimate snapshots are the checkpoint writers,
+    # allow-listed at the site
+    "resilience/stream.py",
+    "resilience/serve.py",
+    "resilience/journal.py",
 )
 
 

@@ -67,6 +67,7 @@ import warnings
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -161,6 +162,28 @@ class ScoreEngine(ABC):
         share immutable inputs instead of re-running construction.
         """
         return type(self)(self._instance)
+
+    # ------------------------------------------------------------------
+    # accumulated-state snapshots (checkpoint/recovery)
+    # ------------------------------------------------------------------
+    def export_mass_state(self) -> list[Any] | None:
+        """JSON-ready snapshot of order-sensitive accumulated float state.
+
+        Per-interval scheduled mass is accumulated in assignment order,
+        so rebuilding it from the schedule alone (sorted ``assign``
+        calls) lands within an ulp of — but not bit-identical to — the
+        live values.  Engines that keep such accumulators return them
+        here (insertion order included: ``total_utility`` sums intervals
+        in that order); engines that derive every answer fresh from the
+        schedule return ``None``.
+        """
+        return None
+
+    def restore_mass_state(self, state: list[Any]) -> None:
+        """Adopt a snapshot produced by :meth:`export_mass_state`."""
+        raise TypeError(
+            f"{type(self).__name__} keeps no accumulated mass state"
+        )
 
     # ------------------------------------------------------------------
     # live-instance deltas
@@ -719,6 +742,23 @@ class VectorizedEngine(ScoreEngine):
             self.interval_utility(interval) for interval in self._scheduled_mass
         )
 
+    def export_mass_state(self) -> list[Any]:
+        # a list of triples, not a dict: checkpoint files sort object
+        # keys, and interval insertion order is part of the state
+        return [
+            [int(interval), mass.tolist(), self._contributors[interval].tolist()]
+            for interval, mass in self._scheduled_mass.items()
+        ]
+
+    def restore_mass_state(self, state: list[Any]) -> None:
+        self._scheduled_mass = {}
+        self._contributors = {}
+        for interval, mass, contributors in state:
+            self._scheduled_mass[int(interval)] = np.asarray(mass, dtype=float)
+            self._contributors[int(interval)] = np.asarray(
+                contributors, dtype=np.int64
+            )
+
 
 class _SparseMass:
     """A sparse non-negative vector: sorted row indices + parallel values.
@@ -1253,6 +1293,26 @@ class SparseEngine(ScoreEngine):
         return sum(
             self.interval_utility(interval) for interval in self._scheduled_mass
         )
+
+    def export_mass_state(self) -> list[Any]:
+        return [
+            [
+                int(interval),
+                mass.rows.tolist(),
+                mass.values.tolist(),
+                mass.counts.tolist(),
+            ]
+            for interval, mass in self._scheduled_mass.items()
+        ]
+
+    def restore_mass_state(self, state: list[Any]) -> None:
+        self._scheduled_mass = {}
+        for interval, rows, values, counts in state:
+            mass = _SparseMass()
+            mass.rows = np.asarray(rows, dtype=np.intp)
+            mass.values = np.asarray(values, dtype=float)
+            mass.counts = np.asarray(counts, dtype=np.int64)
+            self._scheduled_mass[int(interval)] = mass
 
 
 _ENGINES = {

@@ -15,6 +15,12 @@ __all__ = [
     "ScheduleSizeError",
     "TraceError",
     "LockError",
+    "SerializationError",
+    "JournalError",
+    "CheckpointError",
+    "RecoveryError",
+    "ShardWorkerError",
+    "InjectedFault",
 ]
 
 
@@ -70,3 +76,65 @@ class TraceError(SESError):
     arrival, or shrinks the budget.  The message names the offending op
     index so broken traces are debuggable without replaying them.
     """
+
+
+class SerializationError(SESError):
+    """A persisted instance/schedule artifact is unreadable or incomplete.
+
+    Raised by the loaders in :mod:`repro.data.serialization` when a
+    sharded-instance directory is missing its manifest or references
+    block files that do not exist — torn artifacts are named explicitly
+    instead of surfacing as a raw :class:`FileNotFoundError` deep inside
+    a block loop.
+    """
+
+
+class JournalError(SESError):
+    """A :class:`~repro.resilience.journal.DeltaJournal` is corrupt.
+
+    Torn *tails* (a crash mid-append) are not errors — they are truncated
+    silently on open.  This is raised for damage recovery must not paper
+    over: a bad header, an unsupported format tag, or a record that fails
+    its CRC *before* later valid records (mid-file corruption).
+    """
+
+
+class CheckpointError(SESError):
+    """A checkpoint file could not be written or decoded."""
+
+
+class RecoveryError(SESError):
+    """Crash recovery could not resume a durable session.
+
+    Raised when no valid checkpoint survives, when the journal tail does
+    not replay cleanly onto the checkpointed state, or when a resumed
+    trace diverges from the ops the journal already recorded.
+    """
+
+
+class ShardWorkerError(SESError):
+    """A shard worker failed (or died) executing one dispatched thunk.
+
+    The message names the thunk index so a failing block is identifiable
+    without re-running the fan-out; the original failure is chained as
+    ``__cause__``.
+    """
+
+
+class InjectedFault(SESError):
+    """A deterministic fault injected by a :class:`~repro.resilience.faults.FaultPlan`.
+
+    Carries the injection ``site`` and fault ``kind`` so retry loops and
+    tests can distinguish synthetic failures from real ones.
+    """
+
+    def __init__(self, site: str, kind: str) -> None:
+        super().__init__(f"injected {kind} fault at {site}")
+        self.site = site
+        self.kind = kind
+
+    def __reduce__(self) -> tuple:
+        # default exception pickling replays args=(message,), which does
+        # not match this two-argument constructor; needed when a fault
+        # crosses a process-pool boundary
+        return (InjectedFault, (self.site, self.kind))

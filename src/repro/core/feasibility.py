@@ -100,6 +100,41 @@ class FeasibilityChecker:
         self._resources_used[interval] -= event.required_resources
         self._assigned_events.discard(assignment.event)
 
+    # ------------------------------------------------------------------
+    # snapshots (checkpoint/recovery)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict[str, list]:
+        """JSON-ready snapshot of the tracker's accumulated state.
+
+        The per-interval resource sums are floats accumulated in
+        apply/unapply order; rebuilding them from the schedule lands
+        within an ulp of the live values, which can flip a feasibility
+        probe right at the capacity boundary.  The snapshot preserves
+        the exact bits.
+        """
+        return {
+            "resources": [
+                [interval, used]
+                for interval, used in sorted(self._resources_used.items())
+            ],
+            "locations": [
+                [interval, sorted(locations)]
+                for interval, locations in sorted(self._locations_used.items())
+            ],
+            "events": sorted(self._assigned_events),
+        }
+
+    def restore_state(self, state: dict[str, list]) -> None:
+        """Adopt a snapshot produced by :meth:`export_state`."""
+        self._resources_used = {
+            int(interval): float(used) for interval, used in state["resources"]
+        }
+        self._locations_used = {
+            int(interval): set(locations)
+            for interval, locations in state["locations"]
+        }
+        self._assigned_events = set(state["events"])
+
 
 def is_schedule_feasible(instance: SESInstance, schedule: Schedule) -> bool:
     """One-shot check of the paper's two feasibility constraints."""

@@ -22,11 +22,13 @@ Interest matrices serialize according to their backend:
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.activity import ActivityModel
+from repro.core.errors import SerializationError
 from repro.core.entities import (
     CandidateEvent,
     CompetingEvent,
@@ -52,6 +54,25 @@ __all__ = [
 ]
 
 _FORMAT_VERSION = 1
+
+
+def _atomic_write(path: Path, write_body) -> None:
+    """Write ``path`` via a fsynced tmp sibling + ``os.replace``.
+
+    A crash mid-save leaves either the previous artifact or nothing with
+    the final name — never a torn file that a later load half-parses.
+    ``write_body`` receives the open binary tmp handle.
+    """
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            write_body(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def instance_to_dict(instance: SESInstance) -> dict:
@@ -216,9 +237,9 @@ def instance_from_dict(payload: dict) -> SESInstance:
 
 
 def save_instance(instance: SESInstance, path: str | Path) -> None:
-    """Write an instance to ``path`` as JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(instance_to_dict(instance), handle)
+    """Write an instance to ``path`` as JSON (atomically: tmp + rename)."""
+    payload = json.dumps(instance_to_dict(instance)).encode("utf-8")
+    _atomic_write(Path(path), lambda handle: handle.write(payload))
 
 
 def load_instance(path: str | Path) -> SESInstance:
@@ -256,12 +277,20 @@ def save_instance_npz(instance: SESInstance, path: str | Path) -> None:
     else:
         arrays["interest_candidate"] = interest.candidate
         arrays["interest_competing"] = interest.competing
-    np.savez_compressed(
-        path,
-        metadata=np.frombuffer(
-            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+    # np.savez_compressed appends ".npz" to bare string paths; normalize
+    # first so the atomic tmp/rename dance targets the real final name
+    final = Path(path)
+    if final.suffix != ".npz":
+        final = final.with_name(final.name + ".npz")
+    _atomic_write(
+        final,
+        lambda handle: np.savez_compressed(
+            handle,
+            metadata=np.frombuffer(
+                json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+            ),
+            **arrays,
         ),
-        **arrays,
     )
 
 
@@ -337,9 +366,6 @@ def save_sharded_instance(instance: SESInstance, directory: str | Path) -> None:
         },
         "metadata": metadata,
     }
-    (directory / "manifest.json").write_text(
-        json.dumps(manifest), encoding="utf-8"
-    )
     np.save(directory / "activity.npy", instance.activity.matrix)
     sparse_storage = interest.storage in ("csc", "csc32")
     for name, block_of in (
@@ -359,6 +385,13 @@ def save_sharded_instance(instance: SESInstance, directory: str | Path) -> None:
                 )
             else:
                 np.save(stem.with_suffix(".npy"), np.asarray(block))
+    # the manifest is the commit point: it lands last, atomically, so a
+    # directory with a manifest always has every block it references
+    manifest_bytes = json.dumps(manifest).encode("utf-8")
+    _atomic_write(
+        directory / "manifest.json",
+        lambda handle: handle.write(manifest_bytes),
+    )
 
 
 def load_sharded_instance(directory: str | Path) -> SESInstance:
@@ -371,9 +404,14 @@ def load_sharded_instance(directory: str | Path) -> SESInstance:
     from repro.shard.plan import ShardPlan
 
     directory = Path(directory)
-    manifest = json.loads(
-        (directory / "manifest.json").read_text(encoding="utf-8")
-    )
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.is_file():
+        raise SerializationError(
+            f"sharded instance at {directory} has no manifest.json — the "
+            "save did not complete (the manifest is written last, as the "
+            "commit point)"
+        )
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
     version = manifest.get("format_version")
     if version != _FORMAT_VERSION:
         raise ValueError(
@@ -382,6 +420,20 @@ def load_sharded_instance(directory: str | Path) -> SESInstance:
         )
     storage = manifest["storage"]
     plan = ShardPlan(**manifest["plan"])
+    suffix = ".npz" if storage in ("csc", "csc32") else ".npy"
+    expected = ["activity.npy"] + [
+        f"{name}_block{index:05d}{suffix}"
+        for name in ("candidate", "competing")
+        for index in range(plan.n_blocks)
+    ]
+    missing = [name for name in expected if not (directory / name).is_file()]
+    if missing:
+        raise SerializationError(
+            f"sharded instance at {directory} is missing "
+            f"{len(missing)} file(s) its manifest references: "
+            f"{', '.join(missing[:5])}"
+            + ("..." if len(missing) > 5 else "")
+        )
 
     def blocks(name: str) -> list:
         out = []

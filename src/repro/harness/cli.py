@@ -32,7 +32,9 @@ Subcommands
     every unscheduled event with the intervals that could still host it,
     estimated marginal gains, and why the rest are off the table
     (blocked / forbidden / dominated).  Accepts the same ``--pin`` /
-    ``--forbid`` locks.
+    ``--forbid`` locks; ``--explain-locks`` dry-runs pin feasibility
+    (via :meth:`~repro.interactive.locks.LockSet.explain`) and exits
+    without solving — nonzero when the locks are infeasible.
 
 ``solvers``
     List every registered solver with its capabilities, as aligned
@@ -60,6 +62,11 @@ Subcommands
     with parity checks against the unsharded engine (see
     :mod:`repro.shard`).  ``solve`` and ``stream`` accept ``--shards`` /
     ``--workers`` to run their engines sharded.
+
+``resilience-bench``
+    Passthrough to ``benchmarks/bench_resilience.py``: crash-recovery
+    fidelity, fault-injected convergence and journaling overhead (see
+    :mod:`repro.resilience`).
 
 ``demo``
     End-to-end smoke run on a small instance: all methods side by side.
@@ -230,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, metavar="N",
         help="report only the N best gap events (default: all)",
     )
+    gaps.add_argument(
+        "--explain-locks", action="store_true",
+        help="dry-run the lock set's pin feasibility against the "
+        "instance and exit without solving (nonzero exit if infeasible)",
+    )
     _add_lock_arguments(gaps)
     _add_engine_argument(gaps)
     _add_shard_arguments(gaps)
@@ -363,6 +375,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to bench_shard_scaling.py (try `-- --help`)",
     )
 
+    resilience_bench = commands.add_parser(
+        "resilience-bench",
+        help="run the resilience benchmark (benchmarks/bench_resilience.py)",
+        description=(
+            "Passthrough to benchmarks/bench_resilience.py: crash-recovery "
+            "fidelity, fault-injected convergence and checkpoint/journal "
+            "overhead.  All arguments after the subcommand are forwarded "
+            "(e.g. `ses-repro resilience-bench --smoke --json out.json`)."
+        ),
+    )
+    resilience_bench.add_argument(
+        "bench_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to bench_resilience.py (try `-- --help`)",
+    )
+
     demo = commands.add_parser("demo", help="small end-to-end comparison run")
     _add_engine_argument(demo)
     return parser
@@ -370,7 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     resolved = list(sys.argv[1:] if argv is None else argv)
-    if resolved and resolved[0] in ("serve-bench", "shard-bench"):
+    if resolved and resolved[0] in _BENCH_MODULES:
         # route before argparse: REMAINDER refuses to capture leading
         # option-shaped tokens, and the forwarded benchmark owns all of
         # its own flags (`serve-bench --smoke` should just work)
@@ -389,6 +417,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "lint": _run_lint,
         "serve-bench": _run_bench_passthrough,
         "shard-bench": _run_bench_passthrough,
+        "resilience-bench": _run_bench_passthrough,
         "demo": _run_demo,
     }[args.command]
     return handler(args)
@@ -476,6 +505,12 @@ def _run_gaps(args: argparse.Namespace) -> int:
     )
     info = solver_registry.get(args.solver)
     locks = _locks_from_args(args)
+    if getattr(args, "explain_locks", False):
+        from repro.interactive.locks import LockSet
+
+        report = (locks or LockSet()).explain(session.instance, k=args.k)
+        print(report.describe())
+        return 0 if report.feasible else 1
     try:
         response = session.solve(
             SolveRequest(
@@ -624,6 +659,7 @@ def _run_lint(args: argparse.Namespace) -> int:
 _BENCH_MODULES = {
     "serve-bench": "bench_serving",
     "shard-bench": "bench_shard_scaling",
+    "resilience-bench": "bench_resilience",
 }
 
 

@@ -32,7 +32,69 @@ from repro.core.errors import LockError
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment, Schedule
 
-__all__ = ["LockSet"]
+__all__ = ["LockSet", "PinProbe", "LockReport"]
+
+
+@dataclass(frozen=True)
+class PinProbe:
+    """Dry-run verdict for one pin, in canonical (sorted) pin order.
+
+    ``status`` is one of ``"ok"``, ``"out-of-range"``,
+    ``"location-conflict"`` (an earlier pin holds the same location in the
+    same interval) or ``"over-capacity"`` (the interval's resource budget
+    is exhausted by earlier pins).
+    """
+
+    interval: int
+    event: int
+    status: str
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class LockReport:
+    """:meth:`LockSet.explain` output — why a lock set is (in)feasible.
+
+    ``feasible`` means every pin commits in rehearsal order, no forbid is
+    out of range, and the pin count fits the budget ``k`` (when given).
+    Infeasibility here is *definitive* for pins — they are mandatory — so
+    a CLI can refuse a solve up front instead of surfacing a
+    :class:`~repro.core.errors.LockError` from deep inside a solver.
+    """
+
+    probes: tuple[PinProbe, ...]
+    forbids_out_of_range: tuple[tuple[int, int], ...]
+    k: int | None = None
+
+    @property
+    def feasible(self) -> bool:
+        return (
+            all(probe.ok for probe in self.probes)
+            and not self.forbids_out_of_range
+            and (self.k is None or len(self.probes) <= self.k)
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable report (one line per pin)."""
+        lines = []
+        for probe in self.probes:
+            mark = "ok" if probe.ok else probe.status
+            line = f"pin e{probe.event}@t{probe.interval}: {mark}"
+            if probe.detail:
+                line += f" ({probe.detail})"
+            lines.append(line)
+        for interval, event in self.forbids_out_of_range:
+            lines.append(f"forbid e{event}@t{interval}: out-of-range")
+        if self.k is not None and len(self.probes) > self.k:
+            lines.append(
+                f"budget: {len(self.probes)} pins exceed k={self.k}"
+            )
+        lines.append(f"verdict: {'feasible' if self.feasible else 'infeasible'}")
+        return "\n".join(lines)
 
 
 def _as_cell(value: Any, what: str) -> tuple[int, int]:
@@ -162,6 +224,77 @@ class LockSet:
                         f"{interval}, but the instance has only "
                         f"{instance.n_intervals} intervals"
                     )
+
+    def explain(self, instance: SESInstance, k: int | None = None) -> LockReport:
+        """Dry-run the pins against ``instance`` without solving.
+
+        Rehearses the pins in canonical order through a fresh
+        :class:`~repro.core.feasibility.FeasibilityChecker` — the same
+        commit order every lock-aware solver uses — and classifies each
+        one: ``ok``, ``out-of-range``, ``location-conflict`` or
+        ``over-capacity``.  Forbids are only range-checked (they remove
+        options, they cannot make a solve infeasible by themselves).
+        Never raises and never mutates anything.
+        """
+        from repro.core.feasibility import FeasibilityChecker
+
+        checker = FeasibilityChecker(instance)
+        probes: list[PinProbe] = []
+        for interval, event in self.pins:
+            if event >= instance.n_events or interval >= instance.n_intervals:
+                probes.append(
+                    PinProbe(
+                        interval,
+                        event,
+                        "out-of-range",
+                        f"instance has {instance.n_events} events, "
+                        f"{instance.n_intervals} intervals",
+                    )
+                )
+                continue
+            assignment = Assignment(event=event, interval=interval)
+            if checker.is_valid(assignment):
+                checker.apply(assignment)
+                probes.append(PinProbe(interval, event, "ok"))
+                continue
+            location = instance.events[event].location
+            held = any(
+                instance.events[other].location == location
+                for probed_interval, other in (
+                    (p.interval, p.event) for p in probes if p.ok
+                )
+                if probed_interval == interval
+            )
+            if held:
+                probes.append(
+                    PinProbe(
+                        interval,
+                        event,
+                        "location-conflict",
+                        f"location {location} already used at t{interval} "
+                        "by an earlier pin",
+                    )
+                )
+            else:
+                needed = instance.events[event].required_resources
+                left = checker.remaining_resources(interval)
+                probes.append(
+                    PinProbe(
+                        interval,
+                        event,
+                        "over-capacity",
+                        f"needs {needed:g} resources but only {left:g} "
+                        f"remain at t{interval}",
+                    )
+                )
+        bad_forbids = tuple(
+            (interval, event)
+            for interval, event in sorted(self.forbids)
+            if event >= instance.n_events or interval >= instance.n_intervals
+        )
+        return LockReport(
+            probes=tuple(probes), forbids_out_of_range=bad_forbids, k=k
+        )
 
     def check_schedule(self, schedule: Schedule | Mapping[int, int]) -> None:
         """Raise :class:`LockError` unless ``schedule`` honors every lock."""

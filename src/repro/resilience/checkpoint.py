@@ -1,0 +1,153 @@
+"""Atomic checkpoints of durable-session state (``ses-ckpt/1``).
+
+A checkpoint is a full snapshot of a durable session's live state —
+frozen instance (via the existing JSON serialization), schedule, locks,
+policy state — stamped with the journal offset it was taken at.  Files
+are written atomically (temp sibling + ``os.replace`` + directory
+fsync), so a crash mid-checkpoint leaves either the previous checkpoint
+set or the new one, never a torn file; the payload additionally embeds a
+CRC32 over its canonical body so a damaged file is *detected* and
+skipped rather than trusted.
+
+Recovery policy: newest-valid-wins among checkpoints whose offset does
+not exceed the journal's surviving record count (a checkpoint may claim
+ops a torn journal tail lost only if fsync discipline was violated; the
+filter makes recovery robust to that too).  Checkpoint files are named
+``ckpt-<offset:08d>.json`` so the newest is a filename sort away.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import CheckpointError
+
+__all__ = ["CHECKPOINT_FORMAT", "CheckpointStore"]
+
+#: Format tag embedded in every checkpoint file.
+CHECKPOINT_FORMAT = "ses-ckpt/1"
+
+
+def _canonical(payload: dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class CheckpointStore:
+    """A directory of numbered, atomic, CRC-verified checkpoints."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def _path_for(self, offset: int) -> Path:
+        return self._directory / f"ckpt-{offset:08d}.json"
+
+    # -- writing ---------------------------------------------------------
+    def write(self, offset: int, body: dict[str, Any]) -> Path:
+        """Publish a checkpoint for journal ``offset`` atomically.
+
+        The body is wrapped in an envelope carrying the format tag and a
+        CRC32 of the canonical body encoding; the file lands via temp
+        sibling + ``os.replace`` and the directory entry is fsynced, so
+        a reader either sees a complete, verifiable checkpoint or none.
+        """
+        if offset < 0:
+            raise ValueError(f"checkpoint offset must be >= 0, got {offset}")
+        encoded = _canonical(body)
+        envelope = {
+            "format": CHECKPOINT_FORMAT,
+            "offset": offset,
+            "crc": zlib.crc32(encoded.encode("utf-8")) & 0xFFFFFFFF,
+            "body": body,
+        }
+        path = self._path_for(offset)
+        tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(envelope, handle, sort_keys=True, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self._fsync_directory()
+        return path
+
+    def _fsync_directory(self) -> None:
+        try:
+            fd = os.open(self._directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- reading ---------------------------------------------------------
+    def offsets(self) -> list[int]:
+        """Offsets of all checkpoint files present, ascending (unverified)."""
+        out = []
+        for path in self._directory.glob("ckpt-*.json"):
+            stem = path.stem[len("ckpt-"):]
+            if stem.isdigit():
+                out.append(int(stem))
+        return sorted(out)
+
+    def load(self, offset: int) -> dict[str, Any]:
+        """Decode and verify the checkpoint at ``offset``.
+
+        Raises :class:`CheckpointError` when the file is missing, torn,
+        fails its CRC, or carries an unknown format tag.
+        """
+        path = self._path_for(offset)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError as exc:
+            raise CheckpointError(f"no checkpoint at offset {offset}") from exc
+        try:
+            envelope = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"checkpoint {path} is not valid JSON") from exc
+        if not isinstance(envelope, dict):
+            raise CheckpointError(f"checkpoint {path} is not an object")
+        if envelope.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"checkpoint {path} has format {envelope.get('format')!r}; "
+                f"expected {CHECKPOINT_FORMAT!r}"
+            )
+        body = envelope.get("body")
+        if not isinstance(body, dict):
+            raise CheckpointError(f"checkpoint {path} has no body")
+        encoded = _canonical(body)
+        if (zlib.crc32(encoded.encode("utf-8")) & 0xFFFFFFFF) != envelope.get("crc"):
+            raise CheckpointError(f"checkpoint {path} fails its CRC check")
+        if envelope.get("offset") != offset:
+            raise CheckpointError(
+                f"checkpoint {path} claims offset {envelope.get('offset')!r}"
+            )
+        return body
+
+    def newest_valid(
+        self, max_offset: int | None = None
+    ) -> tuple[int, dict[str, Any]] | None:
+        """The newest verifiable checkpoint with offset <= ``max_offset``.
+
+        Damaged candidates are skipped (newest-valid-wins); ``None`` when
+        no checkpoint survives at all.
+        """
+        for offset in reversed(self.offsets()):
+            if max_offset is not None and offset > max_offset:
+                continue
+            try:
+                return offset, self.load(offset)
+            except CheckpointError:
+                continue
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CheckpointStore({str(self._directory)!r})"

@@ -1,0 +1,216 @@
+"""Deterministic fault injection: seeded plans, bounded seeded retries.
+
+Chaos testing is only evidence when it is *replayable*: the same seed
+must inject the same faults at the same sites in the same order, so a
+fault-induced divergence is a reproducible bug report rather than a
+flaky CI run.  :class:`FaultPlan` is that seed — a frozen description of
+per-site fault probabilities.  Each injection site draws from its own
+``SeedSequence(plan.seed, crc32(site))`` stream, and the dispatch layers
+(:meth:`repro.shard.executor.ShardExecutor.map`,
+:meth:`repro.serve.pool.PlanePool.write`) draw *serially before*
+fanning work out, so thread scheduling can never reorder the stream.
+
+:class:`RetryPolicy` pairs with it: bounded retries with exponential
+backoff whose jitter is itself seeded (``SeedSequence(seed, site_key,
+attempt)``), and a serial-executor fallback once a thunk has failed
+``fallback_after`` parallel attempts — the escape hatch that makes
+fault-injected runs *converge* to the fault-free result (the resilience
+benchmark's bitwise gate).
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import InjectedFault
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "InjectedFault",
+]
+
+#: Fault kinds a plan can inject at executor sites, in cumulative-draw
+#: order (the order fixes which uniform draw maps to which fault).
+EXECUTOR_FAULT_KINDS = ("worker_crash", "worker_stall", "io_error")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen, seeded description of what to break and how often.
+
+    Probabilities are per dispatch: each thunk handed to a
+    :class:`~repro.shard.executor.ShardExecutor` draws once against
+    ``worker_crash`` / ``worker_stall`` / ``io_error`` (crash and IO
+    faults raise :class:`InjectedFault`; stalls sleep
+    ``stall_seconds`` and then succeed), and each
+    :meth:`~repro.serve.pool.PlanePool.write` draws once against
+    ``writer_stall`` (the writer sleeps while holding the pool lock —
+    exactly the scenario degraded reads exist for).
+    """
+
+    seed: int
+    worker_crash: float = 0.0
+    worker_stall: float = 0.0
+    io_error: float = 0.0
+    writer_stall: float = 0.0
+    stall_seconds: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+        for name in ("worker_crash", "worker_stall", "io_error", "writer_stall"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{name} must be a probability in [0, 1], got {value}"
+                )
+        if self.worker_crash + self.worker_stall + self.io_error > 1.0:
+            raise ValueError(
+                "executor fault probabilities must sum to at most 1"
+            )
+        if self.stall_seconds < 0:
+            raise ValueError(
+                f"stall_seconds must be non-negative, got {self.stall_seconds}"
+            )
+
+    def injector(self) -> "FaultInjector":
+        """A fresh runtime injector (per executor/pool instance)."""
+        return FaultInjector(self)
+
+
+def _site_key(site: str) -> int:
+    return zlib.crc32(site.encode("utf-8")) & 0xFFFFFFFF
+
+
+class FaultInjector:
+    """Mutable runtime state of one plan: per-site RNG streams + counters.
+
+    Draws are serialized under a lock and each site owns its own seeded
+    stream, so the fault sequence at a site depends only on the plan seed
+    and how many draws that site has made — never on thread timing.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._plan = plan
+        self._lock = threading.Lock()
+        self._rngs: dict[str, np.random.Generator] = {}
+        self._counts: dict[str, int] = {}
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    def _rng(self, site: str) -> np.random.Generator:
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = np.random.default_rng(
+                np.random.SeedSequence((self._plan.seed, _site_key(site)))
+            )
+            self._rngs[site] = rng
+        return rng
+
+    def _record(self, site: str, kind: str) -> None:
+        key = f"{site}:{kind}"
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def draw_executor(self, site: str) -> str | None:
+        """One executor-site draw: a fault kind or ``None`` (healthy)."""
+        plan = self._plan
+        if plan.worker_crash + plan.worker_stall + plan.io_error == 0.0:
+            return None
+        with self._lock:
+            u = float(self._rng(site).random())
+            edge = plan.worker_crash
+            if u < edge:
+                self._record(site, "worker_crash")
+                return "worker_crash"
+            edge += plan.worker_stall
+            if u < edge:
+                self._record(site, "worker_stall")
+                return "worker_stall"
+            edge += plan.io_error
+            if u < edge:
+                self._record(site, "io_error")
+                return "io_error"
+            return None
+
+    def draw_writer(self, site: str) -> bool:
+        """One writer-site draw: whether this write stalls."""
+        if self._plan.writer_stall == 0.0:
+            return False
+        with self._lock:
+            stalled = float(self._rng(site).random()) < self._plan.writer_stall
+            if stalled:
+                self._record(site, "writer_stall")
+            return stalled
+
+    def counts(self) -> dict[str, int]:
+        """Injected-fault counters keyed ``site:kind`` (sorted)."""
+        with self._lock:
+            return dict(sorted(self._counts.items()))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic seeded-jitter backoff.
+
+    ``max_retries`` caps parallel re-dispatch rounds; a thunk that has
+    failed ``fallback_after`` attempts stops being retried in the pool
+    and runs on the serial fallback path instead (fault injection covers
+    the parallel dispatch path only, so the fallback always terminates).
+    ``delay(attempt, key)`` is the backoff before retry ``attempt`` of
+    work item ``key``: ``backoff_base * backoff_factor**attempt`` scaled
+    by a jitter factor in ``[1 - jitter, 1 + jitter]`` drawn from
+    ``SeedSequence(seed, key, attempt)`` — reproducible down to the
+    sleep schedule.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.001
+    backoff_factor: float = 2.0
+    jitter: float = 0.5
+    fallback_after: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 0:
+            raise ValueError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(
+                f"jitter must lie in [0, 1], got {self.jitter}"
+            )
+        if self.fallback_after < 1:
+            raise ValueError(
+                f"fallback_after must be positive, got {self.fallback_after}"
+            )
+        if self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+
+    def delay(self, attempt: int, key: int = 0) -> float:
+        """Seconds to back off before retry ``attempt`` (0-based) of ``key``."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        base = self.backoff_base * self.backoff_factor**attempt
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.seed, key, attempt))
+        )
+        scale = 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return base * scale

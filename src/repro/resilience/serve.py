@@ -1,0 +1,77 @@
+"""Journal codec for serving-session mutations (``ses-wal/1``, kind "serve").
+
+A durable :class:`~repro.serve.session.ServingSession` journals every
+committed mutation — the four single-writer operations — as one record
+each, *after* the pool write commits and *before* the caller is
+acknowledged.  Interest columns are journaled as full dense lists
+(``LiveInstance`` mutators take dense columns; JSON round-trips floats
+losslessly), so replaying a record through the normal mutator is exactly
+a replay of the acknowledged call.
+
+:func:`replay_mutation` is recovery's half: dispatch one journal record
+back through the session's public mutator, which routes it through
+:meth:`~repro.serve.pool.PlanePool.write` just like the original call —
+generation counters and plane contents line up bit-for-bit with an
+uninterrupted session.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.errors import RecoveryError
+
+if TYPE_CHECKING:
+    from repro.serve.session import ServingSession
+
+__all__ = [
+    "SERVE_MUTATION_KINDS",
+    "column_payload",
+    "replay_mutation",
+]
+
+#: Journal record kinds a serving session emits, one per mutator.
+SERVE_MUTATION_KINDS = (
+    "add_event",
+    "cancel_event",
+    "update_event_interest",
+    "add_competing",
+)
+
+
+def column_payload(column: Any) -> list[float]:
+    """Canonical journal encoding of one interest column."""
+    return [float(v) for v in np.asarray(column, dtype=float)]
+
+
+def replay_mutation(session: "ServingSession", payload: dict[str, Any]) -> None:
+    """Re-apply one journaled mutation through the session's mutators."""
+    kind = payload.get("kind")
+    if kind == "add_event":
+        session.add_event(
+            location=int(payload["location"]),
+            required_resources=float(payload["required_resources"]),
+            interest_column=np.asarray(payload["interest"], dtype=float),
+            name=str(payload["name"]),
+            tags=frozenset(payload["tags"]),
+        )
+    elif kind == "cancel_event":
+        session.cancel_event(int(payload["event"]))
+    elif kind == "update_event_interest":
+        session.update_event_interest(
+            int(payload["event"]),
+            np.asarray(payload["interest"], dtype=float),
+        )
+    elif kind == "add_competing":
+        session.add_competing(
+            interval=int(payload["interval"]),
+            interest_column=np.asarray(payload["interest"], dtype=float),
+            name=str(payload["name"]),
+        )
+    else:
+        raise RecoveryError(
+            f"unknown serve journal record kind {kind!r}; "
+            f"choose from {SERVE_MUTATION_KINDS}"
+        )

@@ -46,13 +46,18 @@ serving tests can assert fills crossed the shard boundary exactly once.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.engine import EngineSpec, ScoreEngine
 from repro.core.instance import SESInstance
 from repro.core.live import LiveDelta, LiveInstance
 from repro.core.scoreplane import ScorePlane
+
+if TYPE_CHECKING:
+    from repro.resilience.faults import FaultInjector, FaultPlan
 
 __all__ = ["PlanePool", "PoolStats", "Replica"]
 
@@ -69,6 +74,11 @@ class PoolStats:
     generation: int
     freezes: int
     replica_cold_cells: int
+    #: Leases served stale from the last-good stash because the writer
+    #: held the pool lock past the caller's ``max_wait_s``.
+    degraded: int = 0
+    #: Injected writer stalls absorbed while holding the writer lock.
+    writer_stalls: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -80,6 +90,8 @@ class PoolStats:
             "generation": self.generation,
             "freezes": self.freezes,
             "replica_cold_cells": self.replica_cold_cells,
+            "degraded": self.degraded,
+            "writer_stalls": self.writer_stalls,
         }
 
 
@@ -90,11 +102,14 @@ class Replica:
     immutable snapshot of the generation the replica was forked at — so
     solves through it are race-free by construction.  ``pool_hit`` tells
     whether this lease was served from the free list (True) or forked
-    fresh (False).
+    fresh (False).  ``staleness`` is 0 on every normal lease; a degraded
+    lease (served from the last-good stash while the writer held the
+    lock past ``max_wait_s``) carries the number of writes begun since
+    the stash's generation.
     """
 
     __slots__ = ("spec", "plane", "frozen", "generation", "pool_hit",
-                 "_cold_cells_counted")
+                 "staleness", "_cold_cells_counted")
 
     def __init__(
         self,
@@ -108,6 +123,7 @@ class Replica:
         self.frozen = frozen
         self.generation = generation
         self.pool_hit = False
+        self.staleness = 0
         self._cold_cells_counted = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -130,17 +146,42 @@ class PlanePool:
         Cap on *retained* free replicas per spec.  Leases beyond the cap
         still succeed (a fresh fork is handed out, never blocking); the
         cap only bounds how many parked replicas the pool keeps warm.
+    generation:
+        Starting version counter; nonzero only when a recovered serving
+        session re-creates the pool at its checkpointed generation so
+        resumed version stamps match an uninterrupted run's.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan`; its
+        ``writer_stall`` probability injects a deterministic sleep
+        *inside* the writer lock on :meth:`write` — the exact scenario
+        ``max_wait_s`` degraded reads exist for.
+    keep_stale_replica:
+        Keep one extra "last good" replica per spec (refreshed on the
+        first fork of each generation) that :meth:`acquire` can serve —
+        staleness-stamped — when the writer lock cannot be taken within
+        ``max_wait_s``.  Off by default: it costs one extra fork per
+        (spec, generation).
     """
 
-    def __init__(self, live: LiveInstance, *, max_replicas: int = 8) -> None:
+    def __init__(
+        self,
+        live: LiveInstance,
+        *,
+        max_replicas: int = 8,
+        generation: int = 0,
+        fault_plan: "FaultPlan | None" = None,
+        keep_stale_replica: bool = False,
+    ) -> None:
         if max_replicas < 1:
             raise ValueError(
                 f"max_replicas must be positive, got {max_replicas}"
             )
+        if generation < 0:
+            raise ValueError(f"generation must be >= 0, got {generation}")
         self._live = live
         self._max_replicas = max_replicas
         self._lock = threading.RLock()
-        self._generation = 0
+        self._generation = generation
         self._primaries: dict[EngineSpec, ScorePlane] = {}
         # per-(spec) template engines over the current version's frozen
         # snapshot; cleared on every write and rebuilt lazily (counted)
@@ -152,6 +193,20 @@ class PlanePool:
         self._evictions = 0
         self._rebuilds = 0
         self._replica_cold_cells = 0
+        self._injector: "FaultInjector | None" = (
+            None if fault_plan is None else fault_plan.injector()
+        )
+        self._keep_stale = keep_stale_replica
+        # the stale stash lives under its own lock so a degraded acquire
+        # never waits on the (possibly stalled) writer lock; code paths
+        # never hold _stale_lock while waiting for _lock, so the
+        # _lock -> _stale_lock ordering in _fork cannot deadlock
+        self._stale_lock = threading.Lock()
+        self._stale: dict[EngineSpec, Replica] = {}
+        self._writes_begun = generation
+        self._degraded = 0
+        self._writer_stalls = 0
+        self._stale_cold_cells = 0
 
     # -- introspection ---------------------------------------------------
     @property
@@ -175,6 +230,8 @@ class PlanePool:
                 generation=self._generation,
                 freezes=self._live.freezes,
                 replica_cold_cells=self._aggregate_cold_cells(),
+                degraded=self._degraded,
+                writer_stalls=self._writer_stalls,
             )
 
     def primary_stats(self) -> dict[str, dict[str, int]]:
@@ -202,8 +259,12 @@ class PlanePool:
                 out[key] = stats
             return out
 
+    def fault_stats(self) -> dict[str, int]:
+        """Injected-fault counters (``site:kind``) when a plan is armed."""
+        return {} if self._injector is None else self._injector.counts()
+
     def _aggregate_cold_cells(self) -> int:
-        total = self._replica_cold_cells
+        total = self._replica_cold_cells + self._stale_cold_cells
         for replicas in self._free.values():
             for replica in replicas:
                 total += (
@@ -221,7 +282,18 @@ class PlanePool:
         re-sweep), version templates are dropped, the generation is
         bumped, and parked replicas — now stale — are discarded.
         """
+        with self._stale_lock:
+            # counted before the writer lock is taken so degraded reads
+            # can measure how far behind the stash is mid-write
+            self._writes_begun += 1
         with self._lock:
+            if self._injector is not None and self._injector.draw_writer(
+                "pool.write"
+            ):
+                self._writer_stalls += 1
+                # sleep *inside* the lock: this is the stalled writer the
+                # degraded read path is designed to survive
+                time.sleep(self._injector.plan.stall_seconds)
             delta = mutate(self._live)
             for primary in self._primaries.values():
                 primary.apply_delta(delta)
@@ -246,30 +318,82 @@ class PlanePool:
             return self._live.freeze()  # ses-lint: disable=freeze-ban
 
     # -- the read path (leases) ------------------------------------------
-    def acquire(self, spec: EngineSpec | str | None = None) -> Replica:
-        """Lease a replica of the current generation (never stale).
+    def acquire(
+        self,
+        spec: EngineSpec | str | None = None,
+        *,
+        max_wait_s: float | None = None,
+    ) -> Replica:
+        """Lease a replica of the current generation.
 
         Served from the free list when a same-generation replica is
         parked there (a *pool hit*); otherwise forked fresh from the
         spec's primary in O(cells).  Pair with :meth:`release`, or use
         :meth:`lease`.
+
+        ``max_wait_s`` bounds how long the lease waits on the writer
+        lock.  On timeout — a stalled or slow writer — the lease is
+        served from the spec's last-good stash instead
+        (``keep_stale_replica=True``), stamped with its
+        :attr:`Replica.staleness`; with no stash available the call
+        falls back to waiting.
         """
         resolved = EngineSpec.coerce(spec)
+        if max_wait_s is None:
+            self._lock.acquire()
+        elif not self._lock.acquire(timeout=max_wait_s):
+            return self._acquire_stale(resolved)
+        try:
+            return self._acquire_locked(resolved)
+        finally:
+            self._lock.release()
+
+    def _acquire_locked(self, resolved: EngineSpec) -> Replica:
+        free = self._free.get(resolved)
+        while free:
+            replica = free.pop()  # most recently used first
+            if replica.generation == self._generation:
+                self._hits += 1
+                replica.pool_hit = True
+                return replica
+            self._retire(replica)
+            self._invalidations += 1
+        self._forks += 1
+        return self._fork(resolved)
+
+    def _acquire_stale(self, resolved: EngineSpec) -> Replica:
+        """Serve a lease from the last-good stash (writer unreachable)."""
+        with self._stale_lock:
+            stash = self._stale.get(resolved)
+            if stash is not None:
+                self._degraded += 1
+                replica = Replica(
+                    spec=resolved,
+                    plane=stash.plane.fork(),
+                    frozen=stash.frozen,
+                    generation=stash.generation,
+                )
+                replica.staleness = max(
+                    1, self._writes_begun - stash.generation
+                )
+                return replica
+        # nothing to degrade to (stash disabled or never warmed): wait
+        # for the writer after all rather than failing the read
         with self._lock:
-            free = self._free.get(resolved)
-            while free:
-                replica = free.pop()  # most recently used first
-                if replica.generation == self._generation:
-                    self._hits += 1
-                    replica.pool_hit = True
-                    return replica
-                self._retire(replica)
-                self._invalidations += 1
-            self._forks += 1
-            return self._fork(resolved)
+            return self._acquire_locked(resolved)
 
     def release(self, replica: Replica) -> None:
         """Return a lease; parked for reuse unless stale or over the cap."""
+        if replica.staleness:
+            # degraded leases never touch the main lock (the writer may
+            # still be stalled) and are never parked for reuse; their
+            # accounting folds into a counter owned by the stale lock
+            with self._stale_lock:
+                self._stale_cold_cells += (
+                    replica.plane.cells_filled - replica._cold_cells_counted
+                )
+                replica._cold_cells_counted = replica.plane.cells_filled
+            return
         with self._lock:
             if replica.generation != self._generation:
                 self._retire(replica)
@@ -282,22 +406,35 @@ class PlanePool:
                 self._evictions += 1
 
     class _Lease:
-        __slots__ = ("_pool", "_spec", "replica")
+        __slots__ = ("_pool", "_spec", "_max_wait_s", "replica")
 
-        def __init__(self, pool: PlanePool, spec: EngineSpec | str | None):
+        def __init__(
+            self,
+            pool: PlanePool,
+            spec: EngineSpec | str | None,
+            max_wait_s: float | None = None,
+        ):
             self._pool = pool
             self._spec = spec
+            self._max_wait_s = max_wait_s
 
         def __enter__(self) -> Replica:
-            self.replica = self._pool.acquire(self._spec)
+            self.replica = self._pool.acquire(
+                self._spec, max_wait_s=self._max_wait_s
+            )
             return self.replica
 
         def __exit__(self, *exc_info: object) -> None:
             self._pool.release(self.replica)
 
-    def lease(self, spec: EngineSpec | str | None = None) -> "PlanePool._Lease":
+    def lease(
+        self,
+        spec: EngineSpec | str | None = None,
+        *,
+        max_wait_s: float | None = None,
+    ) -> "PlanePool._Lease":
         """Context manager: ``with pool.lease(spec) as replica: ...``."""
-        return PlanePool._Lease(self, spec)
+        return PlanePool._Lease(self, spec, max_wait_s)
 
     # -- internals (lock held) -------------------------------------------
     def _primary_for(self, spec: EngineSpec) -> ScorePlane:
@@ -322,11 +459,25 @@ class PlanePool:
         # bring the primary current once — its own engine pays any cold
         # fill / dirty-row refresh; every replica then copies warm cells
         primary.ensure()
+        frozen = self.version_instance()
+        if self._keep_stale:
+            with self._stale_lock:
+                stash = self._stale.get(spec)
+                if stash is None or stash.generation != self._generation:
+                    # refresh the last-good copy for this generation; a
+                    # later degraded read forks from it without ever
+                    # touching the (possibly stalled) writer lock
+                    self._stale[spec] = Replica(
+                        spec=spec,
+                        plane=primary.fork(self._template_for(spec).clone()),
+                        frozen=frozen,
+                        generation=self._generation,
+                    )
         plane = primary.fork(self._template_for(spec).clone())
         return Replica(
             spec=spec,
             plane=plane,
-            frozen=self.version_instance(),
+            frozen=frozen,
             generation=self._generation,
         )
 

@@ -59,11 +59,19 @@ class ServedResponse:
     whether the lease was served from a parked replica (True) or a fresh
     fork (False).  The underlying response's conveniences are re-exposed
     so callers can stay agnostic of which session type served them.
+
+    ``degraded`` marks a best-effort answer: either a ``deadline_ms``
+    budget expired before the requested solver finished (the response
+    carries the warm greedy baseline instead), or the pool writer was
+    stalled and the solve ran on the last good generation —
+    ``staleness`` then counts the writes begun since that generation.
     """
 
     response: SolveResponse
     version: int
     pool_hit: bool
+    degraded: bool = False
+    staleness: int = 0
 
     @property
     def result(self) -> Any:
@@ -82,7 +90,12 @@ class ServedResponse:
         return self.response.result.utility
 
     def summary(self) -> str:
-        return f"{self.response.summary()} @v{self.version}"
+        tag = ""
+        if self.degraded:
+            tag = " [degraded]" if not self.staleness else (
+                f" [degraded, staleness={self.staleness}]"
+            )
+        return f"{self.response.summary()} @v{self.version}{tag}"
 
 
 class ServingSession:
@@ -100,6 +113,20 @@ class ServingSession:
         its own.
     max_replicas:
         Per-spec cap on parked read replicas (see :class:`PlanePool`).
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` armed on the pool
+        (writer-stall injection; see :meth:`PlanePool.write`).
+    keep_stale_replica:
+        Keep a last-good replica per spec for staleness-stamped degraded
+        reads when the writer stalls (see :class:`PlanePool`).
+    durability:
+        A :class:`~repro.resilience.Durability` config makes the session
+        crash-safe: every committed mutation is journaled (apply ->
+        journal -> ack) and the live state checkpointed on the
+        configured cadence; :meth:`recover` rebuilds the session from
+        the directory.
+    generation:
+        Starting pool generation; nonzero only inside :meth:`recover`.
     """
 
     def __init__(
@@ -109,19 +136,72 @@ class ServingSession:
         registry: SolverRegistry | None = None,
         *,
         max_replicas: int = 8,
+        fault_plan: Any = None,
+        keep_stale_replica: bool = False,
+        durability: Any = None,
+        generation: int = 0,
     ) -> None:
         # the inner session is used for request validation and solver
         # construction only (both version-independent); its per-spec
         # engine cache is never touched by the concurrent paths
         self._session = ScheduleSession(instance, default_engine, registry)
         self._live = LiveInstance(instance)
-        self._pool = PlanePool(self._live, max_replicas=max_replicas)
+        self._pool = PlanePool(
+            self._live,
+            max_replicas=max_replicas,
+            generation=generation,
+            fault_plan=fault_plan,
+            keep_stale_replica=keep_stale_replica,
+        )
         self._served_lock = threading.Lock()
         self._requests_served = 0
         # named schedule snapshots; guarded by their own lock so version
         # saves/diffs never contend with the solve hot path
         self._versions = VersionStore()
         self._versions_lock = threading.Lock()
+        # durable sessions serialize [pool write -> journal append] under
+        # one lock so the journal order always equals the apply order
+        self._write_lock = threading.Lock()
+        self._durability: Any = None
+        self._journal: Any = None
+        self._checkpoints: Any = None
+        if durability is not None:
+            self._open_durability(durability, instance)
+
+    def _open_durability(self, durability: Any, instance: SESInstance) -> None:
+        from repro.data.serialization import instance_to_dict
+        from repro.resilience.checkpoint import CheckpointStore
+        from repro.resilience.journal import DeltaJournal
+        from repro.resilience.stream import engine_spec_to_dict
+
+        durability.directory.mkdir(parents=True, exist_ok=True)
+        self._durability = durability
+        self._journal = DeltaJournal.create(
+            durability.journal_path,
+            {
+                "kind": "serve",
+                "n_users": instance.n_users,
+                "engine": engine_spec_to_dict(self.default_engine),
+            },
+            fsync=durability.fsync,
+            fsync_every=durability.fsync_every,
+        )
+        self._checkpoints = CheckpointStore(durability.checkpoint_directory)
+        self._write_checkpoint(instance_to_dict(instance))
+
+    def _write_checkpoint(self, instance_payload: dict[str, Any]) -> None:
+        # journal first: a published checkpoint never claims mutations
+        # the journal could still lose to a crash
+        self._journal.sync()
+        self._checkpoints.write(
+            self._journal.offset,
+            {
+                "kind": "serve",
+                "offset": self._journal.offset,
+                "generation": self._pool.generation,
+                "instance": instance_payload,
+            },
+        )
 
     # -- introspection ---------------------------------------------------
     @property
@@ -165,7 +245,13 @@ class ServingSession:
 
     # -- the concurrent read path ----------------------------------------
     def solve(
-        self, request: SolveRequest | None = None, /, **query: Any
+        self,
+        request: SolveRequest | None = None,
+        /,
+        *,
+        deadline_ms: float | None = None,
+        max_wait_s: float | None = None,
+        **query: Any,
     ) -> ServedResponse:
         """Serve one solve on a leased replica (runs in parallel).
 
@@ -174,6 +260,19 @@ class ServingSession:
         fresh per request (stochastic state never leaks between
         clients); the initial score sweep is read warm from the forked
         replica plane.
+
+        ``deadline_ms`` makes the response *deadline-aware*: a cheap
+        warm greedy baseline is computed first (the best-so-far answer),
+        then the requested solver runs in a worker thread with the
+        remaining budget.  If it beats the deadline, its result is
+        returned; otherwise the baseline comes back stamped
+        ``degraded=True``.  ``deadline_ms=0`` deterministically degrades.
+
+        ``max_wait_s`` bounds how long the lease may wait on a stalled
+        writer; on timeout the solve runs against the last good
+        generation and the response carries ``staleness``
+        (see :meth:`PlanePool.acquire`).  A deadline implies a lease
+        bound of the remaining budget.
         """
         if request is None:
             request = SolveRequest(**query)
@@ -181,20 +280,41 @@ class ServingSession:
             raise TypeError(
                 "pass either a SolveRequest or keyword fields, not both"
             )
+        if deadline_ms is None:
+            response = self._solve_once(
+                request, self._session.solver_for(request),
+                max_wait_s=max_wait_s,
+            )
+        else:
+            if deadline_ms < 0:
+                raise ValueError(
+                    f"deadline_ms must be >= 0, got {deadline_ms}"
+                )
+            response = self._solve_deadline(request, deadline_ms, max_wait_s)
+        self._count_served()
+        return response
+
+    def _solve_once(
+        self,
+        request: SolveRequest,
+        solver: Any,
+        *,
+        max_wait_s: float | None = None,
+        degraded: bool = False,
+    ) -> ServedResponse:
         spec = (
             EngineSpec.coerce(request.engine)
             if request.engine is not None
             else self._session.default_engine
         )
-        solver = self._session.solver_for(request)
-        with self._pool.lease(spec) as replica:
+        with self._pool.lease(spec, max_wait_s=max_wait_s) as replica:
             result = solver.solve(
                 replica.frozen, request.k, plane=replica.plane,
                 locks=request.locks,
             )
             version = replica.generation
             pool_hit = replica.pool_hit
-        self._count_served()
+            staleness = replica.staleness
         return ServedResponse(
             response=SolveResponse(
                 request=request,
@@ -204,7 +324,70 @@ class ServingSession:
             ),
             version=version,
             pool_hit=pool_hit,
+            degraded=degraded or staleness > 0,
+            staleness=staleness,
         )
+
+    def _solve_deadline(
+        self,
+        request: SolveRequest,
+        deadline_ms: float,
+        max_wait_s: float | None,
+    ) -> ServedResponse:
+        import time as _time
+
+        deadline_s = deadline_ms / 1e3
+        started = _time.perf_counter()
+
+        def remaining() -> float:
+            return deadline_s - (_time.perf_counter() - started)
+
+        def lease_bound() -> float:
+            bound = max(0.001, remaining())
+            return bound if max_wait_s is None else min(bound, max_wait_s)
+
+        # best-so-far first: a warm greedy pass is the floor every
+        # degraded response stands on
+        baseline_solver = self._session.registry.create(
+            "grd",
+            engine=(
+                EngineSpec.coerce(request.engine)
+                if request.engine is not None
+                else self._session.default_engine
+            ),
+        )
+        baseline = self._solve_once(
+            request, baseline_solver, max_wait_s=lease_bound(), degraded=True
+        )
+        budget = remaining()
+        if budget <= 0:
+            return baseline
+
+        # the requested solver gets the remaining budget on its OWN
+        # lease (released by the worker itself, so a timed-out solve
+        # finishing late in the background stays safe)
+        box: dict[str, Any] = {}
+
+        def work() -> None:
+            try:
+                box["response"] = self._solve_once(
+                    request,
+                    self._session.solver_for(request),
+                    max_wait_s=lease_bound(),
+                )
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                box["error"] = error
+
+        worker = threading.Thread(
+            target=work, name="ses-deadline-solve", daemon=True
+        )
+        worker.start()
+        worker.join(timeout=budget)
+        if "response" in box:
+            return box["response"]
+        if "error" in box:
+            raise box["error"]
+        return baseline
 
     def gap_report(
         self,
@@ -357,6 +540,34 @@ class ServingSession:
         return result
 
     # -- the single-writer mutation path ---------------------------------
+    def _commit(
+        self,
+        mutate: Any,
+        payload_fn: Any,
+    ) -> LiveDelta:
+        """Apply one mutation; journal it before acknowledging.
+
+        Non-durable sessions go straight to the pool.  Durable sessions
+        hold the session write lock across [pool write -> journal
+        append] so journal order always equals apply order, and publish
+        a checkpoint when the cadence comes due.  CONTRIBUTING requires
+        every new mutator to route through here — an un-journaled
+        mutation is unrecoverable by construction (the chaos smoke
+        gate counts them).
+        """
+        if self._journal is None:
+            return self._pool.write(mutate)
+        from repro.data.serialization import instance_to_dict
+
+        with self._write_lock:
+            delta = self._pool.write(mutate)
+            self._journal.append(payload_fn())
+            if self._journal.offset % self._durability.checkpoint_every == 0:
+                self._write_checkpoint(
+                    instance_to_dict(self._live.freeze())  # ses-lint: disable=freeze-ban
+                )
+            return delta
+
     def add_event(
         self,
         location: int,
@@ -380,7 +591,19 @@ class ServingSession:
             )
             return live.add_event(event, interest_column)
 
-        delta = self._pool.write(mutate)
+        def payload() -> dict[str, Any]:
+            from repro.resilience.serve import column_payload
+
+            return {
+                "kind": "add_event",
+                "location": int(location),
+                "required_resources": float(required_resources),
+                "interest": column_payload(interest_column),
+                "name": str(name),
+                "tags": sorted(tags),
+            }
+
+        delta = self._commit(mutate, payload)
         return delta.event  # type: ignore[attr-defined]
 
     def cancel_event(self, event: int) -> int:
@@ -388,7 +611,9 @@ class ServingSession:
         def mutate(live: LiveInstance) -> LiveDelta:
             return live.remove_event(event)
 
-        delta = self._pool.write(mutate)
+        delta = self._commit(
+            mutate, lambda: {"kind": "cancel_event", "event": int(event)}
+        )
         return delta.event  # type: ignore[attr-defined]
 
     def update_event_interest(self, event: int, interest_column: Any) -> int:
@@ -396,7 +621,16 @@ class ServingSession:
         def mutate(live: LiveInstance) -> LiveDelta:
             return live.replace_event_interest(event, interest_column)
 
-        delta = self._pool.write(mutate)
+        def payload() -> dict[str, Any]:
+            from repro.resilience.serve import column_payload
+
+            return {
+                "kind": "update_event_interest",
+                "event": int(event),
+                "interest": column_payload(interest_column),
+            }
+
+        delta = self._commit(mutate, payload)
         return delta.event  # type: ignore[attr-defined]
 
     def add_competing(
@@ -409,8 +643,115 @@ class ServingSession:
             )
             return live.add_competing(rival, interest_column)
 
-        delta = self._pool.write(mutate)
+        def payload() -> dict[str, Any]:
+            from repro.resilience.serve import column_payload
+
+            return {
+                "kind": "add_competing",
+                "interval": int(interval),
+                "interest": column_payload(interest_column),
+                "name": str(name),
+            }
+
+        delta = self._commit(mutate, payload)
         return delta.competing  # type: ignore[attr-defined]
+
+    # -- durability ------------------------------------------------------
+    @property
+    def journal_offset(self) -> int | None:
+        """Journaled mutation count (``None`` on non-durable sessions)."""
+        return None if self._journal is None else self._journal.offset
+
+    def close(self) -> None:
+        """Seal a durable session: final checkpoint, close the journal."""
+        if self._journal is None or self._journal.closed:
+            return
+        from repro.data.serialization import instance_to_dict
+
+        with self._write_lock:
+            self._write_checkpoint(
+                instance_to_dict(self._live.freeze())  # ses-lint: disable=freeze-ban
+            )
+            self._journal.close()
+
+    @classmethod
+    def recover(
+        cls,
+        durability: Any,
+        default_engine: EngineSpec | str | None = None,
+        registry: SolverRegistry | None = None,
+        *,
+        max_replicas: int = 8,
+        fault_plan: Any = None,
+        keep_stale_replica: bool = False,
+    ) -> "ServingSession":
+        """Rebuild a durable serving session from its directory.
+
+        Newest valid checkpoint + journal-tail replay through the normal
+        mutators: the recovered session's generation, live state and
+        plane contents are bit-identical to an uninterrupted session's,
+        and it keeps journaling into the same WAL.  Serving-process
+        config (engine, replicas, fault plan) is not state and is passed
+        fresh.
+        """
+        from repro.core.errors import RecoveryError
+        from repro.data.serialization import instance_from_dict
+        from repro.resilience.checkpoint import CheckpointStore
+        from repro.resilience.config import Durability
+        from repro.resilience.journal import DeltaJournal
+        from repro.resilience.serve import replay_mutation
+
+        config = (
+            durability
+            if isinstance(durability, Durability)
+            else Durability(durability)
+        )
+        journal, scan = DeltaJournal.open(
+            config.journal_path, fsync=config.fsync,
+            fsync_every=config.fsync_every,
+        )
+        try:
+            if scan.metadata.get("kind") != "serve":
+                raise RecoveryError(
+                    f"journal {config.journal_path} holds a "
+                    f"{scan.metadata.get('kind')!r} session, not a "
+                    f"serving session"
+                )
+            store = CheckpointStore(config.checkpoint_directory)
+            found = store.newest_valid(max_offset=scan.offset)
+            if found is None:
+                raise RecoveryError(
+                    f"no valid checkpoint at or below journal offset "
+                    f"{scan.offset} in {config.checkpoint_directory}"
+                )
+            offset, body = found
+            if body.get("kind") != "serve":
+                raise RecoveryError(
+                    f"checkpoint at offset {offset} is not a serving "
+                    f"checkpoint"
+                )
+            if default_engine is None and scan.metadata.get("engine"):
+                default_engine = EngineSpec(**scan.metadata["engine"])
+            session = cls(
+                instance_from_dict(body["instance"]),
+                default_engine,
+                registry,
+                max_replicas=max_replicas,
+                fault_plan=fault_plan,
+                keep_stale_replica=keep_stale_replica,
+                generation=int(body["generation"]),
+            )
+            for payload in scan.records[offset:]:
+                replay_mutation(session, payload)
+        except BaseException:
+            journal.abandon()
+            raise
+        # re-arm durability on the surviving WAL: future mutations append
+        # where the journal left off
+        session._durability = config
+        session._journal = journal
+        session._checkpoints = store
+        return session
 
     # -- internals -------------------------------------------------------
     def _whatif_solver(self, solver: str, params: dict[str, Any]) -> Any:

@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.algorithms.registry import solver_registry
 from repro.core.engine import EngineSpec
@@ -35,6 +35,9 @@ from repro.interactive.locks import LockSet
 
 from repro.stream.policies import MaintenancePolicy, make_policy
 from repro.stream.trace import Trace
+
+if TYPE_CHECKING:
+    from repro.resilience.config import Durability
 
 __all__ = ["OpRecord", "StreamResult", "StreamDriver"]
 
@@ -187,6 +190,13 @@ class StreamDriver:
         Organizer pin/forbid constraints threaded into the policy's
         maintained scheduler at bind time; every repair, rebuild and
         oracle sample honors them across the whole replay.
+    durability:
+        A :class:`repro.resilience.Durability` config makes the replay
+        crash-safe: every applied op is journaled (op + observation
+        record) and the live state is checkpointed on the configured
+        cadence.  :func:`repro.resilience.recover` rebuilds such a
+        session from its directory after a crash.  Requires a policy
+        *name* (recovery reconstructs the policy from the journal).
     """
 
     def __init__(
@@ -199,6 +209,7 @@ class StreamDriver:
         oracle_every: int | None = None,
         oracle_solver: str = "grd-heap",
         locks: LockSet | None = None,
+        durability: "Durability | None" = None,
         **policy_params: Any,
     ) -> None:
         if isinstance(policy, str):
@@ -213,6 +224,11 @@ class StreamDriver:
                 )
             self._policy_name = None
             self._policy_params = {}
+        if durability is not None and self._policy_name is None:
+            raise TypeError(
+                "durable replays need a policy name, not a ready policy "
+                "object — recovery reconstructs the policy from the journal"
+            )
         if oracle_every is not None and oracle_every <= 0:
             raise ValueError(
                 f"oracle_every must be positive, got {oracle_every}"
@@ -225,19 +241,28 @@ class StreamDriver:
         self._oracle_every = oracle_every
         self._oracle_solver = oracle_solver
         self._locks = LockSet.coerce(locks)
+        self._durability = durability
 
     @property
     def policy(self) -> MaintenancePolicy:
         return self._policy
 
-    def run(self, trace: Trace) -> StreamResult:
+    def run(self, trace: Trace, *, stop_after: int | None = None) -> StreamResult:
         """Replay ``trace`` and return the full observation record.
 
         A driver constructed from a policy *name* can replay repeatedly
         (each run gets a fresh policy); one wrapping a ready policy
         object is single-use, since policies are.
+
+        ``stop_after`` is the kill-point hook for durable replays: apply
+        that many ops, then abandon the run as a process crash would —
+        no ``finish()``, no final checkpoint, no journal fsync.  The
+        partial result reflects the state at the kill point; recover the
+        durability directory to resume.
         """
         self._validate_shape(trace)
+        if stop_after is not None and stop_after < 0:
+            raise ValueError(f"stop_after must be >= 0, got {stop_after}")
         if self._policy.bound:
             if self._policy_name is None:
                 raise RuntimeError(
@@ -250,8 +275,28 @@ class StreamDriver:
         started = time.perf_counter()
         self._policy.bind(self._instance, k, engine=self._engine, locks=self._locks)
 
+        durable = None
+        if self._durability is not None:
+            from repro.resilience.stream import DurableStream
+
+            assert self._policy_name is not None  # enforced in __init__
+            durable = DurableStream.begin(
+                self._durability,
+                policy=self._policy,
+                policy_name=self._policy_name,
+                policy_params=self._policy_params,
+                trace=trace,
+                k=k,
+                oracle_every=self._oracle_every,
+                oracle_solver=self._oracle_solver,
+            )
+
         records: list[OpRecord] = []
+        interrupted = False
         for index, op in enumerate(trace):
+            if stop_after is not None and index >= stop_after:
+                interrupted = True
+                break
             op_started = time.perf_counter()
             self._policy.apply(op)
             latency = time.perf_counter() - op_started
@@ -261,20 +306,28 @@ class StreamDriver:
                 and (index + 1) % self._oracle_every == 0
             ):
                 regret = self._oracle_regret()
-            records.append(
-                OpRecord(
-                    index=index,
-                    label=op.label(),
-                    latency_seconds=latency,
-                    utility=self._policy.utility(),
-                    schedule_size=len(self._policy.schedule),
-                    regret=regret,
-                )
+            record = OpRecord(
+                index=index,
+                label=op.label(),
+                latency_seconds=latency,
+                utility=self._policy.utility(),
+                schedule_size=len(self._policy.schedule),
+                regret=regret,
             )
+            records.append(record)
+            if durable is not None:
+                durable.record(op, record)
 
-        finish_started = time.perf_counter()
-        self._policy.finish()
-        finish_seconds = time.perf_counter() - finish_started
+        if interrupted:
+            if durable is not None:
+                durable.crash()
+            finish_seconds = 0.0
+        else:
+            finish_started = time.perf_counter()
+            self._policy.finish()
+            finish_seconds = time.perf_counter() - finish_started
+            if durable is not None:
+                durable.finish()
 
         live = self._policy.scheduler
         base_plane = live.materialized_base_plane

@@ -130,6 +130,23 @@ class MaintenancePolicy(ABC):
     def utility(self) -> float:
         return self.scheduler.utility()
 
+    # -- durability ------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-ready internal counters a checkpoint must carry.
+
+        Everything a policy's :meth:`apply` decisions depend on *besides*
+        the scheduler state itself belongs here; recovery restores it via
+        :meth:`load_state` right after re-binding, so a resumed replay is
+        bit-identical to an uninterrupted one.  Subclasses extend the
+        dict (and CONTRIBUTING requires new policies to do the same for
+        any new mutable state).
+        """
+        return {"rebuilds": self._rebuilds}
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output onto a freshly bound policy."""
+        self._rebuilds = int(state.get("rebuilds", 0))
+
     def describe(self) -> str:
         return self.name
 
@@ -208,6 +225,15 @@ class PeriodicRebuildPolicy(MaintenancePolicy):
     def finish(self) -> None:
         if self._ops_since_rebuild:
             self._resolve()
+
+    def state_dict(self) -> dict[str, Any]:
+        state = super().state_dict()
+        state["ops_since_rebuild"] = self._ops_since_rebuild
+        return state
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        super().load_state(state)
+        self._ops_since_rebuild = int(state.get("ops_since_rebuild", 0))
 
     def _resolve(self) -> None:
         live = self.scheduler
@@ -301,6 +327,22 @@ class HybridPolicy(MaintenancePolicy):
             self.scheduler.rebuild()
             self._rebuilds += 1
             self._pressure -= flushed
+
+    def state_dict(self) -> dict[str, Any]:
+        state = super().state_dict()
+        # the threshold is resolved from the *initial* instance's interest
+        # mass at bind time; recovery re-binds on a checkpointed (mutated)
+        # instance, so the resolved value must travel in the checkpoint
+        state["pressure"] = self._pressure
+        state["drift_threshold"] = self._threshold
+        return state
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        super().load_state(state)
+        self._pressure = float(state.get("pressure", 0.0))
+        threshold = state.get("drift_threshold")
+        if threshold is not None:
+            self._threshold = float(threshold)
 
     def _op_pressure(self, op: ChangeOp) -> float:
         """L1 interest mass the op touches (computed pre-application)."""

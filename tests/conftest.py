@@ -68,6 +68,18 @@ def make_random_instance(
     )
 
 
+@pytest.fixture(autouse=True)
+def _plenty_of_cpus(monkeypatch: pytest.MonkeyPatch) -> None:
+    """Pretend 8 CPUs are available so worker-count tests are box-independent.
+
+    ``ShardExecutor`` clamps ``workers`` to the machine's CPU count; on a
+    single-core CI box that would silently collapse every thread/process
+    test to the serial kind.  Clamp-specific tests patch their own small
+    values on top of this.
+    """
+    monkeypatch.setattr("repro.shard.executor._available_cpus", lambda: 8)
+
+
 @pytest.fixture
 def random_instance() -> SESInstance:
     """A small but non-trivial random instance."""

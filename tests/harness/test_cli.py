@@ -192,3 +192,36 @@ class TestFigureCommand:
         output = capsys.readouterr().out
         assert "attend" in output
         assert "interval" in output
+
+
+class TestExplainLocks:
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(make_random_instance(seed=312), path)
+        return path
+
+    def test_feasible_locks_exit_zero(self, instance_file, capsys):
+        exit_code = main(
+            ["gaps", str(instance_file), "-k", "3", "--pin", "0:0",
+             "--explain-locks"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "verdict: feasible" in output
+        assert "gap report" not in output  # no solve happened
+
+    def test_infeasible_locks_exit_nonzero(self, instance_file, capsys):
+        exit_code = main(
+            ["gaps", str(instance_file), "-k", "3", "--pin", "99:0",
+             "--explain-locks"]
+        )
+        assert exit_code == 1
+        assert "out-of-range" in capsys.readouterr().out
+
+    def test_no_locks_is_trivially_feasible(self, instance_file, capsys):
+        exit_code = main(
+            ["gaps", str(instance_file), "-k", "3", "--explain-locks"]
+        )
+        assert exit_code == 0
+        assert "verdict: feasible" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+"""LockSet.explain: dry-run pin feasibility classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interactive.locks import LockReport, LockSet, PinProbe
+
+from tests.conftest import make_random_instance
+
+
+@pytest.fixture()
+def instance():
+    return make_random_instance(seed=42)
+
+
+def _events_sharing_location(instance):
+    by_location: dict[int, list[int]] = {}
+    for event in instance.events:
+        by_location.setdefault(event.location, []).append(event.index)
+    return next(v for v in by_location.values() if len(v) >= 2)
+
+
+class TestExplain:
+    def test_feasible_pins(self, instance):
+        report = LockSet().pin(0, 0).pin(1, 1).explain(instance, k=4)
+        assert isinstance(report, LockReport)
+        assert report.feasible
+        assert all(p.ok for p in report.probes)
+        assert "verdict: feasible" in report.describe()
+
+    def test_empty_locks_are_feasible(self, instance):
+        assert LockSet().explain(instance).feasible
+
+    def test_out_of_range_pin(self, instance):
+        report = LockSet().pin(99, 0).explain(instance)
+        assert not report.feasible
+        assert report.probes[0].status == "out-of-range"
+
+    def test_out_of_range_forbid(self, instance):
+        report = LockSet().forbid(0, 99).explain(instance)
+        assert not report.feasible
+        assert report.forbids_out_of_range == ((0, 99),)
+        # forbids never produce probes — they are range-checked only
+        assert report.probes == ()
+
+    def test_location_conflict(self, instance):
+        first, second = _events_sharing_location(instance)[:2]
+        report = LockSet().pin(0, first).pin(0, second).explain(instance)
+        assert not report.feasible
+        statuses = {p.event: p.status for p in report.probes}
+        assert "location-conflict" in statuses.values()
+        assert "location" in report.describe()
+
+    def test_over_capacity(self):
+        tight = make_random_instance(
+            seed=5, theta=1.5, xi_range=(1.0, 1.4), n_locations=6
+        )
+        base = tight.events[0]
+        other = next(
+            e.index for e in tight.events if e.location != base.location
+        )
+        report = LockSet().pin(0, base.index).pin(0, other).explain(tight)
+        assert not report.feasible
+        assert any(p.status == "over-capacity" for p in report.probes)
+        failing = next(p for p in report.probes if not p.ok)
+        assert "resources" in failing.detail
+
+    def test_budget_overflow(self, instance):
+        report = LockSet().pin(0, 0).pin(1, 1).explain(instance, k=1)
+        assert not report.feasible
+        assert all(p.ok for p in report.probes)  # pins fine, budget is not
+        assert "exceed k=1" in report.describe()
+
+    def test_explain_never_mutates(self, instance):
+        locks = LockSet().pin(0, 0)
+        first = locks.explain(instance)
+        second = locks.explain(instance)
+        assert first == second
+
+    def test_probe_value_semantics(self):
+        probe = PinProbe(interval=1, event=2, status="ok")
+        assert probe.ok
+        assert not PinProbe(interval=1, event=2, status="over-capacity").ok

@@ -1,0 +1,1 @@
+"""Test package marker: keeps test-module names unique across directories."""

@@ -192,6 +192,8 @@ class TestStats:
             "generation",
             "freezes",
             "replica_cold_cells",
+            "degraded",
+            "writer_stalls",
         }
 
     def test_generation_zero_needs_no_freeze(self, pool):
